@@ -1,0 +1,119 @@
+// Ablation (ours): cache organisation beyond line size.
+//
+// The paper fixes a 16-way, 1024-line L1 and sweeps only the line size;
+// its future work asks for "the effect of the memory hierarchy on the
+// effectiveness of the attack".  This ablation sweeps the replacement
+// policy and associativity at the paper's geometry, showing the attack is
+// insensitive to both (the monitored working set is far below capacity),
+// and then shrinks the cache until self-eviction noise appears.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "soc/hierarchy_platform.h"
+
+using namespace grinch;
+
+namespace {
+
+EffortCell run_cell(const cachesim::CacheConfig& cache, unsigned trials,
+                    std::uint64_t budget, std::uint64_t seed) {
+  soc::DirectProbePlatform::Config pcfg;
+  pcfg.cache = cache;
+  return bench::first_round_cell(pcfg, trials, budget, seed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const unsigned trials = quick ? 2 : 3;
+  const std::uint64_t budget = 60000;
+
+  std::printf("Ablation — replacement policy and associativity "
+              "(first-round attack)\n\n");
+
+  AsciiTable policy_table{"Replacement policy sweep (16-way, 64 sets)"};
+  policy_table.set_header({"policy", "mean encryptions"});
+  for (auto policy :
+       {cachesim::Replacement::kLru, cachesim::Replacement::kFifo,
+        cachesim::Replacement::kPlru, cachesim::Replacement::kRandom}) {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    cache.replacement = policy;
+    policy_table.add_row(
+        {cachesim::to_string(policy),
+         run_cell(cache, trials, budget,
+                  0xCA0 + static_cast<std::uint64_t>(policy))
+             .render()});
+  }
+  bench::print_table(policy_table);
+
+  AsciiTable ways_table{"Associativity sweep (LRU, 1024 lines total)"};
+  ways_table.set_header({"ways x sets", "mean encryptions"});
+  for (unsigned ways : {1u, 2u, 4u, 8u, 16u}) {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    cache.associativity = ways;
+    cache.num_sets = 1024 / ways;
+    ways_table.add_row({std::to_string(ways) + " x " +
+                            std::to_string(cache.num_sets),
+                        run_cell(cache, trials, budget, 0xCB0 + ways)
+                            .render()});
+  }
+  bench::print_table(ways_table);
+
+  AsciiTable size_table{"Cache size sweep (16-way, LRU)"};
+  size_table.set_header({"total lines", "mean encryptions"});
+  for (unsigned sets : {64u, 16u, 4u, 2u}) {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    cache.num_sets = sets;
+    size_table.add_row({std::to_string(cache.total_lines()),
+                        run_cell(cache, trials, budget, 0xCC0 + sets)
+                            .render()});
+  }
+  bench::print_table(size_table);
+
+  // Memory hierarchy (§V future work): the attack through an L1+L2
+  // hierarchy with both flush capabilities.
+  AsciiTable hier_table{"Memory hierarchy sweep (first-round attack)"};
+  hier_table.set_header({"configuration", "mean encryptions"});
+  {
+    Xoshiro256 rng{0xCD0};
+    for (const auto& [label, cap, two_level] :
+         {std::tuple{"flat shared L1 (paper)", soc::FlushCapability::kClflush,
+                     false},
+          std::tuple{"L1 + 4096-line L2, clflush",
+                     soc::FlushCapability::kClflush, true},
+          std::tuple{"L1 + 4096-line L2, L1-evict only",
+                     soc::FlushCapability::kL1EvictOnly, true}}) {
+      EffortCell cell{budget};
+      for (unsigned t = 0; t < trials; ++t) {
+        const Key128 key = rng.key128();
+        soc::HierarchyPlatform::Config hcfg;
+        hcfg.flush = cap;
+        if (!two_level) hcfg.hierarchy.l2.reset();
+        soc::HierarchyPlatform platform{hcfg, key};
+        attack::GrinchConfig acfg;
+        acfg.stages = 1;
+        acfg.max_encryptions = budget;
+        acfg.seed = rng.next();
+        attack::GrinchAttack attack{platform, acfg};
+        const attack::AttackResult r = attack.run();
+        const gift::RoundKey64 truth = gift::extract_round_key64(key);
+        if (r.success && r.round_keys.size() == 1 &&
+            r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
+          cell.add_success(r.total_encryptions);
+        } else {
+          cell.add_dropout();
+        }
+      }
+      hier_table.add_row({label, cell.render()});
+    }
+  }
+  bench::print_table(hier_table);
+
+  std::printf("Expected: policy/associativity barely matter at the paper's\n"
+              "geometry; very small caches add self-eviction noise and raise\n"
+              "the effort; a deeper hierarchy does not protect the victim —\n"
+              "even an attacker without clflush (L1 eviction only) succeeds\n"
+              "because L1-hit vs L2-hit latency is still distinguishable.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation (ours): probing primitive and exploitation strategy.
+//
+// §III-C argues Flush+Reload is the better choice for GRINCH because the
+// flush is fast and line-granular, while Prime+Probe resolves only sets
+// (and inherits aliasing noise).  This ablation measures both under
+// identical conditions, plus the paper's sequential per-segment
+// methodology against joint all-segment exploitation (our extension
+// showing the methodology's headroom).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace grinch;
+
+namespace {
+
+EffortCell run_cell(soc::ProbeMethod method, bool exploit_all,
+                    unsigned trials, std::uint64_t budget,
+                    std::uint64_t seed, bool trace = false) {
+  EffortCell cell{budget};
+  Xoshiro256 rng{seed};
+  for (unsigned t = 0; t < trials; ++t) {
+    const Key128 key = rng.key128();
+    soc::DirectProbePlatform::Config pcfg;
+    pcfg.method = method;
+    pcfg.capture_trace = trace;
+    soc::DirectProbePlatform platform{pcfg, key};
+    attack::GrinchConfig acfg;
+    acfg.stages = 1;
+    acfg.max_encryptions = budget;
+    acfg.exploit_all_segments = exploit_all;
+    acfg.use_trace_hits = trace;
+    acfg.seed = rng.next();
+    attack::GrinchAttack attack{platform, acfg};
+    const attack::AttackResult r = attack.run();
+    const gift::RoundKey64 truth = gift::extract_round_key64(key);
+    if (r.success && r.round_keys.size() == 1 &&
+        r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
+      cell.add_success(r.total_encryptions);
+    } else {
+      cell.add_dropout();
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const unsigned trials = quick ? 3 : 10;
+  const std::uint64_t budget = 100000;
+
+  std::printf("Ablation — probe primitive & exploitation strategy "
+              "(first-round attack, paper-default cache)\n\n");
+
+  AsciiTable table{"Probe method / strategy ablation"};
+  table.set_header({"configuration", "mean encryptions (32-bit key)"});
+  table.add_row({"Flush+Reload, sequential segments (paper)",
+                 run_cell(soc::ProbeMethod::kFlushReload, false, trials,
+                          budget, 0xAB1)
+                     .render()});
+  table.add_row({"Prime+Probe,  sequential segments",
+                 run_cell(soc::ProbeMethod::kPrimeProbe, false, trials, budget,
+                          0xAB2)
+                     .render()});
+  table.add_row({"Flush+Reload, joint segments (ours)",
+                 run_cell(soc::ProbeMethod::kFlushReload, true, trials, budget,
+                          0xAB3)
+                     .render()});
+  table.add_row({"Prime+Probe,  joint segments (ours)",
+                 run_cell(soc::ProbeMethod::kPrimeProbe, true, trials, budget,
+                          0xAB4)
+                     .render()});
+  table.add_row({"Flush+Reload + trace channel (ref [10], ours)",
+                 run_cell(soc::ProbeMethod::kFlushReload, false, trials,
+                          budget, 0xAB5, /*trace=*/true)
+                     .render()});
+  bench::print_table(table);
+  std::printf("Expected: joint exploitation is several times cheaper than\n"
+              "the paper's sequential methodology; Prime+Probe performs\n"
+              "comparably here because the simulated victim tables do not\n"
+              "alias the monitored sets (its set-granularity costs show up\n"
+              "only with aliasing workloads).\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// §IV-C reproduction: the two proposed countermeasures.
+//
+//  1. Packed S-Box — 8 rows x 8 bits with an 8-byte cache line: the whole
+//     table shares one line, the access pattern carries no information,
+//     and candidate elimination never converges.
+//  2. Hardened UpdateKey — round keys whitened with a non-linear digest
+//     of not-yet-used key bits: the cache still leaks the *effective*
+//     sub-keys, but "the key retrieval would not be possible".
+#include <cstdio>
+
+#include "bench_util.h"
+#include "countermeasures/evaluator.h"
+
+using namespace grinch;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::uint64_t budget = quick ? 5000 : 30000;
+  std::printf("§IV-C — countermeasure evaluation (attack budget %llu "
+              "encryptions per configuration)\n\n",
+              static_cast<unsigned long long>(budget));
+
+  Xoshiro256 rng{0xC0DE};
+  const Key128 key = rng.key128();
+
+  AsciiTable table{"Countermeasures (reproduced)"};
+  table.set_header({"protection", "sub-keys converged", "key retrieved",
+                    "encryptions", "note"});
+  for (const cm::EvaluationResult& r : cm::evaluate_all(key, budget, 0x55)) {
+    table.add_row({cm::to_string(r.protection),
+                   r.attack_succeeded ? "yes" : "no",
+                   r.key_retrieved ? "YES" : "no",
+                   std::to_string(r.encryptions), r.note});
+  }
+  bench::print_table(table);
+  std::printf("Expected: baseline falls in <400 encryptions; both "
+              "countermeasures keep the master key safe.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension experiment (ours): GRINCH against GIFT-128.
+//
+// The paper motivates GIFT's importance through the NIST LWC candidates,
+// most of which build on GIFT-128 (e.g. GIFT-COFB) — but evaluates the
+// attack on GIFT-64 only.  This harness runs the two-stage GIFT-128
+// variant: same vulnerability, same 16-entry S-Box table, 32 segments,
+// 64 key bits recovered per attacked round.
+#include <cstdio>
+
+#include "attack/grinch128.h"
+#include "bench_util.h"
+
+using namespace grinch;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const unsigned kTrials = quick ? 3 : 15;
+
+  std::printf("Extension — full 128-bit GIFT-128 key recovery "
+              "(paper: GIFT-64 only)\n\n");
+
+  Xoshiro256 rng{0x128128};
+  SampleStats total, stage0, stage1;
+  unsigned verified = 0;
+  for (unsigned t = 0; t < kTrials; ++t) {
+    const Key128 key = rng.key128();
+    soc::Gift128DirectProbePlatform platform{{}, key};
+    attack::Grinch128Config cfg;
+    cfg.seed = rng.next();
+    attack::Grinch128Attack attack{platform, cfg};
+    const attack::Grinch128Result r = attack.run();
+    if (!r.success || r.recovered_key != key) {
+      std::printf("trial %u FAILED\n", t);
+      continue;
+    }
+    ++verified;
+    total.add(static_cast<double>(r.total_encryptions));
+    stage0.add(static_cast<double>(r.stage_encryptions[0]));
+    stage1.add(static_cast<double>(r.stage_encryptions[1]));
+  }
+
+  AsciiTable table{"GIFT-128 key recovery (extension)"};
+  table.set_header({"metric", "GIFT-128", "GIFT-64 (paper target)"});
+  table.add_row({"stages to full key", "2", "4"});
+  table.add_row({"key bits per stage", "64", "32"});
+  table.add_row({"mean encryptions (full key)",
+                 std::to_string(static_cast<unsigned>(total.mean())),
+                 "~280"});
+  table.add_row({"mean encryptions per stage",
+                 std::to_string(static_cast<unsigned>(
+                     (stage0.mean() + stage1.mean()) / 2)),
+                 "~69"});
+  table.add_row({"keys verified",
+                 std::to_string(verified) + "/" + std::to_string(kTrials),
+                 "-"});
+  bench::print_table(table);
+
+  std::printf(
+      "Observation: GIFT-128 costs more per *segment* than GIFT-64 — its 32\n"
+      "S-Box lookups per round nearly saturate the 16-entry table, leaving\n"
+      "fewer absent lines per probe — but with only 2 stages the full key\n"
+      "still falls in well under a thousand encryptions.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension experiment (ours): the observation pipeline against
+// PRESENT-80, GIFT's ISO-standardised ancestor.
+//
+// PRESENT adds the round key *before* its S-Box layer, so the first
+// round's table indices are already key-dependent: no crafted plaintexts,
+// no multi-stage pipeline — 64 key bits leak from round-0 observations
+// and the remaining 16 fall to a 2^16 offline search.  The contrast with
+// GIFT quantifies how much protection GIFT's key-free first round does
+// NOT buy: a handful of extra encryptions and a four-stage loop.
+#include <cstdio>
+
+#include "attack/present_attack.h"
+#include "bench_util.h"
+
+using namespace grinch;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const unsigned kTrials = quick ? 5 : 20;
+
+  std::printf("Extension — cache attack on PRESENT-80 vs GRINCH on "
+              "GIFT-64\n\n");
+
+  Xoshiro256 rng{0x93E5E27};
+  SampleStats enc;
+  unsigned ok = 0;
+  for (unsigned t = 0; t < kTrials; ++t) {
+    Key128 key = rng.key128();
+    key.hi &= 0xFFFF;
+    soc::Present80DirectProbePlatform platform{{}, key};
+    attack::PresentAttackConfig cfg;
+    cfg.seed = rng.next();
+    attack::Present80Attack attack{platform, cfg};
+    const attack::PresentAttackResult r = attack.run();
+    if (r.success && r.recovered_key == key) {
+      ++ok;
+      enc.add(static_cast<double>(r.cache_encryptions));
+    }
+  }
+
+  AsciiTable table{"PRESENT-80 key recovery (extension)"};
+  table.set_header({"metric", "PRESENT-80", "GIFT-64 (GRINCH)"});
+  table.add_row({"first key-dependent S-Box round", "1", "2"});
+  table.add_row({"plaintext crafting needed", "no", "yes (Algorithms 1-2)"});
+  table.add_row({"monitored encryptions (mean)",
+                 std::to_string(static_cast<unsigned>(enc.mean())), "~280"});
+  table.add_row({"offline search", "2^16", "none"});
+  table.add_row({"keys verified",
+                 std::to_string(ok) + "/" + std::to_string(kTrials), "-"});
+  bench::print_table(table);
+
+  std::printf("Reading: the tiny shared S-Box makes both ciphers leak; "
+              "PRESENT's pre-S-Box\nkey addition removes every obstacle "
+              "GRINCH had to engineer around.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Supplementary figure (ours): the leakage mechanism behind Fig. 3 and
+// Table I, measured directly.
+//
+// The attack's power is the number of *absent* S-Box lines per probe —
+// every absent line eliminates candidates.  This bench measures the mean
+// number of distinct lines present as a function of probing round and
+// line size, showing why effort explodes: presence saturates toward
+// "every line cached" as the window widens or lines coarsen.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+
+using namespace grinch;
+
+int main() {
+  std::printf("Leakage profile — mean distinct S-Box lines present at the "
+              "probe (flush enabled)\n\n");
+
+  Xoshiro256 rng{0x1EAC};
+  constexpr unsigned kEncryptions = 300;
+
+  AsciiTable table{"Lines present / lines total vs probing round"};
+  std::vector<std::string> header{"line size"};
+  for (unsigned k = 1; k <= 6; ++k) header.push_back("round " + std::to_string(k));
+  table.set_header(header);
+
+  for (unsigned words : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> row{std::to_string(words) + "B"};
+    for (unsigned k = 1; k <= 6; ++k) {
+      soc::DirectProbePlatform::Config cfg;
+      cfg.cache.line_bytes = words;
+      cfg.probing_round = k;
+      const Key128 key = rng.key128();
+      soc::DirectProbePlatform platform{cfg, key};
+      const auto line_ids = platform.index_line_ids();
+      unsigned total_lines = 0;
+      for (unsigned id : line_ids) total_lines = std::max(total_lines, id + 1);
+
+      double present_sum = 0;
+      Xoshiro256 pts{rng.next()};
+      for (unsigned e = 0; e < kEncryptions; ++e) {
+        const soc::Observation obs = platform.observe(pts.block64(), 0);
+        std::vector<bool> line_seen(total_lines, false);
+        for (unsigned i = 0; i < 16; ++i) {
+          if (obs.present[i]) line_seen[line_ids[i]] = true;
+        }
+        for (bool seen : line_seen) present_sum += seen;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f/%u",
+                    present_sum / kEncryptions, total_lines);
+      row.push_back(buf);
+    }
+    table.add_row(row);
+  }
+  bench::print_table(table);
+  std::printf("Reading: elimination power per probe ~ (total - present).\n"
+              "1-byte lines keep ~5 absent lines at round 1; by round 6, or\n"
+              "with 4+-byte lines, almost nothing is absent — the mechanism\n"
+              "behind Fig. 3's exponential growth and Table I's drop-outs.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark): raw throughput of the ciphers, the
+// leaky table implementation, the cache simulator, the NoC model and one
+// full monitored-encryption observation.  These are sanity/engineering
+// numbers, not paper results.
+#include <benchmark/benchmark.h>
+
+#include "attack/grinch.h"
+#include "cachesim/cache.h"
+#include "common/rng.h"
+#include "gift/bitslice.h"
+#include "gift/gift128.h"
+#include "gift/gift64.h"
+#include "gift/table_gift.h"
+#include "noc/network.h"
+#include "present/present.h"
+#include "soc/platform.h"
+
+using namespace grinch;
+
+namespace {
+
+void BM_Gift64Encrypt(benchmark::State& state) {
+  Xoshiro256 rng{1};
+  const Key128 key = rng.key128();
+  std::uint64_t pt = rng.block64();
+  for (auto _ : state) {
+    pt = gift::Gift64::encrypt(pt, key);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Gift64Encrypt);
+
+void BM_Gift64Decrypt(benchmark::State& state) {
+  Xoshiro256 rng{2};
+  const Key128 key = rng.key128();
+  std::uint64_t ct = rng.block64();
+  for (auto _ : state) {
+    ct = gift::Gift64::decrypt(ct, key);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_Gift64Decrypt);
+
+void BM_Gift128Encrypt(benchmark::State& state) {
+  Xoshiro256 rng{3};
+  const Key128 key = rng.key128();
+  gift::State128 pt{rng.block64(), rng.block64()};
+  for (auto _ : state) {
+    pt = gift::Gift128::encrypt(pt, key);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_Gift128Encrypt);
+
+void BM_Present80Encrypt(benchmark::State& state) {
+  Xoshiro256 rng{4};
+  Key128 key = rng.key128();
+  key.hi &= 0xFFFF;
+  std::uint64_t pt = rng.block64();
+  for (auto _ : state) {
+    pt = present::Present80::encrypt(pt, key);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_Present80Encrypt);
+
+void BM_BitslicedGift64Encrypt(benchmark::State& state) {
+  Xoshiro256 rng{45};
+  const Key128 key = rng.key128();
+  const gift::BitslicedGift64 cipher;
+  std::uint64_t pt = rng.block64();
+  for (auto _ : state) {
+    pt = cipher.encrypt(pt, key);
+    benchmark::DoNotOptimize(pt);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BitslicedGift64Encrypt);
+
+void BM_TableGift64Instrumented(benchmark::State& state) {
+  Xoshiro256 rng{5};
+  const Key128 key = rng.key128();
+  const gift::TableGift64 cipher;
+  gift::VectorTraceSink sink;
+  std::uint64_t pt = rng.block64();
+  for (auto _ : state) {
+    sink.clear();
+    pt = cipher.encrypt(pt, key, &sink);
+    benchmark::DoNotOptimize(pt);
+  }
+}
+BENCHMARK(BM_TableGift64Instrumented);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cachesim::Cache cache{cachesim::CacheConfig::paper_default()};
+  Xoshiro256 rng{6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.uniform(1 << 16)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_NocSend(benchmark::State& state) {
+  const noc::MeshTopology mesh{3, 3};
+  noc::Network net{mesh, noc::LinkTiming{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.send(0, 8, 8));
+  }
+}
+BENCHMARK(BM_NocSend);
+
+void BM_ObserveOneEncryption(benchmark::State& state) {
+  Xoshiro256 rng{7};
+  soc::DirectProbePlatform platform{soc::DirectProbePlatform::Config{},
+                                    rng.key128()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform.observe(rng.block64(), 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObserveOneEncryption);
+
+void BM_FullFirstRoundAttack(benchmark::State& state) {
+  Xoshiro256 rng{8};
+  for (auto _ : state) {
+    const Key128 key = rng.key128();
+    soc::DirectProbePlatform platform{soc::DirectProbePlatform::Config{},
+                                      key};
+    attack::GrinchConfig cfg;
+    cfg.stages = 1;
+    cfg.seed = rng.next();
+    attack::GrinchAttack attack{platform, cfg};
+    benchmark::DoNotOptimize(attack.run());
+  }
+}
+BENCHMARK(BM_FullFirstRoundAttack)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table I reproduction: required encryptions to attack the first round as
+// a function of cache line size (1/2/4/8 words per line) and probing
+// round (1..5).  Paper row "1 Word": 96 / 312 / 840 / 2,448 / 5,864;
+// larger lines blow the effort up by orders of magnitude, with cells
+// beyond 1M dropped as impractical (">1M").
+//
+// Coarse lines hide the low S-Box index bits inside a line, so the attack
+// falls back on cross-round propagation ("assume all possibilities and
+// continue to the next round", §III-D) — implemented by the
+// CrossRoundSolver and the deferred-stage pipeline.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace grinch;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const unsigned max_round = quick ? 3 : 5;
+  const std::uint64_t budget = quick ? 60000 : 1000000;
+
+  std::printf("Table I — required encryptions to attack the first round\n");
+  std::printf("paper reference:\n");
+  std::printf("  1 word : 96 / 312 / 840 / 2448 / 5864\n");
+  std::printf("  2 words: 136 / 1112 / 11440 / 188536 / >1M\n");
+  std::printf("  4 words: 136 / 123848 / >1M / >1M / >1M\n");
+  std::printf("  8 words: 113000 / >1M / >1M / >1M / >1M\n\n");
+
+  AsciiTable table{"Table I (reproduced)"};
+  std::vector<std::string> header{"cache line size"};
+  for (unsigned k = 1; k <= max_round; ++k)
+    header.push_back("round " + std::to_string(k));
+  table.set_header(header);
+
+  for (unsigned words : {1u, 2u, 4u, 8u}) {
+    std::vector<std::string> row{std::to_string(words) +
+                                 (words == 1 ? " word" : " words")};
+    for (unsigned k = 1; k <= max_round; ++k) {
+      const unsigned trials = words <= 2 ? 3 : 1;
+      soc::DirectProbePlatform::Config cfg;
+      cfg.cache.line_bytes = words;
+      cfg.probing_round = k;
+      cfg.use_flush = true;
+      const EffortCell cell = bench::first_round_cell(
+          cfg, trials, budget, 0x7AB1E100 + words * 16 + k);
+      row.push_back(cell.render());
+      std::fprintf(stderr, "[table1] %u words, probing round %u done\n",
+                   words, k);
+    }
+    table.add_row(row);
+  }
+
+  bench::print_table(table);
+  std::printf(
+      "Expected shape: effort rises steeply with both line size and probing\n"
+      "round; the large-line / late-probe corner drops out (>budget), like\n"
+      "the paper's >1M cells.  Deviation noted in EXPERIMENTS.md: with\n"
+      "probe-after-round observations, lines of >=4 words carry no direct\n"
+      "single-round information, so our 4/8-word cells lean entirely on\n"
+      "cross-round propagation and are costlier than the paper's at early\n"
+      "probing rounds.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Countermeasure walkthrough (paper §IV-C): protects the same victim with
+// (1) the packed 8x8 S-Box + 8-byte cache line and (2) the hardened
+// UpdateKey, then re-runs GRINCH against each.
+//
+//   $ build/examples/countermeasure_eval
+#include <cstdio>
+
+#include "common/rng.h"
+#include "countermeasures/evaluator.h"
+#include "countermeasures/hardened_schedule.h"
+#include "countermeasures/packed_sbox.h"
+#include "gift/gift64.h"
+
+using namespace grinch;
+
+int main() {
+  Xoshiro256 rng{0xCAFE};
+  const Key128 key = rng.key128();
+
+  // Countermeasure 1 geometry.
+  const gift::TableLayout packed = cm::packed_sbox_layout();
+  std::printf("countermeasure 1: S-Box reshaped to %u rows; occupies %u "
+              "cache line(s) with 8-byte lines (vs %u lines unprotected)\n",
+              packed.sbox_rows(), cm::sbox_lines_occupied(packed, 8),
+              cm::sbox_lines_occupied(gift::TableLayout{}, 1));
+
+  // Countermeasure 2 is still a correct cipher, just not standard GIFT.
+  const std::uint64_t pt = rng.block64();
+  const std::uint64_t ct = cm::HardenedGift64::encrypt(pt, key);
+  std::printf("countermeasure 2: hardened encrypt/decrypt round-trip: %s; "
+              "output differs from standard GIFT: %s\n\n",
+              cm::HardenedGift64::decrypt(ct, key) == pt ? "ok" : "BROKEN",
+              ct != gift::Gift64::encrypt(pt, key) ? "yes" : "no");
+
+  std::printf("running GRINCH against each configuration (budget 20000 "
+              "encryptions)...\n\n");
+  for (const cm::EvaluationResult& r : cm::evaluate_all(key, 20000, 0x11)) {
+    std::printf("  %-36s  sub-keys: %-3s  key retrieved: %-3s  "
+                "(%llu encryptions)\n      %s\n",
+                cm::to_string(r.protection),
+                r.attack_succeeded ? "yes" : "no",
+                r.key_retrieved ? "YES" : "no",
+                static_cast<unsigned long long>(r.encryptions),
+                r.note.c_str());
+  }
+  std::printf("\nconclusion (paper §IV-C): either countermeasure keeps the "
+              "master key safe;\nthe packed S-Box removes the leak itself, "
+              "the hardened schedule makes the\nleaked bits useless.\n");
+  return 0;
+}

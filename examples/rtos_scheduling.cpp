@@ -1,0 +1,52 @@
+// Single-core SoC scenario (paper §IV, platform i): victim and attacker
+// share one RISC-V core under an RTOS with a 10 ms quantum.  Shows how
+// the clock frequency decides which cipher round the attacker's first
+// probe lands in (Table II's SoC row), and why low-frequency IoT parts
+// are the most exposed.
+//
+//   $ build/examples/rtos_scheduling
+#include <cstdio>
+
+#include "attack/grinch.h"
+#include "common/rng.h"
+#include "soc/platform.h"
+
+using namespace grinch;
+
+int main() {
+  Xoshiro256 rng{0x5C4ED};
+  const Key128 victim_key = rng.key128();
+
+  std::printf("RTOS quantum: 10 ms; victim runs one quantum, then the "
+              "attacker probes.\n\n");
+  std::printf("%-8s %-18s %-22s %s\n", "clock", "cycles/quantum",
+              "victim round cost", "first probed round");
+
+  for (double mhz : {10.0, 25.0, 50.0}) {
+    soc::SingleCoreSoC::Config cfg;
+    cfg.rtos.clock_mhz = mhz;
+    soc::SingleCoreSoC soc{cfg, victim_key};
+    const double cpr = soc.measured_cycles_per_round();
+    std::printf("%-8.0f %-18llu %-22.0f %u\n", mhz,
+                static_cast<unsigned long long>(cfg.rtos.quantum_cycles()),
+                cpr, soc.first_probe_round());
+  }
+
+  std::printf("\npaper Table II SoC row: 2 / 4 / 8 — a 10 MHz IoT device "
+              "exposes round 2,\nwhere the first key bits are mixed in; at "
+              "50 MHz the probe lands at round 8\nand the first-round attack "
+              "needs far more encryptions (Fig. 3).\n\n");
+
+  // Drive one actual monitored encryption at 10 MHz and show what the
+  // attacker's quantum captured.
+  soc::SingleCoreSoC::Config cfg;
+  cfg.rtos.clock_mhz = 10.0;
+  soc::SingleCoreSoC soc{cfg, victim_key};
+  const soc::Observation obs = soc.observe(rng.block64(), 0);
+  std::printf("one monitored encryption at 10 MHz: probe covered %u rounds; "
+              "S-Box lines present: ",
+              obs.probed_after_round);
+  for (unsigned i = 0; i < 16; ++i) std::printf("%c", obs.present[i] ? '1' : '.');
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "attack/eliminator.h"
+
+#include <cassert>
+
+namespace grinch::attack {
+
+unsigned CandidateSet::size() const noexcept {
+  unsigned n = 0;
+  for (unsigned c = 0; c < 4; ++c) n += contains(c);
+  return n;
+}
+
+unsigned CandidateSet::value() const noexcept {
+  assert(resolved());
+  for (unsigned c = 0; c < 4; ++c) {
+    if (contains(c)) return c;
+  }
+  return 0;
+}
+
+unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
+                              const std::vector<bool>& present,
+                              unsigned* restarts) {
+  assert(present.size() == 16);
+  const std::uint8_t before = set.mask();
+  CandidateSet trial = set;
+  for (unsigned c = 0; c < 4; ++c) {
+    if (!trial.contains(c)) continue;
+    const unsigned index = (pre_key_nibble ^ c) & 0xF;
+    if (!present[index]) trial.remove(c);
+  }
+  if (trial.empty()) {
+    // Every candidate contradicted: the observation must be noisy (e.g.
+    // the probe landed before the monitored access).  Start the segment
+    // over rather than committing to a wrong elimination.
+    set.reset();
+    if (restarts) ++*restarts;
+    return 0;
+  }
+  set = trial;
+  unsigned removed = 0;
+  for (unsigned c = 0; c < 4; ++c) {
+    removed += ((before >> c) & 1u) && !set.contains(c);
+  }
+  return removed;
+}
+
+unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
+                                    unsigned pre_key_nibble,
+                                    const std::vector<bool>& present,
+                                    unsigned threshold,
+                                    unsigned* restarts) {
+  assert(present.size() == 16);
+  assert(threshold >= 1);
+  const std::uint8_t before = set.mask();
+  CandidateSet trial = set;
+  for (unsigned c = 0; c < 4; ++c) {
+    if (!trial.contains(c)) continue;
+    const unsigned index = (pre_key_nibble ^ c) & 0xF;
+    if (present[index]) {
+      votes[c] = 0;  // evidence of presence clears suspicion
+    } else if (++votes[c] >= threshold) {
+      trial.remove(c);
+    }
+  }
+  if (trial.empty()) {
+    set.reset();
+    votes = AbsentVotes{};
+    if (restarts) ++*restarts;
+    return 0;
+  }
+  set = trial;
+  unsigned removed = 0;
+  for (unsigned c = 0; c < 4; ++c) {
+    removed += ((before >> c) & 1u) && !set.contains(c);
+  }
+  return removed;
+}
+
+bool all_resolved(const std::array<CandidateSet, 16>& masks) {
+  for (const auto& set : masks) {
+    if (!set.resolved()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ambiguity(const std::array<CandidateSet, 16>& masks) {
+  std::uint64_t product = 1;
+  for (const auto& set : masks) product *= set.size();
+  return product;
+}
+
+gift::RoundKey64 round_key_from(const std::array<CandidateSet, 16>& masks) {
+  assert(all_resolved(masks));
+  gift::RoundKey64 rk;
+  for (unsigned s = 0; s < 16; ++s) {
+    const unsigned c = masks[s].value();
+    rk.u |= static_cast<std::uint16_t>(((c >> 1) & 1u) << s);
+    rk.v |= static_cast<std::uint16_t>((c & 1u) << s);
+  }
+  return rk;
+}
+
+unsigned CandidateEliminator::update_segment(unsigned s,
+                                             unsigned pre_key_nibble,
+                                             const std::vector<bool>& present) {
+  assert(s < 16);
+  return eliminate_candidates(sets_[s], pre_key_nibble, present, &restarts_);
+}
+
+unsigned CandidateEliminator::update_all(
+    const std::array<unsigned, 16>& pre_key_nibbles,
+    const std::vector<bool>& present) {
+  unsigned removed = 0;
+  for (unsigned s = 0; s < 16; ++s) {
+    removed += update_segment(s, pre_key_nibbles[s], present);
+  }
+  return removed;
+}
+
+bool CandidateEliminator::all_resolved() const noexcept {
+  return attack::all_resolved(sets_);
+}
+
+std::uint64_t CandidateEliminator::ambiguity() const noexcept {
+  return attack::ambiguity(sets_);
+}
+
+void CandidateEliminator::reset() {
+  for (auto& set : sets_) set.reset();
+  restarts_ = 0;
+}
+
+gift::RoundKey64 CandidateEliminator::round_key() const {
+  return round_key_from(sets_);
+}
+
+}  // namespace grinch::attack

@@ -1,0 +1,114 @@
+// GRINCH Step 3 — candidate elimination.
+//
+// Each monitored segment has four candidates for its two unknown round-key
+// bits (u, v).  A candidate c predicts S-Box index n_s XOR c; if the cache
+// line holding that index was *absent* from the probe observation, the
+// candidate is impossible (the victim demonstrably did not access it).
+// The true candidate can never be eliminated by a clean observation — its
+// index was accessed by construction — so the sets shrink monotonically
+// to the truth.  A noisy observation that would empty a set triggers a
+// reset of that segment (counted, so harnesses can report noise).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "gift/key_schedule.h"
+
+namespace grinch::attack {
+
+/// Bitmask over the four (u,v) candidates; bit c set = candidate c alive.
+/// Encoding: c = (u << 1) | v.
+class CandidateSet {
+ public:
+  [[nodiscard]] bool contains(unsigned c) const noexcept {
+    return (mask_ >> c) & 1u;
+  }
+  void remove(unsigned c) noexcept {
+    mask_ &= static_cast<std::uint8_t>(~(1u << c));
+  }
+  void reset() noexcept { mask_ = 0xF; }
+  [[nodiscard]] unsigned size() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return mask_ == 0; }
+  [[nodiscard]] bool resolved() const noexcept { return size() == 1; }
+  /// The sole surviving candidate. Precondition: resolved().
+  [[nodiscard]] unsigned value() const noexcept;
+  [[nodiscard]] std::uint8_t mask() const noexcept { return mask_; }
+  void set_mask(std::uint8_t m) noexcept { mask_ = m & 0xF; }
+
+ private:
+  std::uint8_t mask_ = 0xF;
+};
+
+/// Direct elimination on a standalone candidate set: removes candidates
+/// whose predicted line was absent.  A result that would empty the set is
+/// treated as noise: the set resets and `restarts` (if given) increments.
+/// Returns candidates removed.
+unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
+                              const std::vector<bool>& present,
+                              unsigned* restarts = nullptr);
+
+/// Per-candidate absent-vote counters for noise-robust elimination.
+using AbsentVotes = std::array<std::uint8_t, 4>;
+
+/// Noise-robust elimination: a candidate is only removed once its
+/// predicted line has been observed absent `threshold` times *without an
+/// intervening presence* (a presence resets its counter).  Third-party
+/// cache traffic evicts lines at random, so single absences misfire;
+/// requiring consecutive-ish evidence drops the wrong-elimination
+/// probability exponentially in the threshold.  threshold == 1 is exactly
+/// eliminate_candidates().  Returns candidates removed.
+unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
+                                    unsigned pre_key_nibble,
+                                    const std::vector<bool>& present,
+                                    unsigned threshold,
+                                    unsigned* restarts = nullptr);
+
+/// True when every segment's candidate set is a singleton.
+[[nodiscard]] bool all_resolved(const std::array<CandidateSet, 16>& masks);
+
+/// Product of the surviving candidate counts.
+[[nodiscard]] std::uint64_t ambiguity(const std::array<CandidateSet, 16>& masks);
+
+/// Assembles the round key from fully resolved masks.
+/// Precondition: all_resolved(masks).
+[[nodiscard]] gift::RoundKey64 round_key_from(
+    const std::array<CandidateSet, 16>& masks);
+
+class CandidateEliminator {
+ public:
+  /// Eliminates candidates of segment `s` given its pre-key nibble and the
+  /// per-index line-presence vector.  Returns candidates removed.
+  unsigned update_segment(unsigned s, unsigned pre_key_nibble,
+                          const std::vector<bool>& present);
+
+  /// update_segment over all 16 segments (joint exploitation mode).
+  unsigned update_all(const std::array<unsigned, 16>& pre_key_nibbles,
+                      const std::vector<bool>& present);
+
+  [[nodiscard]] const CandidateSet& candidates(unsigned s) const {
+    return sets_[s];
+  }
+  [[nodiscard]] CandidateSet& candidates(unsigned s) { return sets_[s]; }
+  [[nodiscard]] bool resolved(unsigned s) const { return sets_[s].resolved(); }
+  [[nodiscard]] bool all_resolved() const noexcept;
+
+  /// Product of surviving candidate counts (search-space size left).
+  [[nodiscard]] std::uint64_t ambiguity() const noexcept;
+
+  /// Times a noisy observation emptied a segment and forced a reset.
+  [[nodiscard]] unsigned restarts() const noexcept { return restarts_; }
+
+  void reset();
+
+  /// Assembles the recovered round key. Precondition: all_resolved().
+  /// Candidate c of segment s encodes u_s = c>>1, v_s = c&1.
+  [[nodiscard]] gift::RoundKey64 round_key() const;
+
+ private:
+  std::array<CandidateSet, 16> sets_{};
+  unsigned restarts_ = 0;
+};
+
+}  // namespace grinch::attack

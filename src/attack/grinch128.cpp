@@ -1,0 +1,166 @@
+#include "attack/grinch128.h"
+
+#include <cassert>
+
+#include "gift/key_schedule.h"
+#include "gift/permutation.h"
+#include "gift/sbox.h"
+
+namespace grinch::attack {
+
+TargetBits128 set_target_bits128(unsigned segment) {
+  assert(segment < 32);
+  const gift::BitPermutation& perm = gift::gift128_permutation();
+  const gift::SBox& sbox = gift::gift_sbox();
+
+  TargetBits128 t;
+  t.segment = segment;
+  t.bit_a = perm.inverse(4 * segment + 1);  // V_s position
+  t.bit_b = perm.inverse(4 * segment + 2);  // U_s position
+  t.seg_a = t.bit_a / 4;
+  t.seg_b = t.bit_b / 4;
+
+  const unsigned out_a = t.bit_a % 4;
+  const unsigned out_b = t.bit_b % 4;
+  for (unsigned x = 0; x < 16; ++x) {
+    const unsigned y = sbox.apply(x);
+    if ((y >> out_a) & 1u) t.list_a.push_back(x);
+    if ((y >> out_b) & 1u) t.list_b.push_back(x);
+  }
+  return t;
+}
+
+std::array<unsigned, 32> pre_key_nibbles128(
+    gift::State128 plaintext,
+    std::span<const gift::RoundKey128> known_round_keys, unsigned stage) {
+  assert(known_round_keys.size() >= stage);
+  gift::State128 state = plaintext;
+  for (unsigned r = 0; r < stage; ++r) {
+    state = gift::Gift128::round_function(state, known_round_keys[r], r);
+  }
+  // A zero round key makes AddRoundKey the identity, so a full round with
+  // it yields exactly the pre-key state (constants included).
+  state = gift::Gift128::round_function(state, gift::RoundKey128{}, stage);
+  std::array<unsigned, 32> out{};
+  for (unsigned s = 0; s < 32; ++s) out[s] = state.nibble(s);
+  return out;
+}
+
+gift::State128 PlaintextCrafter128::craft_state(const TargetBits128& target) {
+  gift::State128 state{};
+  for (unsigned s = 0; s < 32; ++s) {
+    unsigned value;
+    if (s == target.seg_a) {
+      value = target.list_a[rng_->uniform(target.list_a.size())];
+    } else if (s == target.seg_b) {
+      value = target.list_b[rng_->uniform(target.list_b.size())];
+    } else {
+      value = rng_->nibble();
+    }
+    if (s < 16)
+      state.lo |= static_cast<std::uint64_t>(value) << (4 * s);
+    else
+      state.hi |= static_cast<std::uint64_t>(value) << (4 * (s - 16));
+  }
+  return state;
+}
+
+gift::State128 PlaintextCrafter128::craft_plaintext(
+    const TargetBits128& target,
+    std::span<const gift::RoundKey128> known_round_keys, unsigned stage) {
+  gift::State128 state = craft_state(target);
+  for (unsigned r = stage; r-- > 0;) {
+    state = gift::Gift128::inverse_round_function(state, known_round_keys[r], r);
+  }
+  return state;
+}
+
+Key128 assemble_master_key128(std::span<const gift::RoundKey128> round_keys) {
+  assert(round_keys.size() == 2 &&
+         "GIFT-128 uses 64 key bits per round; 2 rounds cover the key");
+  const gift::KeyBitOrigins origins{2};
+  Key128 key;
+  for (unsigned a = 0; a < 2; ++a) {
+    for (unsigned i = 0; i < 32; ++i) {
+      key = key.with_bit(origins.u128_origin(a, i),
+                         (round_keys[a].u >> i) & 1u);
+      key = key.with_bit(origins.v128_origin(a, i),
+                         (round_keys[a].v >> i) & 1u);
+    }
+  }
+  return key;
+}
+
+Grinch128Attack::Grinch128Attack(soc::ObservationSource128& source,
+                                 const Grinch128Config& config)
+    : source_(&source), config_(config), rng_(config.seed) {}
+
+Grinch128Result Grinch128Attack::run() {
+  Grinch128Result result;
+  PlaintextCrafter128 crafter{rng_};
+  std::vector<gift::RoundKey128> recovered;
+
+  std::array<TargetBits128, 32> targets{};
+  for (unsigned s = 0; s < 32; ++s) targets[s] = set_target_bits128(s);
+
+  for (unsigned stage = 0; stage < 2; ++stage) {
+    std::array<CandidateSet, 32> masks{};
+    auto all_done = [&] {
+      for (const auto& m : masks) {
+        if (!m.resolved()) return false;
+      }
+      return true;
+    };
+
+    while (!all_done()) {
+      if (result.total_encryptions >= config_.max_encryptions) return result;
+
+      unsigned target = 0;
+      for (unsigned s = 0; s < 32; ++s) {
+        if (!masks[s].resolved()) {
+          target = s;
+          break;
+        }
+      }
+      const gift::State128 pt =
+          crafter.craft_plaintext(targets[target], recovered, stage);
+      const soc::Observation obs = source_->observe(pt, stage);
+      ++result.total_encryptions;
+      ++result.stage_encryptions[stage];
+
+      const auto nibbles = pre_key_nibbles128(pt, recovered, stage);
+      // index = n XOR (c << 1): the key pair occupies nibble bits 1..2.
+      CandidateSet trial = masks[target];
+      for (unsigned c = 0; c < 4; ++c) {
+        if (!trial.contains(c)) continue;
+        const unsigned index = (nibbles[target] ^ (c << 1)) & 0xF;
+        if (!obs.present[index]) trial.remove(c);
+      }
+      if (trial.empty()) {
+        masks[target].reset();  // noisy observation
+      } else {
+        masks[target] = trial;
+      }
+    }
+
+    gift::RoundKey128 rk{};
+    for (unsigned s = 0; s < 32; ++s) {
+      const unsigned c = masks[s].value();
+      rk.u |= static_cast<std::uint32_t>((c >> 1) & 1u) << s;
+      rk.v |= static_cast<std::uint32_t>(c & 1u) << s;
+    }
+    recovered.push_back(rk);
+  }
+
+  result.recovered_key = assemble_master_key128(recovered);
+  // Verify against one more observed encryption.
+  const gift::State128 check_pt{rng_.block64(), rng_.block64()};
+  (void)source_->observe(check_pt, 0);
+  ++result.total_encryptions;
+  result.key_verified = gift::Gift128::encrypt(check_pt, result.recovered_key) ==
+                        source_->last_ciphertext();
+  result.success = result.key_verified;
+  return result;
+}
+
+}  // namespace grinch::attack

@@ -1,0 +1,23 @@
+#include "attack/key_recovery.h"
+
+#include <cassert>
+
+namespace grinch::attack {
+
+Key128 assemble_master_key(std::span<const gift::RoundKey64> round_keys) {
+  assert(round_keys.size() == 4 &&
+         "GIFT-64 uses 32 key bits per round; 4 rounds cover the key");
+  const gift::KeyBitOrigins origins{4};
+  Key128 key;
+  for (unsigned a = 0; a < 4; ++a) {
+    for (unsigned i = 0; i < 16; ++i) {
+      key = key.with_bit(origins.u64_origin(a, i),
+                         (round_keys[a].u >> i) & 1u);
+      key = key.with_bit(origins.v64_origin(a, i),
+                         (round_keys[a].v >> i) & 1u);
+    }
+  }
+  return key;
+}
+
+}  // namespace grinch::attack

@@ -1,0 +1,43 @@
+// GRINCH Step 4 — reverse-engineering key bits, and master-key assembly.
+//
+// Per-segment, the surviving candidate c = (u << 1) | v already *is* the
+// key-bit pair (the eliminator works on c = n XOR index).  When the
+// plaintext was crafted so both key-facing pre-key bits are 1 (Algorithms
+// 1-2), this reduces to the paper's rule Key[i] <- NOT Index[a]; the
+// equivalence is asserted in tests/attack/key_recovery_test.cpp.
+//
+// Stage a recovers GIFT-64 round key a (32 bits).  The key schedule is a
+// bit permutation, so each recovered round-key bit maps to exactly one
+// master-key bit; four stages cover all 128 (KeyBitOrigins supplies the
+// mapping).
+#pragma once
+
+#include <span>
+
+#include "common/key128.h"
+#include "gift/key_schedule.h"
+
+namespace grinch::attack {
+
+/// Paper Step 4 for one segment with pinned bits: recovers (u, v) from the
+/// observed index by inverting its two low bits.
+/// Returns c = (u << 1) | v.
+[[nodiscard]] constexpr unsigned reverse_engineer_pinned(unsigned index)
+    noexcept {
+  const unsigned v = (~index) & 1u;
+  const unsigned u = ((~index) >> 1) & 1u;
+  return (u << 1) | v;
+}
+
+/// General Step 4: c = pre_key_nibble XOR index, masked to the key bits.
+[[nodiscard]] constexpr unsigned reverse_engineer(unsigned pre_key_nibble,
+                                                  unsigned index) noexcept {
+  return (pre_key_nibble ^ index) & 0x3;
+}
+
+/// Assembles the 128-bit master key from the four recovered round keys
+/// (round_keys[a] = round key of 0-based round a; needs exactly 4).
+[[nodiscard]] Key128 assemble_master_key(
+    std::span<const gift::RoundKey64> round_keys);
+
+}  // namespace grinch::attack

@@ -1,0 +1,44 @@
+#include "attack/plaintext_crafter.h"
+
+#include <cassert>
+
+#include "common/bits.h"
+#include "gift/gift64.h"
+
+namespace grinch::attack {
+
+std::uint64_t PlaintextCrafter::craft_state(const TargetBits& target) {
+  std::uint64_t state = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    unsigned value;
+    if (i == target.seg_a) {
+      value = target.list_a[rng_->uniform(target.list_a.size())];
+    } else if (i == target.seg_b) {
+      value = target.list_b[rng_->uniform(target.list_b.size())];
+    } else {
+      value = rng_->nibble();
+    }
+    state = with_nibble(state, i, value);
+  }
+  return state;
+}
+
+std::uint64_t invert_to_plaintext(
+    std::uint64_t round_input, std::span<const gift::RoundKey64> round_keys,
+    unsigned stage) {
+  assert(round_keys.size() >= stage);
+  std::uint64_t state = round_input;
+  for (unsigned r = stage; r-- > 0;) {
+    state = gift::Gift64::inverse_round_function(state, round_keys[r], r);
+  }
+  return state;
+}
+
+std::uint64_t PlaintextCrafter::craft_plaintext(
+    const TargetBits& target,
+    std::span<const gift::RoundKey64> known_round_keys, unsigned stage) {
+  const std::uint64_t state = craft_state(target);
+  return invert_to_plaintext(state, known_round_keys, stage);
+}
+
+}  // namespace grinch::attack

@@ -1,0 +1,46 @@
+// GRINCH Step 1b — plaintext generation (Algorithm 2) and Step 5 — update
+// for deeper rounds.
+//
+// Algorithm 2 fills the two source segments (seg_a / seg_b) with values
+// from the Algorithm 1 lists and randomises every other segment.  For
+// attack stages beyond the first, the crafted state is the *input of the
+// attacked round*; it is pulled back to a plaintext by inverting the
+// earlier rounds with the already-recovered round keys ("the attacker can
+// compute the intermediate round values to generate the plaintexts").
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "attack/target_bits.h"
+#include "common/rng.h"
+#include "gift/key_schedule.h"
+
+namespace grinch::attack {
+
+class PlaintextCrafter {
+ public:
+  explicit PlaintextCrafter(Xoshiro256& rng) : rng_(&rng) {}
+
+  /// Algorithm 2: crafts the input state of the round *feeding* the
+  /// monitored round, pinning the target segment's key-facing bits to 1.
+  [[nodiscard]] std::uint64_t craft_state(const TargetBits& target);
+
+  /// Full Step-1/Step-5 pipeline: crafts the stage's round input and
+  /// inverts rounds 0 .. stage-1 with `known_round_keys` (size >= stage)
+  /// to obtain the plaintext handed to the victim.
+  [[nodiscard]] std::uint64_t craft_plaintext(
+      const TargetBits& target,
+      std::span<const gift::RoundKey64> known_round_keys, unsigned stage);
+
+ private:
+  Xoshiro256* rng_;
+};
+
+/// Pulls a desired round-`stage` input state back to a plaintext by
+/// inverting the first `stage` rounds (bijective, so always possible).
+[[nodiscard]] std::uint64_t invert_to_plaintext(
+    std::uint64_t round_input, std::span<const gift::RoundKey64> round_keys,
+    unsigned stage);
+
+}  // namespace grinch::attack

@@ -1,0 +1,41 @@
+// Attacker-side state prediction.
+//
+// GRINCH's central observation: GIFT's first round adds no key material,
+// so the attacker — who chose the plaintext — can compute the complete
+// *pre-key* state entering the monitored round.  For deeper stages the
+// already-recovered round keys extend the computation.  The monitored
+// S-Box index of segment s is then
+//
+//     index_s = n_s XOR (u_s << 1 | v_s)
+//
+// with n_s the known pre-key nibble and (u_s, v_s) the two unknown round
+// key bits — which is exactly what candidate elimination inverts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "gift/key_schedule.h"
+
+namespace grinch::attack {
+
+/// State entering the AddRoundKey of (0-based) cipher round `stage`,
+/// i.e. PermBits(SubCells(state_stage)) XOR round-constant(stage); its
+/// nibbles are the monitored round's S-Box indices before the key XOR.
+[[nodiscard]] std::uint64_t pre_key_state(
+    std::uint64_t plaintext, std::span<const gift::RoundKey64> known_round_keys,
+    unsigned stage);
+
+/// The 16 pre-key nibbles n_s of the monitored round (round `stage`+1's
+/// S-Box inputs minus the unknown key bits).
+[[nodiscard]] std::array<unsigned, 16> pre_key_nibbles(
+    std::uint64_t plaintext, std::span<const gift::RoundKey64> known_round_keys,
+    unsigned stage);
+
+/// Folds the round constant of round `round_index` into segment `t`'s
+/// pre-key nibble (constants touch only bit 3 of segments 0..5 and 15).
+[[nodiscard]] unsigned constant_nibble_contribution(unsigned round_index,
+                                                    unsigned segment);
+
+}  // namespace grinch::attack

@@ -1,0 +1,92 @@
+#include "attack/present_attack.h"
+
+#include "common/bits.h"
+#include "present/present.h"
+
+namespace grinch::attack {
+
+unsigned NibbleCandidates::size() const noexcept {
+  unsigned n = 0;
+  for (unsigned v = 0; v < 16; ++v) n += contains(v);
+  return n;
+}
+
+unsigned NibbleCandidates::value() const noexcept {
+  for (unsigned v = 0; v < 16; ++v) {
+    if (contains(v)) return v;
+  }
+  return 0;
+}
+
+Present80Attack::Present80Attack(soc::Present80DirectProbePlatform& platform,
+                                 const PresentAttackConfig& config)
+    : platform_(&platform), config_(config), rng_(config.seed) {}
+
+std::optional<Key128> Present80Attack::search_low_bits(
+    std::uint64_t round_key0, std::uint64_t plaintext,
+    std::uint64_t ciphertext) const {
+  // RK0 = key-register bits 79..16; enumerate bits 15..0.
+  for (std::uint64_t low = 0; low < (1u << 16); ++low) {
+    Key128 key;
+    key.hi = round_key0 >> 48;                       // bits 79..64
+    key.lo = (round_key0 << 16) | low;               // bits 63..0
+    if (present::Present80::encrypt(plaintext, key) == ciphertext) {
+      return key;
+    }
+  }
+  return std::nullopt;
+}
+
+PresentAttackResult Present80Attack::run() {
+  PresentAttackResult result;
+  std::array<NibbleCandidates, 16> candidates{};
+
+  auto all_resolved = [&] {
+    for (const auto& c : candidates) {
+      if (!c.resolved()) return false;
+    }
+    return true;
+  };
+
+  std::uint64_t known_pt = 0, known_ct = 0;
+  while (!all_resolved()) {
+    if (result.cache_encryptions >= config_.max_encryptions) return result;
+    const std::uint64_t pt = rng_.block64();
+    const soc::Observation obs = platform_->observe(pt);
+    ++result.cache_encryptions;
+    known_pt = pt;
+    known_ct = obs.ciphertext;
+
+    // Segment s of round 0 accesses index nibble_s(pt) ^ k_s: every
+    // absent index eliminates the corresponding key-nibble candidate, in
+    // all 16 segments at once.
+    for (unsigned s = 0; s < 16; ++s) {
+      NibbleCandidates trial = candidates[s];
+      for (unsigned v = 0; v < 16; ++v) {
+        if (!trial.contains(v)) continue;
+        const unsigned index = (nibble(pt, s) ^ v) & 0xF;
+        if (!obs.present[index]) trial.remove(v);
+      }
+      if (trial.empty()) {
+        candidates[s].reset();  // noisy observation
+      } else {
+        candidates[s] = trial;
+      }
+    }
+  }
+
+  for (unsigned s = 0; s < 16; ++s) {
+    result.round_key0 |= static_cast<std::uint64_t>(candidates[s].value())
+                         << (4 * s);
+  }
+  result.round_key_recovered = true;
+
+  const auto key = search_low_bits(result.round_key0, known_pt, known_ct);
+  result.search_trials = 1u << 16;
+  if (!key) return result;  // RK0 must have been wrong (noise)
+  result.recovered_key = *key;
+  result.success = true;
+  return result;
+}
+
+}  // namespace grinch::attack

@@ -1,0 +1,78 @@
+// Cache attack on PRESENT-80 (our extension; generality of the GRINCH
+// observation pipeline).
+//
+// PRESENT (GIFT's ISO-standardised ancestor, also table-implemented with
+// a 16-entry S-Box) adds the round key *before* the S-Box layer:
+//
+//     round 0 S-Box index of segment s  =  nibble_s(plaintext XOR RK0)
+//
+// so the very first round leaks the top 64 key-register bits — no crafted
+// plaintexts or multi-stage pipeline needed.  Each segment has 16 nibble
+// candidates; absent cache lines eliminate them exactly as in GRINCH.
+// RK0 covers key bits 79..16; the remaining 16 bits fall to an exhaustive
+// search against one known plaintext/ciphertext pair.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/key128.h"
+#include "common/rng.h"
+#include "soc/present_platform.h"
+
+namespace grinch::attack {
+
+/// Candidate mask over the 16 possible values of one round-key nibble.
+class NibbleCandidates {
+ public:
+  [[nodiscard]] bool contains(unsigned v) const noexcept {
+    return (mask_ >> v) & 1u;
+  }
+  void remove(unsigned v) noexcept {
+    mask_ &= static_cast<std::uint16_t>(~(1u << v));
+  }
+  void reset() noexcept { mask_ = 0xFFFF; }
+  [[nodiscard]] bool empty() const noexcept { return mask_ == 0; }
+  [[nodiscard]] unsigned size() const noexcept;
+  [[nodiscard]] bool resolved() const noexcept { return size() == 1; }
+  /// Precondition: resolved().
+  [[nodiscard]] unsigned value() const noexcept;
+
+ private:
+  std::uint16_t mask_ = 0xFFFF;
+};
+
+struct PresentAttackConfig {
+  std::uint64_t max_encryptions = 100000;
+  std::uint64_t seed = 0x9135E27;  // "PRESENT"-ish
+};
+
+struct PresentAttackResult {
+  bool success = false;
+  bool round_key_recovered = false;  ///< RK0 (64 bits) resolved via cache
+  std::uint64_t round_key0 = 0;
+  Key128 recovered_key{};            ///< full 80-bit key (low bits)
+  std::uint64_t cache_encryptions = 0;
+  std::uint64_t search_trials = 0;   ///< exhaustive-search encryptions
+};
+
+class Present80Attack {
+ public:
+  Present80Attack(soc::Present80DirectProbePlatform& platform,
+                  const PresentAttackConfig& config);
+
+  [[nodiscard]] PresentAttackResult run();
+
+ private:
+  /// Brute-forces key bits 15..0 given RK0, against a known pt/ct pair.
+  [[nodiscard]] std::optional<Key128> search_low_bits(
+      std::uint64_t round_key0, std::uint64_t plaintext,
+      std::uint64_t ciphertext) const;
+
+  soc::Present80DirectProbePlatform* platform_;
+  PresentAttackConfig config_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace grinch::attack

@@ -1,0 +1,39 @@
+#include "attack/target_bits.h"
+
+#include <cassert>
+
+#include "gift/permutation.h"
+#include "gift/sbox.h"
+
+namespace grinch::attack {
+
+TargetBits set_target_bits(unsigned segment) {
+  assert(segment < 16);
+  const gift::BitPermutation& perm = gift::gift64_permutation();
+  const gift::SBox& sbox = gift::gift_sbox();
+
+  TargetBits t;
+  t.segment = segment;
+  // StatusBitXorKey: V_s lands on state bit 4s, U_s on 4s+1 (Fig. 1).
+  const unsigned status_v = 4 * segment;
+  const unsigned status_u = 4 * segment + 1;
+  // Inv_Permutation: where those bits live before PermBits, i.e. in the
+  // S-Box-layer output.
+  t.bit_a = perm.inverse(status_v);
+  t.bit_b = perm.inverse(status_u);
+  t.seg_a = t.bit_a / 4;
+  t.seg_b = t.bit_b / 4;
+
+  // For every S-Box output X with the needed bit set, record the input
+  // Inv_SBOX[X] — any of these inputs forces a 1 on the target bit.
+  const unsigned out_bit_a = t.bit_a % 4;
+  const unsigned out_bit_b = t.bit_b % 4;
+  for (unsigned x = 0; x < 16; ++x) {
+    const unsigned y = sbox.apply(x);
+    if ((y >> out_bit_a) & 1u) t.list_a.push_back(x);
+    if ((y >> out_bit_b) & 1u) t.list_b.push_back(x);
+  }
+  return t;
+}
+
+}  // namespace grinch::attack

@@ -1,0 +1,61 @@
+#include "attack/trace_driven.h"
+
+#include <cassert>
+
+namespace grinch::attack {
+
+unsigned eliminate_with_trace(std::array<CandidateSet, 16>& masks,
+                              const std::array<unsigned, 16>& pre_key_nibbles,
+                              const std::vector<bool>& hits) {
+  assert(hits.size() == 16);
+  unsigned removed = 0;
+
+  // Iterate to a fixpoint: resolving a later segment can unlock an
+  // earlier HIT constraint and vice versa.
+  for (;;) {
+    unsigned removed_this_pass = 0;
+
+    for (unsigned s = 1; s < 16; ++s) {
+      // Indices of earlier segments that are already resolved, and
+      // whether *all* earlier segments are resolved (needed for the HIT
+      // direction: "equals some earlier index" only eliminates when the
+      // full earlier index set is known).
+      bool earlier_all_resolved = true;
+      std::array<bool, 16> earlier_index{};
+      for (unsigned j = 0; j < s; ++j) {
+        if (masks[j].resolved()) {
+          earlier_index[(pre_key_nibbles[j] ^ masks[j].value()) & 0xF] = true;
+        } else {
+          earlier_all_resolved = false;
+        }
+      }
+
+      CandidateSet& set = masks[s];
+      if (set.resolved()) continue;
+      CandidateSet trial = set;
+      for (unsigned c = 0; c < 4; ++c) {
+        if (!trial.contains(c)) continue;
+        const unsigned index = (pre_key_nibbles[s] ^ c) & 0xF;
+        if (!hits[s]) {
+          // MISS: the index cannot equal any earlier index — eliminating
+          // against the *known* ones is sound regardless of the rest.
+          if (earlier_index[index]) trial.remove(c);
+        } else if (earlier_all_resolved) {
+          // HIT: the index must equal one of the (fully known) earlier
+          // indices.
+          if (!earlier_index[index]) trial.remove(c);
+        }
+      }
+      if (trial.empty()) continue;  // contradictory trace: noise, skip
+      for (unsigned c = 0; c < 4; ++c) {
+        if (set.contains(c) && !trial.contains(c)) ++removed_this_pass;
+      }
+      set = trial;
+    }
+
+    removed += removed_this_pass;
+    if (removed_this_pass == 0) return removed;
+  }
+}
+
+}  // namespace grinch::attack

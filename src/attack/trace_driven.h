@@ -1,0 +1,38 @@
+// Trace-driven elimination (our extension; the paper's taxonomy cites
+// Acıiçmez & Koç's trace-driven attacks as ref [10]).
+//
+// A power trace reveals, per S-Box access, whether it HIT or MISSED.
+// With the monitored lines flushed right before the monitored round,
+// access `s` (segments are processed in order) hits exactly when its
+// index collides with an *earlier* access of the same round:
+//
+//   MISS at s  =>  index_s differs from index_j for every j < s
+//   HIT  at s  =>  index_s equals index_j for some   j < s
+//
+// Both directions turn into sound candidate eliminations once the earlier
+// segments are resolved; processed in segment order they cascade.  A
+// trace observation is strictly more informative than the end-of-round
+// presence set (which is its unordered projection), so trace-driven
+// GRINCH needs fewer encryptions.
+//
+// Soundness requires that a hit implies an earlier same-round access:
+// no prefetcher (which installs lines no one demanded) and a flush
+// before the round.  The platform only emits traces under those
+// conditions.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "attack/eliminator.h"
+
+namespace grinch::attack {
+
+/// Applies the hit/miss constraints of one trace to the candidate sets.
+/// `pre_key_nibbles` are the monitored round's known pre-key values,
+/// `hits[s]` the per-access outcome.  Returns candidates removed.
+unsigned eliminate_with_trace(std::array<CandidateSet, 16>& masks,
+                              const std::array<unsigned, 16>& pre_key_nibbles,
+                              const std::vector<bool>& hits);
+
+}  // namespace grinch::attack

@@ -1,0 +1,145 @@
+#include "cachesim/cache.h"
+
+#include "common/bits.h"
+
+namespace grinch::cachesim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  config_.validate();
+  line_shift_ = log2_pow2(config_.line_bytes);
+  set_mask_ = config_.num_sets - 1;
+  sets_.resize(config_.num_sets);
+  std::uint64_t set_seed = config_.seed;
+  for (auto& set : sets_) {
+    set.ways.resize(config_.associativity);
+    set.replacement = make_replacement_state(config_.replacement,
+                                             config_.associativity, ++set_seed);
+  }
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const noexcept {
+  return (addr >> line_shift_) & set_mask_;
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const noexcept {
+  return (addr >> line_shift_) >> log2_pow2(config_.num_sets);
+}
+
+std::uint64_t Cache::line_base(std::uint64_t addr) const noexcept {
+  return addr & ~std::uint64_t{config_.line_bytes - 1};
+}
+
+std::optional<unsigned> Cache::find_way(const Set& set,
+                                        std::uint64_t tag) const noexcept {
+  for (unsigned w = 0; w < set.ways.size(); ++w) {
+    if (set.ways[w].valid && set.ways[w].tag == tag) return w;
+  }
+  return std::nullopt;
+}
+
+AccessResult Cache::access(std::uint64_t addr) {
+  const std::uint64_t si = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Set& set = sets_[si];
+  ++stats_.accesses;
+
+  AccessResult result;
+  result.set = si;
+  result.tag = tag;
+
+  if (const auto way = find_way(set, tag)) {
+    ++stats_.hits;
+    set.replacement->on_hit(*way);
+    result.hit = true;
+    result.latency = config_.hit_latency;
+    return result;
+  }
+
+  // Miss: fill into an invalid way if available, else evict.
+  ++stats_.misses;
+  unsigned victim = 0;
+  bool found_invalid = false;
+  for (unsigned w = 0; w < set.ways.size(); ++w) {
+    if (!set.ways[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+  }
+  if (!found_invalid) {
+    victim = set.replacement->choose_victim();
+    ++stats_.evictions;
+    result.evicted = true;
+    // Reconstruct the displaced line's base address from (tag, set).
+    result.evicted_line_addr =
+        ((set.ways[victim].tag << log2_pow2(config_.num_sets)) | si)
+        << line_shift_;
+  }
+  set.ways[victim] = Line{true, tag};
+  set.replacement->on_fill(victim);
+  result.hit = false;
+  result.latency = config_.miss_latency;
+
+  // Next-line prefetch: pull sequential neighbours in alongside the
+  // demand miss (latency hidden behind the memory access).
+  for (unsigned i = 1; i <= config_.prefetch_lines; ++i) {
+    fill_line(line_base(addr) + static_cast<std::uint64_t>(i) *
+                                    config_.line_bytes);
+  }
+  return result;
+}
+
+void Cache::fill_line(std::uint64_t addr) {
+  const std::uint64_t si = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Set& set = sets_[si];
+  if (find_way(set, tag)) return;  // already resident
+  unsigned victim = 0;
+  bool found_invalid = false;
+  for (unsigned w = 0; w < set.ways.size(); ++w) {
+    if (!set.ways[w].valid) {
+      victim = w;
+      found_invalid = true;
+      break;
+    }
+  }
+  if (!found_invalid) {
+    victim = set.replacement->choose_victim();
+    ++stats_.evictions;
+  }
+  set.ways[victim] = Line{true, tag};
+  set.replacement->on_fill(victim);
+  ++stats_.prefetch_fills;
+}
+
+bool Cache::contains(std::uint64_t addr) const noexcept {
+  const Set& set = sets_[set_index(addr)];
+  return find_way(set, tag_of(addr)).has_value();
+}
+
+void Cache::flush() {
+  for (auto& set : sets_) {
+    for (auto& line : set.ways) line.valid = false;
+  }
+  ++stats_.full_flushes;
+}
+
+bool Cache::flush_line(std::uint64_t addr) {
+  Set& set = sets_[set_index(addr)];
+  ++stats_.line_flushes;
+  if (const auto way = find_way(set, tag_of(addr))) {
+    set.ways[*way].valid = false;
+    return true;
+  }
+  return false;
+}
+
+unsigned Cache::valid_lines() const noexcept {
+  unsigned n = 0;
+  for (const auto& set : sets_) {
+    for (const auto& line : set.ways) n += line.valid;
+  }
+  return n;
+}
+
+}  // namespace grinch::cachesim

@@ -1,0 +1,105 @@
+// Set-associative cache model.
+//
+// Models exactly what the GRINCH threat model requires of the shared
+// cache: timed accesses (hit vs. miss is attacker-observable), a full
+// flush, and per-line flushes (Flush+Reload's `clflush`).  Physically
+// indexed, byte addresses; a line is identified by (set, tag).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cachesim/config.h"
+#include "cachesim/replacement.h"
+
+namespace grinch::cachesim {
+
+/// Outcome of a timed access.
+struct AccessResult {
+  bool hit = false;
+  std::uint64_t latency = 0;  ///< cycles this access took
+  std::uint64_t set = 0;
+  std::uint64_t tag = 0;
+  bool evicted = false;               ///< a valid line was displaced
+  std::uint64_t evicted_line_addr = 0;  ///< base address of displaced line
+};
+
+/// Aggregate counters (reset with clear()).
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t line_flushes = 0;
+  std::uint64_t full_flushes = 0;
+  std::uint64_t prefetch_fills = 0;  ///< lines installed by the prefetcher
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return accesses ? static_cast<double>(hits) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+  void clear() noexcept { *this = CacheStats{}; }
+};
+
+class Cache {
+ public:
+  /// Validates `config` (throws std::invalid_argument on bad geometry).
+  explicit Cache(const CacheConfig& config);
+
+  /// Timed access to byte address `addr`; fills the line on a miss.
+  AccessResult access(std::uint64_t addr);
+
+  /// Non-mutating presence check (testing/diagnostics; a real attacker
+  /// observes presence only through access latency).
+  [[nodiscard]] bool contains(std::uint64_t addr) const noexcept;
+
+  /// Invalidates every line.
+  void flush();
+
+  /// Invalidates the line containing `addr` (clflush). Returns true if a
+  /// valid line was dropped.
+  bool flush_line(std::uint64_t addr);
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  void clear_stats() noexcept { stats_.clear(); }
+
+  /// Number of valid lines currently resident.
+  [[nodiscard]] unsigned valid_lines() const noexcept;
+
+  /// Set index for an address (exposed for eviction-set construction).
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const noexcept;
+
+  /// Base address of the line containing `addr`.
+  [[nodiscard]] std::uint64_t line_base(std::uint64_t addr) const noexcept;
+
+ private:
+  struct Line {
+    bool valid = false;
+    std::uint64_t tag = 0;
+  };
+
+  struct Set {
+    std::vector<Line> ways;
+    std::unique_ptr<ReplacementState> replacement;
+  };
+
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::optional<unsigned> find_way(const Set& set,
+                                                 std::uint64_t tag)
+      const noexcept;
+
+  /// Installs the line containing `addr` without touching demand stats
+  /// (no-op if already resident).  Used by the prefetcher.
+  void fill_line(std::uint64_t addr);
+
+  CacheConfig config_;
+  std::vector<Set> sets_;
+  CacheStats stats_;
+  unsigned line_shift_;
+  std::uint64_t set_mask_;
+};
+
+}  // namespace grinch::cachesim

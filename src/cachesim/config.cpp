@@ -1,0 +1,43 @@
+#include "cachesim/config.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/bits.h"
+
+namespace grinch::cachesim {
+
+const char* to_string(Replacement r) noexcept {
+  switch (r) {
+    case Replacement::kLru: return "LRU";
+    case Replacement::kFifo: return "FIFO";
+    case Replacement::kPlru: return "PLRU";
+    case Replacement::kRandom: return "Random";
+  }
+  return "?";
+}
+
+void CacheConfig::validate() const {
+  if (!is_pow2(line_bytes))
+    throw std::invalid_argument("line_bytes must be a power of two");
+  if (!is_pow2(num_sets))
+    throw std::invalid_argument("num_sets must be a power of two");
+  if (associativity == 0)
+    throw std::invalid_argument("associativity must be non-zero");
+  if (replacement == Replacement::kPlru && !is_pow2(associativity))
+    throw std::invalid_argument(
+        "tree PLRU requires power-of-two associativity");
+  if (miss_latency <= hit_latency)
+    throw std::invalid_argument(
+        "miss_latency must exceed hit_latency (probing distinguishes them)");
+}
+
+std::string CacheConfig::describe() const {
+  std::ostringstream os;
+  os << num_sets << " sets x " << associativity << " ways x " << line_bytes
+     << " B lines (" << total_lines() << " lines, " << to_string(replacement)
+     << ", hit " << hit_latency << "cy / miss " << miss_latency << "cy)";
+  return os.str();
+}
+
+}  // namespace grinch::cachesim

@@ -1,0 +1,60 @@
+// Cache geometry and timing configuration.
+//
+// The GRINCH paper's default platform: a shared L1, 16-way set-associative,
+// 1024 lines, with a cache line holding a single 8-bit word (one S-Box
+// entry per line).  Table I sweeps the line size over 1/2/4/8 words.
+// All of that is expressible here; geometry is validated at construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace grinch::cachesim {
+
+/// Replacement policy for a cache set.
+enum class Replacement : std::uint8_t {
+  kLru,     ///< least-recently-used (exact)
+  kFifo,    ///< first-in-first-out
+  kPlru,    ///< tree pseudo-LRU (requires power-of-two associativity)
+  kRandom,  ///< uniform random victim (deterministic, seeded)
+};
+
+[[nodiscard]] const char* to_string(Replacement r) noexcept;
+
+struct CacheConfig {
+  unsigned line_bytes = 1;       ///< bytes per cache line (power of two)
+  unsigned num_sets = 64;        ///< number of sets (power of two)
+  unsigned associativity = 16;   ///< ways per set
+  Replacement replacement = Replacement::kLru;
+  std::uint64_t hit_latency = 1;    ///< cycles for a hit
+  std::uint64_t miss_latency = 50;  ///< cycles for a miss (memory fill)
+  std::uint64_t flush_latency = 1;  ///< cycles for a line flush
+  std::uint64_t seed = 0x5EED;      ///< RNG seed for Replacement::kRandom
+  /// Sequential lines pulled in alongside every demand miss (0 = no
+  /// prefetcher).  A next-line prefetcher blurs which line was demanded —
+  /// an implicit cache-attack countermeasure studied in the ablations.
+  unsigned prefetch_lines = 0;
+
+  /// Paper default: 1024 lines, 16-way, 1-word (1-byte) lines.
+  [[nodiscard]] static CacheConfig paper_default() noexcept {
+    return CacheConfig{};
+  }
+
+  /// Same geometry with `words` bytes per line (Table I sweep).
+  [[nodiscard]] static CacheConfig with_line_words(unsigned words) noexcept {
+    CacheConfig c;
+    c.line_bytes = words;
+    return c;
+  }
+
+  [[nodiscard]] unsigned total_lines() const noexcept {
+    return num_sets * associativity;
+  }
+
+  /// Throws std::invalid_argument when geometry is unusable.
+  void validate() const;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace grinch::cachesim

@@ -1,0 +1,41 @@
+#include "cachesim/hierarchy.h"
+
+namespace grinch::cachesim {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : l1_(config.l1), dram_latency_(config.dram_latency) {
+  if (config.l2) l2_.emplace(*config.l2);
+}
+
+HierarchyAccessResult CacheHierarchy::access(std::uint64_t addr) {
+  HierarchyAccessResult result;
+  const AccessResult r1 = l1_.access(addr);
+  result.latency += r1.latency;
+  if (r1.hit) {
+    result.level = HitLevel::kL1;
+    return result;
+  }
+  if (l2_) {
+    const AccessResult r2 = l2_->access(addr);
+    result.latency += r2.latency;
+    if (r2.hit) {
+      result.level = HitLevel::kL2;
+      return result;
+    }
+  }
+  result.level = HitLevel::kDram;
+  result.latency += dram_latency_;
+  return result;
+}
+
+void CacheHierarchy::flush_all() {
+  l1_.flush();
+  if (l2_) l2_->flush();
+}
+
+void CacheHierarchy::flush_line(std::uint64_t addr) {
+  l1_.flush_line(addr);
+  if (l2_) l2_->flush_line(addr);
+}
+
+}  // namespace grinch::cachesim

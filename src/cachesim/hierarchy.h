@@ -1,0 +1,59 @@
+// Two-level cache hierarchy.
+//
+// The GRINCH threat model mentions SoCs with multi-level hierarchies
+// (L1..L3 + DRAM).  The paper's platforms use a single shared L1; the
+// hierarchy exists for the memory-hierarchy ablation (future-work section
+// of the paper) and for hierarchy-aware probing tests.  An access tries
+// L1, then L2, then pays the DRAM latency; fills propagate inward.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cachesim/cache.h"
+
+namespace grinch::cachesim {
+
+struct HierarchyConfig {
+  CacheConfig l1;
+  std::optional<CacheConfig> l2;  ///< absent = single-level
+  std::uint64_t dram_latency = 100;
+};
+
+/// Where an access was served from.
+enum class HitLevel : std::uint8_t { kL1, kL2, kDram };
+
+struct HierarchyAccessResult {
+  HitLevel level = HitLevel::kDram;
+  std::uint64_t latency = 0;
+};
+
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config);
+
+  /// Timed access; fills every level on the way in.
+  HierarchyAccessResult access(std::uint64_t addr);
+
+  /// Flushes all levels.
+  void flush_all();
+
+  /// Flushes the line from all levels (clflush semantics).
+  void flush_line(std::uint64_t addr);
+
+  [[nodiscard]] Cache& l1() noexcept { return l1_; }
+  [[nodiscard]] const Cache& l1() const noexcept { return l1_; }
+  [[nodiscard]] bool has_l2() const noexcept { return l2_.has_value(); }
+  [[nodiscard]] Cache& l2() { return l2_.value(); }
+  [[nodiscard]] const Cache& l2() const { return l2_.value(); }
+  [[nodiscard]] std::uint64_t dram_latency() const noexcept {
+    return dram_latency_;
+  }
+
+ private:
+  Cache l1_;
+  std::optional<Cache> l2_;
+  std::uint64_t dram_latency_;
+};
+
+}  // namespace grinch::cachesim

@@ -1,0 +1,101 @@
+#include "cachesim/replacement.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bits.h"
+
+namespace grinch::cachesim {
+
+// ---------------------------------------------------------------- LRU --
+
+LruState::LruState(unsigned ways)
+    : ReplacementState(ways), last_use_(ways, 0) {}
+
+void LruState::touch(unsigned way) { last_use_[way] = ++clock_; }
+
+void LruState::on_hit(unsigned way) { touch(way); }
+
+void LruState::on_fill(unsigned way) { touch(way); }
+
+unsigned LruState::choose_victim() {
+  const auto it = std::min_element(last_use_.begin(), last_use_.end());
+  return static_cast<unsigned>(it - last_use_.begin());
+}
+
+// --------------------------------------------------------------- FIFO --
+
+FifoState::FifoState(unsigned ways)
+    : ReplacementState(ways), fill_order_(ways, 0) {}
+
+void FifoState::on_hit(unsigned way) { (void)way; }  // hits don't refresh
+
+void FifoState::on_fill(unsigned way) { fill_order_[way] = ++clock_; }
+
+unsigned FifoState::choose_victim() {
+  const auto it = std::min_element(fill_order_.begin(), fill_order_.end());
+  return static_cast<unsigned>(it - fill_order_.begin());
+}
+
+// --------------------------------------------------------------- PLRU --
+
+PlruState::PlruState(unsigned ways)
+    : ReplacementState(ways), tree_(ways > 1 ? ways - 1 : 1, 0),
+      levels_(log2_pow2(ways)) {
+  assert(is_pow2(ways));
+}
+
+void PlruState::point_away_from(unsigned way) {
+  // Walk root->leaf; at each node, record the direction *away* from `way`.
+  unsigned node = 0;
+  for (unsigned level = 0; level < levels_; ++level) {
+    const unsigned dir = (way >> (levels_ - 1 - level)) & 1u;
+    tree_[node] = static_cast<std::uint8_t>(dir ^ 1u);
+    node = 2 * node + 1 + dir;
+  }
+}
+
+void PlruState::on_hit(unsigned way) { point_away_from(way); }
+
+void PlruState::on_fill(unsigned way) { point_away_from(way); }
+
+unsigned PlruState::choose_victim() {
+  if (ways() == 1) return 0;
+  unsigned node = 0, way = 0;
+  for (unsigned level = 0; level < levels_; ++level) {
+    const unsigned dir = tree_[node];
+    way = (way << 1) | dir;
+    node = 2 * node + 1 + dir;
+  }
+  return way;
+}
+
+// ------------------------------------------------------------- Random --
+
+RandomState::RandomState(unsigned ways, std::uint64_t seed)
+    : ReplacementState(ways), rng_(seed) {}
+
+void RandomState::on_hit(unsigned way) { (void)way; }
+
+void RandomState::on_fill(unsigned way) { (void)way; }
+
+unsigned RandomState::choose_victim() {
+  return static_cast<unsigned>(rng_.uniform(ways()));
+}
+
+// ------------------------------------------------------------ factory --
+
+std::unique_ptr<ReplacementState> make_replacement_state(Replacement policy,
+                                                         unsigned ways,
+                                                         std::uint64_t seed) {
+  switch (policy) {
+    case Replacement::kLru: return std::make_unique<LruState>(ways);
+    case Replacement::kFifo: return std::make_unique<FifoState>(ways);
+    case Replacement::kPlru: return std::make_unique<PlruState>(ways);
+    case Replacement::kRandom:
+      return std::make_unique<RandomState>(ways, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace grinch::cachesim

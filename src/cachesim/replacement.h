@@ -1,0 +1,98 @@
+// Per-set replacement-policy state machines.
+//
+// Each cache set owns one ReplacementState sized to its associativity.
+// The Cache calls on_hit / on_fill and asks for a victim way when a fill
+// finds no invalid way.  Policies are deterministic (Random is seeded),
+// which keeps every experiment reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/config.h"
+#include "common/rng.h"
+
+namespace grinch::cachesim {
+
+/// Abstract replacement state for one set.
+class ReplacementState {
+ public:
+  virtual ~ReplacementState() = default;
+
+  /// Called when `way` hits.
+  virtual void on_hit(unsigned way) = 0;
+
+  /// Called when a line is installed into `way`.
+  virtual void on_fill(unsigned way) = 0;
+
+  /// Chooses the way to evict (all ways valid). Must return < ways().
+  [[nodiscard]] virtual unsigned choose_victim() = 0;
+
+  [[nodiscard]] unsigned ways() const noexcept { return ways_; }
+
+ protected:
+  explicit ReplacementState(unsigned ways) noexcept : ways_(ways) {}
+
+ private:
+  unsigned ways_;
+};
+
+/// Exact LRU via a recency stack (counter per way).
+class LruState final : public ReplacementState {
+ public:
+  explicit LruState(unsigned ways);
+  void on_hit(unsigned way) override;
+  void on_fill(unsigned way) override;
+  [[nodiscard]] unsigned choose_victim() override;
+
+ private:
+  void touch(unsigned way);
+  std::vector<std::uint64_t> last_use_;
+  std::uint64_t clock_ = 0;
+};
+
+/// FIFO: victim is the oldest fill; hits do not refresh.
+class FifoState final : public ReplacementState {
+ public:
+  explicit FifoState(unsigned ways);
+  void on_hit(unsigned way) override;
+  void on_fill(unsigned way) override;
+  [[nodiscard]] unsigned choose_victim() override;
+
+ private:
+  std::vector<std::uint64_t> fill_order_;
+  std::uint64_t clock_ = 0;
+};
+
+/// Tree pseudo-LRU over power-of-two ways.
+class PlruState final : public ReplacementState {
+ public:
+  explicit PlruState(unsigned ways);
+  void on_hit(unsigned way) override;
+  void on_fill(unsigned way) override;
+  [[nodiscard]] unsigned choose_victim() override;
+
+ private:
+  void point_away_from(unsigned way);
+  std::vector<std::uint8_t> tree_;  // ways-1 internal nodes
+  unsigned levels_;
+};
+
+/// Uniform random victim from a seeded generator.
+class RandomState final : public ReplacementState {
+ public:
+  RandomState(unsigned ways, std::uint64_t seed);
+  void on_hit(unsigned way) override;
+  void on_fill(unsigned way) override;
+  [[nodiscard]] unsigned choose_victim() override;
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// Factory keyed by the config's policy enum.
+[[nodiscard]] std::unique_ptr<ReplacementState> make_replacement_state(
+    Replacement policy, unsigned ways, std::uint64_t seed);
+
+}  // namespace grinch::cachesim

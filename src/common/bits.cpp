@@ -1,0 +1,2 @@
+// bits.h is header-only; this translation unit only anchors the target.
+#include "common/bits.h"

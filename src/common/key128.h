@@ -1,0 +1,103 @@
+// 128-bit key value type shared by GIFT and PRESENT-128.
+//
+// GIFT's specification numbers key bits k127..k0 and views the key as
+// eight 16-bit words W7..W0 with W0 = k15..k0.  Key128 stores the value
+// as two 64-bit halves and exposes both views plus per-bit access, which
+// the attack code uses when reverse-engineering individual key bits.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace grinch {
+
+/// Immutable-ish 128-bit key with spec-friendly accessors.
+struct Key128 {
+  std::uint64_t hi = 0;  ///< bits 127..64
+  std::uint64_t lo = 0;  ///< bits 63..0
+
+  constexpr Key128() = default;
+  constexpr Key128(std::uint64_t hi_bits, std::uint64_t lo_bits) noexcept
+      : hi(hi_bits), lo(lo_bits) {}
+
+  friend constexpr auto operator<=>(const Key128&, const Key128&) = default;
+
+  /// Returns key bit `pos` (0..127, 0 = LSB = k0).
+  [[nodiscard]] constexpr unsigned bit(unsigned pos) const noexcept {
+    return pos < 64 ? static_cast<unsigned>((lo >> pos) & 1u)
+                    : static_cast<unsigned>((hi >> (pos - 64)) & 1u);
+  }
+
+  /// Returns a copy with key bit `pos` set to `value`.
+  [[nodiscard]] constexpr Key128 with_bit(unsigned pos,
+                                          unsigned value) const noexcept {
+    Key128 k = *this;
+    if (pos < 64) {
+      const std::uint64_t m = std::uint64_t{1} << pos;
+      k.lo = value ? (k.lo | m) : (k.lo & ~m);
+    } else {
+      const std::uint64_t m = std::uint64_t{1} << (pos - 64);
+      k.hi = value ? (k.hi | m) : (k.hi & ~m);
+    }
+    return k;
+  }
+
+  /// Returns 16-bit key word Wi (i = 0..7, W0 = k15..k0).
+  [[nodiscard]] constexpr std::uint16_t word16(unsigned i) const noexcept {
+    const unsigned sh = 16u * (i & 3u);
+    return static_cast<std::uint16_t>(((i < 4) ? lo : hi) >> sh);
+  }
+
+  /// Returns a copy with 16-bit word Wi replaced.
+  [[nodiscard]] constexpr Key128 with_word16(unsigned i,
+                                             std::uint16_t w) const noexcept {
+    Key128 k = *this;
+    const unsigned sh = 16u * (i & 3u);
+    const std::uint64_t mask = ~(std::uint64_t{0xFFFF} << sh);
+    if (i < 4)
+      k.lo = (k.lo & mask) | (static_cast<std::uint64_t>(w) << sh);
+    else
+      k.hi = (k.hi & mask) | (static_cast<std::uint64_t>(w) << sh);
+    return k;
+  }
+
+  /// Returns 32-bit key word Vi (i = 0..3, V0 = k31..k0).
+  [[nodiscard]] constexpr std::uint32_t word32(unsigned i) const noexcept {
+    const unsigned sh = 32u * (i & 1u);
+    return static_cast<std::uint32_t>(((i < 2) ? lo : hi) >> sh);
+  }
+
+  /// XOR of two keys, used by avalanche/property tests.
+  [[nodiscard]] constexpr Key128 operator^(const Key128& o) const noexcept {
+    return Key128{hi ^ o.hi, lo ^ o.lo};
+  }
+
+  /// Spec-style key rotation by 32 bits to the right (k31..k0 wrap to top).
+  [[nodiscard]] constexpr Key128 rotr32() const noexcept {
+    Key128 k;
+    k.lo = (lo >> 32) | (hi << 32);
+    k.hi = (hi >> 32) | (lo << 32);
+    return k;
+  }
+
+  /// Big-endian hex string "k127..k0" (32 hex digits), e.g. for logs.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parses 32 hex digits (most-significant first). Returns false on error.
+  static bool from_hex(const std::string& hex, Key128& out);
+
+  /// Byte view, index 0 = least-significant byte (k7..k0).
+  [[nodiscard]] constexpr std::array<std::uint8_t, 16> to_bytes_le()
+      const noexcept {
+    std::array<std::uint8_t, 16> b{};
+    for (unsigned i = 0; i < 8; ++i) {
+      b[i] = static_cast<std::uint8_t>(lo >> (8 * i));
+      b[8 + i] = static_cast<std::uint8_t>(hi >> (8 * i));
+    }
+    return b;
+  }
+};
+
+}  // namespace grinch

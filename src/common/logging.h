@@ -1,0 +1,49 @@
+// Minimal leveled logger for the simulation and attack libraries.
+//
+// Experiments print their own tables; the logger exists for optional
+// diagnostics (attack progress, cache warnings).  Quiet by default so
+// bench output stays machine-parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace grinch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` passes the threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine{LogLevel::kDebug}; }
+inline detail::LogLine log_info() { return detail::LogLine{LogLevel::kInfo}; }
+inline detail::LogLine log_warn() { return detail::LogLine{LogLevel::kWarn}; }
+inline detail::LogLine log_error() { return detail::LogLine{LogLevel::kError}; }
+
+}  // namespace grinch

@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace grinch {
+
+void SampleStats::add(double v) { samples_.push_back(v); }
+
+double SampleStats::mean() const {
+  assert(!samples_.empty());
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleStats::stddev() const {
+  assert(!samples_.empty());
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double SampleStats::median() const { return percentile(0.5); }
+
+double SampleStats::min() const {
+  assert(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  assert(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::percentile(double p) const {
+  assert(!samples_.empty());
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto i = static_cast<std::size_t>(idx);
+  return sorted[std::min(i, sorted.size() - 1)];
+}
+
+std::string EffortCell::render() const {
+  if (all_dropped()) {
+    // Built via append to dodge GCC 12's -Wrestrict false positive on
+    // operator+ (PR 105651).
+    std::string text(">");
+    text += std::to_string(cutoff_);
+    return text;
+  }
+  if (stats_.empty()) return "-";
+  auto text = std::to_string(static_cast<std::uint64_t>(
+      std::llround(stats_.mean())));
+  if (dropouts_ > 0) text += "*";  // some trials hit the cutoff
+  return text;
+}
+
+}  // namespace grinch

@@ -1,0 +1,75 @@
+// Small statistics accumulators for experiment harnesses.
+//
+// Fig. 3 / Table I report per-configuration attack effort over many random
+// keys; the harnesses accumulate samples here and report mean / median /
+// min / max plus drop-out counts (the paper drops runs above 1M
+// encryptions as impractical).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grinch {
+
+/// Accumulates scalar samples; cheap summary statistics on demand.
+class SampleStats {
+ public:
+  void add(double v);
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Arithmetic mean. Precondition: !empty().
+  [[nodiscard]] double mean() const;
+  /// Population standard deviation. Precondition: !empty().
+  [[nodiscard]] double stddev() const;
+  /// Median (lower of the two middles for even counts). Precondition: !empty().
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// p in [0,1]; nearest-rank percentile. Precondition: !empty().
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Experiment cell: successful samples plus drop-outs (> cutoff trials).
+/// Mirrors Table I's ">1M" cells.
+class EffortCell {
+ public:
+  explicit EffortCell(std::uint64_t cutoff) noexcept : cutoff_(cutoff) {}
+
+  /// Records a trial that finished after `encryptions` encryptions.
+  void add_success(std::uint64_t encryptions) {
+    stats_.add(static_cast<double>(encryptions));
+  }
+  /// Records a trial abandoned at the cutoff.
+  void add_dropout() noexcept { ++dropouts_; }
+
+  [[nodiscard]] std::uint64_t cutoff() const noexcept { return cutoff_; }
+  [[nodiscard]] std::size_t dropouts() const noexcept { return dropouts_; }
+  [[nodiscard]] std::size_t successes() const noexcept {
+    return stats_.count();
+  }
+  [[nodiscard]] bool all_dropped() const noexcept {
+    return stats_.empty() && dropouts_ > 0;
+  }
+  [[nodiscard]] const SampleStats& stats() const noexcept { return stats_; }
+
+  /// Paper-style cell text: mean effort, or ">cutoff" when all trials drop.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::uint64_t cutoff_;
+  std::size_t dropouts_ = 0;
+  SampleStats stats_;
+};
+
+}  // namespace grinch

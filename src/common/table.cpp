@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace grinch {
+namespace {
+
+std::string pad(const std::string& s, std::size_t width) {
+  std::string out = s;
+  out.resize(width < s.size() ? s.size() : width, ' ');
+  return out;
+}
+
+}  // namespace
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  assert(header_.empty() || row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto rule = [&] {
+    for (std::size_t w : widths) out << "+" << std::string(w + 2, '-');
+    out << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      out << "| " << pad(cell, widths[i]) << " ";
+    }
+    out << "|\n";
+  };
+  rule();
+  if (!header_.empty()) {
+    line(header_);
+    rule();
+  }
+  for (const auto& r : rows_) line(r);
+  rule();
+  return out.str();
+}
+
+}  // namespace grinch

@@ -1,0 +1,34 @@
+// ASCII table rendering for bench binaries.
+//
+// Every experiment harness prints its result in the same row/column shape
+// as the paper's table or figure series, via this small formatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace grinch {
+
+/// Column-aligned ASCII table with a header row and an optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header column count (asserted).
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with box-drawing rules; ends with a newline.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace grinch

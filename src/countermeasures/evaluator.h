@@ -1,0 +1,46 @@
+// Side-by-side countermeasure evaluation harness.
+//
+// Runs the GRINCH attack against the unprotected baseline, the packed
+// S-Box (countermeasure 1), and the hardened key schedule
+// (countermeasure 2) under identical budgets, reporting whether the key
+// was retrieved and at what cost — the evidence behind §IV-C.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/grinch.h"
+#include "common/key128.h"
+
+namespace grinch::cm {
+
+enum class Protection : std::uint8_t {
+  kNone,              ///< unprotected baseline
+  kPackedSBox,        ///< countermeasure 1 (§IV-C)
+  kHardenedSchedule,  ///< countermeasure 2 (§IV-C)
+  kBoth,              ///< layered defence
+  kConstantTime,      ///< bitsliced implementation — no table accesses at all
+};
+
+[[nodiscard]] const char* to_string(Protection p) noexcept;
+
+struct EvaluationResult {
+  Protection protection = Protection::kNone;
+  bool attack_succeeded = false;    ///< all stages resolved
+  bool key_retrieved = false;       ///< recovered key == victim key
+  std::uint64_t encryptions = 0;
+  std::string note;
+};
+
+/// Runs one attack against a DirectProbePlatform configured for
+/// `protection`.  `budget` bounds the attacker's encryptions.
+[[nodiscard]] EvaluationResult evaluate_protection(
+    Protection protection, const Key128& victim_key, std::uint64_t budget,
+    std::uint64_t seed);
+
+/// Evaluates every Protection value with the same key/budget.
+[[nodiscard]] std::vector<EvaluationResult> evaluate_all(
+    const Key128& victim_key, std::uint64_t budget, std::uint64_t seed);
+
+}  // namespace grinch::cm

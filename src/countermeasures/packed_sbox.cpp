@@ -1,0 +1,30 @@
+#include "countermeasures/packed_sbox.h"
+
+#include <set>
+
+namespace grinch::cm {
+
+gift::TableLayout packed_sbox_layout() {
+  gift::TableLayout layout;
+  layout.sbox_entries_per_row = 2;  // 8 rows of 8 bits
+  layout.sbox_row_bytes = 1;
+  return layout;
+}
+
+cachesim::CacheConfig packed_sbox_cache() {
+  cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+  cache.line_bytes = 8;  // the whole reshaped table in one line
+  return cache;
+}
+
+unsigned sbox_lines_occupied(const gift::TableLayout& layout,
+                             unsigned line_bytes) {
+  std::set<std::uint64_t> lines;
+  for (unsigned index = 0; index < 16; ++index) {
+    lines.insert(layout.sbox_row_addr(index) &
+                 ~std::uint64_t{line_bytes - 1});
+  }
+  return static_cast<unsigned>(lines.size());
+}
+
+}  // namespace grinch::cm

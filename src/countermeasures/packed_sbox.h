@@ -1,0 +1,32 @@
+// Countermeasure 1 (§IV-C): eliminate the look-up-table vulnerability.
+//
+// "For the S-Box, the proposed method is to set the cache line to 8 bytes
+// and reshape the S-Box from 16 rows of 4 bits to 8 rows of 8 bits."
+// Two S-Box entries share each row, and with an 8-byte line the whole
+// table lives in one cache line — every encryption touches exactly that
+// line, so the access pattern carries zero information.  "As an overhead,
+// you have to select the right 4 bits at the output."
+#pragma once
+
+#include "cachesim/config.h"
+#include "gift/table_gift.h"
+
+namespace grinch::cm {
+
+/// Table layout of the reshaped S-Box: 8 rows x 8 bits.
+[[nodiscard]] gift::TableLayout packed_sbox_layout();
+
+/// The cache configuration the countermeasure prescribes (8-byte lines).
+[[nodiscard]] cachesim::CacheConfig packed_sbox_cache();
+
+/// Number of distinct cache lines the reshaped S-Box occupies under a
+/// given line size; the countermeasure is effective exactly when this is
+/// 1 (every index maps to the same observable line).
+[[nodiscard]] unsigned sbox_lines_occupied(const gift::TableLayout& layout,
+                                           unsigned line_bytes);
+
+/// Cycles of overhead per S-Box lookup for the 4-bit output selection
+/// (shift + mask on the packed row).
+inline constexpr std::uint64_t kPackedLookupOverheadCycles = 2;
+
+}  // namespace grinch::cm

@@ -1,0 +1,115 @@
+#include "gift/bitslice.h"
+
+#include "gift/constants.h"
+#include "gift/key_schedule.h"
+#include "gift/permutation.h"
+#include "gift/sbox.h"
+
+namespace grinch::gift {
+
+BitPlanes to_planes(std::uint64_t state) noexcept {
+  BitPlanes out;
+  for (unsigned i = 0; i < 16; ++i) {
+    const auto nib = static_cast<unsigned>((state >> (4 * i)) & 0xF);
+    for (unsigned b = 0; b < 4; ++b) {
+      out.plane[b] |= static_cast<std::uint16_t>(((nib >> b) & 1u) << i);
+    }
+  }
+  return out;
+}
+
+std::uint64_t from_planes(const BitPlanes& planes) noexcept {
+  std::uint64_t state = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    unsigned nib = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      nib |= ((planes.plane[b] >> i) & 1u) << b;
+    }
+    state |= static_cast<std::uint64_t>(nib) << (4 * i);
+  }
+  return state;
+}
+
+BitslicedGift64::BitslicedGift64() {
+  // ANF of each S-Box output bit via the Moebius transform over GF(2):
+  // coeff[m] = XOR of f(x) over all x subset-of m.
+  const SBox& sbox = gift_sbox();
+  for (unsigned b = 0; b < 4; ++b) {
+    std::array<unsigned, 16> coeff{};
+    for (unsigned x = 0; x < 16; ++x) coeff[x] = (sbox.apply(x) >> b) & 1u;
+    for (unsigned var = 0; var < 4; ++var) {
+      for (unsigned m = 0; m < 16; ++m) {
+        if (m & (1u << var)) coeff[m] ^= coeff[m ^ (1u << var)];
+      }
+    }
+    for (unsigned m = 0; m < 16; ++m) {
+      anf_[b] |= static_cast<std::uint16_t>(coeff[m] << m);
+    }
+  }
+
+  // PermBits preserves i mod 4, so plane b permutes internally:
+  // sigma_b(i) = P64(4i + b) / 4.
+  const BitPermutation& perm = gift64_permutation();
+  for (unsigned b = 0; b < 4; ++b) {
+    for (unsigned i = 0; i < 16; ++i) {
+      plane_perm_[b][i] = static_cast<std::uint8_t>(perm.forward(4 * i + b) / 4);
+    }
+  }
+}
+
+BitPlanes BitslicedGift64::sub_cells(const BitPlanes& in) const noexcept {
+  // Evaluate every monomial once, XOR it into each output plane whose
+  // ANF contains it.  Pure AND/XOR on registers: constant time.
+  BitPlanes out;
+  for (unsigned m = 0; m < 16; ++m) {
+    std::uint16_t monomial = 0xFFFF;  // empty product = 1
+    for (unsigned var = 0; var < 4; ++var) {
+      if (m & (1u << var)) monomial &= in.plane[var];
+    }
+    for (unsigned b = 0; b < 4; ++b) {
+      if ((anf_[b] >> m) & 1u) out.plane[b] ^= monomial;
+    }
+  }
+  return out;
+}
+
+BitPlanes BitslicedGift64::perm_bits(const BitPlanes& in) const noexcept {
+  BitPlanes out;
+  for (unsigned b = 0; b < 4; ++b) {
+    std::uint16_t p = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+      p |= static_cast<std::uint16_t>(((in.plane[b] >> i) & 1u)
+                                      << plane_perm_[b][i]);
+    }
+    out.plane[b] = p;
+  }
+  return out;
+}
+
+BitPlanes BitslicedGift64::round(const BitPlanes& state, std::uint16_t u,
+                                 std::uint16_t v,
+                                 unsigned round_index) const {
+  BitPlanes s = perm_bits(sub_cells(state));
+  // AddRoundKey: V into plane 0, U into plane 1.
+  s.plane[0] ^= v;
+  s.plane[1] ^= u;
+  // Constants: c_t into bit 3 of segment t (t = 0..5), '1' into bit 63
+  // (segment 15, bit 3).
+  const std::uint8_t c = round_constant(round_index);
+  s.plane[3] ^= static_cast<std::uint16_t>((c & 0x3F) | 0x8000);
+  return s;
+}
+
+std::uint64_t BitslicedGift64::encrypt(std::uint64_t plaintext,
+                                       const Key128& key) const {
+  BitPlanes state = to_planes(plaintext);
+  Key128 k = key;
+  for (unsigned r = 0; r < 28; ++r) {
+    const RoundKey64 rk = extract_round_key64(k);
+    state = round(state, rk.u, rk.v, r);
+    k = update_key_state(k);
+  }
+  return from_planes(state);
+}
+
+}  // namespace grinch::gift

@@ -1,0 +1,12 @@
+#include "gift/constants.h"
+
+namespace grinch::gift {
+
+std::uint8_t round_constant(unsigned round) noexcept {
+  RoundConstantLfsr lfsr;
+  std::uint8_t c = 0;
+  for (unsigned r = 0; r <= round; ++r) c = lfsr.next();
+  return c;
+}
+
+}  // namespace grinch::gift

@@ -1,0 +1,78 @@
+#include "gift/key_schedule.h"
+
+#include "common/bits.h"
+
+namespace grinch::gift {
+
+Key128 update_key_state(const Key128& k) noexcept {
+  Key128 next;
+  // (k7..k0) <- (k1>>>2, k0>>>12, k7, k6, k5, k4, k3, k2)
+  for (unsigned w = 0; w < 6; ++w) next = next.with_word16(w, k.word16(w + 2));
+  next = next.with_word16(
+      6, static_cast<std::uint16_t>(rotr(k.word16(0), 12, 16)));
+  next = next.with_word16(
+      7, static_cast<std::uint16_t>(rotr(k.word16(1), 2, 16)));
+  return next;
+}
+
+Key128 revert_key_state(const Key128& k) noexcept {
+  Key128 prev;
+  for (unsigned w = 0; w < 6; ++w) prev = prev.with_word16(w + 2, k.word16(w));
+  prev = prev.with_word16(
+      0, static_cast<std::uint16_t>(rotl(k.word16(6), 12, 16)));
+  prev = prev.with_word16(
+      1, static_cast<std::uint16_t>(rotl(k.word16(7), 2, 16)));
+  return prev;
+}
+
+RoundKey64 extract_round_key64(const Key128& k) noexcept {
+  return RoundKey64{k.word16(1), k.word16(0)};
+}
+
+RoundKey128 extract_round_key128(const Key128& k) noexcept {
+  const std::uint32_t u =
+      (static_cast<std::uint32_t>(k.word16(5)) << 16) | k.word16(4);
+  const std::uint32_t v =
+      (static_cast<std::uint32_t>(k.word16(1)) << 16) | k.word16(0);
+  return RoundKey128{u, v};
+}
+
+KeySchedule::KeySchedule(const Key128& key, unsigned rounds) {
+  states_.reserve(rounds);
+  Key128 k = key;
+  for (unsigned r = 0; r < rounds; ++r) {
+    states_.push_back(k);
+    k = update_key_state(k);
+  }
+}
+
+KeyBitOrigins::KeyBitOrigins(unsigned rounds) {
+  origins_.reserve(rounds);
+  std::array<std::uint8_t, 128> idx{};
+  for (unsigned i = 0; i < 128; ++i) idx[i] = static_cast<std::uint8_t>(i);
+
+  auto rotate_word_right = [](std::array<std::uint8_t, 128>& a, unsigned word,
+                              unsigned r) {
+    // Right-rotating a 16-bit word by r means new bit j = old bit (j+r)%16.
+    std::array<std::uint8_t, 16> tmp{};
+    for (unsigned j = 0; j < 16; ++j) tmp[j] = a[16 * word + (j + r) % 16];
+    for (unsigned j = 0; j < 16; ++j) a[16 * word + j] = tmp[j];
+  };
+
+  for (unsigned r = 0; r < rounds; ++r) {
+    origins_.push_back(idx);
+    std::array<std::uint8_t, 128> next{};
+    for (unsigned w = 0; w < 6; ++w)
+      for (unsigned j = 0; j < 16; ++j)
+        next[16 * w + j] = idx[16 * (w + 2) + j];
+    for (unsigned j = 0; j < 16; ++j) {
+      next[16 * 6 + j] = idx[16 * 0 + j];
+      next[16 * 7 + j] = idx[16 * 1 + j];
+    }
+    rotate_word_right(next, 6, 12);
+    rotate_word_right(next, 7, 2);
+    idx = next;
+  }
+}
+
+}  // namespace grinch::gift

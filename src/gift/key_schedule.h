@@ -1,0 +1,115 @@
+// GIFT key schedule (shared by GIFT-64 and GIFT-128).
+//
+// The 128-bit key state K = k7||k6||...||k0 (16-bit words) is updated each
+// round by
+//
+//   (k7, k6, ..., k1, k0)  <-  (k1 >>> 2, k0 >>> 12, k7, k6, ..., k2)
+//
+// i.e. a 32-bit right rotation of the whole state with the two wrapped
+// words additionally rotated locally — exactly the "UpdateKey" box in
+// Fig. 1 of the GRINCH paper.  GIFT-64 extracts the round key U||V from
+// (k1, k0); GIFT-128 from (k5||k4, k1||k0).
+//
+// Beyond the plain schedule, the attack library needs to know *which
+// master-key bit* each round-key bit is (GRINCH recovers two round-key
+// bits per attacked segment and must write them into the right master-key
+// positions).  KeyBitOrigins runs the schedule symbolically to provide
+// that mapping.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/key128.h"
+
+namespace grinch::gift {
+
+/// GIFT-64 round key: V_i XORs into state bit 4i, U_i into bit 4i+1.
+struct RoundKey64 {
+  std::uint16_t u = 0;
+  std::uint16_t v = 0;
+};
+
+/// GIFT-128 round key: V_i XORs into state bit 4i+1, U_i into bit 4i+2.
+struct RoundKey128 {
+  std::uint32_t u = 0;
+  std::uint32_t v = 0;
+};
+
+/// Advances the key state by one round (spec "UpdateKey").
+[[nodiscard]] Key128 update_key_state(const Key128& k) noexcept;
+
+/// Inverse of update_key_state (used by decryption tests).
+[[nodiscard]] Key128 revert_key_state(const Key128& k) noexcept;
+
+/// Extracts the GIFT-64 round key from the current key state.
+[[nodiscard]] RoundKey64 extract_round_key64(const Key128& k) noexcept;
+
+/// Extracts the GIFT-128 round key from the current key state.
+[[nodiscard]] RoundKey128 extract_round_key128(const Key128& k) noexcept;
+
+/// Precomputed schedule: round keys plus per-round key states.
+class KeySchedule {
+ public:
+  /// Expands `key` for `rounds` rounds.
+  KeySchedule(const Key128& key, unsigned rounds);
+
+  [[nodiscard]] unsigned rounds() const noexcept {
+    return static_cast<unsigned>(states_.size());
+  }
+
+  /// Key state at the start of (0-based) round `r`.
+  [[nodiscard]] const Key128& state(unsigned r) const { return states_.at(r); }
+
+  [[nodiscard]] RoundKey64 round_key64(unsigned r) const {
+    return extract_round_key64(states_.at(r));
+  }
+  [[nodiscard]] RoundKey128 round_key128(unsigned r) const {
+    return extract_round_key128(states_.at(r));
+  }
+
+ private:
+  std::vector<Key128> states_;
+};
+
+/// Symbolic schedule: for every round, the master-key bit index that each
+/// key-state bit position holds.
+class KeyBitOrigins {
+ public:
+  explicit KeyBitOrigins(unsigned rounds);
+
+  [[nodiscard]] unsigned rounds() const noexcept {
+    return static_cast<unsigned>(origins_.size());
+  }
+
+  /// Master-key bit held at key-state bit `pos` at round `r`.
+  [[nodiscard]] unsigned state_bit_origin(unsigned r, unsigned pos) const {
+    return origins_.at(r)[pos];
+  }
+
+  /// Master-key bit feeding GIFT-64 round-key bit U_i of round `r`.
+  [[nodiscard]] unsigned u64_origin(unsigned r, unsigned i) const {
+    return state_bit_origin(r, 16 + i);
+  }
+
+  /// Master-key bit feeding GIFT-64 round-key bit V_i of round `r`.
+  [[nodiscard]] unsigned v64_origin(unsigned r, unsigned i) const {
+    return state_bit_origin(r, i);
+  }
+
+  /// Master-key bit feeding GIFT-128 round-key bit U_i of round `r`.
+  [[nodiscard]] unsigned u128_origin(unsigned r, unsigned i) const {
+    return state_bit_origin(r, 64 + i);
+  }
+
+  /// Master-key bit feeding GIFT-128 round-key bit V_i of round `r`.
+  [[nodiscard]] unsigned v128_origin(unsigned r, unsigned i) const {
+    return state_bit_origin(r, i);
+  }
+
+ private:
+  std::vector<std::array<std::uint8_t, 128>> origins_;
+};
+
+}  // namespace grinch::gift

@@ -1,0 +1,109 @@
+#include "gift/permutation.h"
+
+#include <cassert>
+
+namespace grinch::gift {
+namespace {
+
+std::vector<unsigned> gift_map(unsigned width) {
+  // Shared closed form; the block stride (16 vs 32) is width/4.
+  const unsigned stride = width / 4;
+  std::vector<unsigned> map(width);
+  for (unsigned i = 0; i < width; ++i) {
+    const unsigned quad = i / 16;          // 4-segment group
+    const unsigned seg_in_quad = (i % 16) / 4;
+    const unsigned bit_in_seg = i % 4;
+    map[i] = 4 * quad + stride * ((3 * seg_in_quad + bit_in_seg) % 4) +
+             bit_in_seg;
+  }
+  return map;
+}
+
+std::vector<unsigned> present_map() {
+  std::vector<unsigned> map(64);
+  for (unsigned i = 0; i < 63; ++i) map[i] = (16 * i) % 63;
+  map[63] = 63;
+  return map;
+}
+
+}  // namespace
+
+BitPermutation::BitPermutation(std::vector<unsigned> map) : fwd_(std::move(map)) {
+  assert(fwd_.size() <= 128);
+  inv_.assign(fwd_.size(), ~0u);
+  for (unsigned i = 0; i < fwd_.size(); ++i) {
+    const unsigned j = fwd_[i];
+    assert(j < fwd_.size() && "permutation target out of range");
+    assert(inv_[j] == ~0u && "permutation must be bijective");
+    inv_[j] = i;
+  }
+}
+
+std::uint64_t BitPermutation::apply64(std::uint64_t state) const noexcept {
+  assert(width() == 64);
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    out |= ((state >> i) & 1u) << fwd_[i];
+  }
+  return out;
+}
+
+std::uint64_t BitPermutation::invert64(std::uint64_t state) const noexcept {
+  assert(width() == 64);
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    out |= ((state >> i) & 1u) << inv_[i];
+  }
+  return out;
+}
+
+void BitPermutation::apply128(std::uint64_t& hi, std::uint64_t& lo)
+    const noexcept {
+  assert(width() == 128);
+  std::uint64_t nh = 0, nl = 0;
+  for (unsigned i = 0; i < 128; ++i) {
+    const std::uint64_t b =
+        (i < 64) ? ((lo >> i) & 1u) : ((hi >> (i - 64)) & 1u);
+    const unsigned j = fwd_[i];
+    if (j < 64)
+      nl |= b << j;
+    else
+      nh |= b << (j - 64);
+  }
+  hi = nh;
+  lo = nl;
+}
+
+void BitPermutation::invert128(std::uint64_t& hi, std::uint64_t& lo)
+    const noexcept {
+  assert(width() == 128);
+  std::uint64_t nh = 0, nl = 0;
+  for (unsigned i = 0; i < 128; ++i) {
+    const std::uint64_t b =
+        (i < 64) ? ((lo >> i) & 1u) : ((hi >> (i - 64)) & 1u);
+    const unsigned j = inv_[i];
+    if (j < 64)
+      nl |= b << j;
+    else
+      nh |= b << (j - 64);
+  }
+  hi = nh;
+  lo = nl;
+}
+
+const BitPermutation& gift64_permutation() {
+  static const BitPermutation perm{gift_map(64)};
+  return perm;
+}
+
+const BitPermutation& gift128_permutation() {
+  static const BitPermutation perm{gift_map(128)};
+  return perm;
+}
+
+const BitPermutation& present_permutation() {
+  static const BitPermutation perm{present_map()};
+  return perm;
+}
+
+}  // namespace grinch::gift

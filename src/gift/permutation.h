@@ -1,0 +1,72 @@
+// Bit permutations for GIFT (PermBits layer).
+//
+// The permutations are generated from the closed forms in the GIFT paper
+// (eprint 2017/622, Section 2.1):
+//
+//   GIFT-64 :  P64(i)  = 4⌊i/16⌋ + 16[(3⌊(i mod 16)/4⌋ + (i mod 4)) mod 4]
+//                        + (i mod 4)
+//   GIFT-128:  P128(i) = 4⌊i/16⌋ + 32[(3⌊(i mod 16)/4⌋ + (i mod 4)) mod 4]
+//                        + (i mod 4)
+//
+// The GRINCH attack needs the inverse permutation explicitly (Algorithm 1
+// maps round-key bit positions back to S-Box output bit positions), so
+// BitPermutation exposes both directions and their tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace grinch::gift {
+
+/// A bit permutation over `width` bit positions (width ≤ 128).
+class BitPermutation {
+ public:
+  /// Builds from a forward map: bit i of the input moves to bit map[i]
+  /// of the output.  Precondition (asserted): `map` is a permutation.
+  explicit BitPermutation(std::vector<unsigned> map);
+
+  [[nodiscard]] unsigned width() const noexcept {
+    return static_cast<unsigned>(fwd_.size());
+  }
+
+  /// Destination of input bit `i`.
+  [[nodiscard]] unsigned forward(unsigned i) const noexcept { return fwd_[i]; }
+
+  /// Source of output bit `j` (the inverse permutation).
+  [[nodiscard]] unsigned inverse(unsigned j) const noexcept { return inv_[j]; }
+
+  /// Permutes a 64-bit state. Precondition: width() == 64.
+  [[nodiscard]] std::uint64_t apply64(std::uint64_t state) const noexcept;
+
+  /// Inverse-permutes a 64-bit state. Precondition: width() == 64.
+  [[nodiscard]] std::uint64_t invert64(std::uint64_t state) const noexcept;
+
+  /// Permutes a 128-bit state given as (hi, lo). Precondition: width()==128.
+  void apply128(std::uint64_t& hi, std::uint64_t& lo) const noexcept;
+
+  /// Inverse-permutes a 128-bit state. Precondition: width() == 128.
+  void invert128(std::uint64_t& hi, std::uint64_t& lo) const noexcept;
+
+  [[nodiscard]] const std::vector<unsigned>& forward_table() const noexcept {
+    return fwd_;
+  }
+  [[nodiscard]] const std::vector<unsigned>& inverse_table() const noexcept {
+    return inv_;
+  }
+
+ private:
+  std::vector<unsigned> fwd_;
+  std::vector<unsigned> inv_;
+};
+
+/// The GIFT-64 PermBits permutation (width 64).
+[[nodiscard]] const BitPermutation& gift64_permutation();
+
+/// The GIFT-128 PermBits permutation (width 128).
+[[nodiscard]] const BitPermutation& gift128_permutation();
+
+/// The PRESENT pLayer permutation (width 64): P(i) = 16·i mod 63 (i<63).
+[[nodiscard]] const BitPermutation& present_permutation();
+
+}  // namespace grinch::gift

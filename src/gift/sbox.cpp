@@ -1,0 +1,50 @@
+#include "gift/sbox.h"
+
+#include <cassert>
+
+namespace grinch::gift {
+
+SBox::SBox(const std::array<std::uint8_t, 16>& table) : fwd_(table) {
+  std::array<bool, 16> seen{};
+  for (unsigned x = 0; x < 16; ++x) {
+    const std::uint8_t y = table[x];
+    assert(y < 16 && "S-Box entries must be 4-bit");
+    assert(!seen[y] && "S-Box must be a permutation of 0..15");
+    seen[y] = true;
+    inv_[y] = static_cast<std::uint8_t>(x);
+  }
+}
+
+std::uint64_t SBox::apply_state64(std::uint64_t state) const noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    out |= static_cast<std::uint64_t>(fwd_[(state >> (4 * i)) & 0xF])
+           << (4 * i);
+  }
+  return out;
+}
+
+std::uint64_t SBox::invert_state64(std::uint64_t state) const noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < 16; ++i) {
+    out |= static_cast<std::uint64_t>(inv_[(state >> (4 * i)) & 0xF])
+           << (4 * i);
+  }
+  return out;
+}
+
+const SBox& gift_sbox() {
+  // GS from eprint 2017/622, Table 1: x -> GS(x).
+  static const SBox sbox{{0x1, 0xa, 0x4, 0xc, 0x6, 0xf, 0x3, 0x9, 0x2, 0xd,
+                          0xb, 0x7, 0x5, 0x0, 0x8, 0xe}};
+  return sbox;
+}
+
+const SBox& present_sbox() {
+  // Bogdanov et al., CHES 2007, Table 1.
+  static const SBox sbox{{0xc, 0x5, 0x6, 0xb, 0x9, 0x0, 0xa, 0xd, 0x3, 0xe,
+                          0xf, 0x8, 0x4, 0x7, 0x1, 0x2}};
+  return sbox;
+}
+
+}  // namespace grinch::gift

@@ -1,0 +1,58 @@
+// 4-bit substitution boxes for the GIFT cipher family.
+//
+// GIFT's S-Box GS is the 16-entry table from Banik et al., "GIFT: a small
+// PRESENT" (eprint 2017/622, Table 1).  The attack library additionally
+// needs the inverse S-Box (Algorithm 1 of the GRINCH paper walks the S-Box
+// backwards to build plaintext candidate lists), so both directions live
+// here with bijectivity checked at construction.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace grinch::gift {
+
+/// An invertible 4-bit substitution box.
+class SBox {
+ public:
+  /// Builds the S-Box from its forward table; computes the inverse.
+  /// Precondition (asserted): `table` is a permutation of 0..15.
+  explicit SBox(const std::array<std::uint8_t, 16>& table);
+
+  /// Forward substitution of a 4-bit value.
+  [[nodiscard]] unsigned apply(unsigned v) const noexcept {
+    return fwd_[v & 0xF];
+  }
+
+  /// Inverse substitution of a 4-bit value.
+  [[nodiscard]] unsigned invert(unsigned v) const noexcept {
+    return inv_[v & 0xF];
+  }
+
+  /// Applies the S-Box to every 4-bit segment of a 64-bit state.
+  [[nodiscard]] std::uint64_t apply_state64(std::uint64_t state) const noexcept;
+
+  /// Applies the inverse S-Box to every 4-bit segment of a 64-bit state.
+  [[nodiscard]] std::uint64_t invert_state64(std::uint64_t state)
+      const noexcept;
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& table() const noexcept {
+    return fwd_;
+  }
+  [[nodiscard]] const std::array<std::uint8_t, 16>& inverse_table()
+      const noexcept {
+    return inv_;
+  }
+
+ private:
+  std::array<std::uint8_t, 16> fwd_{};
+  std::array<std::uint8_t, 16> inv_{};
+};
+
+/// The GIFT S-Box GS (shared by GIFT-64 and GIFT-128).
+[[nodiscard]] const SBox& gift_sbox();
+
+/// The PRESENT S-Box (used by the PRESENT substrate and cross-cipher tests).
+[[nodiscard]] const SBox& present_sbox();
+
+}  // namespace grinch::gift

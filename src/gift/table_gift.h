@@ -1,0 +1,143 @@
+// Table-based (leaky) GIFT-64 implementation.
+//
+// The GRINCH paper attacks the public GIFT software implementation whose
+// SubCells and PermBits layers are realised as look-up tables.  This class
+// reproduces that implementation style and *instruments* it: every table
+// access is reported to a TraceSink with its memory address, round and
+// segment, so the SoC simulation can replay the access stream against the
+// cache model.
+//
+// Memory layout (configurable through TableLayout):
+//   * S-Box table    — 16 4-bit entries.  In the paper's default platform
+//     a cache line holds one 8-bit word, i.e. one entry per line.  The
+//     countermeasure of §IV-C packs two entries per row (8 rows x 8 bit).
+//   * PermBits table — per (segment, value) precomputed 64-bit masks:
+//     PERM[s][v] = P64(v << 4s).  One 8-byte row per entry.
+//
+// Functional correctness is cross-checked against the spec implementation
+// (Gift64) in tests/gift/table_gift_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/key128.h"
+#include "gift/gift64.h"
+
+namespace grinch::gift {
+
+/// Address-space placement of the victim's tables.
+struct TableLayout {
+  std::uint64_t sbox_base = 0x1000;  ///< first byte of the S-Box table
+  unsigned sbox_entries_per_row = 1; ///< 1 = paper default; 2 = countermeasure
+  unsigned sbox_row_bytes = 1;       ///< address stride between rows
+  std::uint64_t perm_base = 0x2000;  ///< first byte of the PermBits table
+  unsigned perm_row_bytes = 8;       ///< u64 mask per row
+
+  /// Number of S-Box rows under this layout.
+  [[nodiscard]] constexpr unsigned sbox_rows() const noexcept {
+    return 16 / sbox_entries_per_row;
+  }
+
+  /// Address of the S-Box row holding `index` (0..15).
+  [[nodiscard]] constexpr std::uint64_t sbox_row_addr(unsigned index)
+      const noexcept {
+    return sbox_base + (index / sbox_entries_per_row) * sbox_row_bytes;
+  }
+
+  /// Address of the PermBits row for (segment, value).
+  [[nodiscard]] constexpr std::uint64_t perm_row_addr(unsigned segment,
+                                                      unsigned value)
+      const noexcept {
+    return perm_base + (segment * 16u + value) * perm_row_bytes;
+  }
+};
+
+/// One instrumented table access.
+struct TableAccess {
+  enum class Kind : std::uint8_t { kSBox, kPerm };
+
+  std::uint64_t addr = 0;   ///< byte address of the accessed table row
+  Kind kind = Kind::kSBox;
+  std::uint8_t round = 0;   ///< 0-based round index
+  std::uint8_t segment = 0; ///< 4-bit segment being processed
+  std::uint8_t index = 0;   ///< table row index (S-Box: the leaking value)
+};
+
+/// Receives the access stream during an instrumented encryption.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_round_begin(unsigned round) = 0;
+  virtual void on_access(const TableAccess& access) = 0;
+  virtual void on_round_end(unsigned round) = 0;
+};
+
+/// TraceSink that collects everything into vectors (tests, offline replay).
+class VectorTraceSink : public TraceSink {
+ public:
+  void on_round_begin(unsigned round) override;
+  void on_access(const TableAccess& access) override;
+  void on_round_end(unsigned round) override;
+
+  [[nodiscard]] const std::vector<TableAccess>& accesses() const noexcept {
+    return accesses_;
+  }
+  /// accesses() index where (0-based) round r starts.
+  [[nodiscard]] std::size_t round_begin_index(unsigned round) const {
+    return round_begin_.at(round);
+  }
+  [[nodiscard]] unsigned rounds_seen() const noexcept {
+    return static_cast<unsigned>(round_begin_.size());
+  }
+  void clear();
+
+ private:
+  std::vector<TableAccess> accesses_;
+  std::vector<std::size_t> round_begin_;
+};
+
+/// The leaky LUT implementation of GIFT-64.
+class TableGift64 {
+ public:
+  /// Supplies the round keys for one encryption.  The default is the
+  /// standard GIFT key schedule; the hardened-UpdateKey countermeasure
+  /// (§IV-C) substitutes its own provider.
+  using RoundKeyProvider =
+      std::function<std::vector<RoundKey64>(const Key128&, unsigned rounds)>;
+
+  explicit TableGift64(const TableLayout& layout = TableLayout{},
+                       RoundKeyProvider provider = nullptr);
+
+  [[nodiscard]] const TableLayout& layout() const noexcept { return layout_; }
+
+  /// Encrypts like Gift64::encrypt, reporting each table access to `sink`
+  /// (may be null for a pure functional run).
+  [[nodiscard]] std::uint64_t encrypt(std::uint64_t plaintext,
+                                      const Key128& key,
+                                      TraceSink* sink = nullptr) const;
+
+  /// Runs only the first `rounds` rounds.
+  [[nodiscard]] std::uint64_t encrypt_rounds(std::uint64_t plaintext,
+                                             const Key128& key,
+                                             unsigned rounds,
+                                             TraceSink* sink = nullptr) const;
+
+  /// Table accesses issued per round (16 S-Box + 16 PermBits lookups).
+  [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
+    return 32;
+  }
+
+ private:
+  TableLayout layout_;
+  RoundKeyProvider provider_;
+  std::uint8_t sbox_table_[16];
+  std::uint64_t perm_table_[16][16];  // PERM[s][v] = P64 applied to v<<4s
+};
+
+/// The standard GIFT-64 key schedule as a RoundKeyProvider.
+[[nodiscard]] std::vector<RoundKey64> standard_round_keys(const Key128& key,
+                                                          unsigned rounds);
+
+}  // namespace grinch::gift

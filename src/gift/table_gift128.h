@@ -1,0 +1,46 @@
+// Table-based (leaky) GIFT-128 implementation.
+//
+// GIFT-128 is the variant inside GIFT-COFB and most GIFT-based NIST LWC
+// candidates, so its table implementation leaks through the cache exactly
+// like GIFT-64's: one 16-entry S-Box lookup per 4-bit segment per round —
+// just 32 segments instead of 16, and round keys landing on bits 4i+1 /
+// 4i+2.  This class mirrors TableGift64 (same TableLayout, same
+// TraceSink) so probers and cache machinery are reused unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key128.h"
+#include "gift/gift128.h"
+#include "gift/table_gift.h"
+
+namespace grinch::gift {
+
+class TableGift128 {
+ public:
+  explicit TableGift128(const TableLayout& layout = TableLayout{});
+
+  [[nodiscard]] const TableLayout& layout() const noexcept { return layout_; }
+
+  [[nodiscard]] State128 encrypt(State128 plaintext, const Key128& key,
+                                 TraceSink* sink = nullptr) const;
+
+  [[nodiscard]] State128 encrypt_rounds(State128 plaintext, const Key128& key,
+                                        unsigned rounds,
+                                        TraceSink* sink = nullptr) const;
+
+  /// 32 S-Box + 32 PermBits lookups per round.
+  [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
+    return 64;
+  }
+
+ private:
+  TableLayout layout_;
+  std::uint8_t sbox_table_[16];
+  /// PERM[s][v] = P128 applied to v << 4s, as (hi, lo) contributions.
+  std::uint64_t perm_hi_[32][16];
+  std::uint64_t perm_lo_[32][16];
+};
+
+}  // namespace grinch::gift

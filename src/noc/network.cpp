@@ -1,0 +1,42 @@
+#include "noc/network.h"
+
+namespace grinch::noc {
+
+Network::Network(const MeshTopology& topology, const LinkTiming& timing)
+    : topology_(&topology), router_(topology), timing_(timing) {}
+
+unsigned Network::flits_for(unsigned payload_bytes) const noexcept {
+  if (payload_bytes == 0) return 1;  // header-only packet
+  return (payload_bytes + timing_.flit_bytes - 1) / timing_.flit_bytes;
+}
+
+std::uint64_t Network::latency(NodeId src, NodeId dst,
+                               unsigned payload_bytes) const {
+  const unsigned hops = topology_->hop_distance(src, dst);
+  const unsigned flits = flits_for(payload_bytes);
+  // Head flit: one router traversal per node on the path (hops+1) plus one
+  // link traversal per hop.  Body flits stream behind the head, adding one
+  // cycle each (wormhole pipelining).
+  return (hops + 1) * timing_.router_cycles + hops * timing_.link_cycles +
+         (flits - 1);
+}
+
+PacketResult Network::send(NodeId src, NodeId dst, unsigned payload_bytes) {
+  PacketResult r;
+  r.hops = topology_->hop_distance(src, dst);
+  r.flits = flits_for(payload_bytes);
+  r.latency_cycles = latency(src, dst, payload_bytes);
+
+  ++stats_.packets;
+  stats_.total_flits += r.flits;
+  stats_.total_hop_traversals += r.hops;
+  if (src != dst) {
+    const auto path = router_.route(src, dst);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      stats_.link_flits[{path[i], path[i + 1]}] += r.flits;
+    }
+  }
+  return r;
+}
+
+}  // namespace grinch::noc

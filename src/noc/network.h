@@ -1,0 +1,72 @@
+// Packet-latency NoC model with per-link utilisation accounting.
+//
+// The MPSoC experiment (Table II) needs the end-to-end latency of a
+// remote shared-cache access: processor issue + per-hop router/link
+// traversal + serialization of the payload + memory response.  A
+// flit-accurate simulator is unnecessary for that observable; this model
+// computes deterministic packet latencies over XY routes and tracks link
+// utilisation so congestion effects can be asserted in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "noc/routing.h"
+#include "noc/topology.h"
+
+namespace grinch::noc {
+
+/// Per-hop and serialization timing of the mesh.
+struct LinkTiming {
+  std::uint64_t router_cycles = 2;  ///< pipeline stages per router traversal
+  std::uint64_t link_cycles = 1;    ///< wire delay per hop
+  unsigned flit_bytes = 4;          ///< payload bytes per flit
+};
+
+/// One delivered packet.
+struct PacketResult {
+  std::uint64_t latency_cycles = 0;
+  unsigned hops = 0;
+  unsigned flits = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t packets = 0;
+  std::uint64_t total_flits = 0;
+  std::uint64_t total_hop_traversals = 0;
+  /// Flits carried per directed link (a -> b).
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> link_flits;
+
+  void clear() { *this = NetworkStats{}; }
+};
+
+class Network {
+ public:
+  Network(const MeshTopology& topology, const LinkTiming& timing);
+
+  /// Sends `payload_bytes` from `src` to `dst`; returns the delivery
+  /// latency under XY routing (head-flit pipeline + serialization).
+  PacketResult send(NodeId src, NodeId dst, unsigned payload_bytes);
+
+  /// Latency of send() without mutating statistics.
+  [[nodiscard]] std::uint64_t latency(NodeId src, NodeId dst,
+                                      unsigned payload_bytes) const;
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  void clear_stats() { stats_.clear(); }
+  [[nodiscard]] const MeshTopology& topology() const noexcept {
+    return *topology_;
+  }
+  [[nodiscard]] const XyRouter& router() const noexcept { return router_; }
+
+ private:
+  [[nodiscard]] unsigned flits_for(unsigned payload_bytes) const noexcept;
+
+  const MeshTopology* topology_;
+  XyRouter router_;
+  LinkTiming timing_;
+  NetworkStats stats_;
+};
+
+}  // namespace grinch::noc

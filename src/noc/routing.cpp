@@ -1,0 +1,32 @@
+#include "noc/routing.h"
+
+#include <stdexcept>
+
+namespace grinch::noc {
+
+NodeId XyRouter::next_hop(NodeId current, NodeId dst) const {
+  if (current == dst) throw std::invalid_argument("already at destination");
+  const Coord c = topology_->coord_of(current);
+  const Coord d = topology_->coord_of(dst);
+  Coord n = c;
+  if (c.x != d.x) {
+    n.x = c.x < d.x ? c.x + 1 : c.x - 1;  // X first
+  } else {
+    n.y = c.y < d.y ? c.y + 1 : c.y - 1;  // then Y
+  }
+  return topology_->id_of(n);
+}
+
+std::vector<NodeId> XyRouter::route(NodeId src, NodeId dst) const {
+  if (!topology_->valid(src) || !topology_->valid(dst))
+    throw std::out_of_range("route endpoint outside mesh");
+  std::vector<NodeId> path{src};
+  NodeId cur = src;
+  while (cur != dst) {
+    cur = next_hop(cur, dst);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+}  // namespace grinch::noc

@@ -1,0 +1,28 @@
+// Deterministic XY routing for the mesh NoC.
+//
+// XY routing first travels along the X dimension until the destination
+// column, then along Y — deadlock-free on a mesh and the algorithm named
+// by the GRINCH paper's platform description.
+#pragma once
+
+#include <vector>
+
+#include "noc/topology.h"
+
+namespace grinch::noc {
+
+class XyRouter {
+ public:
+  explicit XyRouter(const MeshTopology& topology) : topology_(&topology) {}
+
+  /// Full route including both endpoints; length = hop_distance + 1.
+  [[nodiscard]] std::vector<NodeId> route(NodeId src, NodeId dst) const;
+
+  /// Next hop from `current` toward `dst` (current != dst).
+  [[nodiscard]] NodeId next_hop(NodeId current, NodeId dst) const;
+
+ private:
+  const MeshTopology* topology_;
+};
+
+}  // namespace grinch::noc

@@ -1,0 +1,49 @@
+#include "noc/topology.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace grinch::noc {
+
+MeshTopology::MeshTopology(unsigned width, unsigned height)
+    : width_(width), height_(height) {
+  if (width == 0 || height == 0)
+    throw std::invalid_argument("mesh dimensions must be non-zero");
+}
+
+Coord MeshTopology::coord_of(NodeId id) const {
+  if (!valid(id)) throw std::out_of_range("node id out of range");
+  return Coord{id % width_, id / width_};
+}
+
+NodeId MeshTopology::id_of(Coord c) const {
+  if (c.x >= width_ || c.y >= height_)
+    throw std::out_of_range("coordinate outside mesh");
+  return c.y * width_ + c.x;
+}
+
+unsigned MeshTopology::hop_distance(NodeId a, NodeId b) const {
+  const Coord ca = coord_of(a), cb = coord_of(b);
+  const unsigned dx = ca.x > cb.x ? ca.x - cb.x : cb.x - ca.x;
+  const unsigned dy = ca.y > cb.y ? ca.y - cb.y : cb.y - ca.y;
+  return dx + dy;
+}
+
+std::vector<NodeId> MeshTopology::neighbors(NodeId id) const {
+  const Coord c = coord_of(id);
+  std::vector<NodeId> out;
+  if (c.x > 0) out.push_back(id_of({c.x - 1, c.y}));
+  if (c.x + 1 < width_) out.push_back(id_of({c.x + 1, c.y}));
+  if (c.y > 0) out.push_back(id_of({c.x, c.y - 1}));
+  if (c.y + 1 < height_) out.push_back(id_of({c.x, c.y + 1}));
+  return out;
+}
+
+std::string MeshTopology::describe() const {
+  std::ostringstream os;
+  os << width_ << "x" << height_ << " mesh (" << node_count() << " tiles)";
+  return os.str();
+}
+
+}  // namespace grinch::noc

@@ -1,0 +1,55 @@
+// 2-D mesh Network-on-Chip topology.
+//
+// The GRINCH MPSoC platform is "a tile-based structure comprising seven
+// processors, a shared cache L1 and I/O peripherals ... interconnected
+// through a mesh-based NoC that uses XY deterministic routing".  We model
+// the mesh as width x height tiles; tile ids are row-major.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace grinch::noc {
+
+/// Tile coordinate in the mesh.
+struct Coord {
+  unsigned x = 0;
+  unsigned y = 0;
+
+  friend constexpr bool operator==(const Coord&, const Coord&) = default;
+};
+
+using NodeId = unsigned;
+
+class MeshTopology {
+ public:
+  /// Throws std::invalid_argument for degenerate (0-sized) meshes.
+  MeshTopology(unsigned width, unsigned height);
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+  [[nodiscard]] unsigned height() const noexcept { return height_; }
+  [[nodiscard]] unsigned node_count() const noexcept {
+    return width_ * height_;
+  }
+
+  [[nodiscard]] Coord coord_of(NodeId id) const;
+  [[nodiscard]] NodeId id_of(Coord c) const;
+  [[nodiscard]] bool valid(NodeId id) const noexcept {
+    return id < node_count();
+  }
+
+  /// Manhattan distance between two tiles (the XY-route hop count).
+  [[nodiscard]] unsigned hop_distance(NodeId a, NodeId b) const;
+
+  /// Ids of the (2..4) mesh neighbours of `id`.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  unsigned width_;
+  unsigned height_;
+};
+
+}  // namespace grinch::noc

@@ -1,0 +1,95 @@
+#include "present/table_present.h"
+
+#include <vector>
+
+#include "present/present.h"
+#include "gift/permutation.h"
+#include "gift/sbox.h"
+
+namespace grinch::present {
+namespace {
+
+/// Key schedule identical to Present80's (see present.cpp); duplicated
+/// round-key extraction kept private there, so recompute here.
+std::vector<std::uint64_t> expand80(const Key128& key) {
+  std::uint16_t hi = static_cast<std::uint16_t>(key.hi & 0xFFFF);
+  std::uint64_t lo = key.lo;
+  std::vector<std::uint64_t> rks;
+  rks.reserve(32);
+  for (unsigned round = 1; round <= 32; ++round) {
+    rks.push_back((static_cast<std::uint64_t>(hi) << 48) | (lo >> 16));
+    const std::uint64_t new_lo = (lo >> 19) |
+                                 (static_cast<std::uint64_t>(hi) << 45) |
+                                 (lo << 61);
+    const auto new_hi = static_cast<std::uint16_t>((lo >> 3) & 0xFFFF);
+    lo = new_lo;
+    hi = new_hi;
+    const unsigned top = (hi >> 12) & 0xF;
+    hi = static_cast<std::uint16_t>((hi & 0x0FFF) |
+                                    (gift::present_sbox().apply(top) << 12));
+    lo ^= static_cast<std::uint64_t>(round) << 15;
+  }
+  return rks;
+}
+
+}  // namespace
+
+TablePresent80::TablePresent80(const gift::TableLayout& layout)
+    : layout_(layout) {
+  for (unsigned v = 0; v < 16; ++v)
+    sbox_table_[v] = static_cast<std::uint8_t>(gift::present_sbox().apply(v));
+  for (unsigned s = 0; s < 16; ++s)
+    for (unsigned v = 0; v < 16; ++v)
+      perm_table_[s][v] = gift::present_permutation().apply64(
+          static_cast<std::uint64_t>(v) << (4 * s));
+}
+
+std::uint64_t TablePresent80::encrypt_rounds(std::uint64_t plaintext,
+                                             const Key128& key,
+                                             unsigned rounds,
+                                             gift::TraceSink* sink) const {
+  const std::vector<std::uint64_t> rks = expand80(key);
+  std::uint64_t state = plaintext;
+  for (unsigned r = 0; r < rounds && r < Present80::kRounds; ++r) {
+    if (sink) sink->on_round_begin(r);
+    state ^= rks[r];
+
+    std::uint64_t substituted = 0;
+    for (unsigned s = 0; s < 16; ++s) {
+      const auto v = static_cast<unsigned>((state >> (4 * s)) & 0xF);
+      if (sink) {
+        sink->on_access(gift::TableAccess{layout_.sbox_row_addr(v),
+                                          gift::TableAccess::Kind::kSBox,
+                                          static_cast<std::uint8_t>(r),
+                                          static_cast<std::uint8_t>(s),
+                                          static_cast<std::uint8_t>(v)});
+      }
+      substituted |= static_cast<std::uint64_t>(sbox_table_[v]) << (4 * s);
+    }
+
+    std::uint64_t permuted = 0;
+    for (unsigned s = 0; s < 16; ++s) {
+      const auto v = static_cast<unsigned>((substituted >> (4 * s)) & 0xF);
+      if (sink) {
+        sink->on_access(gift::TableAccess{layout_.perm_row_addr(s, v),
+                                          gift::TableAccess::Kind::kPerm,
+                                          static_cast<std::uint8_t>(r),
+                                          static_cast<std::uint8_t>(s),
+                                          static_cast<std::uint8_t>(v)});
+      }
+      permuted |= perm_table_[s][v];
+    }
+    state = permuted;
+    if (sink) sink->on_round_end(r);
+  }
+  if (rounds >= Present80::kRounds) state ^= rks[Present80::kRounds];
+  return state;
+}
+
+std::uint64_t TablePresent80::encrypt(std::uint64_t plaintext,
+                                      const Key128& key,
+                                      gift::TraceSink* sink) const {
+  return encrypt_rounds(plaintext, key, Present80::kRounds, sink);
+}
+
+}  // namespace grinch::present

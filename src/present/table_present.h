@@ -1,0 +1,41 @@
+// Table-based (leaky) PRESENT-80 implementation.
+//
+// Extension target: demonstrates that the GRINCH observation pipeline
+// (instrumented LUT cipher -> cache simulation -> probe) generalises to
+// PRESENT, whose S-Box is likewise a 16-entry table.  Reuses the GIFT
+// trace-sink machinery so platforms and probers work unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "common/key128.h"
+#include "gift/table_gift.h"
+
+namespace grinch::present {
+
+/// Leaky LUT implementation of PRESENT-80 emitting gift::TableAccess
+/// events (kind kSBox for sBoxLayer, kPerm for the pLayer masks).
+class TablePresent80 {
+ public:
+  explicit TablePresent80(const gift::TableLayout& layout = gift::TableLayout{});
+
+  [[nodiscard]] const gift::TableLayout& layout() const noexcept {
+    return layout_;
+  }
+
+  [[nodiscard]] std::uint64_t encrypt(std::uint64_t plaintext,
+                                      const Key128& key,
+                                      gift::TraceSink* sink = nullptr) const;
+
+  [[nodiscard]] std::uint64_t encrypt_rounds(std::uint64_t plaintext,
+                                             const Key128& key,
+                                             unsigned rounds,
+                                             gift::TraceSink* sink) const;
+
+ private:
+  gift::TableLayout layout_;
+  std::uint8_t sbox_table_[16];
+  std::uint64_t perm_table_[16][16];
+};
+
+}  // namespace grinch::present

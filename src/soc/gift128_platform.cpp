@@ -1,0 +1,52 @@
+#include "soc/gift128_platform.h"
+
+namespace grinch::soc {
+
+Gift128DirectProbePlatform::Gift128DirectProbePlatform(
+    const Config& config, const Key128& victim_key)
+    : config_(config),
+      key_(victim_key),
+      cache_(config.cache),
+      cipher_(config.layout),
+      prober_(cache_, config.layout) {}
+
+std::vector<unsigned> Gift128DirectProbePlatform::index_line_ids() const {
+  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+}
+
+Observation Gift128DirectProbePlatform::observe(gift::State128 plaintext,
+                                                unsigned stage) {
+  // Collect the full access stream once, then replay rounds against the
+  // cache around the attacker's flush/probe points.
+  gift::VectorTraceSink sink;
+  const gift::State128 ct = cipher_.encrypt(plaintext, key_, &sink);
+  const unsigned per_round = gift::TableGift128::accesses_per_round();
+
+  auto replay_rounds = [&](unsigned from, unsigned to) {
+    for (std::size_t i = static_cast<std::size_t>(from) * per_round;
+         i < static_cast<std::size_t>(to) * per_round; ++i) {
+      (void)cache_.access(sink.accesses()[i].addr);
+    }
+  };
+
+  std::uint64_t attacker_cycles = 0;
+  if (!config_.use_flush) attacker_cycles += prober_.prepare();
+  replay_rounds(0, stage + 1);
+  if (config_.use_flush) attacker_cycles += prober_.prepare();
+
+  const unsigned probe_after = stage + 1 + config_.probing_round;
+  replay_rounds(stage + 1, probe_after);
+
+  const ProbeResult probe = prober_.probe();
+  Observation o;
+  o.present = probe.row_present;
+  o.probed_after_round = probe_after;
+  o.attacker_cycles = attacker_cycles + probe.cycles;
+  // The attacker reads the 128-bit ciphertext; fold it for the Observation
+  // field (the GIFT-128 attack verifies against the full value instead).
+  o.ciphertext = ct.hi ^ ct.lo;
+  last_ciphertext_ = ct;
+  return o;
+}
+
+}  // namespace grinch::soc

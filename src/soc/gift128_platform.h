@@ -1,0 +1,69 @@
+// Observation platform for the GIFT-128 attack extension.
+//
+// Same structure as DirectProbePlatform, for the 128-bit block variant:
+// the victim encrypts with the leaky TableGift128 against the shared
+// cache, the attacker flushes the monitored S-Box lines right before the
+// monitored round and reloads after it.  GIFT-128 uses the *same*
+// 16-entry S-Box table, so the prober machinery is reused unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "common/key128.h"
+#include "gift/table_gift128.h"
+#include "soc/platform.h"
+#include "soc/prober.h"
+
+namespace grinch::soc {
+
+/// A platform the GIFT-128 attack can drive.
+class ObservationSource128 {
+ public:
+  virtual ~ObservationSource128() = default;
+
+  /// One monitored encryption for attack stage `stage` (stage s monitors
+  /// cipher round s+1, exactly like the GIFT-64 semantics).
+  virtual Observation observe(gift::State128 plaintext, unsigned stage) = 0;
+
+  [[nodiscard]] virtual const gift::TableLayout& layout() const = 0;
+  [[nodiscard]] virtual std::vector<unsigned> index_line_ids() const = 0;
+
+  /// Full 128-bit ciphertext of the last observed encryption (the attack
+  /// verifies its recovered key against this).
+  [[nodiscard]] virtual gift::State128 last_ciphertext() const = 0;
+};
+
+class Gift128DirectProbePlatform final : public ObservationSource128 {
+ public:
+  struct Config {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    gift::TableLayout layout;
+    unsigned probing_round = 1;
+    bool use_flush = true;
+  };
+
+  Gift128DirectProbePlatform(const Config& config, const Key128& victim_key);
+
+  Observation observe(gift::State128 plaintext, unsigned stage) override;
+  [[nodiscard]] const gift::TableLayout& layout() const override {
+    return config_.layout;
+  }
+  [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+
+  [[nodiscard]] gift::State128 last_ciphertext() const override {
+    return last_ciphertext_;
+  }
+
+ private:
+  gift::State128 last_ciphertext_{};
+  Config config_;
+  Key128 key_;
+  cachesim::Cache cache_;
+  gift::TableGift128 cipher_;
+  FlushReloadProber prober_;
+};
+
+}  // namespace grinch::soc

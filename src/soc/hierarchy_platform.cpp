@@ -1,0 +1,72 @@
+#include "soc/hierarchy_platform.h"
+
+namespace grinch::soc {
+
+HierarchyPlatform::HierarchyPlatform(const Config& config,
+                                     const Key128& victim_key)
+    : config_(config),
+      key_(victim_key),
+      hierarchy_(config.hierarchy),
+      cipher_(config.layout) {}
+
+std::vector<unsigned> HierarchyPlatform::index_line_ids() const {
+  return compute_index_line_ids(config_.layout,
+                                config_.hierarchy.l1.line_bytes);
+}
+
+void HierarchyPlatform::flush_monitored() {
+  for (unsigned row = 0; row < config_.layout.sbox_rows(); ++row) {
+    const std::uint64_t addr =
+        config_.layout.sbox_base + row * config_.layout.sbox_row_bytes;
+    if (config_.flush == FlushCapability::kClflush) {
+      hierarchy_.flush_line(addr);  // invalidates every level
+    } else {
+      hierarchy_.l1().flush_line(addr);  // L2 copies survive
+    }
+  }
+}
+
+Observation HierarchyPlatform::observe(std::uint64_t plaintext,
+                                       unsigned stage) {
+  gift::VectorTraceSink sink;
+  const std::uint64_t ct = cipher_.encrypt(plaintext, key_, &sink);
+  const unsigned per_round = gift::TableGift64::accesses_per_round();
+
+  auto replay_rounds = [&](unsigned from, unsigned to) {
+    for (std::size_t i = static_cast<std::size_t>(from) * per_round;
+         i < static_cast<std::size_t>(to) * per_round; ++i) {
+      (void)hierarchy_.access(sink.accesses()[i].addr);
+    }
+  };
+
+  replay_rounds(0, stage + 1);
+  flush_monitored();
+  const unsigned probe_after = stage + 1 + config_.probing_round;
+  replay_rounds(stage + 1, probe_after);
+
+  // Reload in descending order (anti-prefetch hygiene, as in the flat
+  // prober); "present" = served from L1, i.e. latency at or below the
+  // L1/L2 midpoint.
+  const std::uint64_t threshold =
+      config_.hierarchy.l2
+          ? (config_.hierarchy.l1.hit_latency +
+             config_.hierarchy.l1.miss_latency +
+             config_.hierarchy.l2->hit_latency) /
+                2
+          : (config_.hierarchy.l1.hit_latency +
+             config_.hierarchy.l1.miss_latency) /
+                2;
+  Observation o;
+  o.present.assign(16, false);
+  o.probed_after_round = probe_after;
+  o.ciphertext = ct;
+  for (unsigned index = 16; index-- > 0;) {
+    const std::uint64_t addr = config_.layout.sbox_row_addr(index);
+    const auto r = hierarchy_.access(addr);
+    o.attacker_cycles += r.latency;
+    o.present[index] = r.latency <= threshold;
+  }
+  return o;
+}
+
+}  // namespace grinch::soc

@@ -1,0 +1,246 @@
+#include "soc/platform.h"
+
+#include <map>
+
+namespace grinch::soc {
+namespace {
+
+std::unique_ptr<CacheProber> make_prober(ProbeMethod method,
+                                         cachesim::Cache& cache,
+                                         const gift::TableLayout& layout) {
+  if (method == ProbeMethod::kPrimeProbe)
+    return std::make_unique<PrimeProbeProber>(cache, layout);
+  return std::make_unique<FlushReloadProber>(cache, layout);
+}
+
+Observation from_probe(const ProbeResult& probe, unsigned probed_after_round,
+                       std::uint64_t extra_cycles, std::uint64_t ciphertext) {
+  Observation o;
+  o.present = probe.row_present;
+  o.probed_after_round = probed_after_round;
+  o.attacker_cycles = probe.cycles + extra_cycles;
+  o.ciphertext = ciphertext;
+  return o;
+}
+
+}  // namespace
+
+std::vector<unsigned> compute_index_line_ids(const gift::TableLayout& layout,
+                                             unsigned line_bytes) {
+  std::vector<unsigned> ids(16);
+  std::map<std::uint64_t, unsigned> line_of_base;
+  for (unsigned i = 0; i < 16; ++i) {
+    const std::uint64_t base =
+        layout.sbox_row_addr(i) & ~std::uint64_t{line_bytes - 1};
+    const auto [it, inserted] =
+        line_of_base.emplace(base, static_cast<unsigned>(line_of_base.size()));
+    ids[i] = it->second;
+  }
+  return ids;
+}
+
+// --------------------------------------------------- DirectProbePlatform --
+
+DirectProbePlatform::DirectProbePlatform(const Config& config,
+                                         const Key128& victim_key)
+    : config_(config),
+      key_(victim_key),
+      cache_(config.cache),
+      cipher_(config.layout, config.round_key_provider),
+      prober_(make_prober(config.method, cache_, config.layout)),
+      noise_rng_(config.noise_seed) {}
+
+std::vector<unsigned> DirectProbePlatform::index_line_ids() const {
+  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+}
+
+void DirectProbePlatform::inject_noise() {
+  // Third-party traffic: addresses disjoint from the victim's tables but
+  // mapping onto the same sets, so heavy noise evicts monitored lines
+  // (false absents) without ever faking a presence.
+  constexpr std::uint64_t kNoiseBase = 0x100000;
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(config_.cache.line_bytes) *
+      config_.cache.num_sets * 64;  // 64 tags per set available
+  for (unsigned i = 0; i < config_.noise_accesses_per_round; ++i) {
+    (void)cache_.access(kNoiseBase + noise_rng_.uniform(span));
+  }
+}
+
+Observation DirectProbePlatform::observe(std::uint64_t plaintext,
+                                         unsigned stage) {
+  // A fresh encryption on a cache that still holds earlier encryptions'
+  // lines would leak nothing; like the paper's attacker, start each
+  // monitored encryption from an evicted state for the monitored lines.
+  VictimProcess victim{cipher_, cache_, config_.cost};
+  victim.begin_encryption(plaintext, key_);
+
+  std::uint64_t attacker_cycles = 0;
+  if (!config_.use_flush) {
+    // No flush during the encryption: the monitored lines start evicted
+    // (prepare before the run) and everything from round 0 on accumulates.
+    attacker_cycles += prober_->prepare();
+  }
+  // Rounds 0..stage run first (with per-round noise traffic).
+  while (victim.rounds_done() < stage + 1) {
+    victim.run_round();
+    inject_noise();
+  }
+  if (config_.use_flush) {
+    // The attacker flushes the monitored lines right before the monitored
+    // round stage+1.
+    attacker_cycles += prober_->prepare();
+  }
+
+  unsigned probe_after = stage + 1 + config_.probing_round;
+  if (config_.precise_probe) {
+    // §III-D precision probing: pause the victim right after the focused
+    // segment's S-Box access (the round's first 16 accesses are the
+    // S-Box lookups, in segment order) and probe mid-round.
+    victim.run_until_access(focus_ + 1);
+    probe_after = stage + 1;  // the monitored round is still in flight
+  } else {
+    while (victim.rounds_done() < probe_after && !victim.done()) {
+      victim.run_round();
+      inject_noise();
+    }
+  }
+
+  const ProbeResult probe = prober_->probe();
+  Observation o =
+      from_probe(probe, probe_after, attacker_cycles, victim.ciphertext());
+
+  if (config_.capture_trace && config_.use_flush &&
+      victim.rounds_done() >= stage + 2) {
+    // Extract the monitored round's S-Box hit/miss sequence from the
+    // victim's timed trace (power-analysis channel, paper ref [10]).
+    o.sbox_hits.assign(16, false);
+    for (const TimedAccess& t : victim.trace()) {
+      if (t.access.round == stage + 1 &&
+          t.access.kind == gift::TableAccess::Kind::kSBox) {
+        o.sbox_hits[t.access.segment] = t.hit;
+      }
+    }
+  }
+  return o;
+}
+
+// --------------------------------------------------------- SingleCoreSoC --
+
+SingleCoreSoC::SingleCoreSoC(const Config& config, const Key128& victim_key)
+    : config_(config),
+      key_(victim_key),
+      cache_(config.cache),
+      cipher_(config.layout),
+      scheduler_(config.rtos),
+      prober_(make_prober(config.method, cache_, config.layout)) {}
+
+std::vector<unsigned> SingleCoreSoC::index_line_ids() const {
+  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+}
+
+double SingleCoreSoC::measured_cycles_per_round() {
+  VictimProcess victim{cipher_, cache_, config_.cost};
+  victim.begin_encryption(0x0123456789ABCDEFull, key_);
+  victim.finish();
+  return victim.cycles_per_round();
+}
+
+unsigned SingleCoreSoC::first_probe_round() {
+  return scheduler_.probed_round(measured_cycles_per_round());
+}
+
+Observation SingleCoreSoC::observe(std::uint64_t plaintext, unsigned stage) {
+  (void)stage;  // the probe moment is dictated by the scheduler, not the stage
+  VictimProcess victim{cipher_, cache_, config_.cost};
+
+  std::uint64_t attacker_cycles = 0;
+  // The attacker's previous quantum ends just before the victim's next one
+  // begins; its last action is preparing the monitored lines (flush or
+  // prime).  With use_flush=false the prepare still runs once here —
+  // modelling an attacker that never flushes *during* the encryption.
+  attacker_cycles += prober_->prepare();
+
+  victim.begin_encryption(plaintext, key_);
+  // The victim owns the core for one quantum, then is preempted (possibly
+  // mid-round); the attacker probes at the start of its own quantum.
+  victim.run_until_cycle(scheduler_.config().quantum_cycles());
+
+  const ProbeResult probe = prober_->probe();
+  return from_probe(probe, victim.rounds_done(), attacker_cycles, victim.ciphertext());
+}
+
+// ----------------------------------------------------------------- MpSoc --
+
+MpSoc::MpSoc(const Config& config, const Key128& victim_key)
+    : config_(config),
+      key_(victim_key),
+      topology_(config.mesh_width, config.mesh_height),
+      network_(topology_, config.link),
+      cache_(config.cache),
+      cipher_(config.layout),
+      prober_(cache_, config.layout) {}
+
+std::vector<unsigned> MpSoc::index_line_ids() const {
+  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+}
+
+std::uint64_t MpSoc::remote_access_cycles() {
+  // Request packet to the cache tile, cache access, response packet back.
+  const std::uint64_t request = network_
+                                    .send(config_.attacker_tile,
+                                          config_.cache_tile,
+                                          config_.probe_payload_bytes)
+                                    .latency_cycles;
+  const std::uint64_t response = network_
+                                     .send(config_.cache_tile,
+                                           config_.attacker_tile,
+                                           config_.probe_payload_bytes)
+                                     .latency_cycles;
+  return request + cache_.config().hit_latency + response;
+}
+
+double MpSoc::remote_access_ns() {
+  return static_cast<double>(remote_access_cycles()) /
+         (config_.clock_mhz * 1e6) * 1e9;
+}
+
+std::uint64_t MpSoc::probe_sequence_cycles() {
+  const std::uint64_t per_op = remote_access_cycles();
+  // Flush every monitored line, then reload each (upper bound: all miss).
+  const std::uint64_t rows = config_.layout.sbox_rows();
+  return rows * per_op +
+         rows * (per_op + cache_.config().miss_latency);
+}
+
+unsigned MpSoc::first_probe_round() {
+  VictimProcess victim{cipher_, cache_, config_.cost};
+  victim.begin_encryption(0x0123456789ABCDEFull, key_);
+  victim.finish();
+  const double cpr = victim.cycles_per_round();
+  const auto probe = static_cast<double>(probe_sequence_cycles());
+  // The attacker runs concurrently on its own tile; its first probe
+  // completes after one probe sequence.
+  const auto completed = static_cast<unsigned>(probe / cpr);
+  return completed + 1;
+}
+
+Observation MpSoc::observe(std::uint64_t plaintext, unsigned stage) {
+  // With its own core, the attacker synchronises to round boundaries by
+  // continuous probing: flush right before the monitored round, probe
+  // right after it — the ideal probing-round-1 observation.
+  VictimProcess victim{cipher_, cache_, config_.cost};
+  victim.begin_encryption(plaintext, key_);
+  victim.run_until_round(stage + 1);
+
+  std::uint64_t attacker_cycles = prober_.prepare();
+  attacker_cycles +=
+      config_.layout.sbox_rows() * remote_access_cycles();  // NoC cost
+
+  victim.run_until_round(stage + 2);
+  ProbeResult probe = prober_.probe();
+  probe.cycles += 16 * remote_access_cycles();
+  return from_probe(probe, stage + 2, attacker_cycles, victim.ciphertext());
+}
+
+}  // namespace grinch::soc

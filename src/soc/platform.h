@@ -1,0 +1,236 @@
+// Hardware platforms the GRINCH attack runs against.
+//
+// Three observation sources, all producing the same Observation shape:
+//
+//  * DirectProbePlatform — the RTL-simulation setting of experiments 1-2
+//    (Fig. 3, Table I): the probe moment is a *parameter* ("cache probing
+//    round"), letting the harness sweep it cleanly.
+//  * SingleCoreSoC      — experiment 3's first platform: victim and
+//    attacker share one core under an RTOS quantum scheduler; the probe
+//    moment *emerges* from scheduling and clock frequency.
+//  * MpSoc              — experiment 3's second platform: a 3x3 mesh NoC
+//    with the attacker on its own tile probing the shared cache remotely;
+//    probing is limited only by NoC round-trips (~400 ns), so the probe
+//    lands in round 1.
+//
+// Probing-round semantics (documented also in DESIGN.md): "probing round
+// k" for an attack stage `s` (0-based; stage s monitors the S-Box
+// accesses of 0-based cipher round s+1) means the probe observes the
+// cache after cipher rounds 0 .. s+k have executed.  With flush enabled
+// the attacker flushes the monitored lines right before round s+1, so
+// the observation contains rounds s+1 .. s+k only; without it, "dirty"
+// accesses from all earlier rounds (including the key-independent round
+// 0) pollute the observation — exactly the Fig. 3 comparison.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "common/key128.h"
+#include "gift/table_gift.h"
+#include "noc/network.h"
+#include "soc/prober.h"
+#include "soc/scheduler.h"
+#include "soc/victim.h"
+
+namespace grinch::soc {
+
+/// Probing technique selector.
+enum class ProbeMethod : std::uint8_t { kFlushReload, kPrimeProbe };
+
+/// What one monitored encryption yielded to the attacker.
+struct Observation {
+  /// present[i]: the cache line holding S-Box index i was resident.
+  std::vector<bool> present;
+  /// Cipher rounds (0-based, exclusive) whose accesses the probe covers.
+  unsigned probed_after_round = 0;
+  /// Attacker cycles spent preparing + probing.
+  std::uint64_t attacker_cycles = 0;
+  /// Ciphertext of the monitored encryption (the victim publishes it once
+  /// the encryption completes; the attack uses it to self-verify the
+  /// recovered key).
+  std::uint64_t ciphertext = 0;
+  /// Trace-driven channel (paper's taxonomy, ref [10]: hits/misses are
+  /// visible in the power trace): per monitored-round S-Box access
+  /// (segment order), whether it HIT.  Empty when the platform does not
+  /// capture traces.  Only meaningful with an attacker flush before the
+  /// monitored round.
+  std::vector<bool> sbox_hits;
+};
+
+/// A platform the attack can drive: one monitored encryption per call.
+class ObservationSource {
+ public:
+  virtual ~ObservationSource() = default;
+
+  /// Runs one victim encryption of `plaintext` and returns the probe
+  /// observation for attack stage `stage` (see header comment).
+  virtual Observation observe(std::uint64_t plaintext, unsigned stage) = 0;
+
+  /// Hints which segment the attacker currently targets; platforms with
+  /// precision probing (§III-D "Cache Probing Precision") time their
+  /// probe right after that segment's S-Box access.  Default: ignored.
+  virtual void focus_segment(unsigned segment) { (void)segment; }
+
+  /// Table layout of the victim (the attack maps indices to lines).
+  [[nodiscard]] virtual const gift::TableLayout& layout() const = 0;
+
+  /// line_id[i] = opaque id of the cache line holding S-Box index i.
+  /// Indices with equal ids are indistinguishable to the prober.
+  [[nodiscard]] virtual std::vector<unsigned> index_line_ids() const = 0;
+};
+
+/// Computes index->line ids for a layout under a given line size.
+[[nodiscard]] std::vector<unsigned> compute_index_line_ids(
+    const gift::TableLayout& layout, unsigned line_bytes);
+
+// ------------------------------------------------------------------------
+
+/// RTL-simulation style platform with a parameterised probe moment.
+class DirectProbePlatform final : public ObservationSource {
+ public:
+  struct Config {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    gift::TableLayout layout;
+    VictimCostModel cost;  ///< unit-scale costs; timing is not the point here
+    unsigned probing_round = 1;  ///< k in the semantics above (>= 1)
+    bool use_flush = true;
+    ProbeMethod method = ProbeMethod::kFlushReload;
+    /// Victim round-key derivation; null = standard GIFT schedule.  The
+    /// hardened-UpdateKey countermeasure substitutes its provider here.
+    gift::TableGift64::RoundKeyProvider round_key_provider;
+    /// §III-D precision probing: probe immediately after the *focused*
+    /// segment's S-Box access inside the monitored round, instead of at a
+    /// round boundary.  Overrides probing_round.
+    bool precise_probe = false;
+    /// Trace-driven channel: also report the monitored round's per-access
+    /// hit/miss sequence (models the power side-channel of the paper's
+    /// ref [10]).  Requires use_flush.
+    bool capture_trace = false;
+    /// Noise model: random third-party accesses injected per executed
+    /// victim round (address space disjoint from the tables but aliasing
+    /// the monitored sets — evicts lines, never fakes them).
+    unsigned noise_accesses_per_round = 0;
+    std::uint64_t noise_seed = 0xA05E;
+  };
+
+  DirectProbePlatform(const Config& config, const Key128& victim_key);
+
+  Observation observe(std::uint64_t plaintext, unsigned stage) override;
+  void focus_segment(unsigned segment) override { focus_ = segment & 0xF; }
+  [[nodiscard]] const gift::TableLayout& layout() const override {
+    return config_.layout;
+  }
+  [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+
+  [[nodiscard]] cachesim::Cache& cache() noexcept { return cache_; }
+  [[nodiscard]] const Key128& victim_key() const noexcept { return key_; }
+
+ private:
+  /// Injects the configured per-round noise traffic into the cache.
+  void inject_noise();
+
+  Config config_;
+  Key128 key_;
+  cachesim::Cache cache_;
+  gift::TableGift64 cipher_;
+  std::unique_ptr<CacheProber> prober_;
+  Xoshiro256 noise_rng_;
+  unsigned focus_ = 0;
+};
+
+// ------------------------------------------------------------------------
+
+/// Single-core SoC: victim + attacker share the core under the RTOS.
+class SingleCoreSoC final : public ObservationSource {
+ public:
+  struct Config {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    gift::TableLayout layout;
+    RtosConfig rtos;
+    VictimCostModel cost = VictimCostModel::paper_calibrated();
+    bool use_flush = true;
+    ProbeMethod method = ProbeMethod::kFlushReload;
+  };
+
+  SingleCoreSoC(const Config& config, const Key128& victim_key);
+
+  /// 1-based cipher round in progress at the attacker's first quantum —
+  /// the "attack efficiency (rounds)" number of Table II.
+  [[nodiscard]] unsigned first_probe_round();
+
+  Observation observe(std::uint64_t plaintext, unsigned stage) override;
+  [[nodiscard]] const gift::TableLayout& layout() const override {
+    return config_.layout;
+  }
+  [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+
+  [[nodiscard]] double measured_cycles_per_round();
+
+ private:
+  Config config_;
+  Key128 key_;
+  cachesim::Cache cache_;
+  gift::TableGift64 cipher_;
+  RtosScheduler scheduler_;
+  std::unique_ptr<CacheProber> prober_;
+};
+
+// ------------------------------------------------------------------------
+
+/// Tile-based MPSoC: 3x3 mesh, victim / attacker / shared-cache tiles.
+class MpSoc final : public ObservationSource {
+ public:
+  struct Config {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    gift::TableLayout layout;
+    VictimCostModel cost = VictimCostModel::paper_calibrated();
+    noc::LinkTiming link;
+    double clock_mhz = 50.0;
+    unsigned mesh_width = 3;
+    unsigned mesh_height = 3;
+    noc::NodeId victim_tile = 0;
+    noc::NodeId attacker_tile = 2;
+    noc::NodeId cache_tile = 4;  ///< centre of the 3x3 mesh
+    unsigned probe_payload_bytes = 8;
+  };
+
+  MpSoc(const Config& config, const Key128& victim_key);
+
+  /// Cycles for one attacker remote cache operation (request + response
+  /// NoC traversal + cache access) — ~400 ns at 50 MHz in the paper.
+  [[nodiscard]] std::uint64_t remote_access_cycles();
+
+  /// Wall-clock nanoseconds of remote_access_cycles() at the configured
+  /// clock.
+  [[nodiscard]] double remote_access_ns();
+
+  /// One full probe sequence (flush all monitored lines, reload all).
+  [[nodiscard]] std::uint64_t probe_sequence_cycles();
+
+  /// 1-based cipher round in progress when the attacker completes its
+  /// first probe after encryption start — round 1 whenever the probe
+  /// sequence is faster than a round (Table II's MPSoC row).
+  [[nodiscard]] unsigned first_probe_round();
+
+  Observation observe(std::uint64_t plaintext, unsigned stage) override;
+  [[nodiscard]] const gift::TableLayout& layout() const override {
+    return config_.layout;
+  }
+  [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+
+  [[nodiscard]] noc::Network& network() noexcept { return network_; }
+
+ private:
+  Config config_;
+  Key128 key_;
+  noc::MeshTopology topology_;
+  noc::Network network_;
+  cachesim::Cache cache_;
+  gift::TableGift64 cipher_;
+  FlushReloadProber prober_;
+};
+
+}  // namespace grinch::soc

@@ -1,0 +1,40 @@
+#include "soc/present_platform.h"
+
+namespace grinch::soc {
+
+Present80DirectProbePlatform::Present80DirectProbePlatform(
+    const Config& config, const Key128& victim_key)
+    : config_(config),
+      key_(victim_key),
+      cache_(config.cache),
+      cipher_(config.layout),
+      prober_(cache_, config.layout) {}
+
+std::vector<unsigned> Present80DirectProbePlatform::index_line_ids() const {
+  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+}
+
+Observation Present80DirectProbePlatform::observe(std::uint64_t plaintext) {
+  gift::VectorTraceSink sink;
+  last_ciphertext_ = cipher_.encrypt(plaintext, key_, &sink);
+
+  std::uint64_t attacker_cycles = prober_.prepare();  // flush at start
+  const unsigned per_round = 32;
+  const unsigned rounds = config_.probing_round;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(rounds) * per_round &&
+       i < sink.accesses().size();
+       ++i) {
+    (void)cache_.access(sink.accesses()[i].addr);
+  }
+
+  const ProbeResult probe = prober_.probe();
+  Observation o;
+  o.present = probe.row_present;
+  o.probed_after_round = rounds;
+  o.attacker_cycles = attacker_cycles + probe.cycles;
+  o.ciphertext = last_ciphertext_;
+  return o;
+}
+
+}  // namespace grinch::soc

@@ -1,0 +1,56 @@
+// Observation platform for the PRESENT-80 attack extension.
+//
+// PRESENT shares GIFT's table-based implementation style and its 16-entry
+// S-Box size, so the same Flush+Reload prober monitors it.  Unlike GIFT,
+// PRESENT XORs the round key *before* the S-Box layer, so the very first
+// round's lookup indices are key-dependent — the attacker monitors round
+// 0 directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "common/key128.h"
+#include "present/table_present.h"
+#include "soc/platform.h"
+#include "soc/prober.h"
+
+namespace grinch::soc {
+
+class Present80DirectProbePlatform {
+ public:
+  struct Config {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    gift::TableLayout layout;
+    unsigned probing_round = 1;  ///< rounds of accesses the probe covers
+    bool use_flush = true;
+  };
+
+  /// `victim_key`: 80-bit key in the low bits of a Key128.
+  Present80DirectProbePlatform(const Config& config, const Key128& victim_key);
+
+  /// One monitored encryption; the probe covers the S-Box accesses of
+  /// cipher rounds [0, probing_round).
+  Observation observe(std::uint64_t plaintext);
+
+  [[nodiscard]] const gift::TableLayout& layout() const noexcept {
+    return config_.layout;
+  }
+  [[nodiscard]] std::vector<unsigned> index_line_ids() const;
+
+  /// Ciphertext of the last observed encryption.
+  [[nodiscard]] std::uint64_t last_ciphertext() const noexcept {
+    return last_ciphertext_;
+  }
+
+ private:
+  Config config_;
+  Key128 key_;
+  cachesim::Cache cache_;
+  present::TablePresent80 cipher_;
+  FlushReloadProber prober_;
+  std::uint64_t last_ciphertext_ = 0;
+};
+
+}  // namespace grinch::soc

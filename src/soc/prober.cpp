@@ -1,0 +1,117 @@
+#include "soc/prober.h"
+
+#include <map>
+#include <set>
+
+namespace grinch::soc {
+namespace {
+
+std::uint64_t hit_threshold(const cachesim::Cache& cache) {
+  // Anything strictly faster than a miss is a hit; the midpoint keeps the
+  // comparison robust if hierarchies add intermediate latencies.
+  return (cache.config().hit_latency + cache.config().miss_latency) / 2;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- Flush+Reload --
+
+FlushReloadProber::FlushReloadProber(cachesim::Cache& cache,
+                                     const gift::TableLayout& layout)
+    : cache_(&cache), layout_(layout), threshold_(hit_threshold(cache)) {}
+
+std::uint64_t FlushReloadProber::prepare() {
+  std::uint64_t cycles = 0;
+  for (unsigned row = 0; row < layout_.sbox_rows(); ++row) {
+    cache_->flush_line(layout_.sbox_base + row * layout_.sbox_row_bytes);
+    cycles += cache_->config().flush_latency;
+  }
+  return cycles;
+}
+
+ProbeResult FlushReloadProber::probe() {
+  ProbeResult result;
+  result.row_present.assign(16, false);
+  // One timed reload per distinct cache *line* (rows can share a line when
+  // line_bytes > row_bytes; a second access to the same line would always
+  // hit and corrupt the measurement), then fan the verdict out to every
+  // index whose row lives on that line.  Reloads run in DESCENDING address
+  // order — the classic counter-measure against sequential prefetchers,
+  // whose forward next-line fetches would otherwise make every later
+  // reload a false hit.
+  std::map<std::uint64_t, bool> line_present;
+  for (unsigned index = 16; index-- > 0;) {
+    const std::uint64_t addr = layout_.sbox_row_addr(index);
+    const std::uint64_t base = cache_->line_base(addr);
+    const auto it = line_present.find(base);
+    if (it == line_present.end()) {
+      const cachesim::AccessResult r = cache_->access(addr);
+      result.cycles += r.latency;
+      line_present[base] = r.latency <= threshold_;
+    }
+    result.row_present[index] = line_present[base];
+  }
+  return result;
+}
+
+// -------------------------------------------------------- Prime+Probe --
+
+PrimeProbeProber::PrimeProbeProber(cachesim::Cache& cache,
+                                   const gift::TableLayout& layout,
+                                   std::uint64_t attacker_base)
+    : cache_(&cache),
+      layout_(layout),
+      attacker_base_(attacker_base),
+      threshold_(hit_threshold(cache)) {}
+
+std::uint64_t PrimeProbeProber::prime_addr(unsigned row, unsigned way) const {
+  // An address that maps to the same set as the monitored row but with a
+  // distinct tag per way: offset by whole cache strides.
+  const std::uint64_t row_addr =
+      layout_.sbox_base + row * layout_.sbox_row_bytes;
+  const std::uint64_t stride = static_cast<std::uint64_t>(
+      cache_->config().line_bytes) * cache_->config().num_sets;
+  return attacker_base_ + (row_addr % stride) + way * stride;
+}
+
+std::uint64_t PrimeProbeProber::prepare() {
+  std::uint64_t cycles = 0;
+  std::set<std::uint64_t> primed_sets;
+  for (unsigned row = 0; row < layout_.sbox_rows(); ++row) {
+    const std::uint64_t set = cache_->set_index(
+        layout_.sbox_base + row * layout_.sbox_row_bytes);
+    if (!primed_sets.insert(set).second) continue;  // set already primed
+    for (unsigned way = 0; way < cache_->config().associativity; ++way) {
+      cycles += cache_->access(prime_addr(row, way)).latency;
+    }
+  }
+  return cycles;
+}
+
+ProbeResult PrimeProbeProber::probe() {
+  ProbeResult result;
+  result.row_present.assign(16, false);
+  // Determine once per monitored *set* whether it lost a primed line,
+  // then report every index whose row maps to a touched set —
+  // Prime+Probe resolves sets, not tags.
+  std::map<std::uint64_t, bool> set_touched;
+  for (unsigned index = 0; index < 16; ++index) {
+    const unsigned row = index / layout_.sbox_entries_per_row;
+    const std::uint64_t set = cache_->set_index(
+        layout_.sbox_base + row * layout_.sbox_row_bytes);
+    const auto it = set_touched.find(set);
+    if (it == set_touched.end()) {
+      bool touched = false;
+      for (unsigned way = 0; way < cache_->config().associativity; ++way) {
+        const cachesim::AccessResult r = cache_->access(prime_addr(row, way));
+        result.cycles += r.latency;
+        if (r.latency > threshold_) touched = true;
+      }
+      set_touched[set] = touched;
+    }
+    result.row_present[index] = set_touched[set];
+  }
+  return result;
+}
+
+}  // namespace grinch::soc

@@ -1,0 +1,42 @@
+#include "soc/scheduler.h"
+
+#include <cmath>
+
+namespace grinch::soc {
+
+std::uint64_t RtosScheduler::attacker_slot_begin(unsigned n) const noexcept {
+  const std::uint64_t q = config_.quantum_cycles();
+  const unsigned tasks_per_rotation = 2 + config_.other_tasks;
+  // Rotation n: victim, others..., attacker.
+  return (static_cast<std::uint64_t>(n) * tasks_per_rotation +
+          (1 + config_.other_tasks)) *
+         q;
+}
+
+unsigned RtosScheduler::probed_round(double victim_cycles_per_round,
+                                     unsigned total_rounds) const noexcept {
+  // Victim CPU time before the attacker's first probe: exactly one victim
+  // quantum (the victim leads the rotation).
+  const double victim_time = static_cast<double>(config_.quantum_cycles());
+  const auto completed = static_cast<unsigned>(
+      std::floor(victim_time / victim_cycles_per_round));
+  const unsigned in_progress = completed + 1;  // 1-based round being executed
+  return in_progress > total_rounds ? total_rounds : in_progress;
+}
+
+std::vector<Slice> RtosScheduler::timeline(unsigned rotations) const {
+  const std::uint64_t q = config_.quantum_cycles();
+  const unsigned tasks = 2 + config_.other_tasks;
+  std::vector<Slice> out;
+  out.reserve(static_cast<std::size_t>(rotations) * tasks);
+  std::uint64_t t = 0;
+  for (unsigned r = 0; r < rotations; ++r) {
+    for (unsigned task = 0; task < tasks; ++task) {
+      out.push_back(Slice{task, t, t + q});
+      t += q;
+    }
+  }
+  return out;
+}
+
+}  // namespace grinch::soc

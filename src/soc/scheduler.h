@@ -1,0 +1,61 @@
+// RTOS-style quantum scheduler model.
+//
+// The paper's single-processor SoC runs victim and attacker under an RTOS
+// with a 10 ms quantum (§IV-A3).  The attacker can only probe during its
+// own quantum, so the *probing round* — the cipher round in progress when
+// the probe lands — is a function of clock frequency and per-round cost:
+// the faster the clock, the more rounds fit into the victim's quantum and
+// the later (in rounds) the probe lands.  This is the mechanism behind
+// Table II's SoC row (rounds 2/4/8 at 10/25/50 MHz).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace grinch::soc {
+
+struct RtosConfig {
+  double quantum_ms = 10.0;  ///< RTOS time slice (the paper's RTOS default)
+  double clock_mhz = 50.0;   ///< core clock
+  unsigned other_tasks = 0;  ///< tasks scheduled between victim & attacker
+
+  [[nodiscard]] std::uint64_t quantum_cycles() const noexcept {
+    return static_cast<std::uint64_t>(quantum_ms * 1e-3 * clock_mhz * 1e6);
+  }
+};
+
+/// One scheduled slice on the timeline.
+struct Slice {
+  unsigned task = 0;  ///< 0 = victim, 1.. = others, last = attacker
+  std::uint64_t begin_cycle = 0;
+  std::uint64_t end_cycle = 0;
+};
+
+/// Round-robin quantum scheduler for the single-core SoC.
+class RtosScheduler {
+ public:
+  explicit RtosScheduler(const RtosConfig& config) : config_(config) {}
+
+  [[nodiscard]] const RtosConfig& config() const noexcept { return config_; }
+
+  /// Cycle at which the attacker's n-th quantum begins (n = 0 is the
+  /// first).  The victim runs first, then `other_tasks`, then the
+  /// attacker; each task gets one quantum per rotation.
+  [[nodiscard]] std::uint64_t attacker_slot_begin(unsigned n) const noexcept;
+
+  /// 1-based cipher round in progress at the attacker's first probe,
+  /// given the victim's per-round cost.  Saturates at `total_rounds`.
+  /// The victim only runs during its own quanta, so victim-progress time
+  /// excludes other tasks' slices.
+  [[nodiscard]] unsigned probed_round(double victim_cycles_per_round,
+                                      unsigned total_rounds = 28)
+      const noexcept;
+
+  /// Explicit timeline of the first `rotations` scheduling rotations.
+  [[nodiscard]] std::vector<Slice> timeline(unsigned rotations) const;
+
+ private:
+  RtosConfig config_;
+};
+
+}  // namespace grinch::soc

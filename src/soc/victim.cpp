@@ -1,0 +1,86 @@
+#include "soc/victim.h"
+
+#include <cassert>
+
+namespace grinch::soc {
+
+VictimProcess::VictimProcess(const gift::TableGift64& cipher,
+                             cachesim::Cache& cache,
+                             const VictimCostModel& cost)
+    : cipher_(&cipher), cache_(&cache), cost_(cost) {}
+
+void VictimProcess::begin_encryption(std::uint64_t plaintext,
+                                     const Key128& key,
+                                     std::uint64_t start_cycle) {
+  key_ = key;
+  round_ = 0;
+  pos_ = 0;
+  cycle_ = start_cycle;
+  start_cycle_ = start_cycle;
+  trace_.clear();
+  // Precompute the full logical access stream (it depends only on the
+  // plaintext/key, never on cache state); the platform then replays it
+  // against the cache with timing as it advances the victim.
+  pending_.clear();
+  gift::VectorTraceSink sink;
+  state_ = cipher_->encrypt(plaintext, key, &sink);
+  pending_ = sink.accesses();
+}
+
+unsigned VictimProcess::accesses_into_round() const noexcept {
+  return static_cast<unsigned>(
+      pos_ - static_cast<std::size_t>(round_) *
+                 gift::TableGift64::accesses_per_round());
+}
+
+void VictimProcess::step() {
+  assert(!done());
+  const unsigned per_round = gift::TableGift64::accesses_per_round();
+  if (accesses_into_round() < per_round) {
+    const gift::TableAccess& a = pending_[pos_];
+    cycle_ += cost_.cycles_per_access_setup;
+    const cachesim::AccessResult r = cache_->access(a.addr);
+    cycle_ += r.latency;
+    trace_.push_back(TimedAccess{cycle_, a, r.hit});
+    ++pos_;
+  }
+  if (accesses_into_round() == per_round) {
+    cycle_ += cost_.cycles_round_tail + cost_.cycles_round_overhead;
+    ++round_;
+  }
+}
+
+std::uint64_t VictimProcess::run_round() {
+  const unsigned target = round_ + 1;
+  while (!done() && round_ < target) step();
+  return cycle_;
+}
+
+std::uint64_t VictimProcess::run_until_round(unsigned rounds) {
+  while (!done() && round_ < rounds) step();
+  return cycle_;
+}
+
+std::uint64_t VictimProcess::run_until_cycle(std::uint64_t limit) {
+  while (!done() && cycle_ < limit) step();
+  return cycle_;
+}
+
+std::uint64_t VictimProcess::run_until_access(unsigned count) {
+  const unsigned per_round = gift::TableGift64::accesses_per_round();
+  if (count >= per_round) return run_round();  // whole round requested
+  while (!done() && accesses_into_round() < count) step();
+  return cycle_;
+}
+
+std::uint64_t VictimProcess::finish() {
+  run_until_round(gift::Gift64::kRounds);
+  return state_;
+}
+
+double VictimProcess::cycles_per_round() const noexcept {
+  if (round_ == 0) return 0.0;
+  return static_cast<double>(cycle_ - start_cycle_) / round_;
+}
+
+}  // namespace grinch::soc

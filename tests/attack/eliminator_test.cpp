@@ -1,0 +1,140 @@
+#include "attack/eliminator.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::attack {
+namespace {
+
+std::vector<bool> presence(std::initializer_list<unsigned> present_indices) {
+  std::vector<bool> p(16, false);
+  for (unsigned i : present_indices) p[i] = true;
+  return p;
+}
+
+TEST(CandidateSet, StartsFull) {
+  CandidateSet set;
+  EXPECT_EQ(set.size(), 4u);
+  for (unsigned c = 0; c < 4; ++c) EXPECT_TRUE(set.contains(c));
+  EXPECT_FALSE(set.resolved());
+}
+
+TEST(CandidateSet, RemoveAndResolve) {
+  CandidateSet set;
+  set.remove(0);
+  set.remove(1);
+  set.remove(3);
+  EXPECT_TRUE(set.resolved());
+  EXPECT_EQ(set.value(), 2u);
+}
+
+TEST(CandidateSet, ResetRestoresAll) {
+  CandidateSet set;
+  set.remove(2);
+  set.reset();
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(Eliminate, AbsentLineRemovesCandidate) {
+  CandidateSet set;
+  // n = 0: candidate c predicts index c.  Indices 0 and 1 present.
+  const unsigned removed = eliminate_candidates(set, 0, presence({0, 1}));
+  EXPECT_EQ(removed, 2u);
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_FALSE(set.contains(3));
+}
+
+TEST(Eliminate, FullPresenceRemovesNothing) {
+  CandidateSet set;
+  std::vector<bool> all(16, true);
+  EXPECT_EQ(eliminate_candidates(set, 7, all), 0u);
+  EXPECT_EQ(set.size(), 4u);
+}
+
+TEST(Eliminate, PreKeyNibbleShiftsThePredictedIndices) {
+  CandidateSet set;
+  // n = 0xA: candidates predict 0xA^{0..3} = A,B,8,9.  Only 0x8 present.
+  (void)eliminate_candidates(set, 0xA, presence({0x8}));
+  EXPECT_TRUE(set.resolved());
+  EXPECT_EQ(set.value(), 2u);  // 0xA ^ 2 = 0x8
+}
+
+TEST(Eliminate, EmptyingObservationTriggersNoiseReset) {
+  CandidateSet set;
+  unsigned restarts = 0;
+  const unsigned removed =
+      eliminate_candidates(set, 0, presence({0xF}), &restarts);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(restarts, 1u);
+  EXPECT_EQ(set.size(), 4u);  // reset to full
+}
+
+TEST(Eliminate, SequentialObservationsConverge) {
+  CandidateSet set;
+  (void)eliminate_candidates(set, 0x5, presence({0x5, 0x4, 0x9}));
+  // 0x5^c present for c=0 (0x5) and c=1 (0x4); c=2 (0x7), c=3 (0x6) gone.
+  EXPECT_EQ(set.size(), 2u);
+  (void)eliminate_candidates(set, 0x3, presence({0x3, 0x8}));
+  // survivors c=0 -> 0x3 present; c=1 -> 0x2 absent.
+  EXPECT_TRUE(set.resolved());
+  EXPECT_EQ(set.value(), 0u);
+}
+
+TEST(Helpers, AllResolvedAndAmbiguity) {
+  std::array<CandidateSet, 16> masks{};
+  EXPECT_FALSE(all_resolved(masks));
+  EXPECT_EQ(ambiguity(masks), 1ull << 32);  // 4^16
+  for (auto& m : masks) {
+    m.remove(1);
+    m.remove(2);
+    m.remove(3);
+  }
+  EXPECT_TRUE(all_resolved(masks));
+  EXPECT_EQ(ambiguity(masks), 1u);
+}
+
+TEST(Helpers, RoundKeyFromMasksEncodesUv) {
+  std::array<CandidateSet, 16> masks{};
+  for (unsigned s = 0; s < 16; ++s) {
+    // Keep only candidate c = (s % 4): u = c>>1, v = c&1.
+    for (unsigned c = 0; c < 4; ++c) {
+      if (c != (s % 4)) masks[s].remove(c);
+    }
+  }
+  const gift::RoundKey64 rk = round_key_from(masks);
+  for (unsigned s = 0; s < 16; ++s) {
+    EXPECT_EQ((rk.u >> s) & 1u, (s % 4) >> 1);
+    EXPECT_EQ((rk.v >> s) & 1u, (s % 4) & 1u);
+  }
+}
+
+TEST(EliminatorClass, TracksRestartsAndResolution) {
+  CandidateEliminator e;
+  EXPECT_FALSE(e.all_resolved());
+  (void)e.update_segment(0, 0, presence({0}));
+  EXPECT_TRUE(e.resolved(0));
+  (void)e.update_segment(1, 0, presence({0xF}));  // noise
+  EXPECT_EQ(e.restarts(), 1u);
+  e.reset();
+  EXPECT_EQ(e.restarts(), 0u);
+  EXPECT_FALSE(e.resolved(0));
+}
+
+TEST(EliminatorClass, UpdateAllCoversEverySegment) {
+  CandidateEliminator e;
+  std::array<unsigned, 16> nibbles{};
+  for (unsigned s = 0; s < 16; ++s) nibbles[s] = s;
+  // Only index 0..3 present: segment s keeps candidates with s^c <= 3.
+  (void)e.update_all(nibbles, presence({0, 1, 2, 3}));
+  for (unsigned s = 0; s < 4; ++s) EXPECT_EQ(e.candidates(s).size(), 4u);
+  for (unsigned s = 4; s < 16; ++s) {
+    // predicted indices s^c stay in s's own 4-aligned block, all absent
+    // => noise reset back to 4.
+    EXPECT_EQ(e.candidates(s).size(), 4u);
+  }
+  EXPECT_EQ(e.restarts(), 12u);
+}
+
+}  // namespace
+}  // namespace grinch::attack

@@ -1,0 +1,89 @@
+#include "attack/key_recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gift/gift64.h"
+
+namespace grinch::attack {
+namespace {
+
+TEST(ReverseEngineer, PinnedRuleInvertsLowBits) {
+  // Paper Step 4: with both pre-key bits pinned to 1,
+  // Key[i] <- NOT Index[a] and Key[j] <- NOT Index[b].
+  for (unsigned index = 0; index < 16; ++index) {
+    const unsigned c = reverse_engineer_pinned(index);
+    EXPECT_EQ(c & 1u, 1u ^ (index & 1u));          // v
+    EXPECT_EQ((c >> 1) & 1u, 1u ^ ((index >> 1) & 1u));  // u
+  }
+}
+
+TEST(ReverseEngineer, GeneralRuleReducesToPinnedWhenBitsAreOne) {
+  for (unsigned index = 0; index < 16; ++index) {
+    // Pre-key nibble with low bits 11 (any high bits).
+    for (unsigned high : {0x0u, 0x4u, 0x8u, 0xCu}) {
+      const unsigned n = high | 0x3;
+      EXPECT_EQ(reverse_engineer(n, index), reverse_engineer_pinned(index));
+    }
+  }
+}
+
+TEST(ReverseEngineer, GeneralRuleRecoversInjectedKeyBits) {
+  Xoshiro256 rng{1};
+  for (int i = 0; i < 100; ++i) {
+    const unsigned n = rng.nibble();
+    const unsigned c = static_cast<unsigned>(rng.uniform(4));
+    const unsigned index = n ^ c;
+    EXPECT_EQ(reverse_engineer(n, index), c);
+  }
+}
+
+TEST(Assemble, RoundTripsThroughTheKeySchedule) {
+  // Extract the four real round keys from a random master key; assembling
+  // them must reproduce the master key exactly.
+  Xoshiro256 rng{2};
+  for (int i = 0; i < 50; ++i) {
+    const Key128 key = rng.key128();
+    const gift::KeySchedule sched{key, 4};
+    std::vector<gift::RoundKey64> rks;
+    for (unsigned r = 0; r < 4; ++r) rks.push_back(sched.round_key64(r));
+    EXPECT_EQ(assemble_master_key(rks), key);
+  }
+}
+
+TEST(Assemble, EachRoundKeyBitMapsToDistinctMasterBit) {
+  // Flipping any single round-key bit flips exactly one master-key bit.
+  Xoshiro256 rng{3};
+  const Key128 key = rng.key128();
+  const gift::KeySchedule sched{key, 4};
+  std::vector<gift::RoundKey64> rks;
+  for (unsigned r = 0; r < 4; ++r) rks.push_back(sched.round_key64(r));
+  const Key128 base = assemble_master_key(rks);
+
+  for (unsigned r = 0; r < 4; ++r) {
+    for (unsigned i = 0; i < 16; ++i) {
+      auto mod = rks;
+      mod[r].u ^= static_cast<std::uint16_t>(1u << i);
+      const Key128 changed = assemble_master_key(mod);
+      const Key128 diff = changed ^ base;
+      unsigned ones = 0;
+      for (unsigned b = 0; b < 128; ++b) ones += diff.bit(b);
+      EXPECT_EQ(ones, 1u) << "round " << r << " u-bit " << i;
+    }
+  }
+}
+
+TEST(Assemble, RecoveredKeyEncryptsCorrectly) {
+  Xoshiro256 rng{4};
+  const Key128 key = rng.key128();
+  const gift::KeySchedule sched{key, 4};
+  std::vector<gift::RoundKey64> rks;
+  for (unsigned r = 0; r < 4; ++r) rks.push_back(sched.round_key64(r));
+  const Key128 recovered = assemble_master_key(rks);
+  const std::uint64_t pt = rng.block64();
+  EXPECT_EQ(gift::Gift64::encrypt(pt, recovered),
+            gift::Gift64::encrypt(pt, key));
+}
+
+}  // namespace
+}  // namespace grinch::attack

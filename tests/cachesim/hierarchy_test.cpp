@@ -1,0 +1,95 @@
+#include "cachesim/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::cachesim {
+namespace {
+
+HierarchyConfig two_level() {
+  HierarchyConfig h;
+  h.l1.line_bytes = 4;
+  h.l1.num_sets = 4;
+  h.l1.associativity = 2;
+  h.l1.hit_latency = 1;
+  h.l1.miss_latency = 10;
+  CacheConfig l2;
+  l2.line_bytes = 4;
+  l2.num_sets = 16;
+  l2.associativity = 4;
+  l2.hit_latency = 8;
+  l2.miss_latency = 30;
+  h.l2 = l2;
+  h.dram_latency = 100;
+  return h;
+}
+
+TEST(Hierarchy, ColdAccessGoesToDram) {
+  CacheHierarchy h{two_level()};
+  const auto r = h.access(0x100);
+  EXPECT_EQ(r.level, HitLevel::kDram);
+  // L1 miss (10) + L2 miss (30) + DRAM (100).
+  EXPECT_EQ(r.latency, 140u);
+}
+
+TEST(Hierarchy, SecondAccessHitsL1) {
+  CacheHierarchy h{two_level()};
+  (void)h.access(0x100);
+  const auto r = h.access(0x100);
+  EXPECT_EQ(r.level, HitLevel::kL1);
+  EXPECT_EQ(r.latency, 1u);
+}
+
+TEST(Hierarchy, L1EvictionStillHitsL2) {
+  CacheHierarchy h{two_level()};
+  (void)h.access(0x000);
+  // Evict 0x000 from the tiny L1 by filling its set (stride 16).
+  (void)h.access(0x010);
+  (void)h.access(0x020);
+  EXPECT_FALSE(h.l1().contains(0x000));
+  EXPECT_TRUE(h.l2().contains(0x000));
+  const auto r = h.access(0x000);
+  EXPECT_EQ(r.level, HitLevel::kL2);
+  EXPECT_EQ(r.latency, 10u + 8u);  // L1 miss + L2 hit
+}
+
+TEST(Hierarchy, SingleLevelFallsThroughToDram) {
+  HierarchyConfig cfg = two_level();
+  cfg.l2.reset();
+  CacheHierarchy h{cfg};
+  EXPECT_FALSE(h.has_l2());
+  const auto r = h.access(0x40);
+  EXPECT_EQ(r.level, HitLevel::kDram);
+  EXPECT_EQ(r.latency, 10u + 100u);
+}
+
+TEST(Hierarchy, FlushAllClearsBothLevels) {
+  CacheHierarchy h{two_level()};
+  (void)h.access(0x100);
+  h.flush_all();
+  EXPECT_FALSE(h.l1().contains(0x100));
+  EXPECT_FALSE(h.l2().contains(0x100));
+}
+
+TEST(Hierarchy, FlushLineClearsBothLevels) {
+  CacheHierarchy h{two_level()};
+  (void)h.access(0x100);
+  (void)h.access(0x200);
+  h.flush_line(0x100);
+  EXPECT_FALSE(h.l1().contains(0x100));
+  EXPECT_FALSE(h.l2().contains(0x100));
+  EXPECT_TRUE(h.l1().contains(0x200));
+}
+
+TEST(Hierarchy, FlushReloadTimingIsDistinguishableAcrossLevels) {
+  // The probing threshold argument: an L1 hit must be distinguishable
+  // from any deeper service level.
+  CacheHierarchy h{two_level()};
+  (void)h.access(0x300);             // now in L1+L2
+  const auto hit = h.access(0x300);  // L1 hit
+  h.flush_line(0x300);
+  const auto miss = h.access(0x300);  // from DRAM
+  EXPECT_LT(hit.latency * 4, miss.latency);
+}
+
+}  // namespace
+}  // namespace grinch::cachesim

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+
+namespace grinch::cachesim {
+namespace {
+
+CacheConfig prefetch_config(unsigned lines) {
+  CacheConfig c;
+  c.line_bytes = 4;
+  c.num_sets = 16;
+  c.associativity = 4;
+  c.prefetch_lines = lines;
+  return c;
+}
+
+TEST(Prefetch, MissPullsInSequentialNeighbours) {
+  Cache cache{prefetch_config(2)};
+  (void)cache.access(0x100);
+  EXPECT_TRUE(cache.contains(0x100));
+  EXPECT_TRUE(cache.contains(0x104));  // +1 line
+  EXPECT_TRUE(cache.contains(0x108));  // +2 lines
+  EXPECT_FALSE(cache.contains(0x10C));
+  EXPECT_EQ(cache.stats().prefetch_fills, 2u);
+}
+
+TEST(Prefetch, PrefetchedLinesHitWithoutDemandMiss) {
+  Cache cache{prefetch_config(1)};
+  (void)cache.access(0x200);
+  const AccessResult r = cache.access(0x204);
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Prefetch, NoPrefetchWhenDisabled) {
+  Cache cache{prefetch_config(0)};
+  (void)cache.access(0x100);
+  EXPECT_FALSE(cache.contains(0x104));
+  EXPECT_EQ(cache.stats().prefetch_fills, 0u);
+}
+
+TEST(Prefetch, HitsDoNotTriggerPrefetch) {
+  Cache cache{prefetch_config(1)};
+  (void)cache.access(0x100);
+  const auto fills = cache.stats().prefetch_fills;
+  (void)cache.access(0x100);  // hit
+  EXPECT_EQ(cache.stats().prefetch_fills, fills);
+}
+
+TEST(Prefetch, AlreadyResidentNeighbourIsNotRefetched) {
+  Cache cache{prefetch_config(1)};
+  (void)cache.access(0x104);  // brings 0x104 (+0x108)
+  const auto fills = cache.stats().prefetch_fills;
+  (void)cache.access(0x100);  // neighbour 0x104 already resident
+  EXPECT_EQ(cache.stats().prefetch_fills, fills);
+}
+
+TEST(Prefetch, DemandStatsExcludePrefetches) {
+  Cache cache{prefetch_config(3)};
+  (void)cache.access(0x100);
+  EXPECT_EQ(cache.stats().accesses, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().prefetch_fills, 3u);
+}
+
+TEST(Prefetch, ObfuscatesTheDemandedLineForAProber) {
+  // The attack-relevant effect: after one victim access, several lines
+  // are resident — presence no longer identifies the demanded index.
+  Cache cache{prefetch_config(3)};
+  (void)cache.access(0x100);
+  unsigned resident = 0;
+  for (unsigned i = 0; i < 8; ++i) resident += cache.contains(0x100 + 4 * i);
+  EXPECT_EQ(resident, 4u);  // demanded + 3 prefetched
+}
+
+}  // namespace
+}  // namespace grinch::cachesim

@@ -1,0 +1,130 @@
+#include "cachesim/replacement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace grinch::cachesim {
+namespace {
+
+TEST(Lru, VictimIsOldestTouch) {
+  LruState lru{4};
+  for (unsigned w = 0; w < 4; ++w) lru.on_fill(w);
+  lru.on_hit(0);
+  EXPECT_EQ(lru.choose_victim(), 1u);
+  lru.on_hit(1);
+  EXPECT_EQ(lru.choose_victim(), 2u);
+}
+
+TEST(Lru, FillCountsAsUse) {
+  LruState lru{2};
+  lru.on_fill(0);
+  lru.on_fill(1);
+  EXPECT_EQ(lru.choose_victim(), 0u);
+}
+
+TEST(Fifo, HitsDoNotRefresh) {
+  FifoState fifo{3};
+  fifo.on_fill(0);
+  fifo.on_fill(1);
+  fifo.on_fill(2);
+  fifo.on_hit(0);
+  fifo.on_hit(0);
+  EXPECT_EQ(fifo.choose_victim(), 0u);  // still the oldest fill
+}
+
+TEST(Fifo, RefillMovesToBack) {
+  FifoState fifo{2};
+  fifo.on_fill(0);
+  fifo.on_fill(1);
+  fifo.on_fill(0);  // re-filled (after an eviction elsewhere)
+  EXPECT_EQ(fifo.choose_victim(), 1u);
+}
+
+TEST(Plru, SingleWayAlwaysVictimZero) {
+  PlruState plru{1};
+  EXPECT_EQ(plru.choose_victim(), 0u);
+}
+
+TEST(Plru, VictimAvoidsRecentlyTouchedWay) {
+  PlruState plru{4};
+  for (unsigned w = 0; w < 4; ++w) plru.on_fill(w);
+  plru.on_hit(2);
+  EXPECT_NE(plru.choose_victim(), 2u);
+  plru.on_hit(0);
+  EXPECT_NE(plru.choose_victim(), 0u);
+}
+
+TEST(Plru, TouchingOneWayRepeatedlyKeepsItSafe) {
+  PlruState plru{8};
+  for (unsigned w = 0; w < 8; ++w) plru.on_fill(w);
+  for (int i = 0; i < 100; ++i) {
+    plru.on_hit(5);
+    EXPECT_NE(plru.choose_victim(), 5u);
+  }
+}
+
+TEST(Plru, CyclesThroughAllWaysUnderRoundRobinFills) {
+  // Filling the chosen victim repeatedly must eventually name every way
+  // (tree PLRU approximates LRU; it must not starve a way).
+  PlruState plru{4};
+  for (unsigned w = 0; w < 4; ++w) plru.on_fill(w);
+  std::set<unsigned> victims;
+  for (int i = 0; i < 16; ++i) {
+    const unsigned v = plru.choose_victim();
+    victims.insert(v);
+    plru.on_fill(v);
+  }
+  EXPECT_EQ(victims.size(), 4u);
+}
+
+TEST(Random, DeterministicForSeed) {
+  RandomState a{8, 123}, b{8, 123};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.choose_victim(), b.choose_victim());
+}
+
+TEST(Random, CoversAllWays) {
+  RandomState r{4, 7};
+  std::set<unsigned> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.choose_victim());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Factory, ProducesRequestedPolicy) {
+  EXPECT_NE(dynamic_cast<LruState*>(
+                make_replacement_state(Replacement::kLru, 4, 0).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FifoState*>(
+                make_replacement_state(Replacement::kFifo, 4, 0).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<PlruState*>(
+                make_replacement_state(Replacement::kPlru, 4, 0).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<RandomState*>(
+                make_replacement_state(Replacement::kRandom, 4, 0).get()),
+            nullptr);
+}
+
+class PolicyVictimRange
+    : public ::testing::TestWithParam<std::tuple<Replacement, unsigned>> {};
+
+TEST_P(PolicyVictimRange, VictimAlwaysInRange) {
+  const auto [policy, ways] = GetParam();
+  auto state = make_replacement_state(policy, ways, 99);
+  for (unsigned w = 0; w < ways; ++w) state->on_fill(w);
+  for (int i = 0; i < 100; ++i) {
+    const unsigned v = state->choose_victim();
+    EXPECT_LT(v, ways);
+    state->on_fill(v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyVictimRange,
+    ::testing::Combine(::testing::Values(Replacement::kLru, Replacement::kFifo,
+                                         Replacement::kPlru,
+                                         Replacement::kRandom),
+                       ::testing::Values(1u, 2u, 4u, 8u, 16u)));
+
+}  // namespace
+}  // namespace grinch::cachesim

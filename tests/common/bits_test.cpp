@@ -1,0 +1,79 @@
+#include "common/bits.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch {
+namespace {
+
+TEST(Bits, BitExtraction) {
+  EXPECT_EQ(bit(0b1010u, 0), 0u);
+  EXPECT_EQ(bit(0b1010u, 1), 1u);
+  EXPECT_EQ(bit(0b1010u, 2), 0u);
+  EXPECT_EQ(bit(0b1010u, 3), 1u);
+  EXPECT_EQ(bit(std::uint64_t{1} << 63, 63), 1u);
+}
+
+TEST(Bits, WithBitSetsAndClears) {
+  EXPECT_EQ(with_bit(0u, 3, 1), 8u);
+  EXPECT_EQ(with_bit(0xFFu, 0, 0), 0xFEu);
+  EXPECT_EQ(with_bit(0xFFu, 7, 1), 0xFFu);  // idempotent
+  EXPECT_EQ(with_bit(std::uint64_t{0}, 63, 1), std::uint64_t{1} << 63);
+}
+
+TEST(Bits, FlipBit) {
+  EXPECT_EQ(flip_bit(0u, 0), 1u);
+  EXPECT_EQ(flip_bit(1u, 0), 0u);
+  EXPECT_EQ(flip_bit(flip_bit(0xDEADu, 5), 5), 0xDEADu);
+}
+
+TEST(Bits, Rotr16) {
+  EXPECT_EQ(rotr(0x0001u, 1, 16), 0x8000u);
+  EXPECT_EQ(rotr(0x0001u, 16, 16), 0x0001u);
+  EXPECT_EQ(rotr(0x1234u, 0, 16), 0x1234u);
+  EXPECT_EQ(rotr(0x1234u, 4, 16), 0x4123u);
+  EXPECT_EQ(rotr(0x0003u, 2, 16), 0xC000u);
+  EXPECT_EQ(rotr(0x0001u, 12, 16), 0x0010u);
+}
+
+TEST(Bits, RotlInvertsRotr) {
+  for (unsigned r = 0; r < 16; ++r) {
+    EXPECT_EQ(rotl(rotr(0xBEEFu, r, 16), r, 16), 0xBEEFu) << r;
+  }
+}
+
+TEST(Bits, Rotr64) {
+  EXPECT_EQ(rotr64(1, 1), std::uint64_t{1} << 63);
+  EXPECT_EQ(rotr64(0xF0F0F0F0F0F0F0F0ull, 64), 0xF0F0F0F0F0F0F0F0ull);
+  EXPECT_EQ(rotr64(0x123456789ABCDEF0ull, 32), 0x9ABCDEF012345678ull);
+}
+
+TEST(Bits, NibbleAccess) {
+  const std::uint64_t v = 0xFEDCBA9876543210ull;
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(nibble(v, i), i);
+}
+
+TEST(Bits, WithNibble) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 16; ++i) v = with_nibble(v, i, i);
+  EXPECT_EQ(v, 0xFEDCBA9876543210ull);
+  EXPECT_EQ(with_nibble(v, 0, 0xF) & 0xF, 0xFu);
+  EXPECT_EQ(with_nibble(v, 15, 0x0) >> 60, 0x0u);
+}
+
+TEST(Bits, Popcount) {
+  EXPECT_EQ(popcount(0u), 0u);
+  EXPECT_EQ(popcount(0xFFu), 8u);
+  EXPECT_EQ(popcount(std::uint64_t{0x8000000000000001ull}), 2u);
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(12));
+  EXPECT_EQ(log2_pow2(1), 0u);
+  EXPECT_EQ(log2_pow2(1024), 10u);
+}
+
+}  // namespace
+}  // namespace grinch

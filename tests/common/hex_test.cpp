@@ -1,0 +1,43 @@
+#include "common/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch {
+namespace {
+
+TEST(Hex, EncodeU64) {
+  EXPECT_EQ(to_hex_u64(0, 16), "0000000000000000");
+  EXPECT_EQ(to_hex_u64(0xDEADBEEF, 8), "deadbeef");
+  EXPECT_EQ(to_hex_u64(0xF, 1), "f");
+  EXPECT_EQ(to_hex_u64(0x0123456789ABCDEFull), "0123456789abcdef");
+}
+
+TEST(Hex, ParseU64) {
+  EXPECT_EQ(parse_hex_u64("deadbeef").value(), 0xDEADBEEFu);
+  EXPECT_EQ(parse_hex_u64("DEADBEEF").value(), 0xDEADBEEFu);
+  EXPECT_EQ(parse_hex_u64("0").value(), 0u);
+  EXPECT_EQ(parse_hex_u64("ffffffffffffffff").value(), ~std::uint64_t{0});
+}
+
+TEST(Hex, ParseU64RejectsBadInput) {
+  EXPECT_FALSE(parse_hex_u64("").has_value());
+  EXPECT_FALSE(parse_hex_u64("xyz").has_value());
+  EXPECT_FALSE(parse_hex_u64("0123456789abcdef0").has_value());  // 17 digits
+}
+
+TEST(Hex, BytesRoundTrip) {
+  const std::vector<std::uint8_t> bytes{0x00, 0xFF, 0x12, 0xAB};
+  const std::string hex = to_hex_bytes(bytes);
+  EXPECT_EQ(hex, "00ff12ab");
+  EXPECT_EQ(parse_hex_bytes(hex).value(), bytes);
+}
+
+TEST(Hex, ParseBytesRejectsOddLengthAndBadDigits) {
+  EXPECT_FALSE(parse_hex_bytes("abc").has_value());
+  EXPECT_FALSE(parse_hex_bytes("zz").has_value());
+  EXPECT_TRUE(parse_hex_bytes("").has_value());
+  EXPECT_TRUE(parse_hex_bytes("").value().empty());
+}
+
+}  // namespace
+}  // namespace grinch

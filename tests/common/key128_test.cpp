@@ -1,0 +1,109 @@
+#include "common/key128.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace grinch {
+namespace {
+
+TEST(Key128, BitAccessCoversBothHalves) {
+  const Key128 k{0x8000000000000001ull, 0x0000000000000003ull};
+  EXPECT_EQ(k.bit(0), 1u);
+  EXPECT_EQ(k.bit(1), 1u);
+  EXPECT_EQ(k.bit(2), 0u);
+  EXPECT_EQ(k.bit(64), 1u);
+  EXPECT_EQ(k.bit(127), 1u);
+  EXPECT_EQ(k.bit(126), 0u);
+}
+
+TEST(Key128, WithBitRoundTripsEveryPosition) {
+  Key128 k;
+  for (unsigned pos = 0; pos < 128; ++pos) {
+    const Key128 set = k.with_bit(pos, 1);
+    EXPECT_EQ(set.bit(pos), 1u) << pos;
+    EXPECT_EQ(set.with_bit(pos, 0), k) << pos;
+  }
+}
+
+TEST(Key128, Word16Layout) {
+  const Key128 k{0xFFFFEEEEDDDDCCCCull, 0xBBBBAAAA99998888ull};
+  EXPECT_EQ(k.word16(0), 0x8888);
+  EXPECT_EQ(k.word16(1), 0x9999);
+  EXPECT_EQ(k.word16(2), 0xAAAA);
+  EXPECT_EQ(k.word16(3), 0xBBBB);
+  EXPECT_EQ(k.word16(4), 0xCCCC);
+  EXPECT_EQ(k.word16(5), 0xDDDD);
+  EXPECT_EQ(k.word16(6), 0xEEEE);
+  EXPECT_EQ(k.word16(7), 0xFFFF);
+}
+
+TEST(Key128, WithWord16ReplacesOnlyTargetWord) {
+  Xoshiro256 rng{10};
+  const Key128 k = rng.key128();
+  for (unsigned w = 0; w < 8; ++w) {
+    const Key128 mod = k.with_word16(w, 0x1234);
+    EXPECT_EQ(mod.word16(w), 0x1234);
+    for (unsigned o = 0; o < 8; ++o) {
+      if (o != w) EXPECT_EQ(mod.word16(o), k.word16(o));
+    }
+  }
+}
+
+TEST(Key128, Word32Layout) {
+  const Key128 k{0xFFFFEEEEDDDDCCCCull, 0xBBBBAAAA99998888ull};
+  EXPECT_EQ(k.word32(0), 0x99998888u);
+  EXPECT_EQ(k.word32(1), 0xBBBBAAAAu);
+  EXPECT_EQ(k.word32(2), 0xDDDDCCCCu);
+  EXPECT_EQ(k.word32(3), 0xFFFFEEEEu);
+}
+
+TEST(Key128, Rotr32MovesLowWordToTop) {
+  const Key128 k{0xFFFFEEEEDDDDCCCCull, 0xBBBBAAAA99998888ull};
+  const Key128 r = k.rotr32();
+  EXPECT_EQ(r.word32(3), 0x99998888u);
+  EXPECT_EQ(r.word32(2), 0xFFFFEEEEu);
+  EXPECT_EQ(r.word32(1), 0xDDDDCCCCu);
+  EXPECT_EQ(r.word32(0), 0xBBBBAAAAu);
+}
+
+TEST(Key128, Rotr32FourTimesIsIdentity) {
+  Xoshiro256 rng{11};
+  const Key128 k = rng.key128();
+  EXPECT_EQ(k.rotr32().rotr32().rotr32().rotr32(), k);
+}
+
+TEST(Key128, HexRoundTrip) {
+  const Key128 k{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  EXPECT_EQ(k.to_hex(), "0123456789abcdeffedcba9876543210");
+  Key128 parsed;
+  ASSERT_TRUE(Key128::from_hex(k.to_hex(), parsed));
+  EXPECT_EQ(parsed, k);
+}
+
+TEST(Key128, FromHexRejectsBadInput) {
+  Key128 k;
+  EXPECT_FALSE(Key128::from_hex("", k));
+  EXPECT_FALSE(Key128::from_hex("1234", k));
+  EXPECT_FALSE(Key128::from_hex(std::string(32, 'g'), k));
+  EXPECT_FALSE(Key128::from_hex(std::string(33, '0'), k));
+}
+
+TEST(Key128, BytesLittleEndian) {
+  const Key128 k{0x0123456789ABCDEFull, 0xFEDCBA9876543210ull};
+  const auto b = k.to_bytes_le();
+  EXPECT_EQ(b[0], 0x10);
+  EXPECT_EQ(b[7], 0xFE);
+  EXPECT_EQ(b[8], 0xEF);
+  EXPECT_EQ(b[15], 0x01);
+}
+
+TEST(Key128, XorIsSelfInverse) {
+  Xoshiro256 rng{12};
+  const Key128 a = rng.key128();
+  const Key128 b = rng.key128();
+  EXPECT_EQ((a ^ b) ^ b, a);
+}
+
+}  // namespace
+}  // namespace grinch

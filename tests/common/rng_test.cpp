@@ -1,0 +1,87 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace grinch {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Xoshiro256 rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+    EXPECT_EQ(rng.uniform(1), 0u);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Xoshiro256 rng{8};
+  std::array<int, 16> buckets{};
+  constexpr int kDraws = 16000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.uniform(16)];
+  for (int c : buckets) {
+    EXPECT_GT(c, 800);   // expectation 1000; loose 4-sigma-ish bounds
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(Rng, NibbleIsFourBits) {
+  Xoshiro256 rng{9};
+  std::set<unsigned> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const unsigned n = rng.nibble();
+    EXPECT_LT(n, 16u);
+    seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), 16u);  // all 16 values show up in 1000 draws
+}
+
+TEST(Rng, CoinIsBinaryAndBalanced) {
+  Xoshiro256 rng{10};
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const unsigned c = rng.coin();
+    EXPECT_LE(c, 1u);
+    ones += static_cast<int>(c);
+  }
+  EXPECT_GT(ones, 4700);
+  EXPECT_LT(ones, 5300);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Xoshiro256 parent{11};
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next() == child.next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Key128DrawsDiffer) {
+  Xoshiro256 rng{12};
+  EXPECT_NE(rng.key128(), rng.key128());
+}
+
+TEST(SplitMix, KnownFirstOutputs) {
+  // Reference outputs for seed 0 (Steele, Lea & Flood / Vigna reference).
+  SplitMix64 sm{0};
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454Full);
+}
+
+}  // namespace
+}  // namespace grinch

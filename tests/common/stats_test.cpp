@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch {
+namespace {
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.4142, 1e-3);
+}
+
+TEST(SampleStats, SingleSample) {
+  SampleStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.median(), 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, PercentileEndpoints) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+}
+
+TEST(SampleStats, EmptyIsReported) {
+  SampleStats s;
+  EXPECT_TRUE(s.empty());
+  s.add(1.0);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(EffortCell, RendersMeanOfSuccesses) {
+  EffortCell cell{1000000};
+  cell.add_success(90);
+  cell.add_success(110);
+  EXPECT_EQ(cell.render(), "100");
+  EXPECT_EQ(cell.successes(), 2u);
+  EXPECT_EQ(cell.dropouts(), 0u);
+}
+
+TEST(EffortCell, RendersDropoutMarker) {
+  EffortCell cell{1000000};
+  cell.add_dropout();
+  cell.add_dropout();
+  EXPECT_TRUE(cell.all_dropped());
+  EXPECT_EQ(cell.render(), ">1000000");
+}
+
+TEST(EffortCell, MixedSuccessAndDropoutGetsAsterisk) {
+  EffortCell cell{1000};
+  cell.add_success(500);
+  cell.add_dropout();
+  EXPECT_FALSE(cell.all_dropped());
+  EXPECT_EQ(cell.render(), "500*");
+}
+
+TEST(EffortCell, EmptyCellRendersDash) {
+  EffortCell cell{1000};
+  EXPECT_EQ(cell.render(), "-");
+}
+
+}  // namespace
+}  // namespace grinch

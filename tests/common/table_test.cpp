@@ -1,0 +1,38 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch {
+namespace {
+
+TEST(AsciiTable, RendersHeaderAndRows) {
+  AsciiTable t{"Demo"};
+  t.set_header({"a", "bbb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 333 "), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(AsciiTable, ColumnsAlignToWidestCell) {
+  AsciiTable t{""};
+  t.set_header({"x"});
+  t.add_row({"wide-cell"});
+  const std::string out = t.render();
+  // The header row must be padded to the width of "wide-cell".
+  EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(AsciiTable, EmptyTableStillRendersRules) {
+  AsciiTable t{"Empty"};
+  t.set_header({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("+"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace grinch

@@ -1,0 +1,94 @@
+#include "gift/bitslice.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "gift/gift64.h"
+#include "gift/sbox.h"
+
+namespace grinch::gift {
+namespace {
+
+TEST(BitPlanes, RoundTripConversion) {
+  Xoshiro256 rng{1};
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t s = rng.block64();
+    EXPECT_EQ(from_planes(to_planes(s)), s);
+  }
+}
+
+TEST(BitPlanes, PlaneBitsMatchSegmentBits) {
+  const std::uint64_t s = 0xFEDCBA9876543210ull;
+  const BitPlanes p = to_planes(s);
+  for (unsigned i = 0; i < 16; ++i) {
+    for (unsigned b = 0; b < 4; ++b) {
+      EXPECT_EQ((p.plane[b] >> i) & 1u, bit(s, 4 * i + b));
+    }
+  }
+}
+
+TEST(Bitslice, AnfReproducesTheSBoxTable) {
+  // Evaluating the derived ANF pointwise must give back GS exactly.
+  const BitslicedGift64 impl;
+  for (unsigned x = 0; x < 16; ++x) {
+    unsigned y = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      unsigned bit_value = 0;
+      for (unsigned m = 0; m < 16; ++m) {
+        if (!((impl.anf()[b] >> m) & 1u)) continue;
+        if ((x & m) == m) bit_value ^= 1u;  // monomial evaluates to 1
+      }
+      y |= bit_value << b;
+    }
+    EXPECT_EQ(y, gift_sbox().apply(x)) << "x=" << x;
+  }
+}
+
+TEST(Bitslice, AnfIsNonLinearInEveryOutputBit) {
+  // At least one output bit must contain a degree->=2 monomial (GS is a
+  // non-linear S-Box); in fact all four do.
+  const BitslicedGift64 impl;
+  for (unsigned b = 0; b < 4; ++b) {
+    bool has_nonlinear = false;
+    for (unsigned m = 0; m < 16; ++m) {
+      if (((impl.anf()[b] >> m) & 1u) && popcount(m) >= 2) {
+        has_nonlinear = true;
+      }
+    }
+    EXPECT_TRUE(has_nonlinear) << "output bit " << b;
+  }
+}
+
+TEST(Bitslice, EncryptMatchesSpecForPublishedVector) {
+  const BitslicedGift64 impl;
+  Key128 key;
+  ASSERT_TRUE(Key128::from_hex("bd91731eb6bc2713a1f9f6ffc75044e7", key));
+  EXPECT_EQ(impl.encrypt(0xc450c7727a9b8a7dull, key), 0xe3272885fa94ba8bull);
+}
+
+TEST(Bitslice, EncryptMatchesSpecForRandomInputs) {
+  const BitslicedGift64 impl;
+  Xoshiro256 rng{2};
+  for (int i = 0; i < 300; ++i) {
+    const Key128 key = rng.key128();
+    const std::uint64_t pt = rng.block64();
+    EXPECT_EQ(impl.encrypt(pt, key), Gift64::encrypt(pt, key));
+  }
+}
+
+TEST(Bitslice, SingleRoundMatchesSpecRoundFunction) {
+  const BitslicedGift64 impl;
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t s = rng.block64();
+    const RoundKey64 rk{static_cast<std::uint16_t>(rng.next()),
+                        static_cast<std::uint16_t>(rng.next())};
+    const unsigned r = static_cast<unsigned>(rng.uniform(28));
+    const BitPlanes out = impl.round(to_planes(s), rk.u, rk.v, r);
+    EXPECT_EQ(from_planes(out), Gift64::round_function(s, rk, r));
+  }
+}
+
+}  // namespace
+}  // namespace grinch::gift

@@ -1,0 +1,131 @@
+#include "gift/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace grinch::gift {
+namespace {
+
+TEST(Permutation, Gift64KnownEntries) {
+  // Spot values from the published P64 table (eprint 2017/622, Table 2).
+  const BitPermutation& p = gift64_permutation();
+  EXPECT_EQ(p.forward(0), 0u);
+  EXPECT_EQ(p.forward(1), 17u);
+  EXPECT_EQ(p.forward(2), 34u);
+  EXPECT_EQ(p.forward(3), 51u);
+  EXPECT_EQ(p.forward(4), 48u);
+  EXPECT_EQ(p.forward(5), 1u);
+  EXPECT_EQ(p.forward(12), 16u);
+  EXPECT_EQ(p.forward(63), 15u);
+}
+
+TEST(Permutation, Gift64IsBijective) {
+  const BitPermutation& p = gift64_permutation();
+  std::set<unsigned> targets;
+  for (unsigned i = 0; i < 64; ++i) targets.insert(p.forward(i));
+  EXPECT_EQ(targets.size(), 64u);
+}
+
+TEST(Permutation, Gift128IsBijective) {
+  const BitPermutation& p = gift128_permutation();
+  std::set<unsigned> targets;
+  for (unsigned i = 0; i < 128; ++i) targets.insert(p.forward(i));
+  EXPECT_EQ(targets.size(), 128u);
+}
+
+TEST(Permutation, InverseTableIsConsistent) {
+  const BitPermutation& p = gift64_permutation();
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(p.inverse(p.forward(i)), i);
+  }
+}
+
+TEST(Permutation, Apply64MovesIndividualBits) {
+  const BitPermutation& p = gift64_permutation();
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(p.apply64(std::uint64_t{1} << i),
+              std::uint64_t{1} << p.forward(i));
+  }
+}
+
+TEST(Permutation, Invert64UndoesApply64) {
+  Xoshiro256 rng{20};
+  const BitPermutation& p = gift64_permutation();
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.block64();
+    EXPECT_EQ(p.invert64(p.apply64(v)), v);
+  }
+}
+
+TEST(Permutation, Apply128MovesIndividualBits) {
+  const BitPermutation& p = gift128_permutation();
+  for (unsigned i = 0; i < 128; ++i) {
+    std::uint64_t hi = 0, lo = 0;
+    if (i < 64)
+      lo = std::uint64_t{1} << i;
+    else
+      hi = std::uint64_t{1} << (i - 64);
+    p.apply128(hi, lo);
+    const unsigned j = p.forward(i);
+    if (j < 64) {
+      EXPECT_EQ(lo, std::uint64_t{1} << j);
+      EXPECT_EQ(hi, 0u);
+    } else {
+      EXPECT_EQ(hi, std::uint64_t{1} << (j - 64));
+      EXPECT_EQ(lo, 0u);
+    }
+  }
+}
+
+TEST(Permutation, Invert128UndoesApply128) {
+  Xoshiro256 rng{21};
+  const BitPermutation& p = gift128_permutation();
+  for (int i = 0; i < 50; ++i) {
+    std::uint64_t hi = rng.block64(), lo = rng.block64();
+    const std::uint64_t oh = hi, ol = lo;
+    p.apply128(hi, lo);
+    p.invert128(hi, lo);
+    EXPECT_EQ(hi, oh);
+    EXPECT_EQ(lo, ol);
+  }
+}
+
+TEST(Permutation, Gift64PreservesBitWithinSegmentSlot) {
+  // The GIFT permutation maps bit position i to a position with the same
+  // (i mod 4) residue group structure documented in the paper: bit_in_seg
+  // is preserved.  (This matters for GRINCH: a round-key-facing bit j of
+  // some segment comes from bit position inverse(j) with the same j mod 4.)
+  const BitPermutation& p = gift64_permutation();
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(p.forward(i) % 4, i % 4);
+  }
+}
+
+TEST(Permutation, Gift64SpreadsEachSegmentToFourSegments) {
+  // The four bits of any input segment land in four distinct segments —
+  // the diffusion property that forces GRINCH to pin bits in four
+  // plaintext segments to control one round-2 segment.
+  const BitPermutation& p = gift64_permutation();
+  for (unsigned s = 0; s < 16; ++s) {
+    std::set<unsigned> dest_segments;
+    for (unsigned b = 0; b < 4; ++b) dest_segments.insert(p.forward(4 * s + b) / 4);
+    EXPECT_EQ(dest_segments.size(), 4u) << "segment " << s;
+  }
+}
+
+TEST(Permutation, PresentKnownEntries) {
+  const BitPermutation& p = present_permutation();
+  EXPECT_EQ(p.forward(0), 0u);
+  EXPECT_EQ(p.forward(1), 16u);
+  EXPECT_EQ(p.forward(2), 32u);
+  EXPECT_EQ(p.forward(3), 48u);
+  EXPECT_EQ(p.forward(4), 1u);
+  EXPECT_EQ(p.forward(62), 47u);  // 16*62 mod 63 = 47
+  EXPECT_EQ(p.forward(63), 63u);  // MSB is a fixed point by definition
+}
+
+}  // namespace
+}  // namespace grinch::gift

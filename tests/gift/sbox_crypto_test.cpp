@@ -1,0 +1,132 @@
+// Cryptographic property tests of the S-Boxes, tied to the design claims
+// in §II of the GRINCH paper: PRESENT's S-Box must satisfy branching
+// number 3 (BN3), which makes it costly; GIFT "carefully constructs the
+// substitution and permutation blocks in conjunction, thereby reducing
+// the requirement from BN3 to BN2".
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdlib>
+
+#include "common/bits.h"
+#include "gift/sbox.h"
+
+namespace grinch::gift {
+namespace {
+
+/// Difference distribution table: ddt[a][b] = #{x : S(x^a)^S(x) = b}.
+std::array<std::array<unsigned, 16>, 16> ddt_of(const SBox& s) {
+  std::array<std::array<unsigned, 16>, 16> ddt{};
+  for (unsigned a = 0; a < 16; ++a) {
+    for (unsigned x = 0; x < 16; ++x) {
+      ++ddt[a][s.apply(x ^ a) ^ s.apply(x)];
+    }
+  }
+  return ddt;
+}
+
+/// Linear approximation table entry: lat[a][b] =
+/// #{x : <a,x> = <b,S(x)>} - 8 (bias count).
+int lat_entry(const SBox& s, unsigned a, unsigned b) {
+  int count = 0;
+  for (unsigned x = 0; x < 16; ++x) {
+    const unsigned in_parity = popcount(x & a) & 1u;
+    const unsigned out_parity = popcount(s.apply(x) & b) & 1u;
+    count += (in_parity == out_parity);
+  }
+  return count - 8;
+}
+
+/// Differential branch number: min over nonzero input differences of
+/// wt(a) + wt(S(x)^S(x^a)) over all x.
+unsigned branch_number(const SBox& s) {
+  unsigned bn = 8;
+  for (unsigned a = 1; a < 16; ++a) {
+    for (unsigned x = 0; x < 16; ++x) {
+      const unsigned out_diff = s.apply(x) ^ s.apply(x ^ a);
+      bn = std::min(bn, popcount(a) + popcount(out_diff));
+    }
+  }
+  return bn;
+}
+
+TEST(SBoxCrypto, DdtStructuralInvariants) {
+  for (const SBox* s : {&gift_sbox(), &present_sbox()}) {
+    const auto ddt = ddt_of(*s);
+    EXPECT_EQ(ddt[0][0], 16u);  // zero difference maps to zero
+    for (unsigned b = 1; b < 16; ++b) EXPECT_EQ(ddt[0][b], 0u);
+    for (unsigned a = 0; a < 16; ++a) {
+      unsigned row_sum = 0;
+      for (unsigned b = 0; b < 16; ++b) {
+        EXPECT_EQ(ddt[a][b] % 2, 0u);  // DDT entries are even
+        row_sum += ddt[a][b];
+      }
+      EXPECT_EQ(row_sum, 16u);
+    }
+  }
+}
+
+TEST(SBoxCrypto, GiftDifferentialUniformityIsSix) {
+  // Banik et al. report GS has differential uniformity 6.
+  const auto ddt = ddt_of(gift_sbox());
+  unsigned max_entry = 0;
+  for (unsigned a = 1; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) max_entry = std::max(max_entry, ddt[a][b]);
+  }
+  EXPECT_EQ(max_entry, 6u);
+}
+
+TEST(SBoxCrypto, PresentDifferentialUniformityIsFour) {
+  const auto ddt = ddt_of(present_sbox());
+  unsigned max_entry = 0;
+  for (unsigned a = 1; a < 16; ++a) {
+    for (unsigned b = 0; b < 16; ++b) max_entry = std::max(max_entry, ddt[a][b]);
+  }
+  EXPECT_EQ(max_entry, 4u);
+}
+
+TEST(SBoxCrypto, LatIsBoundedAndBalanced) {
+  for (const SBox* s : {&gift_sbox(), &present_sbox()}) {
+    for (unsigned a = 0; a < 16; ++a) {
+      for (unsigned b = 0; b < 16; ++b) {
+        const int e = lat_entry(*s, a, b);
+        if (a == 0 && b == 0) {
+          EXPECT_EQ(e, 8);  // trivial approximation
+        } else if (a == 0 || b == 0) {
+          EXPECT_EQ(e, 0);  // balancedness
+        } else {
+          EXPECT_LE(std::abs(e), 4);  // 4-bit optimal-linearity bound
+        }
+      }
+    }
+  }
+}
+
+TEST(SBoxCrypto, GiftBranchNumberIsTwo) {
+  // The §II story: GIFT's construction only needs BN2 from its S-Box.
+  EXPECT_EQ(branch_number(gift_sbox()), 2u);
+}
+
+TEST(SBoxCrypto, PresentBranchNumberIsThree) {
+  // PRESENT's S-Box satisfies the costly BN3 requirement.
+  EXPECT_EQ(branch_number(present_sbox()), 3u);
+}
+
+TEST(SBoxCrypto, NoLinearStructure) {
+  // Neither S-Box has a nonzero linear structure (a,b) with
+  // S(x^a) = S(x)^b for all x — which would make GRINCH's
+  // candidate-separation degenerate.
+  for (const SBox* s : {&gift_sbox(), &present_sbox()}) {
+    for (unsigned a = 1; a < 16; ++a) {
+      bool constant = true;
+      const unsigned b0 = s->apply(a) ^ s->apply(0);
+      for (unsigned x = 1; x < 16 && constant; ++x) {
+        constant = (s->apply(x ^ a) ^ s->apply(x)) == b0;
+      }
+      EXPECT_FALSE(constant) << "difference " << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grinch::gift

@@ -1,0 +1,86 @@
+#include "noc/network.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::noc {
+namespace {
+
+Network make_network() {
+  static const MeshTopology mesh{3, 3};
+  LinkTiming timing;  // router 2, link 1, flit 4B
+  return Network{mesh, timing};
+}
+
+TEST(Network, LocalDeliveryCostsOneRouter) {
+  Network net = make_network();
+  const PacketResult r = net.send(4, 4, 4);
+  EXPECT_EQ(r.hops, 0u);
+  EXPECT_EQ(r.flits, 1u);
+  EXPECT_EQ(r.latency_cycles, 2u);  // one router traversal
+}
+
+TEST(Network, LatencyGrowsWithDistance) {
+  Network net = make_network();
+  const auto near = net.send(0, 1, 4).latency_cycles;
+  const auto far = net.send(0, 8, 4).latency_cycles;
+  EXPECT_LT(near, far);
+  // 1 hop: 2 routers + 1 link = 5; 4 hops: 5 routers + 4 links = 14.
+  EXPECT_EQ(near, 5u);
+  EXPECT_EQ(far, 14u);
+}
+
+TEST(Network, SerializationAddsPerFlitCycles) {
+  Network net = make_network();
+  const auto small = net.send(0, 1, 4).latency_cycles;
+  const auto big = net.send(0, 1, 16).latency_cycles;  // 4 flits
+  EXPECT_EQ(big, small + 3u);
+}
+
+TEST(Network, HeaderOnlyPacketIsOneFlit) {
+  Network net = make_network();
+  EXPECT_EQ(net.send(0, 1, 0).flits, 1u);
+}
+
+TEST(Network, LatencyMethodMatchesSendWithoutMutation) {
+  Network net = make_network();
+  const auto expected = net.latency(0, 8, 12);
+  const auto before = net.stats().packets;
+  EXPECT_EQ(net.latency(0, 8, 12), expected);
+  EXPECT_EQ(net.stats().packets, before);
+  EXPECT_EQ(net.send(0, 8, 12).latency_cycles, expected);
+}
+
+TEST(Network, StatsTrackLinksAlongXyRoute) {
+  Network net = make_network();
+  (void)net.send(0, 2, 4);  // route 0->1->2
+  const auto& links = net.stats().link_flits;
+  EXPECT_EQ(links.at({0u, 1u}), 1u);
+  EXPECT_EQ(links.at({1u, 2u}), 1u);
+  EXPECT_EQ(links.count({2u, 1u}), 0u);  // directed
+}
+
+TEST(Network, StatsAccumulateAndClear) {
+  Network net = make_network();
+  (void)net.send(0, 8, 8);
+  (void)net.send(8, 0, 8);
+  EXPECT_EQ(net.stats().packets, 2u);
+  EXPECT_EQ(net.stats().total_hop_traversals, 8u);
+  net.clear_stats();
+  EXPECT_EQ(net.stats().packets, 0u);
+  EXPECT_TRUE(net.stats().link_flits.empty());
+}
+
+TEST(Network, PaperScaleRemoteAccessLatency) {
+  // Attacker tile to shared-cache tile on the paper's MPSoC: ~400 ns at
+  // 50 MHz = ~20 cycles for the round trip.  Our defaults land in that
+  // range for a 2-hop route.
+  Network net = make_network();
+  const auto request = net.latency(2, 4, 8);   // corner-ish to centre
+  const auto response = net.latency(4, 2, 8);
+  const auto round_trip = request + response;
+  EXPECT_GE(round_trip, 10u);
+  EXPECT_LE(round_trip, 40u);
+}
+
+}  // namespace
+}  // namespace grinch::noc

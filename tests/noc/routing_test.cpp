@@ -1,0 +1,71 @@
+#include "noc/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::noc {
+namespace {
+
+TEST(XyRouting, RouteLengthIsHopDistancePlusOne) {
+  const MeshTopology mesh{4, 4};
+  const XyRouter router{mesh};
+  for (NodeId s = 0; s < mesh.node_count(); ++s) {
+    for (NodeId d = 0; d < mesh.node_count(); ++d) {
+      const auto path = router.route(s, d);
+      EXPECT_EQ(path.size(), mesh.hop_distance(s, d) + 1);
+      EXPECT_EQ(path.front(), s);
+      EXPECT_EQ(path.back(), d);
+    }
+  }
+}
+
+TEST(XyRouting, XFirstThenY) {
+  const MeshTopology mesh{3, 3};
+  const XyRouter router{mesh};
+  // 0 (0,0) -> 8 (2,2): X first to (2,0)=2, then Y down.
+  const auto path = router.route(0, 8);
+  const std::vector<NodeId> expected{0, 1, 2, 5, 8};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(XyRouting, NegativeDirections) {
+  const MeshTopology mesh{3, 3};
+  const XyRouter router{mesh};
+  const auto path = router.route(8, 0);
+  const std::vector<NodeId> expected{8, 7, 6, 3, 0};
+  EXPECT_EQ(path, expected);
+}
+
+TEST(XyRouting, AdjacentStepsAreMeshLinks) {
+  const MeshTopology mesh{5, 4};
+  const XyRouter router{mesh};
+  for (NodeId s = 0; s < mesh.node_count(); s += 3) {
+    for (NodeId d = 0; d < mesh.node_count(); d += 2) {
+      const auto path = router.route(s, d);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_EQ(mesh.hop_distance(path[i], path[i + 1]), 1u);
+      }
+    }
+  }
+}
+
+TEST(XyRouting, NextHopAtDestinationThrows) {
+  const MeshTopology mesh{2, 2};
+  const XyRouter router{mesh};
+  EXPECT_THROW((void)router.next_hop(1, 1), std::invalid_argument);
+}
+
+TEST(XyRouting, DeterministicRoutes) {
+  const MeshTopology mesh{4, 4};
+  const XyRouter router{mesh};
+  EXPECT_EQ(router.route(3, 12), router.route(3, 12));
+}
+
+TEST(XyRouting, RouteToSelfIsSingleton) {
+  const MeshTopology mesh{3, 3};
+  const XyRouter router{mesh};
+  const auto path = router.route(4, 4);
+  EXPECT_EQ(path.size(), 1u);
+}
+
+}  // namespace
+}  // namespace grinch::noc

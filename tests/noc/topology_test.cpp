@@ -1,0 +1,74 @@
+#include "noc/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::noc {
+namespace {
+
+TEST(Mesh, RejectsDegenerateDimensions) {
+  EXPECT_THROW(MeshTopology(0, 3), std::invalid_argument);
+  EXPECT_THROW(MeshTopology(3, 0), std::invalid_argument);
+}
+
+TEST(Mesh, RowMajorIds) {
+  const MeshTopology mesh{3, 3};
+  EXPECT_EQ(mesh.node_count(), 9u);
+  EXPECT_EQ(mesh.id_of({0, 0}), 0u);
+  EXPECT_EQ(mesh.id_of({2, 0}), 2u);
+  EXPECT_EQ(mesh.id_of({0, 1}), 3u);
+  EXPECT_EQ(mesh.id_of({2, 2}), 8u);
+}
+
+TEST(Mesh, CoordOfInvertsIdOf) {
+  const MeshTopology mesh{4, 3};
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    EXPECT_EQ(mesh.id_of(mesh.coord_of(id)), id);
+  }
+}
+
+TEST(Mesh, OutOfRangeThrows) {
+  const MeshTopology mesh{2, 2};
+  EXPECT_THROW((void)mesh.coord_of(4), std::out_of_range);
+  EXPECT_THROW((void)mesh.id_of({2, 0}), std::out_of_range);
+}
+
+TEST(Mesh, HopDistanceIsManhattan) {
+  const MeshTopology mesh{3, 3};
+  EXPECT_EQ(mesh.hop_distance(0, 0), 0u);
+  EXPECT_EQ(mesh.hop_distance(0, 8), 4u);
+  EXPECT_EQ(mesh.hop_distance(0, 2), 2u);
+  EXPECT_EQ(mesh.hop_distance(2, 0), 2u);  // symmetric
+  EXPECT_EQ(mesh.hop_distance(4, 1), 1u);  // centre to edge
+}
+
+TEST(Mesh, CornerHasTwoNeighbors) {
+  const MeshTopology mesh{3, 3};
+  EXPECT_EQ(mesh.neighbors(0).size(), 2u);
+  EXPECT_EQ(mesh.neighbors(2).size(), 2u);
+  EXPECT_EQ(mesh.neighbors(8).size(), 2u);
+}
+
+TEST(Mesh, EdgeHasThreeCentreHasFour) {
+  const MeshTopology mesh{3, 3};
+  EXPECT_EQ(mesh.neighbors(1).size(), 3u);
+  EXPECT_EQ(mesh.neighbors(4).size(), 4u);
+}
+
+TEST(Mesh, NeighborsAreAtDistanceOne) {
+  const MeshTopology mesh{4, 4};
+  for (NodeId id = 0; id < mesh.node_count(); ++id) {
+    for (NodeId n : mesh.neighbors(id)) {
+      EXPECT_EQ(mesh.hop_distance(id, n), 1u);
+    }
+  }
+}
+
+TEST(Mesh, OneDimensionalMeshWorks) {
+  const MeshTopology line{8, 1};
+  EXPECT_EQ(line.hop_distance(0, 7), 7u);
+  EXPECT_EQ(line.neighbors(0).size(), 1u);
+  EXPECT_EQ(line.neighbors(3).size(), 2u);
+}
+
+}  // namespace
+}  // namespace grinch::noc

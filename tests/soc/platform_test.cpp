@@ -1,0 +1,195 @@
+#include "soc/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/predictor.h"
+#include "common/bits.h"
+#include "common/rng.h"
+#include "gift/gift64.h"
+
+namespace grinch::soc {
+namespace {
+
+TEST(IndexLineIds, OneWordLinesAreAllDistinct) {
+  const gift::TableLayout layout;
+  const auto ids = compute_index_line_ids(layout, 1);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(IndexLineIds, FourWordLinesGroupByFour) {
+  const gift::TableLayout layout;
+  const auto ids = compute_index_line_ids(layout, 4);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(ids[i], i / 4);
+}
+
+TEST(IndexLineIds, PackedCountermeasureWithEightByteLine) {
+  // Countermeasure 1: 8 rows of 8 bits + 8-byte lines => the whole S-Box
+  // occupies a single cache line; every index is indistinguishable.
+  gift::TableLayout layout;
+  layout.sbox_entries_per_row = 2;
+  const auto ids = compute_index_line_ids(layout, 8);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(ids[i], 0u);
+}
+
+// --------------------------------------------------- DirectProbePlatform --
+
+TEST(DirectProbe, WithFlushObservesExactlyTheMonitoredRound) {
+  Xoshiro256 rng{100};
+  const Key128 key = rng.key128();
+  DirectProbePlatform::Config cfg;
+  cfg.probing_round = 1;
+  cfg.use_flush = true;
+  DirectProbePlatform platform{cfg, key};
+
+  const std::uint64_t pt = rng.block64();
+  const Observation obs = platform.observe(pt, /*stage=*/0);
+  EXPECT_EQ(obs.probed_after_round, 2u);
+
+  // Ground truth: the set of S-Box indices of cipher round 1.
+  const auto states = gift::Gift64::round_states(pt, key);
+  std::vector<bool> expected(16, false);
+  for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
+  EXPECT_EQ(obs.present, expected);
+}
+
+TEST(DirectProbe, WithoutFlushIncludesRoundZeroDirt) {
+  Xoshiro256 rng{101};
+  const Key128 key = rng.key128();
+  DirectProbePlatform::Config cfg;
+  cfg.probing_round = 1;
+  cfg.use_flush = false;
+  DirectProbePlatform platform{cfg, key};
+
+  const std::uint64_t pt = rng.block64();
+  const Observation obs = platform.observe(pt, 0);
+
+  const auto states = gift::Gift64::round_states(pt, key);
+  std::vector<bool> expected(16, false);
+  for (unsigned r = 0; r < 2; ++r) {  // rounds 0 and 1 accumulate
+    for (unsigned s = 0; s < 16; ++s) expected[nibble(states[r], s)] = true;
+  }
+  EXPECT_EQ(obs.present, expected);
+}
+
+TEST(DirectProbe, LaterProbingAccumulatesMoreLines) {
+  Xoshiro256 rng{102};
+  const Key128 key = rng.key128();
+  unsigned prev_count = 0;
+  for (unsigned k : {1u, 3u, 6u}) {
+    DirectProbePlatform::Config cfg;
+    cfg.probing_round = k;
+    DirectProbePlatform platform{cfg, key};
+    const Observation obs = platform.observe(0x1234567812345678ull, 0);
+    unsigned count = 0;
+    for (bool p : obs.present) count += p;
+    EXPECT_GE(count, prev_count) << "probing round " << k;
+    prev_count = count;
+  }
+}
+
+TEST(DirectProbe, CiphertextIsTheRealOne) {
+  Xoshiro256 rng{103};
+  const Key128 key = rng.key128();
+  DirectProbePlatform platform{DirectProbePlatform::Config{}, key};
+  const std::uint64_t pt = rng.block64();
+  EXPECT_EQ(platform.observe(pt, 0).ciphertext, gift::Gift64::encrypt(pt, key));
+}
+
+TEST(DirectProbe, StageShiftsTheMonitoredRound) {
+  Xoshiro256 rng{104};
+  const Key128 key = rng.key128();
+  DirectProbePlatform::Config cfg;
+  cfg.probing_round = 1;
+  DirectProbePlatform platform{cfg, key};
+  const std::uint64_t pt = rng.block64();
+  const Observation obs = platform.observe(pt, /*stage=*/2);
+  EXPECT_EQ(obs.probed_after_round, 4u);
+  const auto states = gift::Gift64::round_states(pt, key);
+  std::vector<bool> expected(16, false);
+  for (unsigned s = 0; s < 16; ++s) expected[nibble(states[3], s)] = true;
+  EXPECT_EQ(obs.present, expected);
+}
+
+// --------------------------------------------------------- SingleCoreSoC --
+
+TEST(SingleCore, FirstProbeRoundMatchesTableTwo) {
+  Xoshiro256 rng{105};
+  const Key128 key = rng.key128();
+  for (const auto& [mhz, expected] :
+       {std::pair{10.0, 2u}, std::pair{25.0, 4u}, std::pair{50.0, 8u}}) {
+    SingleCoreSoC::Config cfg;
+    cfg.rtos.clock_mhz = mhz;
+    SingleCoreSoC soc{cfg, key};
+    EXPECT_EQ(soc.first_probe_round(), expected) << mhz << " MHz";
+  }
+}
+
+TEST(SingleCore, ObservationCoversRoundsUpToPreemption) {
+  Xoshiro256 rng{106};
+  const Key128 key = rng.key128();
+  SingleCoreSoC::Config cfg;
+  cfg.rtos.clock_mhz = 10.0;
+  SingleCoreSoC soc{cfg, key};
+  const Observation obs = soc.observe(rng.block64(), 0);
+  // At 10 MHz the quantum covers one full round plus part of round 2.
+  EXPECT_GE(obs.probed_after_round, 1u);
+  EXPECT_LE(obs.probed_after_round, 2u);
+}
+
+TEST(SingleCore, MeasuredRoundCostIsCalibrated) {
+  Xoshiro256 rng{107};
+  SingleCoreSoC::Config cfg;
+  SingleCoreSoC soc{cfg, rng.key128()};
+  EXPECT_NEAR(soc.measured_cycles_per_round(), 65000.0, 5000.0);
+}
+
+// ----------------------------------------------------------------- MpSoc --
+
+TEST(MpSoc, RemoteAccessIsAbout400ns) {
+  Xoshiro256 rng{108};
+  MpSoc soc{MpSoc::Config{}, rng.key128()};
+  // Paper §IV-B3: "approximately 400 nanoseconds" for the remote shared
+  // cache access (processor delay + NoC latency + cache response).
+  EXPECT_GT(soc.remote_access_ns(), 100.0);
+  EXPECT_LT(soc.remote_access_ns(), 800.0);
+}
+
+TEST(MpSoc, ProbeSequenceIsFasterThanARound) {
+  Xoshiro256 rng{109};
+  MpSoc soc{MpSoc::Config{}, rng.key128()};
+  // ~1.2 ms round vs ~tens of microseconds probing: the whole probe
+  // sequence fits many times into one round.
+  EXPECT_LT(soc.probe_sequence_cycles(), 65000u / 4);
+}
+
+TEST(MpSoc, FirstProbeRoundIsOneAtAllClockRates) {
+  Xoshiro256 rng{110};
+  for (double mhz : {10.0, 25.0, 50.0}) {
+    MpSoc::Config cfg;
+    cfg.clock_mhz = mhz;
+    MpSoc soc{cfg, rng.key128()};
+    EXPECT_EQ(soc.first_probe_round(), 1u) << mhz << " MHz";
+  }
+}
+
+TEST(MpSoc, ObservationIsCleanMonitoredRound) {
+  Xoshiro256 rng{111};
+  const Key128 key = rng.key128();
+  MpSoc soc{MpSoc::Config{}, key};
+  const std::uint64_t pt = rng.block64();
+  const Observation obs = soc.observe(pt, 0);
+  const auto states = gift::Gift64::round_states(pt, key);
+  std::vector<bool> expected(16, false);
+  for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
+  EXPECT_EQ(obs.present, expected);
+}
+
+TEST(MpSoc, NocTrafficIsAccounted) {
+  Xoshiro256 rng{112};
+  MpSoc soc{MpSoc::Config{}, rng.key128()};
+  (void)soc.remote_access_cycles();
+  EXPECT_GT(soc.network().stats().packets, 0u);
+}
+
+}  // namespace
+}  // namespace grinch::soc

@@ -1,0 +1,84 @@
+#include "soc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::soc {
+namespace {
+
+TEST(Rtos, QuantumCyclesScaleWithClock) {
+  RtosConfig cfg;
+  cfg.quantum_ms = 10.0;
+  cfg.clock_mhz = 10.0;
+  EXPECT_EQ(cfg.quantum_cycles(), 100000u);
+  cfg.clock_mhz = 50.0;
+  EXPECT_EQ(cfg.quantum_cycles(), 500000u);
+}
+
+TEST(Rtos, AttackerSlotFollowsVictimQuantum) {
+  RtosConfig cfg;
+  cfg.quantum_ms = 10.0;
+  cfg.clock_mhz = 10.0;
+  const RtosScheduler sched{cfg};
+  EXPECT_EQ(sched.attacker_slot_begin(0), 100000u);
+  EXPECT_EQ(sched.attacker_slot_begin(1), 300000u);  // next rotation
+}
+
+TEST(Rtos, OtherTasksDelayTheAttacker) {
+  RtosConfig cfg;
+  cfg.quantum_ms = 10.0;
+  cfg.clock_mhz = 10.0;
+  cfg.other_tasks = 2;
+  const RtosScheduler sched{cfg};
+  EXPECT_EQ(sched.attacker_slot_begin(0), 300000u);
+}
+
+TEST(Rtos, ProbedRoundMatchesTableTwoCalibration) {
+  // Table II, single-processor SoC row: with a ~65k-cycle round the RTOS
+  // quantum of 10 ms puts the first probe in rounds 2 / 4 / 8 at
+  // 10 / 25 / 50 MHz.
+  const double cycles_per_round = 65000.0;
+  for (const auto& [mhz, expected] :
+       {std::pair{10.0, 2u}, std::pair{25.0, 4u}, std::pair{50.0, 8u}}) {
+    RtosConfig cfg;
+    cfg.clock_mhz = mhz;
+    const RtosScheduler sched{cfg};
+    EXPECT_EQ(sched.probed_round(cycles_per_round), expected)
+        << mhz << " MHz";
+  }
+}
+
+TEST(Rtos, ProbedRoundSaturatesAtTotalRounds) {
+  RtosConfig cfg;
+  cfg.clock_mhz = 1000.0;  // absurdly fast: entire cipher fits in a quantum
+  const RtosScheduler sched{cfg};
+  EXPECT_EQ(sched.probed_round(65000.0, 28), 28u);
+}
+
+TEST(Rtos, SlowerClockProbesEarlierRound) {
+  const double cpr = 65000.0;
+  RtosConfig slow, fast;
+  slow.clock_mhz = 10.0;
+  fast.clock_mhz = 50.0;
+  EXPECT_LT(RtosScheduler{slow}.probed_round(cpr),
+            RtosScheduler{fast}.probed_round(cpr));
+}
+
+TEST(Rtos, TimelineAccountsAllQuanta) {
+  RtosConfig cfg;
+  cfg.quantum_ms = 1.0;
+  cfg.clock_mhz = 1.0;
+  cfg.other_tasks = 1;
+  const RtosScheduler sched{cfg};
+  const auto slices = sched.timeline(2);
+  ASSERT_EQ(slices.size(), 6u);  // 2 rotations x 3 tasks
+  // Contiguous, non-overlapping slices, round-robin task order.
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].task, i % 3);
+    EXPECT_EQ(slices[i].end_cycle - slices[i].begin_cycle,
+              cfg.quantum_cycles());
+    if (i > 0) EXPECT_EQ(slices[i].begin_cycle, slices[i - 1].end_cycle);
+  }
+}
+
+}  // namespace
+}  // namespace grinch::soc

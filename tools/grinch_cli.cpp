@@ -1,0 +1,273 @@
+// grinch — command-line front-end to the reproduction library.
+//
+//   grinch encrypt  --key <hex32> --pt <hex16> [--cipher gift64|gift128|present80]
+//   grinch decrypt  --key <hex32> --ct <hex16> [--cipher ...]
+//   grinch attack   [--key <hex32>] [--line-words N] [--probing-round K]
+//                   [--no-flush] [--prime-probe] [--stages N]
+//                   [--budget N] [--seed N] [--joint] [--precise]
+//                   [--noise N] [--statistical]
+//   grinch attack128 [--key <hex32>] [--budget N] [--seed N]
+//   grinch platforms              # Table II quick view
+//   grinch countermeasures        # §IV-C quick view
+//
+// Exit code 0 on success (for `attack`: key recovered and verified).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "attack/grinch.h"
+#include "attack/grinch128.h"
+#include "attack/present_attack.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "countermeasures/evaluator.h"
+#include "gift/gift128.h"
+#include "gift/gift64.h"
+#include "present/present.h"
+#include "soc/gift128_platform.h"
+#include "soc/platform.h"
+
+using namespace grinch;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::strtoull(it->second.c_str(),
+                                                          nullptr, 0);
+  }
+  [[nodiscard]] bool has(const std::string& flag) const {
+    return flags.count(flag) > 0;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) != 0) continue;
+    a = a.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.options[a] = argv[++i];
+    } else {
+      args.flags[a] = true;
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: grinch <encrypt|decrypt|attack|attack128|"
+               "attack-present|platforms|countermeasures> [options]\n"
+               "run with a command to see its defaults; see README.md.\n");
+  return 2;
+}
+
+Key128 key_from_args(const Args& args, Xoshiro256& rng) {
+  Key128 key = rng.key128();
+  const std::string hex = args.get("key", "");
+  if (!hex.empty() && !Key128::from_hex(hex, key)) {
+    std::fprintf(stderr, "bad --key (need 32 hex digits)\n");
+    std::exit(2);
+  }
+  return key;
+}
+
+int cmd_crypt(const Args& args, bool encrypt) {
+  Xoshiro256 rng{1};
+  const Key128 key = key_from_args(args, rng);
+  const std::string cipher = args.get("cipher", "gift64");
+  const std::string block_hex =
+      args.get(encrypt ? "pt" : "ct", encrypt ? "0000000000000000" : "");
+
+  if (cipher == "gift128") {
+    if (block_hex.size() != 32) {
+      std::fprintf(stderr, "gift128 needs a 32-hex-digit block\n");
+      return 2;
+    }
+    const gift::State128 in{parse_hex_u64(block_hex.substr(0, 16)).value(),
+                            parse_hex_u64(block_hex.substr(16)).value()};
+    const gift::State128 out = encrypt ? gift::Gift128::encrypt(in, key)
+                                       : gift::Gift128::decrypt(in, key);
+    std::printf("%s%s\n", to_hex_u64(out.hi).c_str(),
+                to_hex_u64(out.lo).c_str());
+    return 0;
+  }
+
+  const auto block = parse_hex_u64(block_hex);
+  if (!block) {
+    std::fprintf(stderr, "bad block (need up to 16 hex digits)\n");
+    return 2;
+  }
+  std::uint64_t out;
+  if (cipher == "present80") {
+    out = encrypt ? present::Present80::encrypt(*block, key)
+                  : present::Present80::decrypt(*block, key);
+  } else {
+    out = encrypt ? gift::Gift64::encrypt(*block, key)
+                  : gift::Gift64::decrypt(*block, key);
+  }
+  std::printf("%s\n", to_hex_u64(out).c_str());
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  Xoshiro256 rng{args.get_u64("seed", 0xC11)};
+  const Key128 key = key_from_args(args, rng);
+
+  soc::DirectProbePlatform::Config pcfg;
+  pcfg.cache.line_bytes =
+      static_cast<unsigned>(args.get_u64("line-words", 1));
+  pcfg.probing_round =
+      static_cast<unsigned>(args.get_u64("probing-round", 1));
+  pcfg.use_flush = !args.has("no-flush");
+  if (args.has("prime-probe")) pcfg.method = soc::ProbeMethod::kPrimeProbe;
+  if (args.has("precise")) pcfg.precise_probe = true;
+  pcfg.noise_accesses_per_round =
+      static_cast<unsigned>(args.get_u64("noise", 0));
+  soc::DirectProbePlatform platform{pcfg, key};
+
+  attack::GrinchConfig acfg;
+  acfg.stages = static_cast<unsigned>(args.get_u64("stages", 4));
+  acfg.max_encryptions = args.get_u64("budget", 1000000);
+  acfg.seed = args.get_u64("seed", 0xC11) ^ 0xA77AC4;
+  acfg.exploit_all_segments = args.has("joint");
+  acfg.statistical_elimination = args.has("statistical");
+  attack::GrinchAttack attack{platform, acfg};
+  const attack::AttackResult r = attack.run();
+
+  std::printf("victim key:      %s\n", key.to_hex().c_str());
+  std::printf("platform:        %s, probing round %u, %s, %s\n",
+              pcfg.cache.describe().c_str(), pcfg.probing_round,
+              pcfg.use_flush ? "flush" : "no flush",
+              pcfg.method == soc::ProbeMethod::kPrimeProbe ? "Prime+Probe"
+                                                           : "Flush+Reload");
+  for (std::size_t s = 0; s < r.stages.size(); ++s) {
+    std::printf("stage %zu:         %s (%llu encryptions)\n", s,
+                r.stages[s].success   ? "resolved"
+                : r.stages[s].deferred ? "deferred"
+                                       : "failed",
+                static_cast<unsigned long long>(r.stages[s].encryptions));
+  }
+  std::printf("encryptions:     %llu\n",
+              static_cast<unsigned long long>(r.total_encryptions));
+  if (acfg.stages == 4 && r.success) {
+    std::printf("recovered key:   %s\n", r.recovered_key.to_hex().c_str());
+    std::printf("verified:        %s\n", r.key_verified ? "yes" : "no");
+    std::printf("exact match:     %s\n",
+                r.recovered_key == key ? "yes" : "NO");
+    return r.recovered_key == key ? 0 : 1;
+  }
+  std::printf("result:          %s\n", r.success ? "success" : "FAILED");
+  return r.success ? 0 : 1;
+}
+
+int cmd_attack128(const Args& args) {
+  Xoshiro256 rng{args.get_u64("seed", 0xC128)};
+  const Key128 key = key_from_args(args, rng);
+  soc::Gift128DirectProbePlatform platform{{}, key};
+  attack::Grinch128Config cfg;
+  cfg.max_encryptions = args.get_u64("budget", 100000);
+  cfg.seed = args.get_u64("seed", 0xC128) ^ 0x128;
+  attack::Grinch128Attack attack{platform, cfg};
+  const attack::Grinch128Result r = attack.run();
+  std::printf("victim key:    %s\n", key.to_hex().c_str());
+  std::printf("encryptions:   %llu (stages %llu + %llu)\n",
+              static_cast<unsigned long long>(r.total_encryptions),
+              static_cast<unsigned long long>(r.stage_encryptions[0]),
+              static_cast<unsigned long long>(r.stage_encryptions[1]));
+  if (r.success) {
+    std::printf("recovered key: %s\nexact match:   %s\n",
+                r.recovered_key.to_hex().c_str(),
+                r.recovered_key == key ? "yes" : "NO");
+  } else {
+    std::printf("result:        FAILED\n");
+  }
+  return r.success && r.recovered_key == key ? 0 : 1;
+}
+
+int cmd_attack_present(const Args& args) {
+  Xoshiro256 rng{args.get_u64("seed", 0xC80)};
+  Key128 key = key_from_args(args, rng);
+  key.hi &= 0xFFFF;  // PRESENT-80 key space
+  soc::Present80DirectProbePlatform platform{{}, key};
+  attack::PresentAttackConfig cfg;
+  cfg.max_encryptions = args.get_u64("budget", 100000);
+  cfg.seed = args.get_u64("seed", 0xC80) ^ 0x80;
+  attack::Present80Attack attack{platform, cfg};
+  const attack::PresentAttackResult r = attack.run();
+  std::printf("victim key (80-bit): %s\n", key.to_hex().c_str());
+  std::printf("monitored encryptions: %llu; offline search: 2^16\n",
+              static_cast<unsigned long long>(r.cache_encryptions));
+  if (r.success) {
+    std::printf("recovered key:       %s\nexact match:         %s\n",
+                r.recovered_key.to_hex().c_str(),
+                r.recovered_key == key ? "yes" : "NO");
+  } else {
+    std::printf("result: FAILED\n");
+  }
+  return r.success && r.recovered_key == key ? 0 : 1;
+}
+
+int cmd_platforms() {
+  Xoshiro256 rng{2};
+  const Key128 key = rng.key128();
+  std::printf("platform              10MHz  25MHz  50MHz   (probed round)\n");
+  std::printf("single-core SoC       ");
+  for (double mhz : {10.0, 25.0, 50.0}) {
+    soc::SingleCoreSoC::Config cfg;
+    cfg.rtos.clock_mhz = mhz;
+    soc::SingleCoreSoC soc{cfg, key};
+    std::printf("%-7u", soc.first_probe_round());
+  }
+  std::printf("\nMPSoC (3x3 mesh)      ");
+  for (double mhz : {10.0, 25.0, 50.0}) {
+    soc::MpSoc::Config cfg;
+    cfg.clock_mhz = mhz;
+    soc::MpSoc soc{cfg, key};
+    std::printf("%-7u", soc.first_probe_round());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_countermeasures() {
+  Xoshiro256 rng{3};
+  for (const cm::EvaluationResult& r :
+       cm::evaluate_all(rng.key128(), 20000, 9)) {
+    std::printf("%-36s key retrieved: %-3s (%llu encryptions) — %s\n",
+                cm::to_string(r.protection), r.key_retrieved ? "YES" : "no",
+                static_cast<unsigned long long>(r.encryptions),
+                r.note.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  if (args.command == "encrypt") return cmd_crypt(args, true);
+  if (args.command == "decrypt") return cmd_crypt(args, false);
+  if (args.command == "attack") return cmd_attack(args);
+  if (args.command == "attack128") return cmd_attack128(args);
+  if (args.command == "attack-present") return cmd_attack_present(args);
+  if (args.command == "platforms") return cmd_platforms();
+  if (args.command == "countermeasures") return cmd_countermeasures();
+  return usage();
+}
