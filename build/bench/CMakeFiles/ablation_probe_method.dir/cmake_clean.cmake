@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_method.dir/ablation_probe_method.cpp.o"
+  "CMakeFiles/ablation_probe_method.dir/ablation_probe_method.cpp.o.d"
+  "ablation_probe_method"
+  "ablation_probe_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_precision.dir/ablation_probe_precision.cpp.o"
+  "CMakeFiles/ablation_probe_precision.dir/ablation_probe_precision.cpp.o.d"
+  "ablation_probe_precision"
+  "ablation_probe_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

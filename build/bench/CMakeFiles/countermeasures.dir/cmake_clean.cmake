@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasures.dir/countermeasures.cpp.o"
+  "CMakeFiles/countermeasures.dir/countermeasures.cpp.o.d"
+  "countermeasures"
+  "countermeasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_gift128.dir/extension_gift128.cpp.o"
+  "CMakeFiles/extension_gift128.dir/extension_gift128.cpp.o.d"
+  "extension_gift128"
+  "extension_gift128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_gift128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_present.dir/extension_present.cpp.o"
+  "CMakeFiles/extension_present.dir/extension_present.cpp.o.d"
+  "extension_present"
+  "extension_present.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_present.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

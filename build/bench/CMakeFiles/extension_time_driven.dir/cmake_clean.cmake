@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_time_driven.dir/extension_time_driven.cpp.o"
+  "CMakeFiles/extension_time_driven.dir/extension_time_driven.cpp.o.d"
+  "extension_time_driven"
+  "extension_time_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_time_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

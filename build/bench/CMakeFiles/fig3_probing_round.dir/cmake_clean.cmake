@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_probing_round.dir/fig3_probing_round.cpp.o"
+  "CMakeFiles/fig3_probing_round.dir/fig3_probing_round.cpp.o.d"
+  "fig3_probing_round"
+  "fig3_probing_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_probing_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

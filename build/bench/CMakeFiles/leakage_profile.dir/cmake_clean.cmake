@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_profile.dir/leakage_profile.cpp.o"
+  "CMakeFiles/leakage_profile.dir/leakage_profile.cpp.o.d"
+  "leakage_profile"
+  "leakage_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

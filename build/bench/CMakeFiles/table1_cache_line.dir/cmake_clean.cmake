@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cache_line.dir/table1_cache_line.cpp.o"
+  "CMakeFiles/table1_cache_line.dir/table1_cache_line.cpp.o.d"
+  "table1_cache_line"
+  "table1_cache_line.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_line.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_countermeasure_eval.
+# This may be replaced when dependencies are built.

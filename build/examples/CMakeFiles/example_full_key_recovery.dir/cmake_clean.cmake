@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_full_key_recovery.dir/full_key_recovery.cpp.o"
+  "CMakeFiles/example_full_key_recovery.dir/full_key_recovery.cpp.o.d"
+  "full_key_recovery"
+  "full_key_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_full_key_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mpsoc_attack.dir/mpsoc_attack.cpp.o"
+  "CMakeFiles/example_mpsoc_attack.dir/mpsoc_attack.cpp.o.d"
+  "mpsoc_attack"
+  "mpsoc_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mpsoc_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

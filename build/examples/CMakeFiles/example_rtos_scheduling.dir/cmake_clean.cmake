@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rtos_scheduling.dir/rtos_scheduling.cpp.o"
+  "CMakeFiles/example_rtos_scheduling.dir/rtos_scheduling.cpp.o.d"
+  "rtos_scheduling"
+  "rtos_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rtos_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

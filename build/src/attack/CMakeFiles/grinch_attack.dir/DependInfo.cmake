@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/cross_round.cpp" "src/attack/CMakeFiles/grinch_attack.dir/cross_round.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/cross_round.cpp.o.d"
+  "/root/repo/src/attack/eliminator.cpp" "src/attack/CMakeFiles/grinch_attack.dir/eliminator.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/eliminator.cpp.o.d"
+  "/root/repo/src/attack/grinch.cpp" "src/attack/CMakeFiles/grinch_attack.dir/grinch.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/grinch.cpp.o.d"
+  "/root/repo/src/attack/grinch128.cpp" "src/attack/CMakeFiles/grinch_attack.dir/grinch128.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/grinch128.cpp.o.d"
+  "/root/repo/src/attack/key_recovery.cpp" "src/attack/CMakeFiles/grinch_attack.dir/key_recovery.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/key_recovery.cpp.o.d"
+  "/root/repo/src/attack/plaintext_crafter.cpp" "src/attack/CMakeFiles/grinch_attack.dir/plaintext_crafter.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/plaintext_crafter.cpp.o.d"
+  "/root/repo/src/attack/predictor.cpp" "src/attack/CMakeFiles/grinch_attack.dir/predictor.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/predictor.cpp.o.d"
+  "/root/repo/src/attack/present_attack.cpp" "src/attack/CMakeFiles/grinch_attack.dir/present_attack.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/present_attack.cpp.o.d"
+  "/root/repo/src/attack/target_bits.cpp" "src/attack/CMakeFiles/grinch_attack.dir/target_bits.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/target_bits.cpp.o.d"
+  "/root/repo/src/attack/time_driven.cpp" "src/attack/CMakeFiles/grinch_attack.dir/time_driven.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/time_driven.cpp.o.d"
+  "/root/repo/src/attack/trace_driven.cpp" "src/attack/CMakeFiles/grinch_attack.dir/trace_driven.cpp.o" "gcc" "src/attack/CMakeFiles/grinch_attack.dir/trace_driven.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  "/root/repo/build/src/present/CMakeFiles/grinch_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/grinch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/grinch_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/grinch_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

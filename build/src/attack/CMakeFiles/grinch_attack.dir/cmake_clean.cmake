@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_attack.dir/cross_round.cpp.o"
+  "CMakeFiles/grinch_attack.dir/cross_round.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/eliminator.cpp.o"
+  "CMakeFiles/grinch_attack.dir/eliminator.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/grinch.cpp.o"
+  "CMakeFiles/grinch_attack.dir/grinch.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/grinch128.cpp.o"
+  "CMakeFiles/grinch_attack.dir/grinch128.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/key_recovery.cpp.o"
+  "CMakeFiles/grinch_attack.dir/key_recovery.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/plaintext_crafter.cpp.o"
+  "CMakeFiles/grinch_attack.dir/plaintext_crafter.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/predictor.cpp.o"
+  "CMakeFiles/grinch_attack.dir/predictor.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/present_attack.cpp.o"
+  "CMakeFiles/grinch_attack.dir/present_attack.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/target_bits.cpp.o"
+  "CMakeFiles/grinch_attack.dir/target_bits.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/time_driven.cpp.o"
+  "CMakeFiles/grinch_attack.dir/time_driven.cpp.o.d"
+  "CMakeFiles/grinch_attack.dir/trace_driven.cpp.o"
+  "CMakeFiles/grinch_attack.dir/trace_driven.cpp.o.d"
+  "libgrinch_attack.a"
+  "libgrinch_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

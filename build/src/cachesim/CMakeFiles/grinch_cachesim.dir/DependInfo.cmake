@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache.cpp" "src/cachesim/CMakeFiles/grinch_cachesim.dir/cache.cpp.o" "gcc" "src/cachesim/CMakeFiles/grinch_cachesim.dir/cache.cpp.o.d"
+  "/root/repo/src/cachesim/config.cpp" "src/cachesim/CMakeFiles/grinch_cachesim.dir/config.cpp.o" "gcc" "src/cachesim/CMakeFiles/grinch_cachesim.dir/config.cpp.o.d"
+  "/root/repo/src/cachesim/hierarchy.cpp" "src/cachesim/CMakeFiles/grinch_cachesim.dir/hierarchy.cpp.o" "gcc" "src/cachesim/CMakeFiles/grinch_cachesim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/cachesim/replacement.cpp" "src/cachesim/CMakeFiles/grinch_cachesim.dir/replacement.cpp.o" "gcc" "src/cachesim/CMakeFiles/grinch_cachesim.dir/replacement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/grinch_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/grinch_cachesim.dir/config.cpp.o"
+  "CMakeFiles/grinch_cachesim.dir/config.cpp.o.d"
+  "CMakeFiles/grinch_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/grinch_cachesim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/grinch_cachesim.dir/replacement.cpp.o"
+  "CMakeFiles/grinch_cachesim.dir/replacement.cpp.o.d"
+  "libgrinch_cachesim.a"
+  "libgrinch_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

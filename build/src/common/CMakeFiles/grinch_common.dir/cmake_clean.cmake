@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_common.dir/bits.cpp.o"
+  "CMakeFiles/grinch_common.dir/bits.cpp.o.d"
+  "CMakeFiles/grinch_common.dir/hex.cpp.o"
+  "CMakeFiles/grinch_common.dir/hex.cpp.o.d"
+  "CMakeFiles/grinch_common.dir/logging.cpp.o"
+  "CMakeFiles/grinch_common.dir/logging.cpp.o.d"
+  "CMakeFiles/grinch_common.dir/rng.cpp.o"
+  "CMakeFiles/grinch_common.dir/rng.cpp.o.d"
+  "CMakeFiles/grinch_common.dir/stats.cpp.o"
+  "CMakeFiles/grinch_common.dir/stats.cpp.o.d"
+  "CMakeFiles/grinch_common.dir/table.cpp.o"
+  "CMakeFiles/grinch_common.dir/table.cpp.o.d"
+  "libgrinch_common.a"
+  "libgrinch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrinch_common.a"
+)

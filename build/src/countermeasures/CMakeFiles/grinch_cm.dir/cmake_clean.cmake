@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_cm.dir/evaluator.cpp.o"
+  "CMakeFiles/grinch_cm.dir/evaluator.cpp.o.d"
+  "CMakeFiles/grinch_cm.dir/hardened_schedule.cpp.o"
+  "CMakeFiles/grinch_cm.dir/hardened_schedule.cpp.o.d"
+  "CMakeFiles/grinch_cm.dir/packed_sbox.cpp.o"
+  "CMakeFiles/grinch_cm.dir/packed_sbox.cpp.o.d"
+  "libgrinch_cm.a"
+  "libgrinch_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gift/bitslice.cpp" "src/gift/CMakeFiles/grinch_gift.dir/bitslice.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/bitslice.cpp.o.d"
+  "/root/repo/src/gift/constants.cpp" "src/gift/CMakeFiles/grinch_gift.dir/constants.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/constants.cpp.o.d"
+  "/root/repo/src/gift/gift128.cpp" "src/gift/CMakeFiles/grinch_gift.dir/gift128.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/gift128.cpp.o.d"
+  "/root/repo/src/gift/gift64.cpp" "src/gift/CMakeFiles/grinch_gift.dir/gift64.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/gift64.cpp.o.d"
+  "/root/repo/src/gift/key_schedule.cpp" "src/gift/CMakeFiles/grinch_gift.dir/key_schedule.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/key_schedule.cpp.o.d"
+  "/root/repo/src/gift/permutation.cpp" "src/gift/CMakeFiles/grinch_gift.dir/permutation.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/permutation.cpp.o.d"
+  "/root/repo/src/gift/sbox.cpp" "src/gift/CMakeFiles/grinch_gift.dir/sbox.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/sbox.cpp.o.d"
+  "/root/repo/src/gift/table_gift.cpp" "src/gift/CMakeFiles/grinch_gift.dir/table_gift.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/table_gift.cpp.o.d"
+  "/root/repo/src/gift/table_gift128.cpp" "src/gift/CMakeFiles/grinch_gift.dir/table_gift128.cpp.o" "gcc" "src/gift/CMakeFiles/grinch_gift.dir/table_gift128.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

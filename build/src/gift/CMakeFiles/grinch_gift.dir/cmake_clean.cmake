@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_gift.dir/bitslice.cpp.o"
+  "CMakeFiles/grinch_gift.dir/bitslice.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/constants.cpp.o"
+  "CMakeFiles/grinch_gift.dir/constants.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/gift128.cpp.o"
+  "CMakeFiles/grinch_gift.dir/gift128.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/gift64.cpp.o"
+  "CMakeFiles/grinch_gift.dir/gift64.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/key_schedule.cpp.o"
+  "CMakeFiles/grinch_gift.dir/key_schedule.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/permutation.cpp.o"
+  "CMakeFiles/grinch_gift.dir/permutation.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/sbox.cpp.o"
+  "CMakeFiles/grinch_gift.dir/sbox.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/table_gift.cpp.o"
+  "CMakeFiles/grinch_gift.dir/table_gift.cpp.o.d"
+  "CMakeFiles/grinch_gift.dir/table_gift128.cpp.o"
+  "CMakeFiles/grinch_gift.dir/table_gift128.cpp.o.d"
+  "libgrinch_gift.a"
+  "libgrinch_gift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_gift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_noc.dir/network.cpp.o"
+  "CMakeFiles/grinch_noc.dir/network.cpp.o.d"
+  "CMakeFiles/grinch_noc.dir/routing.cpp.o"
+  "CMakeFiles/grinch_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/grinch_noc.dir/topology.cpp.o"
+  "CMakeFiles/grinch_noc.dir/topology.cpp.o.d"
+  "libgrinch_noc.a"
+  "libgrinch_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

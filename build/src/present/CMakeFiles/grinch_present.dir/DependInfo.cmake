@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/present/present.cpp" "src/present/CMakeFiles/grinch_present.dir/present.cpp.o" "gcc" "src/present/CMakeFiles/grinch_present.dir/present.cpp.o.d"
+  "/root/repo/src/present/table_present.cpp" "src/present/CMakeFiles/grinch_present.dir/table_present.cpp.o" "gcc" "src/present/CMakeFiles/grinch_present.dir/table_present.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_present.dir/present.cpp.o"
+  "CMakeFiles/grinch_present.dir/present.cpp.o.d"
+  "CMakeFiles/grinch_present.dir/table_present.cpp.o"
+  "CMakeFiles/grinch_present.dir/table_present.cpp.o.d"
+  "libgrinch_present.a"
+  "libgrinch_present.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_present.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/gift128_platform.cpp" "src/soc/CMakeFiles/grinch_soc.dir/gift128_platform.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/gift128_platform.cpp.o.d"
+  "/root/repo/src/soc/hierarchy_platform.cpp" "src/soc/CMakeFiles/grinch_soc.dir/hierarchy_platform.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/hierarchy_platform.cpp.o.d"
+  "/root/repo/src/soc/platform.cpp" "src/soc/CMakeFiles/grinch_soc.dir/platform.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/platform.cpp.o.d"
+  "/root/repo/src/soc/present_platform.cpp" "src/soc/CMakeFiles/grinch_soc.dir/present_platform.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/present_platform.cpp.o.d"
+  "/root/repo/src/soc/prober.cpp" "src/soc/CMakeFiles/grinch_soc.dir/prober.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/prober.cpp.o.d"
+  "/root/repo/src/soc/scheduler.cpp" "src/soc/CMakeFiles/grinch_soc.dir/scheduler.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/scheduler.cpp.o.d"
+  "/root/repo/src/soc/victim.cpp" "src/soc/CMakeFiles/grinch_soc.dir/victim.cpp.o" "gcc" "src/soc/CMakeFiles/grinch_soc.dir/victim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  "/root/repo/build/src/present/CMakeFiles/grinch_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/grinch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/grinch_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

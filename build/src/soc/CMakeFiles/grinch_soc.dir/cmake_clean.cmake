@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_soc.dir/gift128_platform.cpp.o"
+  "CMakeFiles/grinch_soc.dir/gift128_platform.cpp.o.d"
+  "CMakeFiles/grinch_soc.dir/hierarchy_platform.cpp.o"
+  "CMakeFiles/grinch_soc.dir/hierarchy_platform.cpp.o.d"
+  "CMakeFiles/grinch_soc.dir/platform.cpp.o"
+  "CMakeFiles/grinch_soc.dir/platform.cpp.o.d"
+  "CMakeFiles/grinch_soc.dir/present_platform.cpp.o"
+  "CMakeFiles/grinch_soc.dir/present_platform.cpp.o.d"
+  "CMakeFiles/grinch_soc.dir/prober.cpp.o"
+  "CMakeFiles/grinch_soc.dir/prober.cpp.o.d"
+  "CMakeFiles/grinch_soc.dir/scheduler.cpp.o"
+  "CMakeFiles/grinch_soc.dir/scheduler.cpp.o.d"
+  "CMakeFiles/grinch_soc.dir/victim.cpp.o"
+  "CMakeFiles/grinch_soc.dir/victim.cpp.o.d"
+  "libgrinch_soc.a"
+  "libgrinch_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

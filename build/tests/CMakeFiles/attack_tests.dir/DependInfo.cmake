@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack/attack_config_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/attack_config_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/attack_config_test.cpp.o.d"
+  "/root/repo/tests/attack/cross_round_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/cross_round_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/cross_round_test.cpp.o.d"
+  "/root/repo/tests/attack/eliminator_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/eliminator_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/eliminator_test.cpp.o.d"
+  "/root/repo/tests/attack/grinch128_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/grinch128_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/grinch128_test.cpp.o.d"
+  "/root/repo/tests/attack/grinch_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/grinch_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/grinch_test.cpp.o.d"
+  "/root/repo/tests/attack/key_recovery_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/key_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/key_recovery_test.cpp.o.d"
+  "/root/repo/tests/attack/plaintext_crafter_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/plaintext_crafter_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/plaintext_crafter_test.cpp.o.d"
+  "/root/repo/tests/attack/predictor_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/predictor_test.cpp.o.d"
+  "/root/repo/tests/attack/present_attack_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/present_attack_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/present_attack_test.cpp.o.d"
+  "/root/repo/tests/attack/target_bits_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/target_bits_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/target_bits_test.cpp.o.d"
+  "/root/repo/tests/attack/time_driven_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/time_driven_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/time_driven_test.cpp.o.d"
+  "/root/repo/tests/attack/trace_driven_test.cpp" "tests/CMakeFiles/attack_tests.dir/attack/trace_driven_test.cpp.o" "gcc" "tests/CMakeFiles/attack_tests.dir/attack/trace_driven_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/grinch_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/present/CMakeFiles/grinch_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/grinch_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/grinch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/grinch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_tests.dir/attack/attack_config_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/attack_config_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/cross_round_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/cross_round_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/eliminator_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/eliminator_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/grinch128_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/grinch128_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/grinch_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/grinch_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/key_recovery_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/key_recovery_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/plaintext_crafter_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/plaintext_crafter_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/predictor_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/predictor_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/present_attack_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/present_attack_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/target_bits_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/target_bits_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/time_driven_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/time_driven_test.cpp.o.d"
+  "CMakeFiles/attack_tests.dir/attack/trace_driven_test.cpp.o"
+  "CMakeFiles/attack_tests.dir/attack/trace_driven_test.cpp.o.d"
+  "attack_tests"
+  "attack_tests.pdb"
+  "attack_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

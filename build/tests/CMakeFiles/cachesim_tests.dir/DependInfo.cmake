@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cachesim/cache_test.cpp" "tests/CMakeFiles/cachesim_tests.dir/cachesim/cache_test.cpp.o" "gcc" "tests/CMakeFiles/cachesim_tests.dir/cachesim/cache_test.cpp.o.d"
+  "/root/repo/tests/cachesim/hierarchy_test.cpp" "tests/CMakeFiles/cachesim_tests.dir/cachesim/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/cachesim_tests.dir/cachesim/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/cachesim/prefetch_test.cpp" "tests/CMakeFiles/cachesim_tests.dir/cachesim/prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/cachesim_tests.dir/cachesim/prefetch_test.cpp.o.d"
+  "/root/repo/tests/cachesim/reference_model_test.cpp" "tests/CMakeFiles/cachesim_tests.dir/cachesim/reference_model_test.cpp.o" "gcc" "tests/CMakeFiles/cachesim_tests.dir/cachesim/reference_model_test.cpp.o.d"
+  "/root/repo/tests/cachesim/replacement_test.cpp" "tests/CMakeFiles/cachesim_tests.dir/cachesim/replacement_test.cpp.o" "gcc" "tests/CMakeFiles/cachesim_tests.dir/cachesim/replacement_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cachesim/CMakeFiles/grinch_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_tests.dir/cachesim/cache_test.cpp.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/cache_test.cpp.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/hierarchy_test.cpp.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/hierarchy_test.cpp.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/prefetch_test.cpp.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/prefetch_test.cpp.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/reference_model_test.cpp.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/reference_model_test.cpp.o.d"
+  "CMakeFiles/cachesim_tests.dir/cachesim/replacement_test.cpp.o"
+  "CMakeFiles/cachesim_tests.dir/cachesim/replacement_test.cpp.o.d"
+  "cachesim_tests"
+  "cachesim_tests.pdb"
+  "cachesim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasure_tests.dir/countermeasures/evaluator_test.cpp.o"
+  "CMakeFiles/countermeasure_tests.dir/countermeasures/evaluator_test.cpp.o.d"
+  "CMakeFiles/countermeasure_tests.dir/countermeasures/hardened_schedule_test.cpp.o"
+  "CMakeFiles/countermeasure_tests.dir/countermeasures/hardened_schedule_test.cpp.o.d"
+  "CMakeFiles/countermeasure_tests.dir/countermeasures/packed_sbox_test.cpp.o"
+  "CMakeFiles/countermeasure_tests.dir/countermeasures/packed_sbox_test.cpp.o.d"
+  "countermeasure_tests"
+  "countermeasure_tests.pdb"
+  "countermeasure_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasure_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

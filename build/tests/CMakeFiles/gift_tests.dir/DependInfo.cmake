@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gift/bitslice_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/bitslice_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/bitslice_test.cpp.o.d"
+  "/root/repo/tests/gift/constants_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/constants_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/constants_test.cpp.o.d"
+  "/root/repo/tests/gift/gift128_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/gift128_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/gift128_test.cpp.o.d"
+  "/root/repo/tests/gift/gift64_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/gift64_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/gift64_test.cpp.o.d"
+  "/root/repo/tests/gift/key_schedule_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/key_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/key_schedule_test.cpp.o.d"
+  "/root/repo/tests/gift/permutation_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/permutation_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/permutation_test.cpp.o.d"
+  "/root/repo/tests/gift/sbox_crypto_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/sbox_crypto_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/sbox_crypto_test.cpp.o.d"
+  "/root/repo/tests/gift/sbox_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/sbox_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/sbox_test.cpp.o.d"
+  "/root/repo/tests/gift/table_gift128_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/table_gift128_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/table_gift128_test.cpp.o.d"
+  "/root/repo/tests/gift/table_gift_test.cpp" "tests/CMakeFiles/gift_tests.dir/gift/table_gift_test.cpp.o" "gcc" "tests/CMakeFiles/gift_tests.dir/gift/table_gift_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gift_tests.dir/gift/bitslice_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/bitslice_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/constants_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/constants_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/gift128_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/gift128_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/gift64_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/gift64_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/key_schedule_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/key_schedule_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/permutation_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/permutation_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/sbox_crypto_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/sbox_crypto_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/sbox_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/sbox_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/table_gift128_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/table_gift128_test.cpp.o.d"
+  "CMakeFiles/gift_tests.dir/gift/table_gift_test.cpp.o"
+  "CMakeFiles/gift_tests.dir/gift/table_gift_test.cpp.o.d"
+  "gift_tests"
+  "gift_tests.pdb"
+  "gift_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gift_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/network_test.cpp" "tests/CMakeFiles/noc_tests.dir/noc/network_test.cpp.o" "gcc" "tests/CMakeFiles/noc_tests.dir/noc/network_test.cpp.o.d"
+  "/root/repo/tests/noc/routing_test.cpp" "tests/CMakeFiles/noc_tests.dir/noc/routing_test.cpp.o" "gcc" "tests/CMakeFiles/noc_tests.dir/noc/routing_test.cpp.o.d"
+  "/root/repo/tests/noc/topology_test.cpp" "tests/CMakeFiles/noc_tests.dir/noc/topology_test.cpp.o" "gcc" "tests/CMakeFiles/noc_tests.dir/noc/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/noc/CMakeFiles/grinch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

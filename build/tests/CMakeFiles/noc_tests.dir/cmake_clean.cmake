@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_tests.dir/noc/network_test.cpp.o"
+  "CMakeFiles/noc_tests.dir/noc/network_test.cpp.o.d"
+  "CMakeFiles/noc_tests.dir/noc/routing_test.cpp.o"
+  "CMakeFiles/noc_tests.dir/noc/routing_test.cpp.o.d"
+  "CMakeFiles/noc_tests.dir/noc/topology_test.cpp.o"
+  "CMakeFiles/noc_tests.dir/noc/topology_test.cpp.o.d"
+  "noc_tests"
+  "noc_tests.pdb"
+  "noc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/present/present_test.cpp" "tests/CMakeFiles/present_tests.dir/present/present_test.cpp.o" "gcc" "tests/CMakeFiles/present_tests.dir/present/present_test.cpp.o.d"
+  "/root/repo/tests/present/table_present_test.cpp" "tests/CMakeFiles/present_tests.dir/present/table_present_test.cpp.o" "gcc" "tests/CMakeFiles/present_tests.dir/present/table_present_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/present/CMakeFiles/grinch_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

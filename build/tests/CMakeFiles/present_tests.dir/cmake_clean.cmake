@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/present_tests.dir/present/present_test.cpp.o"
+  "CMakeFiles/present_tests.dir/present/present_test.cpp.o.d"
+  "CMakeFiles/present_tests.dir/present/table_present_test.cpp.o"
+  "CMakeFiles/present_tests.dir/present/table_present_test.cpp.o.d"
+  "present_tests"
+  "present_tests.pdb"
+  "present_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/present_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_tests.dir/soc/hierarchy_platform_test.cpp.o"
+  "CMakeFiles/soc_tests.dir/soc/hierarchy_platform_test.cpp.o.d"
+  "CMakeFiles/soc_tests.dir/soc/platform_test.cpp.o"
+  "CMakeFiles/soc_tests.dir/soc/platform_test.cpp.o.d"
+  "CMakeFiles/soc_tests.dir/soc/precision_noise_test.cpp.o"
+  "CMakeFiles/soc_tests.dir/soc/precision_noise_test.cpp.o.d"
+  "CMakeFiles/soc_tests.dir/soc/prober_test.cpp.o"
+  "CMakeFiles/soc_tests.dir/soc/prober_test.cpp.o.d"
+  "CMakeFiles/soc_tests.dir/soc/scheduler_test.cpp.o"
+  "CMakeFiles/soc_tests.dir/soc/scheduler_test.cpp.o.d"
+  "CMakeFiles/soc_tests.dir/soc/victim_test.cpp.o"
+  "CMakeFiles/soc_tests.dir/soc/victim_test.cpp.o.d"
+  "soc_tests"
+  "soc_tests.pdb"
+  "soc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

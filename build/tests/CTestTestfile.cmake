@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/gift_tests[1]_include.cmake")
+include("/root/repo/build/tests/present_tests[1]_include.cmake")
+include("/root/repo/build/tests/cachesim_tests[1]_include.cmake")
+include("/root/repo/build/tests/noc_tests[1]_include.cmake")
+include("/root/repo/build/tests/soc_tests[1]_include.cmake")
+include("/root/repo/build/tests/countermeasure_tests[1]_include.cmake")
+include("/root/repo/build/tests/attack_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/grinch_cli.cpp" "tools/CMakeFiles/grinch_cli.dir/grinch_cli.cpp.o" "gcc" "tools/CMakeFiles/grinch_cli.dir/grinch_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/grinch_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/grinch_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/countermeasures/CMakeFiles/grinch_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/present/CMakeFiles/grinch_present.dir/DependInfo.cmake"
+  "/root/repo/build/src/gift/CMakeFiles/grinch_gift.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grinch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/grinch_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/grinch_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grinch_cli.dir/grinch_cli.cpp.o"
+  "CMakeFiles/grinch_cli.dir/grinch_cli.cpp.o.d"
+  "grinch"
+  "grinch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grinch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
