@@ -1,0 +1,146 @@
+#include "analysis/leak_report.h"
+
+#include <cstdio>
+
+namespace grinch::analysis {
+namespace {
+
+/// %g-style compact formatting ("2", "1.58") for bit counts.
+std::string fmt_bits(double bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", bits);
+  return buf;
+}
+
+char taint_char(Taint t) {
+  if (carries_key(t)) return 'K';
+  return (t & kPlaintext) != 0 ? 'P' : '-';
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+double RoundLeak::sbox_bits() const noexcept {
+  double total = 0.0;
+  for (const SegmentLeak& s : segments) total += s.sbox_bits;
+  return total;
+}
+
+double StaticReport::recoverable_bits() const noexcept {
+  double total = 0.0;
+  for (const RoundLeak& r : rounds) total += r.sbox_bits();
+  return total;
+}
+
+std::string LeakReport::to_text(bool verbose) const {
+  std::string out;
+  out += "target : " + target + " — " + description + "\n";
+  out += "static : ";
+  out += static_pass.leaky ? "LEAKY" : "leak-free";
+  out += " (" + fmt_bits(static_pass.recoverable_bits()) +
+         " recoverable key bits across " +
+         std::to_string(static_pass.rounds_analyzed) + " rounds)\n";
+  for (const RoundLeak& r : static_pass.rounds) {
+    const double bits = r.sbox_bits();
+    if (bits == 0.0 && r.perm_bits == 0.0 && !verbose) continue;
+    out += "  round " + std::to_string(r.round + 1) + ": " + fmt_bits(bits) +
+           " key bits via S-Box (" + std::to_string(r.segments.size()) +
+           " segments)";
+    if (r.perm_bits > 0.0) {
+      out += " + " + fmt_bits(r.perm_bits) + " via PermBits LUT";
+    }
+    out += "\n";
+    if (verbose) {
+      for (const SegmentLeak& s : r.segments) {
+        out += "    segment " + std::to_string(s.segment) + ": " +
+               fmt_bits(s.sbox_bits) + " bits, index taint [";
+        for (unsigned b = 0; b < 4; ++b) {
+          if (b != 0) out.push_back(' ');
+          out.push_back(taint_char(s.index_taint[b]));
+        }
+        out += "]\n";
+      }
+    }
+  }
+  out += "dynamic: ";
+  if (dynamic_pass.equivalent()) {
+    out += "equivalent traces in " + std::to_string(dynamic_pass.trials) +
+           "/" + std::to_string(dynamic_pass.trials) + " key pairs\n";
+  } else {
+    out += "DIVERGED in " + std::to_string(dynamic_pass.diverged) + "/" +
+           std::to_string(dynamic_pass.trials) + " key pairs (first: trial " +
+           std::to_string(dynamic_pass.first_trial) + ", access " +
+           std::to_string(dynamic_pass.first_access) + ", round " +
+           std::to_string(dynamic_pass.first_round + 1) + ")\n";
+  }
+  out += "verdict: ";
+  out += leaky() ? "LEAKY" : "leak-free";
+  out += consistent() ? " (static and dynamic agree)"
+                      : " [INCONSISTENT: static and dynamic disagree]";
+  if (leaky() != expected_leaky) out += " [UNEXPECTED]";
+  out += "\n";
+  return out;
+}
+
+std::string LeakReport::to_json() const {
+  std::string out = "{\"target\":\"";
+  append_json_escaped(out, target);
+  out += "\",\"description\":\"";
+  append_json_escaped(out, description);
+  out += "\",\"expected_leaky\":";
+  out += expected_leaky ? "true" : "false";
+  out += ",\"leaky\":";
+  out += leaky() ? "true" : "false";
+  out += ",\"consistent\":";
+  out += consistent() ? "true" : "false";
+  out += ",\"static\":{\"leaky\":";
+  out += static_pass.leaky ? "true" : "false";
+  out += ",\"rounds_analyzed\":" + std::to_string(static_pass.rounds_analyzed);
+  out += ",\"recoverable_bits\":" + fmt_bits(static_pass.recoverable_bits());
+  out += ",\"rounds\":[";
+  for (std::size_t i = 0; i < static_pass.rounds.size(); ++i) {
+    const RoundLeak& r = static_pass.rounds[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"round\":" + std::to_string(r.round + 1);
+    out += ",\"sbox_bits\":" + fmt_bits(r.sbox_bits());
+    out += ",\"perm_bits\":" + fmt_bits(r.perm_bits);
+    out += ",\"segments\":[";
+    for (std::size_t j = 0; j < r.segments.size(); ++j) {
+      const SegmentLeak& s = r.segments[j];
+      if (j != 0) out.push_back(',');
+      out += "{\"segment\":" + std::to_string(s.segment);
+      out += ",\"bits\":" + fmt_bits(s.sbox_bits);
+      out += ",\"index_taint\":\"";
+      for (unsigned b = 0; b < 4; ++b) out.push_back(taint_char(s.index_taint[b]));
+      out += "\"}";
+    }
+    out += "]}";
+  }
+  out += "]},\"dynamic\":{\"trials\":" + std::to_string(dynamic_pass.trials);
+  out += ",\"diverged\":" + std::to_string(dynamic_pass.diverged);
+  if (!dynamic_pass.equivalent()) {
+    out += ",\"first_trial\":" + std::to_string(dynamic_pass.first_trial);
+    out += ",\"first_access\":" + std::to_string(dynamic_pass.first_access);
+    out += ",\"first_round\":" + std::to_string(dynamic_pass.first_round + 1);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string reports_to_json(const std::vector<LeakReport>& reports) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += reports[i].to_json();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace grinch::analysis

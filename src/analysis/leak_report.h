@@ -1,0 +1,77 @@
+// Structured leakcheck verdicts: per-round, per-segment leaked-bit counts
+// plus the static/dynamic agreement check, with text and JSON emission.
+//
+// The per-round numbers use the paper's cross-round attack model (only
+// the attacked round's fresh key bits are unknown), so for table GIFT
+// they reproduce the headline "2 key bits per segment per attacked
+// round" of PAPER.md — 16 segments x 2 bits x 4 rounds = the full
+// 128-bit key.  Rounds are reported 1-based to match the paper's text
+// (paper round 2 = code round 1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/taint.h"
+#include "analysis/trace_diff.h"
+
+namespace grinch::analysis {
+
+/// Leak of one segment's S-Box lookup in one attacked round.
+struct SegmentLeak {
+  unsigned segment = 0;
+  double sbox_bits = 0.0;  ///< fresh key bits observable at line granularity
+  std::array<Taint, 4> index_taint{};  ///< taint of index bits 0..3
+};
+
+/// Leak of one attacked round.
+struct RoundLeak {
+  unsigned round = 0;  ///< 0-based code round (display adds 1)
+  std::vector<SegmentLeak> segments;
+  double perm_bits = 0.0;  ///< aggregate leak through PermBits lookups
+
+  [[nodiscard]] double sbox_bits() const noexcept;
+};
+
+/// Result of the static taint pass.
+struct StaticReport {
+  bool leaky = false;  ///< any access exposes KEY taint (cumulative mode)
+  unsigned rounds_analyzed = 0;
+  std::vector<RoundLeak> rounds;  ///< cross-round model, round by round
+
+  /// Sum of per-segment S-Box leaks over the analyzed rounds — the key
+  /// bits the paper's staged attack can recover from them.
+  [[nodiscard]] double recoverable_bits() const noexcept;
+};
+
+/// Combined verdict for one target.
+struct LeakReport {
+  std::string target;
+  std::string description;
+  bool expected_leaky = true;
+
+  StaticReport static_pass;
+  TraceDiffResult dynamic_pass;
+
+  [[nodiscard]] bool leaky() const noexcept { return static_pass.leaky; }
+  /// Static and dynamic oracles agree.
+  [[nodiscard]] bool consistent() const noexcept {
+    return static_pass.leaky == !dynamic_pass.equivalent();
+  }
+  /// Verdict matches the registered expectation (the CI regression gate).
+  [[nodiscard]] bool as_expected() const noexcept {
+    return leaky() == expected_leaky && consistent();
+  }
+
+  /// Human-readable report; `verbose` adds per-segment taint detail.
+  [[nodiscard]] std::string to_text(bool verbose = false) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// JSON array over several reports.
+[[nodiscard]] std::string reports_to_json(
+    const std::vector<LeakReport>& reports);
+
+}  // namespace grinch::analysis

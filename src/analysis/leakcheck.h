@@ -1,0 +1,39 @@
+// leakcheck front door: static taint pass + dynamic trace-equivalence
+// oracle for one AnalysisTarget, combined into a LeakReport.
+//
+// Decision procedure:
+//   1. Static.  Cumulative-taint abstract interpretation flags every table
+//      access whose index carries KEY taint; cache-line projection
+//      (leaked_key_bits) discards taint the layout makes unobservable —
+//      the packed S-Box is KEY-tainted but projects to zero bits.  The
+//      target is "leaky" iff any observed access projects to > 0 bits.
+//   2. Quantify.  Per attacked round, re-run the taint engine in the
+//      cross-round model (earlier round keys known) and sum the fresh key
+//      bits exposed per segment — the paper's 2-bits-per-segment counts.
+//   3. Dynamic.  key_pair_trace_diff validates the verdict on the real
+//      implementation; LeakReport::consistent() asserts agreement.
+#pragma once
+
+#include <vector>
+
+#include "analysis/leak_report.h"
+#include "analysis/registry.h"
+#include "analysis/trace_diff.h"
+
+namespace grinch::analysis {
+
+struct LeakcheckConfig {
+  unsigned analysis_rounds = 0;  ///< attacked rounds to quantify (0 = target default)
+  bool run_dynamic = true;       ///< also run the trace-equivalence oracle
+  TraceDiffConfig diff;
+};
+
+/// Runs both passes over one target.
+[[nodiscard]] LeakReport analyze(const AnalysisTarget& target,
+                                 const LeakcheckConfig& cfg = {});
+
+/// Runs both passes over every built-in target.
+[[nodiscard]] std::vector<LeakReport> analyze_all(
+    const LeakcheckConfig& cfg = {});
+
+}  // namespace grinch::analysis

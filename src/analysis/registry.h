@@ -1,0 +1,72 @@
+// Registry of implementations leakcheck knows how to analyze.
+//
+// An AnalysisTarget pairs the *static* view of an implementation (its
+// CipherModel for the taint engine, plus the table layout and cache
+// geometry that decide what an attacker can observe) with a *dynamic*
+// runner that executes the real code under instrumentation — so the
+// trace-equivalence oracle can validate every static verdict against the
+// actual access stream.  Registering a new implementation means filling
+// in one of these structs (see docs/LEAKCHECK.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/taint.h"
+#include "cachesim/config.h"
+#include "common/key128.h"
+#include "gift/table_gift.h"
+
+namespace grinch::analysis {
+
+struct AnalysisTarget {
+  std::string name;
+  std::string description;
+  bool expect_leaky = true;  ///< regression expectation enforced by tests/CI
+
+  CipherModel model;            ///< structural view for the taint engine
+  gift::TableLayout layout;     ///< where the tables live
+  cachesim::CacheConfig cache;  ///< observable granularity (line size)
+
+  /// Attacked rounds quantified by the static report.  Chosen so the
+  /// summed fresh key bits cover the key (GIFT-64: rounds 2..5 of the
+  /// paper = 4 x 32 bits).
+  unsigned analysis_rounds = 5;
+
+  /// Rounds each dynamic trial executes (kept small; leaks show by round 2).
+  unsigned trace_rounds = 6;
+
+  /// Runs `rounds` rounds of the real implementation, reporting table
+  /// accesses to `sink`.  `pt_hi` is used only by 128-bit-block ciphers.
+  std::function<void(std::uint64_t pt_lo, std::uint64_t pt_hi,
+                     const Key128& key, unsigned rounds,
+                     gift::TraceSink* sink)>
+      run;
+
+  /// Access kinds that are memory lookups in the modelled implementation
+  /// (the packed-S-Box countermeasure computes PermBits in registers, so
+  /// its kPerm events are not observable memory traffic).
+  bool observe_sbox = true;
+  bool observe_perm = true;
+
+  [[nodiscard]] bool observes(gift::TableAccess::Kind kind) const noexcept {
+    return kind == gift::TableAccess::Kind::kSBox ? observe_sbox
+                                                  : observe_perm;
+  }
+};
+
+/// The built-in targets: table GIFT-64 / GIFT-128 / PRESENT-80 (leaky),
+/// bitsliced GIFT-64 and the packed-S-Box countermeasure (leak-free),
+/// plus two instructive extras — the hardened key schedule (cache leak
+/// unchanged) and the packed S-Box with LUT PermBits kept (leaky: the
+/// PermBits table still betrays the state, a gap the paper's §IV-C text
+/// does not mention and this analyzer makes visible).
+[[nodiscard]] std::vector<AnalysisTarget> builtin_targets();
+
+/// Finds a built-in target by name (nullptr when absent).
+[[nodiscard]] const AnalysisTarget* find_target(
+    const std::vector<AnalysisTarget>& targets, const std::string& name);
+
+}  // namespace grinch::analysis

@@ -1,0 +1,212 @@
+#include "analysis/taint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "gift/gift128.h"
+#include "gift/gift64.h"
+#include "present/present.h"
+
+namespace grinch::analysis {
+namespace {
+
+/// GIFT-64 round keys land on bits 4i (V_i) and 4i+1 (U_i).
+std::vector<unsigned> gift64_key_positions(unsigned /*round*/) {
+  std::vector<unsigned> pos;
+  pos.reserve(32);
+  for (unsigned i = 0; i < 16; ++i) {
+    pos.push_back(4 * i);
+    pos.push_back(4 * i + 1);
+  }
+  return pos;
+}
+
+/// GIFT-128 round keys land on bits 4i+1 (V_i) and 4i+2 (U_i).
+std::vector<unsigned> gift128_key_positions(unsigned /*round*/) {
+  std::vector<unsigned> pos;
+  pos.reserve(64);
+  for (unsigned i = 0; i < 32; ++i) {
+    pos.push_back(4 * i + 1);
+    pos.push_back(4 * i + 2);
+  }
+  return pos;
+}
+
+/// PRESENT XORs a full 64-bit round key into the whole state.
+std::vector<unsigned> present_key_positions(unsigned /*round*/) {
+  std::vector<unsigned> pos(64);
+  for (unsigned i = 0; i < 64; ++i) pos[i] = i;
+  return pos;
+}
+
+Taint key_taint_for_round(const KeyTaintPolicy& policy, unsigned round) {
+  switch (policy.mode) {
+    case KeyTaintPolicy::Mode::kAll:
+      return kKey;
+    case KeyTaintPolicy::Mode::kOnly:
+      return round == policy.round ? kKey : kPublic;
+    case KeyTaintPolicy::Mode::kNone:
+      return kPublic;
+  }
+  return kPublic;
+}
+
+}  // namespace
+
+CipherModel gift64_table_model() {
+  CipherModel m;
+  m.name = "gift64-table";
+  m.state_bits = 64;
+  m.max_rounds = gift::Gift64::kRounds;
+  m.perm = &gift::gift64_permutation();
+  m.key_positions = gift64_key_positions;
+  return m;
+}
+
+CipherModel gift128_table_model() {
+  CipherModel m;
+  m.name = "gift128-table";
+  m.state_bits = 128;
+  m.max_rounds = gift::Gift128::kRounds;
+  m.perm = &gift::gift128_permutation();
+  m.key_positions = gift128_key_positions;
+  return m;
+}
+
+CipherModel present80_table_model() {
+  CipherModel m;
+  m.name = "present80-table";
+  m.state_bits = 64;
+  m.max_rounds = present::Present80::kRounds;
+  m.key_add_before_sbox = true;
+  m.perm = &gift::present_permutation();
+  m.key_positions = present_key_positions;
+  return m;
+}
+
+CipherModel gift64_bitsliced_model() {
+  CipherModel m = gift64_table_model();
+  m.name = "gift64-bitsliced";
+  m.sbox_lookups = false;
+  m.perm_lookups = false;
+  return m;
+}
+
+CipherModel gift64_packed_model() {
+  CipherModel m = gift64_table_model();
+  m.name = "gift64-packed-sbox";
+  m.perm_lookups = false;  // PermBits in registers completes the mitigation
+  return m;
+}
+
+std::vector<TaintedAccess> propagate_taint(const CipherModel& model,
+                                           unsigned rounds,
+                                           const KeyTaintPolicy& policy) {
+  const unsigned n = model.state_bits;
+  const unsigned run = std::min(rounds, model.max_rounds);
+  std::vector<Taint> state(n, kPlaintext);
+  std::vector<Taint> next(n, kPublic);
+  std::vector<TaintedAccess> accesses;
+
+  const auto add_round_key = [&](unsigned r) {
+    const Taint t = key_taint_for_round(policy, r);
+    for (const unsigned pos : model.key_positions(r)) {
+      state[pos] = static_cast<Taint>(state[pos] | t);
+    }
+  };
+
+  for (unsigned r = 0; r < run; ++r) {
+    if (model.key_add_before_sbox) add_round_key(r);
+
+    // SubCells: the lookup index of segment s is state bits 4s..4s+3; every
+    // S-Box output bit may depend on every input bit, so all four output
+    // bits take the join.  A bitsliced SubCells performs the same abstract
+    // transformation but issues no lookup.
+    for (unsigned s = 0; s < model.segments(); ++s) {
+      const std::array<Taint, 4> in{state[4 * s], state[4 * s + 1],
+                                    state[4 * s + 2], state[4 * s + 3]};
+      if (model.sbox_lookups) {
+        accesses.push_back(
+            TaintedAccess{gift::TableAccess::Kind::kSBox, r, s, in});
+      }
+      const auto joined =
+          static_cast<Taint>(in[0] | in[1] | in[2] | in[3]);
+      for (unsigned b = 0; b < 4; ++b) state[4 * s + b] = joined;
+    }
+
+    // PermBits LUT variant indexes PERM[s][v] with the post-SubCells
+    // nibble, so the lookup leaks the joined segment taint.
+    if (model.perm_lookups) {
+      for (unsigned s = 0; s < model.segments(); ++s) {
+        const Taint t = state[4 * s];
+        accesses.push_back(TaintedAccess{gift::TableAccess::Kind::kPerm, r, s,
+                                         {t, t, t, t}});
+      }
+    }
+
+    // The permutation itself only moves taint bits around.
+    std::fill(next.begin(), next.end(), kPublic);
+    for (unsigned i = 0; i < n; ++i) {
+      next[model.perm->forward(i)] = state[i];
+    }
+    state.swap(next);
+
+    // AddRoundKey (+ round constant, which is PUBLIC and taint-neutral).
+    if (!model.key_add_before_sbox) add_round_key(r);
+  }
+  return accesses;
+}
+
+std::vector<TaintedAccess> attacked_round_accesses(const CipherModel& model,
+                                                   unsigned round) {
+  KeyTaintPolicy policy;
+  if (model.key_add_before_sbox) {
+    policy = KeyTaintPolicy::fresh_only(round);
+  } else if (round == 0) {
+    // GIFT's round-0 indices see no key at all.
+    policy.mode = KeyTaintPolicy::Mode::kNone;
+  } else {
+    policy = KeyTaintPolicy::fresh_only(round - 1);
+  }
+
+  std::vector<TaintedAccess> all = propagate_taint(model, round + 1, policy);
+  std::erase_if(all,
+                [round](const TaintedAccess& a) { return a.round != round; });
+  return all;
+}
+
+double leaked_key_bits(const TaintedAccess& access,
+                       const gift::TableLayout& layout,
+                       const cachesim::Cache& cache) {
+  unsigned key_mask = 0;
+  for (unsigned b = 0; b < 4; ++b) {
+    if (carries_key(access.index_taint[b])) key_mask |= 1u << b;
+  }
+  if (key_mask == 0) return 0.0;
+
+  const auto row_addr = [&](unsigned index) {
+    return access.kind == gift::TableAccess::Kind::kSBox
+               ? layout.sbox_row_addr(index)
+               : layout.perm_row_addr(access.segment, index);
+  };
+
+  // For every fixed assignment of the attacker-known index bits, count the
+  // distinct cache lines reachable by varying the KEY-tainted bits; the
+  // worst case bounds what one observation reveals about those key bits.
+  std::size_t worst = 1;
+  for (unsigned base = 0; base < 16; ++base) {
+    if ((base & key_mask) != 0) continue;
+    std::set<std::uint64_t> lines;
+    unsigned sub = key_mask;
+    for (;;) {
+      lines.insert(cache.line_base(row_addr(base | sub)));
+      if (sub == 0) break;
+      sub = (sub - 1) & key_mask;
+    }
+    worst = std::max(worst, lines.size());
+  }
+  return std::log2(static_cast<double>(worst));
+}
+
+}  // namespace grinch::analysis

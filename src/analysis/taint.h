@@ -1,0 +1,138 @@
+// leakcheck pass 1 — static taint/dataflow analysis of table-based ciphers.
+//
+// The engine abstractly interprets a cipher's round structure over a small
+// taint lattice instead of concrete bits.  Every state bit carries a taint
+// set drawn from {PLAINTEXT, KEY} (empty set = PUBLIC); join is set union:
+//
+//       {PLAINTEXT, KEY}       "secret and chosen-input dependent"
+//        |            |
+//   {PLAINTEXT}     {KEY}
+//        |            |
+//         {}  (PUBLIC)
+//
+// A table lookup leaks its *index* through the cache, so the analysis
+// records, for every S-Box / PermBits access the implementation would
+// issue, the taint of each of the four index bits.  An implementation is
+// statically leak-free when no recorded access can expose KEY taint at
+// cache-line granularity (see leaked_key_bits below) — which is exactly
+// the property the GRINCH attack (PAPER.md) falsifies for the table-based
+// GIFT implementation and the bitsliced/packed countermeasures restore.
+//
+// The abstraction is sound for the SPN ciphers modelled here: SubCells
+// joins the four segment-bit taints (every S-Box output bit may depend on
+// every input bit), PermBits moves taint bits, and AddRoundKey joins KEY
+// taint into the key-facing positions.  Constants are PUBLIC.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "gift/permutation.h"
+#include "gift/table_gift.h"
+
+namespace grinch::analysis {
+
+/// Taint set of one state/index bit (bitmask; join = bitwise OR).
+using Taint = std::uint8_t;
+inline constexpr Taint kPublic = 0;     ///< attacker-known / constant
+inline constexpr Taint kPlaintext = 1;  ///< depends on the chosen input
+inline constexpr Taint kKey = 2;        ///< depends on unknown key bits
+
+/// True when `t` carries KEY taint (the only component that leaks secrets).
+[[nodiscard]] constexpr bool carries_key(Taint t) noexcept {
+  return (t & kKey) != 0;
+}
+
+/// Structural description of a 4-bit-segment LUT cipher, sufficient for
+/// abstract interpretation.  All five registered implementations (GIFT-64,
+/// GIFT-128, PRESENT-80, bitsliced GIFT, packed-S-Box GIFT) are instances.
+struct CipherModel {
+  std::string name;
+  unsigned state_bits = 64;        ///< 64 (GIFT-64/PRESENT) or 128
+  unsigned max_rounds = 28;        ///< rounds the real cipher runs
+  bool key_add_before_sbox = false;  ///< PRESENT adds the round key first
+  bool sbox_lookups = true;        ///< false: constant-time SubCells (ANF)
+  bool perm_lookups = true;        ///< false: PermBits computed in registers
+  const gift::BitPermutation* perm = nullptr;  ///< width == state_bits
+
+  /// State-bit positions XORed with round-key bits in (0-based) round r.
+  std::function<std::vector<unsigned>(unsigned round)> key_positions;
+
+  [[nodiscard]] unsigned segments() const noexcept { return state_bits / 4; }
+};
+
+/// The models behind the built-in analysis targets.
+[[nodiscard]] CipherModel gift64_table_model();
+[[nodiscard]] CipherModel gift128_table_model();
+[[nodiscard]] CipherModel present80_table_model();
+/// Bitsliced GIFT-64: no table lookups at all.
+[[nodiscard]] CipherModel gift64_bitsliced_model();
+/// Packed-S-Box countermeasure: S-Box lookups remain (into one packed
+/// line); PermBits is computed in registers, completing the mitigation.
+[[nodiscard]] CipherModel gift64_packed_model();
+
+/// One abstract table access: which lookup, and the taint of each of the
+/// four index bits (index bit i of segment s = state bit 4s+i).
+struct TaintedAccess {
+  gift::TableAccess::Kind kind = gift::TableAccess::Kind::kSBox;
+  unsigned round = 0;    ///< 0-based
+  unsigned segment = 0;
+  std::array<Taint, 4> index_taint{};
+
+  [[nodiscard]] Taint joined() const noexcept {
+    return static_cast<Taint>(index_taint[0] | index_taint[1] |
+                              index_taint[2] | index_taint[3]);
+  }
+  [[nodiscard]] bool key_tainted() const noexcept {
+    return carries_key(joined());
+  }
+};
+
+/// Which AddRoundKey operations inject KEY taint.
+///
+/// kAll models the plain observer ("is anything here secret-dependent?").
+/// kOnly models the paper's cross-round attack: round keys recovered in
+/// earlier stages are attacker-known (PUBLIC), so only the *fresh* round
+/// key of interest carries KEY — this is what makes the per-round leak
+/// quantification come out as the paper's 2 bits per segment.
+struct KeyTaintPolicy {
+  enum class Mode : std::uint8_t { kAll, kOnly, kNone };
+  Mode mode = Mode::kAll;
+  unsigned round = 0;  ///< the tainted round for kOnly
+
+  [[nodiscard]] static KeyTaintPolicy cumulative() noexcept { return {}; }
+  [[nodiscard]] static KeyTaintPolicy fresh_only(unsigned r) noexcept {
+    return {Mode::kOnly, r};
+  }
+};
+
+/// Abstractly interprets `rounds` rounds of `model`, returning every table
+/// access the implementation would issue with its index-bit taints.
+[[nodiscard]] std::vector<TaintedAccess> propagate_taint(
+    const CipherModel& model, unsigned rounds, const KeyTaintPolicy& policy);
+
+/// Accesses of attacked (0-based) round `round` under the cross-round
+/// model: the round key feeding that round's S-Box indices is the only
+/// KEY-tainted one (earlier stage recoveries are PUBLIC).  For GIFT that
+/// is the AddRoundKey of round-1; for PRESENT the one opening `round`.
+[[nodiscard]] std::vector<TaintedAccess> attacked_round_accesses(
+    const CipherModel& model, unsigned round);
+
+/// Key bits observable from one access at cache-line granularity.
+///
+/// Enumerates the 16 possible index values: fixing every non-KEY index bit
+/// and toggling the KEY-tainted ones, counts the distinct cache lines the
+/// access can land on (layout address -> Cache::line_base / set index) and
+/// returns log2 of the worst-case count.  2.0 for table GIFT at the paper
+/// default (two key-facing index bits, one S-Box entry per line); 0.0 for
+/// the packed S-Box (all rows share one line) — Table I's sweep falls out
+/// of the same formula at intermediate line sizes.
+[[nodiscard]] double leaked_key_bits(const TaintedAccess& access,
+                                     const gift::TableLayout& layout,
+                                     const cachesim::Cache& cache);
+
+}  // namespace grinch::analysis

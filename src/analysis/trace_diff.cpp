@@ -1,0 +1,73 @@
+#include "analysis/trace_diff.h"
+
+#include "cachesim/cache.h"
+#include "common/rng.h"
+
+namespace grinch::analysis {
+
+std::vector<ProjectedAccess> projected_line_trace(const AnalysisTarget& target,
+                                                  std::uint64_t pt_lo,
+                                                  std::uint64_t pt_hi,
+                                                  const Key128& key,
+                                                  unsigned rounds) {
+  gift::VectorTraceSink sink;
+  target.run(pt_lo, pt_hi, key, rounds, &sink);
+
+  const cachesim::Cache cache{target.cache};
+  std::vector<ProjectedAccess> projected;
+  projected.reserve(sink.accesses().size());
+  for (const gift::TableAccess& a : sink.accesses()) {
+    if (!target.observes(a.kind)) continue;
+    projected.push_back(ProjectedAccess{cache.line_base(a.addr),
+                                        cache.set_index(a.addr), a.round});
+  }
+  return projected;
+}
+
+TraceDiffResult key_pair_trace_diff(const AnalysisTarget& target,
+                                    const TraceDiffConfig& cfg) {
+  const unsigned rounds = cfg.rounds != 0 ? cfg.rounds : target.trace_rounds;
+  Xoshiro256 rng{cfg.seed};
+  TraceDiffResult result;
+  result.trials = cfg.trials;
+
+  for (unsigned trial = 0; trial < cfg.trials; ++trial) {
+    const std::uint64_t pt_lo = rng.block64();
+    const std::uint64_t pt_hi = rng.block64();
+    const Key128 k1 = rng.key128();
+    Key128 k2 = rng.key128();
+    if (k2 == k1) k2 = k2 ^ Key128{0, 1};
+
+    const std::vector<ProjectedAccess> t1 =
+        projected_line_trace(target, pt_lo, pt_hi, k1, rounds);
+    const std::vector<ProjectedAccess> t2 =
+        projected_line_trace(target, pt_lo, pt_hi, k2, rounds);
+
+    int diverged_round = -2;  // -2: traces equal
+    unsigned diverged_at = 0;
+    const std::size_t common = std::min(t1.size(), t2.size());
+    for (std::size_t i = 0; i < common; ++i) {
+      if (t1[i].line != t2[i].line) {
+        diverged_round = static_cast<int>(t1[i].round);
+        diverged_at = static_cast<unsigned>(i);
+        break;
+      }
+    }
+    if (diverged_round == -2 && t1.size() != t2.size()) {
+      diverged_round = -1;  // length mismatch past the common prefix
+      diverged_at = static_cast<unsigned>(common);
+    }
+
+    if (diverged_round != -2) {
+      if (result.diverged == 0) {
+        result.first_trial = trial;
+        result.first_access = diverged_at;
+        result.first_round = diverged_round;
+      }
+      ++result.diverged;
+    }
+  }
+  return result;
+}
+
+}  // namespace grinch::analysis

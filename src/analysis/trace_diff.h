@@ -1,0 +1,61 @@
+// leakcheck pass 2 — dynamic trace-equivalence oracle.
+//
+// An implementation's memory behaviour is key-independent iff, for every
+// plaintext, the projected cache-line access sequence is the same under
+// every key.  This checker samples that property: it drives the real
+// instrumented implementation under pairs of random keys with a shared
+// fixed plaintext per trial, projects each access stream to observable
+// cache lines (via the target's cache geometry), and compares the
+// sequences.  Any divergence is a concrete witness of secret-dependent
+// memory behaviour — the dynamic counterpart that validates (or refutes)
+// the taint engine's static verdict.
+//
+// A clean result is evidence, not proof (it samples key pairs); a
+// divergence is definitive.  The static pass has the opposite polarity
+// (sound "leaky" may over-approximate) — leakcheck runs both and demands
+// agreement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/registry.h"
+
+namespace grinch::analysis {
+
+/// One access projected to what the attacker can observe.
+struct ProjectedAccess {
+  std::uint64_t line = 0;  ///< cache-line base address of the access
+  std::uint64_t set = 0;   ///< cache set index (Prime+Probe granularity)
+  unsigned round = 0;      ///< 0-based round that issued it
+};
+
+/// Runs `rounds` rounds of the target under (pt, key) and projects the
+/// observable accesses to cache lines.
+[[nodiscard]] std::vector<ProjectedAccess> projected_line_trace(
+    const AnalysisTarget& target, std::uint64_t pt_lo, std::uint64_t pt_hi,
+    const Key128& key, unsigned rounds);
+
+struct TraceDiffConfig {
+  unsigned trials = 16;   ///< key pairs sampled
+  unsigned rounds = 0;    ///< rounds per encryption (0 = target default)
+  std::uint64_t seed = 0x7D1FF;
+};
+
+struct TraceDiffResult {
+  unsigned trials = 0;
+  unsigned diverged = 0;  ///< trials whose traces differed
+
+  /// Details of the first divergence found (valid when diverged > 0).
+  unsigned first_trial = 0;
+  unsigned first_access = 0;  ///< ordinal of the first differing access
+  int first_round = -1;       ///< round of that access (-1: length mismatch)
+
+  [[nodiscard]] bool equivalent() const noexcept { return diverged == 0; }
+};
+
+/// The key-pair oracle: fixed plaintext per trial, two random keys.
+[[nodiscard]] TraceDiffResult key_pair_trace_diff(const AnalysisTarget& target,
+                                                  const TraceDiffConfig& cfg);
+
+}  // namespace grinch::analysis

@@ -22,6 +22,8 @@ TargetBits128 set_target_bits128(unsigned segment) {
 
   const unsigned out_a = t.bit_a % 4;
   const unsigned out_b = t.bit_b % 4;
+  t.list_a.reserve(8);  // every GIFT S-Box output bit is balanced
+  t.list_b.reserve(8);
   for (unsigned x = 0; x < 16; ++x) {
     const unsigned y = sbox.apply(x);
     if ((y >> out_a) & 1u) t.list_a.push_back(x);

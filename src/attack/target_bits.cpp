@@ -28,6 +28,8 @@ TargetBits set_target_bits(unsigned segment) {
   // Inv_SBOX[X] — any of these inputs forces a 1 on the target bit.
   const unsigned out_bit_a = t.bit_a % 4;
   const unsigned out_bit_b = t.bit_b % 4;
+  t.list_a.reserve(8);  // every GIFT S-Box output bit is balanced
+  t.list_b.reserve(8);
   for (unsigned x = 0; x < 16; ++x) {
     const unsigned y = sbox.apply(x);
     if ((y >> out_bit_a) & 1u) t.list_a.push_back(x);

@@ -5,7 +5,8 @@
 // reproduces that implementation style and *instruments* it: every table
 // access is reported to a TraceSink with its memory address, round and
 // segment, so the SoC simulation can replay the access stream against the
-// cache model.
+// cache model.  The same instrumentation points feed the static/dynamic
+// leak analyzer in src/analysis/ (docs/LEAKCHECK.md).
 //
 // Memory layout (configurable through TableLayout):
 //   * S-Box table    — 16 4-bit entries.  In the paper's default platform

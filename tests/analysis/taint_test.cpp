@@ -1,0 +1,206 @@
+#include "analysis/taint.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/leakcheck.h"
+#include "analysis/registry.h"
+#include "cachesim/cache.h"
+#include "countermeasures/packed_sbox.h"
+
+namespace grinch::analysis {
+namespace {
+
+/// S-Box accesses of `round` under the cross-round attack model.
+std::vector<TaintedAccess> sbox_accesses(const CipherModel& model,
+                                         unsigned round) {
+  std::vector<TaintedAccess> out;
+  for (const TaintedAccess& a : attacked_round_accesses(model, round)) {
+    if (a.kind == gift::TableAccess::Kind::kSBox) out.push_back(a);
+  }
+  return out;
+}
+
+TEST(Taint, Gift64RoundOneIndicesArePlaintextOnly) {
+  // Paper round 1 (code round 0) is key-independent: the attacker can
+  // compute every S-Box index from the plaintext.
+  const cachesim::Cache cache{cachesim::CacheConfig::paper_default()};
+  for (const TaintedAccess& a : sbox_accesses(gift64_table_model(), 0)) {
+    EXPECT_FALSE(a.key_tainted());
+    EXPECT_EQ(leaked_key_bits(a, gift::TableLayout{}, cache), 0.0);
+  }
+}
+
+TEST(Taint, Gift64RoundTwoFlagsExactlyTheTwoKeyFacingIndexBits) {
+  // Paper round 2 (code round 1): round-key bits V_s / U_s land on state
+  // bits 4s / 4s+1, i.e. index bits 0 and 1 of every segment.
+  const std::vector<TaintedAccess> accesses =
+      sbox_accesses(gift64_table_model(), 1);
+  ASSERT_EQ(accesses.size(), 16u);
+  std::vector<bool> seen(16, false);
+  for (const TaintedAccess& a : accesses) {
+    EXPECT_EQ(a.round, 1u);
+    seen[a.segment] = true;
+    EXPECT_TRUE(carries_key(a.index_taint[0]));
+    EXPECT_TRUE(carries_key(a.index_taint[1]));
+    EXPECT_FALSE(carries_key(a.index_taint[2]));
+    EXPECT_FALSE(carries_key(a.index_taint[3]));
+    // The non-key bits are still plaintext-driven (chosen by the attacker).
+    EXPECT_TRUE((a.index_taint[2] & kPlaintext) != 0);
+  }
+  for (unsigned s = 0; s < 16; ++s) EXPECT_TRUE(seen[s]) << "segment " << s;
+}
+
+TEST(Taint, Gift64LeaksTwoBitsPerSegmentPerAttackedRound) {
+  // The paper's headline: each attacked round exposes 2 fresh key bits per
+  // segment at the default one-entry-per-line geometry (rounds 2..5).
+  const CipherModel model = gift64_table_model();
+  const cachesim::Cache cache{cachesim::CacheConfig::paper_default()};
+  for (unsigned round = 1; round <= 4; ++round) {
+    for (const TaintedAccess& a : sbox_accesses(model, round)) {
+      EXPECT_DOUBLE_EQ(leaked_key_bits(a, gift::TableLayout{}, cache), 2.0)
+          << "round " << round << " segment " << a.segment;
+    }
+  }
+}
+
+TEST(Taint, LineSizeSweepMatchesTableOne) {
+  // Table I: widening the cache line hides low index bits.  The two
+  // key-facing bits are index bits 0/1, so 1-byte lines expose both,
+  // 2-byte lines one, and 4-/8-byte lines none.
+  const TaintedAccess access = sbox_accesses(gift64_table_model(), 1).front();
+  const gift::TableLayout layout{};
+  const double expected[] = {2.0, 1.0, 0.0, 0.0};
+  unsigned i = 0;
+  for (const unsigned words : {1u, 2u, 4u, 8u}) {
+    const cachesim::Cache cache{cachesim::CacheConfig::with_line_words(words)};
+    EXPECT_DOUBLE_EQ(leaked_key_bits(access, layout, cache), expected[i++])
+        << words << "-byte lines";
+  }
+}
+
+TEST(Taint, Gift128RoundTwoFlagsMiddleIndexBits) {
+  // GIFT-128 round keys land on bits 4i+1 / 4i+2: index bits 1 and 2.
+  const std::vector<TaintedAccess> accesses =
+      sbox_accesses(gift128_table_model(), 1);
+  ASSERT_EQ(accesses.size(), 32u);
+  const cachesim::Cache cache{cachesim::CacheConfig::paper_default()};
+  for (const TaintedAccess& a : accesses) {
+    EXPECT_FALSE(carries_key(a.index_taint[0]));
+    EXPECT_TRUE(carries_key(a.index_taint[1]));
+    EXPECT_TRUE(carries_key(a.index_taint[2]));
+    EXPECT_FALSE(carries_key(a.index_taint[3]));
+    EXPECT_DOUBLE_EQ(leaked_key_bits(a, gift::TableLayout{}, cache), 2.0);
+  }
+}
+
+TEST(Taint, PresentLeaksFromRoundOneOnAllFourIndexBits) {
+  // PRESENT XORs the full round key before sBoxLayer, so even paper
+  // round 1 is key-dependent on every index bit.
+  const cachesim::Cache cache{cachesim::CacheConfig::paper_default()};
+  const std::vector<TaintedAccess> accesses =
+      sbox_accesses(present80_table_model(), 0);
+  ASSERT_EQ(accesses.size(), 16u);
+  for (const TaintedAccess& a : accesses) {
+    for (unsigned b = 0; b < 4; ++b) {
+      EXPECT_TRUE(carries_key(a.index_taint[b]));
+    }
+    EXPECT_DOUBLE_EQ(leaked_key_bits(a, gift::TableLayout{}, cache), 4.0);
+  }
+}
+
+TEST(Taint, BitslicedModelIssuesNoAccesses) {
+  EXPECT_TRUE(propagate_taint(gift64_bitsliced_model(), 8,
+                              KeyTaintPolicy::cumulative())
+                  .empty());
+}
+
+TEST(Taint, PackedSBoxProjectsToZeroLeakedBits) {
+  // The reshaped table is KEY-tainted like the baseline, but every index
+  // maps to the same 8-byte line, so nothing is observable.
+  const gift::TableLayout layout = cm::packed_sbox_layout();
+  const cachesim::Cache cache{cm::packed_sbox_cache()};
+  for (const TaintedAccess& a :
+       propagate_taint(gift64_packed_model(), 6,
+                       KeyTaintPolicy::cumulative())) {
+    EXPECT_TRUE(a.round == 0 || a.key_tainted());
+    EXPECT_EQ(leaked_key_bits(a, layout, cache), 0.0);
+  }
+}
+
+TEST(Taint, CumulativeModeSaturatesAfterRoundTwo) {
+  // Once key material has entered, the join makes every later index bit
+  // KEY-tainted — the sound over-approximation the cross-round model
+  // refines.
+  for (const TaintedAccess& a :
+       propagate_taint(gift64_table_model(), 4,
+                       KeyTaintPolicy::cumulative())) {
+    if (a.kind != gift::TableAccess::Kind::kSBox) continue;
+    if (a.round == 0) {
+      EXPECT_FALSE(a.key_tainted());
+    } else if (a.round >= 2) {
+      for (unsigned b = 0; b < 4; ++b) {
+        EXPECT_TRUE(carries_key(a.index_taint[b]));
+      }
+    }
+  }
+}
+
+TEST(Taint, StaticVerdictsMatchExpectations) {
+  LeakcheckConfig cfg;
+  cfg.run_dynamic = false;
+  for (const AnalysisTarget& target : builtin_targets()) {
+    const LeakReport report = analyze(target, cfg);
+    EXPECT_EQ(report.leaky(), target.expect_leaky) << target.name;
+  }
+}
+
+TEST(Taint, Gift64RecoverableBitsCoverTheFullKey) {
+  // Rounds 2..5 x 16 segments x 2 bits = 128 recoverable key bits.
+  LeakcheckConfig cfg;
+  cfg.run_dynamic = false;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget* gift64 = find_target(targets, "gift64-table");
+  ASSERT_NE(gift64, nullptr);
+  const LeakReport report = analyze(*gift64, cfg);
+  EXPECT_DOUBLE_EQ(report.static_pass.recoverable_bits(), 128.0);
+  ASSERT_EQ(report.static_pass.rounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(report.static_pass.rounds[0].sbox_bits(), 0.0);
+  for (unsigned r = 1; r <= 4; ++r) {
+    EXPECT_DOUBLE_EQ(report.static_pass.rounds[r].sbox_bits(), 32.0);
+  }
+}
+
+TEST(Taint, PackedSBoxWithLutPermStillLeaks) {
+  // leakcheck surfaces what §IV-C leaves implicit: packing only the S-Box
+  // is not enough while PermBits stays a table.
+  LeakcheckConfig cfg;
+  cfg.run_dynamic = false;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget* t = find_target(targets, "gift64-packed-sbox-lut-perm");
+  ASSERT_NE(t, nullptr);
+  const LeakReport report = analyze(*t, cfg);
+  EXPECT_TRUE(report.leaky());
+  // ...and the leak is exclusively through the PermBits table.
+  for (const RoundLeak& r : report.static_pass.rounds) {
+    EXPECT_DOUBLE_EQ(r.sbox_bits(), 0.0);
+    if (r.round >= 1) EXPECT_GT(r.perm_bits, 0.0);
+  }
+}
+
+TEST(Taint, ReportSerialisesToTextAndJson) {
+  LeakcheckConfig cfg;
+  cfg.run_dynamic = false;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const LeakReport report = analyze(*find_target(targets, "gift64-table"), cfg);
+  const std::string text = report.to_text(true);
+  EXPECT_NE(text.find("LEAKY"), std::string::npos);
+  EXPECT_NE(text.find("segment 0"), std::string::npos);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"target\":\"gift64-table\""), std::string::npos);
+  EXPECT_NE(json.find("\"recoverable_bits\":128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grinch::analysis

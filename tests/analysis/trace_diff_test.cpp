@@ -1,0 +1,117 @@
+#include "analysis/trace_diff.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/leakcheck.h"
+#include "analysis/registry.h"
+#include "common/rng.h"
+
+namespace grinch::analysis {
+namespace {
+
+const AnalysisTarget& target_named(const std::vector<AnalysisTarget>& targets,
+                                   const std::string& name) {
+  const AnalysisTarget* t = find_target(targets, name);
+  EXPECT_NE(t, nullptr) << name;
+  return *t;
+}
+
+TEST(TraceDiff, AgreesWithTaintVerdictOnEveryTarget) {
+  // The dynamic oracle validates the static verdict on all registered
+  // implementations — the issue's core acceptance property.
+  LeakcheckConfig cfg;
+  cfg.diff.trials = 8;
+  for (const AnalysisTarget& target : builtin_targets()) {
+    const LeakReport report = analyze(target, cfg);
+    EXPECT_TRUE(report.consistent())
+        << target.name << ": static " << report.static_pass.leaky
+        << " vs dynamic diverged " << report.dynamic_pass.diverged;
+    EXPECT_TRUE(report.as_expected()) << target.name;
+  }
+}
+
+TEST(TraceDiff, Gift64DivergesButNeverInRoundOne) {
+  // Round 1 (code round 0) indices are plaintext-only, so key pairs can
+  // first part ways in paper round 2.
+  TraceDiffConfig cfg;
+  cfg.trials = 12;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const TraceDiffResult r =
+      key_pair_trace_diff(target_named(targets, "gift64-table"), cfg);
+  EXPECT_GT(r.diverged, 0u);
+  EXPECT_GE(r.first_round, 1);
+}
+
+TEST(TraceDiff, PresentDivergesAlreadyInRoundOne) {
+  // PRESENT whitens with the round key before its S-Box layer.
+  TraceDiffConfig cfg;
+  cfg.trials = 12;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const TraceDiffResult r =
+      key_pair_trace_diff(target_named(targets, "present80-table"), cfg);
+  EXPECT_GT(r.diverged, 0u);
+  EXPECT_EQ(r.first_round, 0);
+}
+
+TEST(TraceDiff, BitslicedTraceIsEmpty) {
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget& t = target_named(targets, "gift64-bitsliced");
+  EXPECT_TRUE(projected_line_trace(t, 0x0123456789ABCDEF, 0,
+                                   Key128{0xFEDC, 0xBA98}, 6)
+                  .empty());
+}
+
+TEST(TraceDiff, PackedSBoxTouchesExactlyOneLine) {
+  // The countermeasure's whole point: the trace is non-empty but carries
+  // zero information — every access lands on the same 8-byte line.
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget& t = target_named(targets, "gift64-packed-sbox");
+  const std::vector<ProjectedAccess> trace = projected_line_trace(
+      t, 0x0123456789ABCDEF, 0, Key128{0xFEDC, 0xBA98}, 6);
+  ASSERT_FALSE(trace.empty());
+  for (const ProjectedAccess& a : trace) {
+    EXPECT_EQ(a.line, trace.front().line);
+    EXPECT_EQ(a.set, trace.front().set);
+  }
+}
+
+TEST(TraceDiff, SameKeyProducesIdenticalTraces) {
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget& t = target_named(targets, "gift64-table");
+  Xoshiro256 rng{42};
+  const std::uint64_t pt = rng.block64();
+  const Key128 key = rng.key128();
+  const std::vector<ProjectedAccess> t1 =
+      projected_line_trace(t, pt, 0, key, 8);
+  const std::vector<ProjectedAccess> t2 =
+      projected_line_trace(t, pt, 0, key, 8);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].line, t2[i].line);
+  }
+}
+
+TEST(TraceDiff, HardenedScheduleStillDiverges) {
+  // Countermeasure 2 changes key *derivation*, not the access pattern:
+  // the cache still betrays the (whitened) round keys.
+  TraceDiffConfig cfg;
+  cfg.trials = 8;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const TraceDiffResult r = key_pair_trace_diff(
+      target_named(targets, "gift64-hardened-schedule"), cfg);
+  EXPECT_GT(r.diverged, 0u);
+}
+
+TEST(TraceDiff, ResultCountsTrials) {
+  TraceDiffConfig cfg;
+  cfg.trials = 5;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const TraceDiffResult r =
+      key_pair_trace_diff(target_named(targets, "gift64-bitsliced"), cfg);
+  EXPECT_EQ(r.trials, 5u);
+  EXPECT_EQ(r.diverged, 0u);
+  EXPECT_TRUE(r.equivalent());
+}
+
+}  // namespace
+}  // namespace grinch::analysis

@@ -1,0 +1,41 @@
+#!/usr/bin/env sh
+# Lints src/ with clang-tidy using the repo's .clang-tidy profile.
+#
+#   tools/run_tidy.sh [build-dir] [extra clang-tidy args...]
+#
+# Needs a configured build directory with compile_commands.json (the root
+# CMakeLists exports it unconditionally):
+#
+#   cmake -B build -S .
+#   tools/run_tidy.sh build
+#
+# Exits nonzero on lint findings or when clang-tidy is unavailable, so CI
+# can gate on it; pair with GRINCH_TIDY_OPTIONAL=1 to tolerate a missing
+# binary on dev boxes that only carry gcc.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  if [ "${GRINCH_TIDY_OPTIONAL:-0}" = "1" ]; then
+    echo "run_tidy: $TIDY not found; skipping (GRINCH_TIDY_OPTIONAL=1)" >&2
+    exit 0
+  fi
+  echo "run_tidy: $TIDY not found (set CLANG_TIDY or GRINCH_TIDY_OPTIONAL=1)" >&2
+  exit 2
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing;" \
+       "configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 2
+fi
+
+# Lint every translation unit under src/ (tests and benches follow the
+# same config when opted in explicitly).
+find "$repo_root/src" -name '*.cpp' -print | sort | \
+  xargs "$TIDY" -p "$build_dir" --quiet "$@"
+echo "run_tidy: clean"
