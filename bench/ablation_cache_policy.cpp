@@ -6,7 +6,14 @@
 // policy and associativity at the paper's geometry, showing the attack is
 // insensitive to both (the monitored working set is far below capacity),
 // and then shrinks the cache until self-eviction noise appears.
+//
+// The policy/ways/size sweeps share one flat trial list on the thread
+// pool; the hierarchy sweep pre-derives its (config, trial) seed grid
+// from the single 0xCD0 stream in the original nested draw order.
 #include <cstdio>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "bench_util.h"
 #include "soc/hierarchy_platform.h"
@@ -15,105 +22,147 @@ using namespace grinch;
 
 namespace {
 
-EffortCell run_cell(const cachesim::CacheConfig& cache, unsigned trials,
-                    std::uint64_t budget, std::uint64_t seed) {
-  soc::DirectProbePlatform::Config pcfg;
-  pcfg.cache = cache;
-  return bench::first_round_cell(pcfg, trials, budget, seed);
+bench::CellSpec make_cell(const cachesim::CacheConfig& cache, unsigned trials,
+                          std::uint64_t budget, std::uint64_t seed) {
+  bench::CellSpec spec;
+  spec.platform.cache = cache;
+  spec.trials = trials;
+  spec.budget = budget;
+  spec.seed = seed;
+  return spec;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const unsigned trials = quick ? 2 : 3;
+  bench::BenchContext ctx{argc, argv};
+  const unsigned trials = ctx.quick() ? 2 : 3;
   const std::uint64_t budget = 60000;
+  ctx.set_config("trials_per_cell", trials);
+  ctx.set_config("budget", budget);
 
   std::printf("Ablation — replacement policy and associativity "
               "(first-round attack)\n\n");
 
-  AsciiTable policy_table{"Replacement policy sweep (16-way, 64 sets)"};
-  policy_table.set_header({"policy", "mean encryptions"});
-  for (auto policy :
-       {cachesim::Replacement::kLru, cachesim::Replacement::kFifo,
-        cachesim::Replacement::kPlru, cachesim::Replacement::kRandom}) {
+  const std::vector<cachesim::Replacement> policies{
+      cachesim::Replacement::kLru, cachesim::Replacement::kFifo,
+      cachesim::Replacement::kPlru, cachesim::Replacement::kRandom};
+  const std::vector<unsigned> way_counts{1, 2, 4, 8, 16};
+  const std::vector<unsigned> set_counts{64, 16, 4, 2};
+
+  // One flat grid: policies, then associativities, then sizes.
+  std::vector<bench::CellSpec> specs;
+  for (auto policy : policies) {
     cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
     cache.replacement = policy;
-    policy_table.add_row(
-        {cachesim::to_string(policy),
-         run_cell(cache, trials, budget,
-                  0xCA0 + static_cast<std::uint64_t>(policy))
-             .render()});
+    specs.push_back(make_cell(cache, trials, budget,
+                              0xCA0 + static_cast<std::uint64_t>(policy)));
   }
-  bench::print_table(policy_table);
-
-  AsciiTable ways_table{"Associativity sweep (LRU, 1024 lines total)"};
-  ways_table.set_header({"ways x sets", "mean encryptions"});
-  for (unsigned ways : {1u, 2u, 4u, 8u, 16u}) {
+  std::vector<unsigned> sets_of_ways;
+  for (unsigned ways : way_counts) {
     cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
     cache.associativity = ways;
     cache.num_sets = 1024 / ways;
-    ways_table.add_row({std::to_string(ways) + " x " +
-                            std::to_string(cache.num_sets),
-                        run_cell(cache, trials, budget, 0xCB0 + ways)
-                            .render()});
+    sets_of_ways.push_back(cache.num_sets);
+    specs.push_back(make_cell(cache, trials, budget, 0xCB0 + ways));
   }
-  bench::print_table(ways_table);
+  std::vector<unsigned> total_lines;
+  for (unsigned sets : set_counts) {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    cache.num_sets = sets;
+    total_lines.push_back(cache.total_lines());
+    specs.push_back(make_cell(cache, trials, budget, 0xCC0 + sets));
+  }
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), specs);
+  std::size_t index = 0;
+
+  AsciiTable policy_table{"Replacement policy sweep (16-way, 64 sets)"};
+  policy_table.set_header({"policy", "mean encryptions"});
+  for (auto policy : policies)
+    policy_table.add_row(
+        {cachesim::to_string(policy), cells[index++].cell.render()});
+  ctx.print_table(policy_table);
+
+  AsciiTable ways_table{"Associativity sweep (LRU, 1024 lines total)"};
+  ways_table.set_header({"ways x sets", "mean encryptions"});
+  for (std::size_t i = 0; i < way_counts.size(); ++i)
+    ways_table.add_row({std::to_string(way_counts[i]) + " x " +
+                            std::to_string(sets_of_ways[i]),
+                        cells[index++].cell.render()});
+  ctx.print_table(ways_table);
 
   AsciiTable size_table{"Cache size sweep (16-way, LRU)"};
   size_table.set_header({"total lines", "mean encryptions"});
-  for (unsigned sets : {64u, 16u, 4u, 2u}) {
-    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
-    cache.num_sets = sets;
-    size_table.add_row({std::to_string(cache.total_lines()),
-                        run_cell(cache, trials, budget, 0xCC0 + sets)
-                            .render()});
-  }
-  bench::print_table(size_table);
+  for (std::size_t i = 0; i < set_counts.size(); ++i)
+    size_table.add_row(
+        {std::to_string(total_lines[i]), cells[index++].cell.render()});
+  ctx.print_table(size_table);
 
   // Memory hierarchy (§V future work): the attack through an L1+L2
   // hierarchy with both flush capabilities.
   AsciiTable hier_table{"Memory hierarchy sweep (first-round attack)"};
   hier_table.set_header({"configuration", "mean encryptions"});
   {
-    Xoshiro256 rng{0xCD0};
-    for (const auto& [label, cap, two_level] :
-         {std::tuple{"flat shared L1 (paper)", soc::FlushCapability::kClflush,
-                     false},
-          std::tuple{"L1 + 4096-line L2, clflush",
-                     soc::FlushCapability::kClflush, true},
-          std::tuple{"L1 + 4096-line L2, L1-evict only",
-                     soc::FlushCapability::kL1EvictOnly, true}}) {
+    const std::vector<std::tuple<const char*, soc::FlushCapability, bool>>
+        configs{{"flat shared L1 (paper)", soc::FlushCapability::kClflush,
+                 false},
+                {"L1 + 4096-line L2, clflush", soc::FlushCapability::kClflush,
+                 true},
+                {"L1 + 4096-line L2, L1-evict only",
+                 soc::FlushCapability::kL1EvictOnly, true}};
+    // The original serial loop drew (key, seed) per trial from one stream
+    // across all configs; derive the same flattened sequence up front.
+    const std::vector<runner::TrialSeed> seeds = runner::derive_trial_seeds(
+        0xCD0, static_cast<std::size_t>(configs.size()) * trials);
+
+    struct Outcome {
+      bool success = false;
+      std::uint64_t effort = 0;
+    };
+    std::vector<Outcome> outcomes(configs.size() * trials);
+    const std::vector<std::size_t> per_cell(configs.size(), trials);
+    runner::parallel_cells(
+        ctx.pool(), per_cell, [&](std::size_t c, std::size_t t) {
+          const std::size_t flat = c * trials + t;
+          const runner::TrialSeed& ts = seeds[flat];
+          const auto& [label, cap, two_level] = configs[c];
+          (void)label;
+          soc::HierarchyPlatform::Config hcfg;
+          hcfg.flush = cap;
+          if (!two_level) hcfg.hierarchy.l2.reset();
+          soc::HierarchyPlatform platform{hcfg, ts.key};
+          attack::GrinchConfig acfg;
+          acfg.stages = 1;
+          acfg.max_encryptions = budget;
+          acfg.seed = ts.seed;
+          attack::GrinchAttack attack{platform, acfg};
+          const attack::AttackResult r = attack.run();
+          const gift::RoundKey64 truth = gift::extract_round_key64(ts.key);
+          if (r.success && r.round_keys.size() == 1 &&
+              r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
+            outcomes[flat] = Outcome{true, r.total_encryptions};
+          }
+        });
+    for (std::size_t c = 0; c < configs.size(); ++c) {
       EffortCell cell{budget};
       for (unsigned t = 0; t < trials; ++t) {
-        const Key128 key = rng.key128();
-        soc::HierarchyPlatform::Config hcfg;
-        hcfg.flush = cap;
-        if (!two_level) hcfg.hierarchy.l2.reset();
-        soc::HierarchyPlatform platform{hcfg, key};
-        attack::GrinchConfig acfg;
-        acfg.stages = 1;
-        acfg.max_encryptions = budget;
-        acfg.seed = rng.next();
-        attack::GrinchAttack attack{platform, acfg};
-        const attack::AttackResult r = attack.run();
-        const gift::RoundKey64 truth = gift::extract_round_key64(key);
-        if (r.success && r.round_keys.size() == 1 &&
-            r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
-          cell.add_success(r.total_encryptions);
+        const Outcome& o = outcomes[c * trials + t];
+        if (o.success) {
+          cell.add_success(o.effort);
         } else {
           cell.add_dropout();
         }
       }
-      hier_table.add_row({label, cell.render()});
+      hier_table.add_row({std::get<0>(configs[c]), cell.render()});
     }
   }
-  bench::print_table(hier_table);
+  ctx.print_table(hier_table);
 
   std::printf("Expected: policy/associativity barely matter at the paper's\n"
               "geometry; very small caches add self-eviction noise and raise\n"
               "the effort; a deeper hierarchy does not protect the victim —\n"
               "even an attacker without clflush (L1 eviction only) succeeds\n"
               "because L1-hit vs L2-hit latency is still distinguishable.\n");
-  return 0;
+  return ctx.finish();
 }

@@ -8,40 +8,53 @@
 // prefetch depth and measures the attack effort — connecting the paper's
 // line-size sweep (Table I) to a microarchitectural knob that exists in
 // real SoCs.
+//
+// The depth sweep runs as one flat trial list on the thread pool.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 
 using namespace grinch;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  bench::BenchContext ctx{argc, argv};
   const unsigned trials = 2;
-  const std::uint64_t budget = quick ? 30000 : 60000;
+  const std::uint64_t budget = ctx.quick() ? 30000 : 60000;
+  const std::vector<unsigned> depths{0, 1, 3, 7, 15};
+  ctx.set_config("trials_per_cell", trials);
+  ctx.set_config("budget", budget);
 
   std::printf("Ablation — next-line prefetcher depth vs attack effort "
               "(first-round attack, 1-word lines)\n\n");
 
-  AsciiTable table{"Prefetcher ablation"};
-  table.set_header({"prefetch lines per miss", "mean encryptions",
-                    "line-size analogy"});
-  for (unsigned depth : {0u, 1u, 3u, 7u, 15u}) {
-    soc::DirectProbePlatform::Config cfg;
-    cfg.cache.prefetch_lines = depth;
+  std::vector<bench::CellSpec> specs;
+  for (unsigned depth : depths) {
+    bench::CellSpec spec;
+    spec.platform.cache.prefetch_lines = depth;
     // Forward prefetch makes some candidates structurally co-present, so
     // the attack needs the probe window to cover the next round and the
     // cross-round solver (coarse_observations) — exactly the "assume all
     // possibilities" fallback of §III-D.
-    cfg.probing_round = depth == 0 ? 1 : 2;
-    const EffortCell cell = bench::first_round_cell(
-        cfg, trials, budget, 0xFE7C + depth, 1, false,
-        /*coarse_observations=*/depth > 0);
-    table.add_row({std::to_string(depth), cell.render(),
-                   std::to_string(16 / (depth + 1)) + " groups"});
-    std::fprintf(stderr, "[prefetch] depth %u done\n", depth);
+    spec.platform.probing_round = depth == 0 ? 1 : 2;
+    spec.attack.coarse_observations = depth > 0;
+    spec.trials = trials;
+    spec.budget = budget;
+    spec.seed = 0xFE7C + depth;
+    specs.push_back(spec);
   }
-  bench::print_table(table);
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), specs);
+
+  AsciiTable table{"Prefetcher ablation"};
+  table.set_header({"prefetch lines per miss", "mean encryptions",
+                    "line-size analogy"});
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    table.add_row({std::to_string(depths[i]), cells[i].cell.render(),
+                   std::to_string(16 / (depths[i] + 1)) + " groups"});
+  }
+  ctx.print_table(table);
   std::printf(
       "Finding: ANY next-line prefetch depth defeats the attack at these\n"
       "budgets — stronger than the 2-word-line case of Table I, which the\n"
@@ -51,5 +64,5 @@ int main(int argc, char** argv) {
       "next-round constraint windows the §III-D fallback relies on.  Depth\n"
       "15 loads the whole S-Box on any miss, i.e. the packed-S-Box\n"
       "countermeasure realised in hardware.\n");
-  return 0;
+  return ctx.finish();
 }

@@ -6,7 +6,11 @@
 // identical conditions, plus the paper's sequential per-segment
 // methodology against joint all-segment exploitation (our extension
 // showing the methodology's headroom).
+//
+// All five configurations run as one flat trial list on the thread pool.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -14,73 +18,59 @@ using namespace grinch;
 
 namespace {
 
-EffortCell run_cell(soc::ProbeMethod method, bool exploit_all,
-                    unsigned trials, std::uint64_t budget,
-                    std::uint64_t seed, bool trace = false) {
-  EffortCell cell{budget};
-  Xoshiro256 rng{seed};
-  for (unsigned t = 0; t < trials; ++t) {
-    const Key128 key = rng.key128();
-    soc::DirectProbePlatform::Config pcfg;
-    pcfg.method = method;
-    pcfg.capture_trace = trace;
-    soc::DirectProbePlatform platform{pcfg, key};
-    attack::GrinchConfig acfg;
-    acfg.stages = 1;
-    acfg.max_encryptions = budget;
-    acfg.exploit_all_segments = exploit_all;
-    acfg.use_trace_hits = trace;
-    acfg.seed = rng.next();
-    attack::GrinchAttack attack{platform, acfg};
-    const attack::AttackResult r = attack.run();
-    const gift::RoundKey64 truth = gift::extract_round_key64(key);
-    if (r.success && r.round_keys.size() == 1 &&
-        r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
-      cell.add_success(r.total_encryptions);
-    } else {
-      cell.add_dropout();
-    }
-  }
-  return cell;
+bench::CellSpec make_cell(soc::ProbeMethod method, bool exploit_all,
+                          unsigned trials, std::uint64_t budget,
+                          std::uint64_t seed, bool trace = false) {
+  bench::CellSpec spec;
+  spec.platform.method = method;
+  spec.platform.capture_trace = trace;
+  spec.attack.exploit_all_segments = exploit_all;
+  spec.attack.use_trace_hits = trace;
+  spec.trials = trials;
+  spec.budget = budget;
+  spec.seed = seed;
+  return spec;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const unsigned trials = quick ? 3 : 10;
+  bench::BenchContext ctx{argc, argv};
+  const unsigned trials = ctx.quick() ? 3 : 10;
   const std::uint64_t budget = 100000;
+  ctx.set_config("trials_per_cell", trials);
+  ctx.set_config("budget", budget);
 
   std::printf("Ablation — probe primitive & exploitation strategy "
               "(first-round attack, paper-default cache)\n\n");
 
+  const std::vector<std::string> labels{
+      "Flush+Reload, sequential segments (paper)",
+      "Prime+Probe,  sequential segments",
+      "Flush+Reload, joint segments (ours)",
+      "Prime+Probe,  joint segments (ours)",
+      "Flush+Reload + trace channel (ref [10], ours)",
+  };
+  const std::vector<bench::CellSpec> specs{
+      make_cell(soc::ProbeMethod::kFlushReload, false, trials, budget, 0xAB1),
+      make_cell(soc::ProbeMethod::kPrimeProbe, false, trials, budget, 0xAB2),
+      make_cell(soc::ProbeMethod::kFlushReload, true, trials, budget, 0xAB3),
+      make_cell(soc::ProbeMethod::kPrimeProbe, true, trials, budget, 0xAB4),
+      make_cell(soc::ProbeMethod::kFlushReload, false, trials, budget, 0xAB5,
+                /*trace=*/true),
+  };
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), specs);
+
   AsciiTable table{"Probe method / strategy ablation"};
   table.set_header({"configuration", "mean encryptions (32-bit key)"});
-  table.add_row({"Flush+Reload, sequential segments (paper)",
-                 run_cell(soc::ProbeMethod::kFlushReload, false, trials,
-                          budget, 0xAB1)
-                     .render()});
-  table.add_row({"Prime+Probe,  sequential segments",
-                 run_cell(soc::ProbeMethod::kPrimeProbe, false, trials, budget,
-                          0xAB2)
-                     .render()});
-  table.add_row({"Flush+Reload, joint segments (ours)",
-                 run_cell(soc::ProbeMethod::kFlushReload, true, trials, budget,
-                          0xAB3)
-                     .render()});
-  table.add_row({"Prime+Probe,  joint segments (ours)",
-                 run_cell(soc::ProbeMethod::kPrimeProbe, true, trials, budget,
-                          0xAB4)
-                     .render()});
-  table.add_row({"Flush+Reload + trace channel (ref [10], ours)",
-                 run_cell(soc::ProbeMethod::kFlushReload, false, trials,
-                          budget, 0xAB5, /*trace=*/true)
-                     .render()});
-  bench::print_table(table);
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    table.add_row({labels[i], cells[i].cell.render()});
+  ctx.print_table(table);
   std::printf("Expected: joint exploitation is several times cheaper than\n"
               "the paper's sequential methodology; Prime+Probe performs\n"
               "comparably here because the simulated victim tables do not\n"
               "alias the monitored sets (its set-granularity costs show up\n"
               "only with aliasing workloads).\n");
-  return 0;
+  return ctx.finish();
 }

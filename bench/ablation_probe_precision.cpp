@@ -8,8 +8,12 @@
 // everything the round touched.  Separately, third-party cache traffic
 // evicts monitored lines (false absents), which costs noise-restarts and
 // encryptions.
+//
+// All 15 cells (3 precision + 4x3 noise grid) share one flat trial list
+// on the thread pool.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -17,54 +21,75 @@ using namespace grinch;
 
 namespace {
 
-EffortCell run_cell(bool precise, unsigned noise, unsigned probing_round,
-                    unsigned trials, std::uint64_t budget, std::uint64_t seed,
-                    unsigned threshold = 1, bool statistical = false) {
-  soc::DirectProbePlatform::Config cfg;
-  cfg.precise_probe = precise;
-  cfg.noise_accesses_per_round = noise;
-  cfg.probing_round = probing_round;
-  return bench::first_round_cell(cfg, trials, budget, seed, threshold,
-                                 statistical);
+bench::CellSpec make_cell(bool precise, unsigned noise,
+                          unsigned probing_round, unsigned trials,
+                          std::uint64_t budget, std::uint64_t seed,
+                          unsigned threshold = 1, bool statistical = false) {
+  bench::CellSpec spec;
+  spec.platform.precise_probe = precise;
+  spec.platform.noise_accesses_per_round = noise;
+  spec.platform.probing_round = probing_round;
+  spec.attack.elimination_threshold = threshold;
+  spec.attack.statistical_elimination = statistical;
+  spec.trials = trials;
+  spec.budget = budget;
+  spec.seed = seed;
+  return spec;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const unsigned trials = quick ? 3 : 5;
+  bench::BenchContext ctx{argc, argv};
+  const unsigned trials = ctx.quick() ? 3 : 5;
   const std::uint64_t budget = 100000;
+  const std::uint64_t noise_budget = 20000;
+  const std::vector<unsigned> noise_levels{0, 256, 512, 1024};
+  ctx.set_config("trials_per_cell", trials);
+  ctx.set_config("budget", budget);
+  ctx.set_config("noise_budget", noise_budget);
 
   std::printf("Ablation — probing precision and noise "
               "(first-round attack, paper-default cache)\n\n");
 
+  // Cell order: the 3 precision rows, then the noise grid row-major.
+  std::vector<bench::CellSpec> specs{
+      make_cell(true, 0, 1, trials, budget, 0xAA0 + 1),
+      make_cell(false, 0, 1, trials, budget, 0xAA0 + 2),
+      make_cell(false, 0, 3, trials, budget, 0xAA0 + 3),
+  };
+  for (unsigned n : noise_levels) {
+    specs.push_back(make_cell(false, n, 1, trials, noise_budget, 0xBB0 + n, 1));
+    specs.push_back(make_cell(false, n, 1, trials, noise_budget, 0xBB1 + n, 3));
+    specs.push_back(
+        make_cell(false, n, 1, trials, noise_budget, 0xBB2 + n, 1, true));
+  }
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), specs);
+
   AsciiTable precision{"Probing precision"};
   precision.set_header({"probe timing", "mean encryptions (32-bit key)"});
   precision.add_row({"right after the target's S-Box access (ideal)",
-                     run_cell(true, 0, 1, trials, budget, 0xAA0 + 1).render()});
+                     cells[0].cell.render()});
   precision.add_row({"monitored round boundary (paper's best case)",
-                     run_cell(false, 0, 1, trials, budget, 0xAA0 + 2).render()});
-  precision.add_row({"two rounds late",
-                     run_cell(false, 0, 3, trials, budget, 0xAA0 + 3).render()});
-  bench::print_table(precision);
+                     cells[1].cell.render()});
+  precision.add_row({"two rounds late", cells[2].cell.render()});
+  ctx.print_table(precision);
 
   AsciiTable noise{"Noise (third-party accesses per victim round)"};
   noise.set_header({"noise accesses/round", "hard elimination (thr 1)",
                     "voted (thr 3)", "statistical (ML)"});
-  const std::uint64_t noise_budget = 20000;
-  for (unsigned n : {0u, 256u, 512u, 1024u}) {
-    noise.add_row(
-        {std::to_string(n),
-         run_cell(false, n, 1, trials, noise_budget, 0xBB0 + n, 1).render(),
-         run_cell(false, n, 1, trials, noise_budget, 0xBB1 + n, 3).render(),
-         run_cell(false, n, 1, trials, noise_budget, 0xBB2 + n, 1, true)
-             .render()});
-    std::fprintf(stderr, "[precision] noise %u done\n", n);
+  std::size_t index = 3;
+  for (unsigned n : noise_levels) {
+    noise.add_row({std::to_string(n), cells[index].cell.render(),
+                   cells[index + 1].cell.render(),
+                   cells[index + 2].cell.render()});
+    index += 3;
   }
-  bench::print_table(noise);
+  ctx.print_table(noise);
 
   std::printf("Expected: precision probing needs only a handful of\n"
               "encryptions per segment; effort grows with probe lateness\n"
               "and with noise-induced evictions of monitored lines.\n");
-  return 0;
+  return ctx.finish();
 }

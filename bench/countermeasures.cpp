@@ -14,8 +14,9 @@
 using namespace grinch;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const std::uint64_t budget = quick ? 5000 : 30000;
+  bench::BenchContext ctx{argc, argv};
+  const std::uint64_t budget = ctx.quick() ? 5000 : 30000;
+  ctx.set_config("budget", budget);
   std::printf("§IV-C — countermeasure evaluation (attack budget %llu "
               "encryptions per configuration)\n\n",
               static_cast<unsigned long long>(budget));
@@ -32,8 +33,8 @@ int main(int argc, char** argv) {
                    r.key_retrieved ? "YES" : "no",
                    std::to_string(r.encryptions), r.note});
   }
-  bench::print_table(table);
+  ctx.print_table(table);
   std::printf("Expected: baseline falls in <400 encryptions; both "
               "countermeasures keep the master key safe.\n");
-  return 0;
+  return ctx.finish();
 }

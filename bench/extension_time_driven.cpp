@@ -8,94 +8,120 @@
 // later rounds' indices and hands wrong candidates structural timing
 // correlations.  This is the quantitative case for GRINCH's access-driven
 // design.
+//
+// The three channels' trials run as one flat task list on the thread
+// pool, each channel with its own pre-derived seed stream.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "attack/time_driven.h"
 #include "bench_util.h"
 
 using namespace grinch;
 
-namespace {
-
-/// Access- or trace-driven first-round attack; returns (mean encryptions,
-/// all-correct count).
-std::pair<double, unsigned> run_probing(bool trace, unsigned trials,
-                                        std::uint64_t seed) {
-  Xoshiro256 rng{seed};
-  SampleStats enc;
-  unsigned correct = 0;
-  for (unsigned t = 0; t < trials; ++t) {
-    const Key128 key = rng.key128();
-    soc::DirectProbePlatform::Config pcfg;
-    pcfg.capture_trace = trace;
-    soc::DirectProbePlatform platform{pcfg, key};
-    attack::GrinchConfig acfg;
-    acfg.stages = 1;
-    acfg.seed = rng.next();
-    acfg.use_trace_hits = trace;
-    attack::GrinchAttack attack{platform, acfg};
-    const attack::AttackResult r = attack.run();
-    const gift::RoundKey64 truth = gift::extract_round_key64(key);
-    if (r.success && r.round_keys.size() == 1 &&
-        r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
-      ++correct;
-      enc.add(static_cast<double>(r.total_encryptions));
-    }
-  }
-  return {enc.empty() ? 0.0 : enc.mean(), correct};
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const unsigned trials = quick ? 2 : 4;
-  const std::uint64_t timing_samples = quick ? 60000 : 200000;
+  bench::BenchContext ctx{argc, argv};
+  const unsigned trials = ctx.quick() ? 2 : 4;
+  const std::uint64_t timing_samples = ctx.quick() ? 60000 : 200000;
+  ctx.set_config("trials_per_channel", trials);
+  ctx.set_config("timing_samples", timing_samples);
 
   std::printf("Extension — attack taxonomy head-to-head (paper §I, "
               "first-round attack)\n\n");
+
+  // Channel 0: access-driven (seed 0x7A01).  Channel 1: + trace-driven
+  // hits (0x7A02).  Channel 2: time-driven only (0x7A03).
+  const std::vector<std::vector<runner::TrialSeed>> seeds{
+      runner::derive_trial_seeds(0x7A01, trials),
+      runner::derive_trial_seeds(0x7A02, trials),
+      runner::derive_trial_seeds(0x7A03, trials),
+  };
+
+  struct Outcome {
+    bool correct = false;
+    std::uint64_t encryptions = 0;
+    double segments = 0.0;  ///< time-driven channel only
+  };
+  std::vector<std::vector<Outcome>> outcomes(3,
+                                             std::vector<Outcome>(trials));
+  const std::vector<std::size_t> per_channel(3, trials);
+  runner::parallel_cells(
+      ctx.pool(), per_channel, [&](std::size_t channel, std::size_t t) {
+        const runner::TrialSeed& ts = seeds[channel][t];
+        Outcome& o = outcomes[channel][t];
+        if (channel < 2) {
+          const bool trace = channel == 1;
+          soc::DirectProbePlatform::Config pcfg;
+          pcfg.capture_trace = trace;
+          soc::DirectProbePlatform platform{pcfg, ts.key};
+          attack::GrinchConfig acfg;
+          acfg.stages = 1;
+          acfg.seed = ts.seed;
+          acfg.use_trace_hits = trace;
+          attack::GrinchAttack attack{platform, acfg};
+          const attack::AttackResult r = attack.run();
+          const gift::RoundKey64 truth = gift::extract_round_key64(ts.key);
+          if (r.success && r.round_keys.size() == 1 &&
+              r.round_keys[0].u == truth.u && r.round_keys[0].v == truth.v) {
+            o.correct = true;
+            o.encryptions = r.total_encryptions;
+          }
+        } else {
+          attack::VictimTimingOracle oracle{ts.key};
+          attack::TimeDrivenConfig cfg;
+          cfg.encryptions = timing_samples;
+          cfg.seed = ts.seed;
+          const attack::TimeDrivenResult r =
+              attack::time_driven_attack(oracle, cfg);
+          o.segments =
+              r.segments_correct(gift::extract_round_key64(ts.key));
+        }
+      });
+
+  const auto probing_summary = [&](unsigned channel) {
+    SampleStats enc;
+    unsigned correct = 0;
+    for (const Outcome& o : outcomes[channel]) {
+      if (o.correct) {
+        ++correct;
+        enc.add(static_cast<double>(o.encryptions));
+      }
+    }
+    return std::pair<double, unsigned>{enc.empty() ? 0.0 : enc.mean(),
+                                       correct};
+  };
 
   AsciiTable table{"Taxonomy comparison (32-bit first-round key)"};
   table.set_header(
       {"channel", "observations (mean)", "segments correct / 16", "notes"});
 
-  const auto [acc_enc, acc_ok] = run_probing(false, trials, 0x7A01);
+  const auto [acc_enc, acc_ok] = probing_summary(0);
   table.add_row({"access-driven (GRINCH, the paper)",
                  std::to_string(static_cast<unsigned>(acc_enc)),
                  acc_ok == trials ? "16" : "<16",
                  "needs probe + flush"});
 
-  const auto [trc_enc, trc_ok] = run_probing(true, trials, 0x7A02);
+  const auto [trc_enc, trc_ok] = probing_summary(1);
   table.add_row({"+ trace-driven hits (ref [10])",
                  std::to_string(static_cast<unsigned>(trc_enc)),
                  trc_ok == trials ? "16" : "<16",
                  "needs power trace"});
 
   {
-    Xoshiro256 rng{0x7A03};
     SampleStats segs;
-    for (unsigned t = 0; t < trials; ++t) {
-      const Key128 key = rng.key128();
-      attack::VictimTimingOracle oracle{key};
-      attack::TimeDrivenConfig cfg;
-      cfg.encryptions = timing_samples;
-      cfg.seed = rng.next();
-      const attack::TimeDrivenResult r =
-          attack::time_driven_attack(oracle, cfg);
-      segs.add(r.segments_correct(gift::extract_round_key64(key)));
-    }
+    for (const Outcome& o : outcomes[2]) segs.add(o.segments);
     table.add_row({"time-driven only (ref [8])",
                    std::to_string(timing_samples),
                    std::to_string(segs.mean()).substr(0, 4),
                    "biased: structural confounds"});
   }
 
-  bench::print_table(table);
+  ctx.print_table(table);
   std::printf(
       "Reading: ordering by information per observation — trace-driven >\n"
       "access-driven >> time-driven.  The total-time channel cannot fully\n"
       "separate candidates on GIFT (see src/attack/time_driven.h), which\n"
       "quantifies why the paper's attack is access-driven.\n");
-  return 0;
+  return ctx.finish();
 }

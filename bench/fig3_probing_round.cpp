@@ -6,17 +6,27 @@
 // accesses.
 //
 // Cache: the paper default (1024 lines, 16-way, 1-word lines).
+//
+// All (round, flush) cells share one flat trial list on the thread pool,
+// so early-round threads drain into the expensive late rounds.  Seeds are
+// pre-derived per trial; the table is identical for any --threads.
 #include <cstdio>
-#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 
 using namespace grinch;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const unsigned max_round = quick ? 5 : 10;
-  const std::uint64_t budget = quick ? 100000 : 1000000;
+  bench::BenchContext ctx{argc, argv};
+  const unsigned max_round = ctx.quick() ? 5 : 10;
+  const std::uint64_t budget = ctx.quick() ? 100000 : 1000000;
+  const unsigned trials = ctx.quick() ? 5 : 10;
+
+  ctx.set_config("max_round", max_round);
+  ctx.set_config("budget", budget);
+  ctx.set_config("trials_per_cell", trials);
 
   std::printf("Fig. 3 — encryptions to break the 1st GIFT round vs cache "
               "probing round\n");
@@ -24,31 +34,44 @@ int main(int argc, char** argv) {
               "~5.9k at round 5, exponential growth; no-flush consistently "
               "costlier\n\n");
 
+  // Cell order: (round 1 flush, round 1 no-flush, round 2 flush, ...).
+  std::vector<bench::CellSpec> specs;
+  for (unsigned k = 1; k <= max_round; ++k) {
+    bench::CellSpec spec;
+    spec.platform.probing_round = k;
+    spec.platform.use_flush = true;
+    spec.trials = trials;
+    spec.budget = budget;
+    spec.seed = 0xF1600 + k;
+    specs.push_back(spec);
+
+    spec.platform.use_flush = false;
+    spec.seed = 0xF1700 + k;
+    specs.push_back(spec);
+  }
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), specs);
+
   AsciiTable table{"Fig. 3 (reproduced)"};
   table.set_header({"probing round", "with flush", "without flush"});
-
+  double grid_seconds = 0.0;
   for (unsigned k = 1; k <= max_round; ++k) {
-    // Later probing rounds are vastly costlier; spend fewer trials there.
-    const unsigned trials = k <= 4 ? 5 : (k <= 7 ? 3 : 1);
-
-    soc::DirectProbePlatform::Config with_flush;
-    with_flush.probing_round = k;
-    with_flush.use_flush = true;
-    const EffortCell flush_cell =
-        bench::first_round_cell(with_flush, trials, budget, 0xF1600 + k);
-
-    soc::DirectProbePlatform::Config without_flush = with_flush;
-    without_flush.use_flush = false;
-    const EffortCell noflush_cell =
-        bench::first_round_cell(without_flush, trials, budget, 0xF1700 + k);
-
-    table.add_row({std::to_string(k), flush_cell.render(),
-                   noflush_cell.render()});
-    std::fprintf(stderr, "[fig3] probing round %u done\n", k);
+    const bench::CellResult& flush_cell = cells[(k - 1) * 2];
+    const bench::CellResult& noflush_cell = cells[(k - 1) * 2 + 1];
+    table.add_row({std::to_string(k), flush_cell.cell.render(),
+                   noflush_cell.cell.render()});
+    const double row_seconds =
+        flush_cell.trial_seconds + noflush_cell.trial_seconds;
+    grid_seconds += row_seconds;
+    ctx.set_timing("round_" + std::to_string(k) + "_trial_seconds",
+                   row_seconds);
+    std::fprintf(stderr, "[fig3] probing round %u: %.1fs compute\n", k,
+                 row_seconds);
   }
 
-  bench::print_table(table);
+  ctx.print_table(table);
+  ctx.set_timing("grid_trial_seconds", grid_seconds);
   std::printf("Expected shape: monotone exponential growth with probing "
               "round; flush < no-flush at every round.\n");
-  return 0;
+  return ctx.finish();
 }

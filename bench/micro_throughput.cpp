@@ -2,9 +2,20 @@
 // leaky table implementation, the cache simulator, the NoC model and one
 // full monitored-encryption observation.  These are sanity/engineering
 // numbers, not paper results.
+//
+// Flags: the shared bench flags map onto google-benchmark's —
+//   --quick      -> --benchmark_min_time=0.05
+//   --json PATH  -> --benchmark_out=PATH --benchmark_out_format=json
+//   --threads N  -> accepted for interface uniformity; microbenchmarks
+//                   are inherently single-threaded measurements.
+// Unrecognized arguments pass through to google-benchmark verbatim.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "attack/grinch.h"
+#include "bench_util.h"
 #include "cachesim/cache.h"
 #include "common/rng.h"
 #include "gift/bitslice.h"
@@ -139,4 +150,28 @@ BENCHMARK(BM_FullFirstRoundAttack)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchContext ctx{argc, argv, /*allow_unknown=*/true};
+  std::vector<std::string> args{argc > 0 ? argv[0] : "micro_throughput"};
+  if (ctx.quick()) args.emplace_back("--benchmark_min_time=0.05");
+  if (!ctx.json_path().empty()) {
+    args.push_back("--benchmark_out=" + ctx.json_path());
+    args.emplace_back("--benchmark_out_format=json");
+  }
+  for (const std::string& a : ctx.passthrough_args()) args.push_back(a);
+
+  std::vector<char*> bargv;
+  bargv.reserve(args.size());
+  for (std::string& a : args) bargv.push_back(a.data());
+  int bargc = static_cast<int>(bargv.size());
+  benchmark::Initialize(&bargc, bargv.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  // Pre-overhaul reference numbers (virtual-dispatch cache, per-encryption
+  // heap traffic) so the JSON trajectory carries its own baseline.
+  benchmark::AddCustomContext("baseline_cache_access_ns", "86.7");
+  benchmark::AddCustomContext("baseline_table_gift64_instrumented_ns", "8729");
+  benchmark::AddCustomContext("baseline_observe_one_encryption_ns", "14958");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,17 +8,28 @@
 // falls back on cross-round propagation ("assume all possibilities and
 // continue to the next round", §III-D) — implemented by the
 // CrossRoundSolver and the deferred-stage pipeline.
+//
+// The whole 4x5 grid runs as one flat trial list on the thread pool;
+// seeds are pre-derived per trial, so the table is identical for any
+// --threads.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 
 using namespace grinch;
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const unsigned max_round = quick ? 3 : 5;
-  const std::uint64_t budget = quick ? 60000 : 1000000;
+  bench::BenchContext ctx{argc, argv};
+  const unsigned max_round = ctx.quick() ? 3 : 5;
+  const std::uint64_t budget = ctx.quick() ? 60000 : 1000000;
+  const unsigned trials = ctx.quick() ? 3 : 10;
+  const std::vector<unsigned> word_sizes{1, 2, 4, 8};
+
+  ctx.set_config("max_round", max_round);
+  ctx.set_config("budget", budget);
+  ctx.set_config("trials_per_cell", trials);
 
   std::printf("Table I — required encryptions to attack the first round\n");
   std::printf("paper reference:\n");
@@ -27,31 +38,47 @@ int main(int argc, char** argv) {
   std::printf("  4 words: 136 / 123848 / >1M / >1M / >1M\n");
   std::printf("  8 words: 113000 / >1M / >1M / >1M / >1M\n\n");
 
+  // Cell order: row-major over (words, round).
+  std::vector<bench::CellSpec> specs;
+  for (unsigned words : word_sizes) {
+    for (unsigned k = 1; k <= max_round; ++k) {
+      bench::CellSpec spec;
+      spec.platform.cache.line_bytes = words;
+      spec.platform.probing_round = k;
+      spec.platform.use_flush = true;
+      spec.trials = trials;
+      spec.budget = budget;
+      spec.seed = 0x7AB1E100 + words * 16 + k;
+      specs.push_back(spec);
+    }
+  }
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), specs);
+
   AsciiTable table{"Table I (reproduced)"};
   std::vector<std::string> header{"cache line size"};
   for (unsigned k = 1; k <= max_round; ++k)
     header.push_back("round " + std::to_string(k));
   table.set_header(header);
 
-  for (unsigned words : {1u, 2u, 4u, 8u}) {
+  std::size_t index = 0;
+  for (unsigned words : word_sizes) {
     std::vector<std::string> row{std::to_string(words) +
                                  (words == 1 ? " word" : " words")};
+    double row_seconds = 0.0;
     for (unsigned k = 1; k <= max_round; ++k) {
-      const unsigned trials = words <= 2 ? 3 : 1;
-      soc::DirectProbePlatform::Config cfg;
-      cfg.cache.line_bytes = words;
-      cfg.probing_round = k;
-      cfg.use_flush = true;
-      const EffortCell cell = bench::first_round_cell(
-          cfg, trials, budget, 0x7AB1E100 + words * 16 + k);
-      row.push_back(cell.render());
-      std::fprintf(stderr, "[table1] %u words, probing round %u done\n",
-                   words, k);
+      const bench::CellResult& cell = cells[index++];
+      row.push_back(cell.cell.render());
+      row_seconds += cell.trial_seconds;
     }
     table.add_row(row);
+    ctx.set_timing("words_" + std::to_string(words) + "_trial_seconds",
+                   row_seconds);
+    std::fprintf(stderr, "[table1] %u words: %.1fs compute\n", words,
+                 row_seconds);
   }
 
-  bench::print_table(table);
+  ctx.print_table(table);
   std::printf(
       "Expected shape: effort rises steeply with both line size and probing\n"
       "round; the large-line / late-probe corner drops out (>budget), like\n"
@@ -60,5 +87,5 @@ int main(int argc, char** argv) {
       "single-round information, so our 4/8-word cells lean entirely on\n"
       "cross-round propagation and are costlier than the paper's at early\n"
       "probing rounds.\n");
-  return 0;
+  return ctx.finish();
 }

@@ -16,13 +16,15 @@
 
 using namespace grinch;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchContext ctx{argc, argv};
   std::printf("Table II — attack efficiency (probed round) on both "
               "platforms\n");
   std::printf("paper reference: SoC 2/4/8, MPSoC 1/1/1 at 10/25/50 MHz\n\n");
 
   Xoshiro256 rng{0x7AB1E2};
   const Key128 key = rng.key128();
+  ctx.set_config("seed", std::uint64_t{0x7AB1E2});
 
   AsciiTable table{"Table II (reproduced)"};
   table.set_header({"Platform", "10 MHz", "25 MHz", "50 MHz"});
@@ -42,7 +44,7 @@ int main() {
   }
   table.add_row(soc_row);
   table.add_row(mpsoc_row);
-  bench::print_table(table);
+  ctx.print_table(table);
 
   // Supporting measurements quoted in §IV-B3.
   soc::MpSoc::Config mcfg;
@@ -50,9 +52,12 @@ int main() {
   soc::SingleCoreSoC::Config scfg;
   soc::SingleCoreSoC single{scfg, key};
   const double cpr = single.measured_cycles_per_round();
+  const double round_ms = cpr / 50e6 * 1e3;
   std::printf("victim round time at 50 MHz: %.2f ms (paper: ~1.2 ms)\n",
-              cpr / 50e6 * 1e3);
+              round_ms);
   std::printf("remote shared-cache access via NoC: %.0f ns (paper: ~400 ns)\n",
               mpsoc.remote_access_ns());
-  return 0;
+  ctx.set_metric("victim_round_ms_50mhz", round_ms);
+  ctx.set_metric("remote_access_ns", mpsoc.remote_access_ns());
+  return ctx.finish();
 }

@@ -1,55 +1,141 @@
 #include "cachesim/cache.h"
 
+#include <algorithm>
+
 #include "common/bits.h"
 
 namespace grinch::cachesim {
 
 Cache::Cache(const CacheConfig& config) : config_(config) {
   config_.validate();
+  ways_ = config_.associativity;
   line_shift_ = log2_pow2(config_.line_bytes);
+  sets_shift_ = log2_pow2(config_.num_sets);
   set_mask_ = config_.num_sets - 1;
-  sets_.resize(config_.num_sets);
-  std::uint64_t set_seed = config_.seed;
-  for (auto& set : sets_) {
-    set.ways.resize(config_.associativity);
-    set.replacement = make_replacement_state(config_.replacement,
-                                             config_.associativity, ++set_seed);
+
+  const std::size_t lines =
+      static_cast<std::size_t>(config_.num_sets) * ways_;
+  tags_.assign(lines, 0);
+  valid_.assign(lines, 0);
+
+  switch (config_.replacement) {
+    case Replacement::kLru:
+    case Replacement::kFifo:
+      stamps_.assign(lines, 0);
+      break;
+    case Replacement::kPlru:
+      plru_levels_ = log2_pow2(ways_);
+      plru_tree_.assign(static_cast<std::size_t>(config_.num_sets) *
+                            (ways_ > 1 ? ways_ - 1 : 1),
+                        0);
+      break;
+    case Replacement::kRandom: {
+      // Per-set streams seeded seed+1, seed+2, ... — the exact seeding of
+      // the original per-set RandomState construction loop.
+      random_.reserve(config_.num_sets);
+      std::uint64_t set_seed = config_.seed;
+      for (unsigned s = 0; s < config_.num_sets; ++s)
+        random_.emplace_back(++set_seed);
+      break;
+    }
   }
 }
 
-std::uint64_t Cache::set_index(std::uint64_t addr) const noexcept {
-  return (addr >> line_shift_) & set_mask_;
-}
-
-std::uint64_t Cache::tag_of(std::uint64_t addr) const noexcept {
-  return (addr >> line_shift_) >> log2_pow2(config_.num_sets);
-}
-
-std::uint64_t Cache::line_base(std::uint64_t addr) const noexcept {
-  return addr & ~std::uint64_t{config_.line_bytes - 1};
-}
-
-std::optional<unsigned> Cache::find_way(const Set& set,
-                                        std::uint64_t tag) const noexcept {
-  for (unsigned w = 0; w < set.ways.size(); ++w) {
-    if (set.ways[w].valid && set.ways[w].tag == tag) return w;
+int Cache::find_way(std::size_t base, std::uint64_t tag) const noexcept {
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (valid_[base + w] && tags_[base + w] == tag)
+      return static_cast<int>(w);
   }
-  return std::nullopt;
+  return -1;
+}
+
+int Cache::find_invalid(std::size_t base) const noexcept {
+  for (unsigned w = 0; w < ways_; ++w) {
+    if (!valid_[base + w]) return static_cast<int>(w);
+  }
+  return -1;
+}
+
+void Cache::policy_hit(std::size_t set, unsigned way) noexcept {
+  switch (config_.replacement) {
+    case Replacement::kLru:
+      stamps_[set * ways_ + way] = ++clock_;
+      break;
+    case Replacement::kFifo:
+    case Replacement::kRandom:
+      break;  // hits don't refresh
+    case Replacement::kPlru: {
+      if (ways_ == 1) break;
+      // Walk root->leaf; at each node, point *away* from `way`.
+      std::uint8_t* tree = &plru_tree_[set * (ways_ - 1)];
+      unsigned node = 0;
+      for (unsigned level = 0; level < plru_levels_; ++level) {
+        const unsigned dir = (way >> (plru_levels_ - 1 - level)) & 1u;
+        tree[node] = static_cast<std::uint8_t>(dir ^ 1u);
+        node = 2 * node + 1 + dir;
+      }
+      break;
+    }
+  }
+}
+
+void Cache::policy_fill(std::size_t set, unsigned way) noexcept {
+  switch (config_.replacement) {
+    case Replacement::kLru:
+    case Replacement::kFifo:
+      stamps_[set * ways_ + way] = ++clock_;
+      break;
+    case Replacement::kPlru:
+      policy_hit(set, way);  // fills refresh like hits
+      break;
+    case Replacement::kRandom:
+      break;
+  }
+}
+
+unsigned Cache::policy_victim(std::size_t set) noexcept {
+  switch (config_.replacement) {
+    case Replacement::kLru:
+    case Replacement::kFifo: {
+      // First minimum stamp — matches std::min_element of the reference
+      // state machines.
+      const std::uint64_t* stamps = &stamps_[set * ways_];
+      unsigned victim = 0;
+      for (unsigned w = 1; w < ways_; ++w) {
+        if (stamps[w] < stamps[victim]) victim = w;
+      }
+      return victim;
+    }
+    case Replacement::kPlru: {
+      if (ways_ == 1) return 0;
+      const std::uint8_t* tree = &plru_tree_[set * (ways_ - 1)];
+      unsigned node = 0, way = 0;
+      for (unsigned level = 0; level < plru_levels_; ++level) {
+        const unsigned dir = tree[node];
+        way = (way << 1) | dir;
+        node = 2 * node + 1 + dir;
+      }
+      return way;
+    }
+    case Replacement::kRandom:
+      return static_cast<unsigned>(random_[set].uniform(ways_));
+  }
+  return 0;
 }
 
 AccessResult Cache::access(std::uint64_t addr) {
   const std::uint64_t si = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
-  Set& set = sets_[si];
+  const std::size_t base = static_cast<std::size_t>(si) * ways_;
   ++stats_.accesses;
 
   AccessResult result;
   result.set = si;
   result.tag = tag;
 
-  if (const auto way = find_way(set, tag)) {
+  if (const int way = find_way(base, tag); way >= 0) {
     ++stats_.hits;
-    set.replacement->on_hit(*way);
+    policy_hit(si, static_cast<unsigned>(way));
     result.hit = true;
     result.latency = config_.hit_latency;
     return result;
@@ -57,26 +143,21 @@ AccessResult Cache::access(std::uint64_t addr) {
 
   // Miss: fill into an invalid way if available, else evict.
   ++stats_.misses;
-  unsigned victim = 0;
-  bool found_invalid = false;
-  for (unsigned w = 0; w < set.ways.size(); ++w) {
-    if (!set.ways[w].valid) {
-      victim = w;
-      found_invalid = true;
-      break;
-    }
-  }
-  if (!found_invalid) {
-    victim = set.replacement->choose_victim();
+  unsigned victim;
+  if (const int invalid = find_invalid(base); invalid >= 0) {
+    victim = static_cast<unsigned>(invalid);
+    ++valid_count_;
+  } else {
+    victim = policy_victim(si);
     ++stats_.evictions;
     result.evicted = true;
     // Reconstruct the displaced line's base address from (tag, set).
     result.evicted_line_addr =
-        ((set.ways[victim].tag << log2_pow2(config_.num_sets)) | si)
-        << line_shift_;
+        ((tags_[base + victim] << sets_shift_) | si) << line_shift_;
   }
-  set.ways[victim] = Line{true, tag};
-  set.replacement->on_fill(victim);
+  tags_[base + victim] = tag;
+  valid_[base + victim] = 1;
+  policy_fill(si, victim);
   result.hit = false;
   result.latency = config_.miss_latency;
 
@@ -92,54 +173,47 @@ AccessResult Cache::access(std::uint64_t addr) {
 void Cache::fill_line(std::uint64_t addr) {
   const std::uint64_t si = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
-  Set& set = sets_[si];
-  if (find_way(set, tag)) return;  // already resident
-  unsigned victim = 0;
-  bool found_invalid = false;
-  for (unsigned w = 0; w < set.ways.size(); ++w) {
-    if (!set.ways[w].valid) {
-      victim = w;
-      found_invalid = true;
-      break;
-    }
-  }
-  if (!found_invalid) {
-    victim = set.replacement->choose_victim();
+  const std::size_t base = static_cast<std::size_t>(si) * ways_;
+  if (find_way(base, tag) >= 0) return;  // already resident
+  unsigned victim;
+  if (const int invalid = find_invalid(base); invalid >= 0) {
+    victim = static_cast<unsigned>(invalid);
+    ++valid_count_;
+  } else {
+    victim = policy_victim(si);
     ++stats_.evictions;
   }
-  set.ways[victim] = Line{true, tag};
-  set.replacement->on_fill(victim);
+  tags_[base + victim] = tag;
+  valid_[base + victim] = 1;
+  policy_fill(si, victim);
   ++stats_.prefetch_fills;
 }
 
 bool Cache::contains(std::uint64_t addr) const noexcept {
-  const Set& set = sets_[set_index(addr)];
-  return find_way(set, tag_of(addr)).has_value();
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(addr)) * ways_;
+  return find_way(base, tag_of(addr)) >= 0;
 }
 
 void Cache::flush() {
-  for (auto& set : sets_) {
-    for (auto& line : set.ways) line.valid = false;
-  }
+  // Replacement state is deliberately left alone (matching real hardware
+  // and the original implementation): invalid ways are filled first, so
+  // stale stamps never pick a victim before the set refills.
+  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+  valid_count_ = 0;
   ++stats_.full_flushes;
 }
 
 bool Cache::flush_line(std::uint64_t addr) {
-  Set& set = sets_[set_index(addr)];
+  const std::size_t base =
+      static_cast<std::size_t>(set_index(addr)) * ways_;
   ++stats_.line_flushes;
-  if (const auto way = find_way(set, tag_of(addr))) {
-    set.ways[*way].valid = false;
+  if (const int way = find_way(base, tag_of(addr)); way >= 0) {
+    valid_[base + static_cast<unsigned>(way)] = 0;
+    --valid_count_;
     return true;
   }
   return false;
-}
-
-unsigned Cache::valid_lines() const noexcept {
-  unsigned n = 0;
-  for (const auto& set : sets_) {
-    for (const auto& line : set.ways) n += line.valid;
-  }
-  return n;
 }
 
 }  // namespace grinch::cachesim

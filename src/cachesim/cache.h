@@ -4,15 +4,23 @@
 // cache: timed accesses (hit vs. miss is attacker-observable), a full
 // flush, and per-line flushes (Flush+Reload's `clflush`).  Physically
 // indexed, byte addresses; a line is identified by (set, tag).
+//
+// Hot-path layout: this class sits inside every simulated victim access
+// and every probe of every trial, so its storage is flat — one
+// contiguous tag/valid array indexed by set*ways+way, plus contiguous
+// per-policy replacement state (recency stamps, PLRU tree bits or
+// per-set RNGs) dispatched by a switch on the policy enum.  No per-set
+// vectors, no virtual replacement calls, no optionals on the lookup
+// path.  Behaviour is bit-identical to the original per-Set
+// implementation (differentially validated against a naive reference
+// model in tests/cachesim/reference_model_test.cpp).
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <optional>
 #include <vector>
 
 #include "cachesim/config.h"
-#include "cachesim/replacement.h"
+#include "common/rng.h"
 
 namespace grinch::cachesim {
 
@@ -66,40 +74,61 @@ class Cache {
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   void clear_stats() noexcept { stats_.clear(); }
 
-  /// Number of valid lines currently resident.
-  [[nodiscard]] unsigned valid_lines() const noexcept;
+  /// Number of valid lines currently resident — O(1), maintained on
+  /// fill/evict/flush (this sits inside probe loops).
+  [[nodiscard]] unsigned valid_lines() const noexcept { return valid_count_; }
 
   /// Set index for an address (exposed for eviction-set construction).
-  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const noexcept {
+    return (addr >> line_shift_) & set_mask_;
+  }
 
   /// Base address of the line containing `addr`.
-  [[nodiscard]] std::uint64_t line_base(std::uint64_t addr) const noexcept;
+  [[nodiscard]] std::uint64_t line_base(std::uint64_t addr) const noexcept {
+    return addr & ~std::uint64_t{config_.line_bytes - 1};
+  }
 
  private:
-  struct Line {
-    bool valid = false;
-    std::uint64_t tag = 0;
-  };
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept {
+    return (addr >> line_shift_) >> sets_shift_;
+  }
 
-  struct Set {
-    std::vector<Line> ways;
-    std::unique_ptr<ReplacementState> replacement;
-  };
+  /// Way holding (set, tag), or -1 when absent.  `base` = set * ways.
+  [[nodiscard]] int find_way(std::size_t base,
+                             std::uint64_t tag) const noexcept;
 
-  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const noexcept;
-  [[nodiscard]] std::optional<unsigned> find_way(const Set& set,
-                                                 std::uint64_t tag)
-      const noexcept;
+  /// First invalid way of the set, or -1 when all ways are valid.
+  [[nodiscard]] int find_invalid(std::size_t base) const noexcept;
+
+  // Devirtualized replacement-policy dispatch (one switch on the enum;
+  // state machines mirror cachesim/replacement.h, which stays as the
+  // unit-tested reference implementation).
+  void policy_hit(std::size_t set, unsigned way) noexcept;
+  void policy_fill(std::size_t set, unsigned way) noexcept;
+  [[nodiscard]] unsigned policy_victim(std::size_t set) noexcept;
 
   /// Installs the line containing `addr` without touching demand stats
   /// (no-op if already resident).  Used by the prefetcher.
   void fill_line(std::uint64_t addr);
 
   CacheConfig config_;
-  std::vector<Set> sets_;
   CacheStats stats_;
+  unsigned ways_;
   unsigned line_shift_;
+  unsigned sets_shift_;
   std::uint64_t set_mask_;
+  unsigned valid_count_ = 0;
+
+  // Flat line storage: index = set * ways + way.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint8_t> valid_;
+
+  // Replacement state, allocated only for the configured policy:
+  std::vector<std::uint64_t> stamps_;   ///< LRU last-use / FIFO fill order
+  std::uint64_t clock_ = 0;             ///< stamp source (LRU/FIFO)
+  std::vector<std::uint8_t> plru_tree_; ///< ways-1 tree nodes per set
+  unsigned plru_levels_ = 0;
+  std::vector<Xoshiro256> random_;      ///< one seeded stream per set
 };
 
 }  // namespace grinch::cachesim

@@ -1,9 +1,15 @@
 // Per-set replacement-policy state machines.
 //
-// Each cache set owns one ReplacementState sized to its associativity.
-// The Cache calls on_hit / on_fill and asks for a victim way when a fill
-// finds no invalid way.  Policies are deterministic (Random is seeded),
-// which keeps every experiment reproducible.
+// Each set's policy is a small state machine: on_hit / on_fill update it,
+// choose_victim picks the way to evict when a fill finds no invalid way.
+// Policies are deterministic (Random is seeded), which keeps every
+// experiment reproducible.
+//
+// NOTE: the hot-path Cache no longer instantiates these classes — it
+// inlines equivalent flat-array logic (cache.cpp: policy_hit/policy_fill/
+// policy_victim) to avoid per-access virtual dispatch.  These remain the
+// unit-tested reference implementations; reference_model_test.cpp checks
+// the Cache's behaviour stays bit-identical to a model built on them.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,140 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace grinch::json {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value& Value::set(const std::string& key, Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  elements_.push_back(std::move(v));
+  return *this;
+}
+
+namespace {
+
+void indent(std::string& out, unsigned depth) {
+  out.append(static_cast<std::size_t>(depth) * 2, ' ');
+}
+
+std::string format_double(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  // Shortest representation that round-trips; integral doubles print
+  // without an exponent for readability.
+  char buf[40];
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.1f", d);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  return buf;
+}
+
+}  // namespace
+
+void Value::write(std::string& out, unsigned depth) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kInt: out += std::to_string(int_); return;
+    case Kind::kUint: out += std::to_string(uint_); return;
+    case Kind::kDouble: out += format_double(double_); return;
+    case Kind::kString:
+      out += '"';
+      out += escape(string_);
+      out += '"';
+      return;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(out, depth + 1);
+        out += '"';
+        out += escape(members_[i].first);
+        out += "\": ";
+        members_[i].second.write(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += '}';
+      return;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        indent(out, depth + 1);
+        elements_[i].write(out, depth + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += ']';
+      return;
+    }
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  write(out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace grinch::json

@@ -1,0 +1,75 @@
+// Minimal JSON document builder for machine-readable bench output.
+//
+// The bench harnesses (bench/bench_util.h) serialize their results,
+// configuration and wall-clock into `BENCH_<name>.json` so the perf
+// trajectory of the repo is tracked mechanically (tools/run_bench.sh
+// aggregates them; CI uploads the aggregate per PR).  Writing only —
+// nothing in the repo needs to parse JSON back.
+//
+// Determinism: dump() emits keys in insertion order and formats doubles
+// with a fixed shortest-roundtrip format, so two runs that computed the
+// same values serialize to identical bytes (the determinism suite
+// compares serialized documents across thread counts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace grinch::json {
+
+/// A JSON value: object / array / string / number / bool / null.
+class Value {
+ public:
+  Value() noexcept : kind_(Kind::kNull) {}
+  Value(bool b) noexcept : kind_(Kind::kBool), bool_(b) {}          // NOLINT
+  Value(double d) noexcept : kind_(Kind::kDouble), double_(d) {}    // NOLINT
+  Value(std::int64_t i) noexcept : kind_(Kind::kInt), int_(i) {}    // NOLINT
+  Value(std::uint64_t u) noexcept : kind_(Kind::kUint), uint_(u) {} // NOLINT
+  Value(int i) noexcept : Value(static_cast<std::int64_t>(i)) {}    // NOLINT
+  Value(unsigned u) noexcept                                        // NOLINT
+      : Value(static_cast<std::uint64_t>(u)) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {} // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}                   // NOLINT
+
+  [[nodiscard]] static Value object();
+  [[nodiscard]] static Value array();
+
+  /// Object member set (insertion-ordered; re-setting a key overwrites in
+  /// place).  The value must be (or become) an object.
+  Value& set(const std::string& key, Value v);
+
+  /// Array append.  The value must be (or become) an array.
+  Value& push(Value v);
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind_ == Kind::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Serializes with 2-space indentation and a trailing newline at the
+  /// top level.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kInt, kUint, kDouble, kString, kObject, kArray
+  };
+
+  void write(std::string& out, unsigned depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, Value>> members_;  ///< object
+  std::vector<Value> elements_;                         ///< array
+};
+
+/// Escapes a string for embedding in a JSON document (no quotes added).
+[[nodiscard]] std::string escape(const std::string& s);
+
+}  // namespace grinch::json

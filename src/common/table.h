@@ -25,6 +25,16 @@ class AsciiTable {
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
+  // Structured access for machine-readable output (bench --json).
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -1,5 +1,7 @@
 #include "gift/table_gift.h"
 
+#include <array>
+
 #include "gift/constants.h"
 #include "gift/permutation.h"
 #include "gift/sbox.h"
@@ -36,6 +38,7 @@ std::vector<RoundKey64> standard_round_keys(const Key128& key,
 
 TableGift64::TableGift64(const TableLayout& layout, RoundKeyProvider provider)
     : layout_(layout),
+      standard_schedule_(!provider),
       provider_(provider ? std::move(provider) : standard_round_keys) {
   const SBox& sbox = gift_sbox();
   for (unsigned v = 0; v < 16; ++v)
@@ -48,10 +51,27 @@ TableGift64::TableGift64(const TableLayout& layout, RoundKeyProvider provider)
   }
 }
 
-std::uint64_t TableGift64::encrypt_rounds(std::uint64_t plaintext,
-                                          const Key128& key, unsigned rounds,
-                                          TraceSink* sink) const {
-  const std::vector<RoundKey64> rks = provider_(key, rounds);
+template <typename Sink>
+std::uint64_t TableGift64::encrypt_impl(std::uint64_t plaintext,
+                                        const Key128& key, unsigned rounds,
+                                        Sink* sink) const {
+  // Round keys: the standard schedule runs inline into a stack buffer —
+  // no per-encryption heap allocation on the hot path.  Custom providers
+  // (hardened UpdateKey) keep the vector-returning interface.
+  std::array<RoundKey64, Gift64::kRounds> rk_buf;
+  std::vector<RoundKey64> rk_vec;
+  const RoundKey64* rks;
+  if (standard_schedule_ && rounds <= Gift64::kRounds) {
+    Key128 k = key;
+    for (unsigned r = 0; r < rounds; ++r) {
+      rk_buf[r] = extract_round_key64(k);
+      k = update_key_state(k);
+    }
+    rks = rk_buf.data();
+  } else {
+    rk_vec = provider_(key, rounds);
+    rks = rk_vec.data();
+  }
   std::uint64_t state = plaintext;
   for (unsigned r = 0; r < rounds; ++r) {
     if (sink) sink->on_round_begin(r);
@@ -94,8 +114,27 @@ std::uint64_t TableGift64::encrypt_rounds(std::uint64_t plaintext,
   return state;
 }
 
+std::uint64_t TableGift64::encrypt_rounds(std::uint64_t plaintext,
+                                          const Key128& key, unsigned rounds,
+                                          TraceSink* sink) const {
+  return encrypt_impl(plaintext, key, rounds, sink);
+}
+
+std::uint64_t TableGift64::encrypt_rounds(std::uint64_t plaintext,
+                                          const Key128& key, unsigned rounds,
+                                          VectorTraceSink* sink) const {
+  // VectorTraceSink is final: the per-access callbacks resolve and inline
+  // statically in this instantiation.
+  return encrypt_impl(plaintext, key, rounds, sink);
+}
+
 std::uint64_t TableGift64::encrypt(std::uint64_t plaintext, const Key128& key,
                                    TraceSink* sink) const {
+  return encrypt_rounds(plaintext, key, Gift64::kRounds, sink);
+}
+
+std::uint64_t TableGift64::encrypt(std::uint64_t plaintext, const Key128& key,
+                                   VectorTraceSink* sink) const {
   return encrypt_rounds(plaintext, key, Gift64::kRounds, sink);
 }
 

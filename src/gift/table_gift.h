@@ -19,6 +19,7 @@
 // (Gift64) in tests/gift/table_gift_test.cpp.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -76,7 +77,10 @@ class TraceSink {
 };
 
 /// TraceSink that collects everything into vectors (tests, offline replay).
-class VectorTraceSink : public TraceSink {
+/// Final so encrypt()'s VectorTraceSink overload devirtualizes the ~900
+/// per-encryption callbacks; clear() keeps capacity, so a reused sink
+/// stops allocating after the first encryption.
+class VectorTraceSink final : public TraceSink {
  public:
   void on_round_begin(unsigned round) override;
   void on_access(const TableAccess& access) override;
@@ -125,13 +129,46 @@ class TableGift64 {
                                              unsigned rounds,
                                              TraceSink* sink = nullptr) const;
 
+  /// Hot-path overloads: statically-typed sink (devirtualized callbacks).
+  /// Callers holding a concrete VectorTraceSink resolve here for free.
+  [[nodiscard]] std::uint64_t encrypt(std::uint64_t plaintext,
+                                      const Key128& key,
+                                      VectorTraceSink* sink) const;
+  [[nodiscard]] std::uint64_t encrypt_rounds(std::uint64_t plaintext,
+                                             const Key128& key,
+                                             unsigned rounds,
+                                             VectorTraceSink* sink) const;
+
+  /// Disambiguators: a literal nullptr sink means "no trace" and would
+  /// otherwise match both sink overloads equally well.
+  [[nodiscard]] std::uint64_t encrypt(std::uint64_t plaintext,
+                                      const Key128& key,
+                                      std::nullptr_t) const {
+    return encrypt(plaintext, key, static_cast<TraceSink*>(nullptr));
+  }
+  [[nodiscard]] std::uint64_t encrypt_rounds(std::uint64_t plaintext,
+                                             const Key128& key,
+                                             unsigned rounds,
+                                             std::nullptr_t) const {
+    return encrypt_rounds(plaintext, key, rounds,
+                          static_cast<TraceSink*>(nullptr));
+  }
+
   /// Table accesses issued per round (16 S-Box + 16 PermBits lookups).
   [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
     return 32;
   }
 
  private:
+  template <typename Sink>
+  std::uint64_t encrypt_impl(std::uint64_t plaintext, const Key128& key,
+                             unsigned rounds, Sink* sink) const;
+
   TableLayout layout_;
+  /// provider_ is the standard schedule — round keys then come from a
+  /// stack buffer instead of a heap vector per encryption.  Declared
+  /// before provider_ so it initializes before `provider` is moved from.
+  bool standard_schedule_;
   RoundKeyProvider provider_;
   std::uint8_t sbox_table_[16];
   std::uint64_t perm_table_[16][16];  // PERM[s][v] = P64 applied to v<<4s

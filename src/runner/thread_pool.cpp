@@ -1,0 +1,146 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+
+namespace grinch::runner {
+
+unsigned ThreadPool::default_thread_count() noexcept {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads == 0 ? default_thread_count() : threads),
+      queues_(threads_) {
+  workers_.reserve(threads_ - 1);
+  // Participant 0 is the calling thread; spawned workers are 1..threads-1.
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(batch_mutex_);
+    stopping_ = true;
+  }
+  batch_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::pop_task(unsigned self, std::size_t& out) {
+  {
+    WorkerQueue& own = queues_[self];
+    std::lock_guard<std::mutex> lk(own.mutex);
+    if (!own.tasks.empty()) {
+      out = own.tasks.front();
+      own.tasks.pop_front();
+      return true;
+    }
+  }
+  // Own deque empty: steal from the back of the others, nearest first.
+  for (unsigned step = 1; step < threads_; ++step) {
+    WorkerQueue& other = queues_[(self + step) % threads_];
+    std::lock_guard<std::mutex> lk(other.mutex);
+    if (!other.tasks.empty()) {
+      out = other.tasks.back();
+      other.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::record_exception(std::size_t index) {
+  std::lock_guard<std::mutex> lk(error_mutex_);
+  if (!error_ || index < error_index_) {
+    error_ = std::current_exception();
+    error_index_ = index;
+  }
+}
+
+void ThreadPool::drain(unsigned self) {
+  std::size_t index = 0;
+  while (pop_task(self, index)) {
+    // batch_fn_ was published before the task was enqueued; popping the
+    // task (same queue mutex) synchronizes with that publication, and
+    // the pointer stays valid while any task is unfinished.
+    const std::function<void(std::size_t)>* fn = batch_fn_;
+    try {
+      (*fn)(index);
+    } catch (...) {
+      record_exception(index);
+    }
+    std::lock_guard<std::mutex> lk(batch_mutex_);
+    if (--batch_pending_ == 0) batch_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_main(unsigned index) {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(batch_mutex_);
+      batch_start_.wait(lk, [&] {
+        return stopping_ || (batch_id_ != seen_batch && batch_fn_ != nullptr);
+      });
+      if (stopping_) return;
+      seen_batch = batch_id_;
+    }
+    drain(index);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ <= 1 || n == 1) {
+    // Inline execution with the same run-to-completion + lowest-index
+    // exception semantics as the parallel path.
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error || i < error_index) {
+          error = std::current_exception();
+          error_index = i;
+        }
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  {
+    std::lock_guard<std::mutex> lk(error_mutex_);
+    error_ = nullptr;
+    error_index_ = 0;
+  }
+  // Round-robin distribution; idle participants steal the imbalance back.
+  for (std::size_t i = 0; i < n; ++i) {
+    WorkerQueue& q = queues_[i % threads_];
+    std::lock_guard<std::mutex> lk(q.mutex);
+    q.tasks.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lk(batch_mutex_);
+    batch_fn_ = &fn;
+    batch_pending_ = n;
+    ++batch_id_;
+  }
+  batch_start_.notify_all();
+
+  drain(0);  // the calling thread works too
+
+  {
+    std::unique_lock<std::mutex> lk(batch_mutex_);
+    batch_done_.wait(lk, [&] { return batch_pending_ == 0; });
+    batch_fn_ = nullptr;
+  }
+  std::lock_guard<std::mutex> lk(error_mutex_);
+  if (error_) std::rethrow_exception(error_);
+}
+
+}  // namespace grinch::runner

@@ -1,0 +1,93 @@
+// Work-stealing thread pool for sharding independent experiment trials.
+//
+// Design constraints (docs/RUNNER.md):
+//  * Deterministic results — the pool never touches RNG state; callers
+//    pre-derive all per-task seeds (runner::derive_trial_seeds) and every
+//    task writes only its own output slot, so the result of a batch is
+//    bit-identical for any thread count, including 1.
+//  * Load balancing — a cell at probing round 8 costs ~10^4x one at
+//    round 1, so tasks are distributed round-robin into per-worker deques
+//    and idle workers steal from the back of their neighbours' deques.
+//  * Exceptions — a throwing task does not abort the batch; the batch
+//    runs to completion and parallel_for rethrows the exception of the
+//    lowest task index (deterministic choice when several throw).
+//
+// The calling thread participates as a worker, so a pool constructed
+// with N threads applies N-way parallelism using N-1 spawned workers.
+// With thread_count() == 1 no threads are spawned and parallel_for runs
+// inline — `--threads 1` is exactly the old serial loop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace grinch::runner {
+
+class ThreadPool {
+ public:
+  /// `threads` = total parallelism (spawns threads-1 workers);
+  /// 0 = hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return threads_; }
+
+  /// std::thread::hardware_concurrency(), never 0.
+  [[nodiscard]] static unsigned default_thread_count() noexcept;
+
+  /// Runs fn(0) .. fn(n-1), in parallel across the pool, and blocks until
+  /// all of them finished.  Tasks may finish in any order; determinism is
+  /// the caller's job (write to disjoint output slots).  Rethrows the
+  /// lowest-index task exception after the batch completes.  Must not be
+  /// called from inside a task (no nesting); concurrent calls from
+  /// different external threads serialize.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;  ///< task indices of the current batch
+  };
+
+  /// Pops a task index for participant `self`, stealing when its own
+  /// queue is empty.  Returns false when no work is left anywhere.
+  bool pop_task(unsigned self, std::size_t& out);
+
+  /// Runs tasks until the current batch is drained.
+  void drain(unsigned self);
+
+  void worker_main(unsigned index);
+
+  void record_exception(std::size_t index);
+
+  unsigned threads_;                   ///< total parallelism incl. caller
+  std::vector<WorkerQueue> queues_;    ///< one per participant
+  std::vector<std::thread> workers_;   ///< threads_ - 1 spawned workers
+
+  // Batch state (guarded by batch_mutex_ where noted).
+  std::mutex batch_mutex_;
+  std::condition_variable batch_start_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  std::size_t batch_pending_ = 0;   ///< tasks not yet finished
+  std::uint64_t batch_id_ = 0;      ///< bumped per batch to wake workers
+  bool stopping_ = false;
+
+  // First-by-index exception of the current batch.
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::size_t error_index_ = 0;
+
+  std::mutex submit_mutex_;  ///< serializes external parallel_for calls
+};
+
+}  // namespace grinch::runner

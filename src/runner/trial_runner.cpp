@@ -1,0 +1,47 @@
+#include "runner/trial_runner.h"
+
+namespace grinch::runner {
+
+std::vector<TrialSeed> derive_trial_seeds(std::uint64_t seed,
+                                          std::size_t trials) {
+  std::vector<TrialSeed> out;
+  out.reserve(trials);
+  Xoshiro256 rng{seed};
+  for (std::size_t t = 0; t < trials; ++t) {
+    TrialSeed s;
+    s.key = rng.key128();
+    s.seed = rng.next();
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> derive_seeds(std::uint64_t seed,
+                                        std::size_t count) {
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  Xoshiro256 rng{seed};
+  for (std::size_t i = 0; i < count; ++i) out.push_back(rng.next());
+  return out;
+}
+
+void parallel_cells(ThreadPool& pool, const std::vector<std::size_t>& trials,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+  // Flatten (cell, trial) into one index space; prefix sums recover the
+  // pair from a flat index.
+  std::vector<std::size_t> first(trials.size() + 1, 0);
+  for (std::size_t c = 0; c < trials.size(); ++c)
+    first[c + 1] = first[c] + trials[c];
+  const std::size_t total = first.back();
+  pool.parallel_for(total, [&](std::size_t flat) {
+    // Binary search for the owning cell (cells can have any trial count).
+    std::size_t lo = 0, hi = trials.size();
+    while (hi - lo > 1) {
+      const std::size_t mid = (lo + hi) / 2;
+      (first[mid] <= flat ? lo : hi) = mid;
+    }
+    fn(lo, flat - first[lo]);
+  });
+}
+
+}  // namespace grinch::runner

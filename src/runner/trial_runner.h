@@ -1,0 +1,71 @@
+// Deterministic parallel trial execution on top of ThreadPool.
+//
+// The determinism contract (docs/RUNNER.md): all per-trial RNG material
+// is derived *up front* from the cell's base seed, by drawing from one
+// Xoshiro256 stream in trial order — exactly the draws the old serial
+// loop made.  The parallel phase then touches no shared RNG: trial t
+// consumes seeds_[t] and writes results_[t] only.  Result: the output is
+// bit-identical for any thread count, and identical to the pre-runner
+// serial harnesses for equal trial counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "common/key128.h"
+#include "common/rng.h"
+#include "runner/thread_pool.h"
+
+namespace grinch::runner {
+
+/// Pre-derived RNG material for one trial: the victim key plus the seed
+/// for the attack's own stream.
+struct TrialSeed {
+  Key128 key{};
+  std::uint64_t seed = 0;
+};
+
+/// Splits `seed` into `trials` independent (key, seed) pairs — the same
+/// `rng.key128()` then `rng.next()` draws, in trial order, that the
+/// serial harness loops made, so migrated benches reproduce their old
+/// numbers exactly.
+[[nodiscard]] std::vector<TrialSeed> derive_trial_seeds(std::uint64_t seed,
+                                                        std::size_t trials);
+
+/// Splits `seed` into `count` plain u64 sub-seeds (stream splitting for
+/// components that need a seed but no victim key).
+[[nodiscard]] std::vector<std::uint64_t> derive_seeds(std::uint64_t seed,
+                                                      std::size_t count);
+
+/// Runs independent jobs on a pool and collects results in index order.
+class TrialRunner {
+ public:
+  explicit TrialRunner(ThreadPool& pool) noexcept : pool_(&pool) {}
+
+  [[nodiscard]] ThreadPool& pool() const noexcept { return *pool_; }
+
+  /// map(n, fn) -> {fn(0), ..., fn(n-1)}, evaluated in parallel, returned
+  /// in index order.  R must be default-constructible.
+  template <typename R>
+  std::vector<R> map(std::size_t n,
+                     const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> results(n);
+    pool_->parallel_for(n, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  ThreadPool* pool_;
+};
+
+/// Flattens a grid of cells with per-cell trial counts into one task
+/// list — `fn(cell, trial)` — so a cheap cell's threads immediately help
+/// the expensive cells instead of idling at per-cell barriers.  Tasks are
+/// ordered cell-major (all trials of cell 0, then cell 1, ...).
+void parallel_cells(ThreadPool& pool, const std::vector<std::size_t>& trials,
+                    const std::function<void(std::size_t cell,
+                                             std::size_t trial)>& fn);
+
+}  // namespace grinch::runner

@@ -47,6 +47,7 @@ DirectProbePlatform::DirectProbePlatform(const Config& config,
       key_(victim_key),
       cache_(config.cache),
       cipher_(config.layout, config.round_key_provider),
+      victim_(cipher_, cache_, config.cost),
       prober_(make_prober(config.method, cache_, config.layout)),
       noise_rng_(config.noise_seed) {}
 
@@ -72,7 +73,7 @@ Observation DirectProbePlatform::observe(std::uint64_t plaintext,
   // A fresh encryption on a cache that still holds earlier encryptions'
   // lines would leak nothing; like the paper's attacker, start each
   // monitored encryption from an evicted state for the monitored lines.
-  VictimProcess victim{cipher_, cache_, config_.cost};
+  VictimProcess& victim = victim_;
   victim.begin_encryption(plaintext, key_);
 
   std::uint64_t attacker_cycles = 0;
@@ -132,6 +133,7 @@ SingleCoreSoC::SingleCoreSoC(const Config& config, const Key128& victim_key)
       key_(victim_key),
       cache_(config.cache),
       cipher_(config.layout),
+      victim_(cipher_, cache_, config.cost),
       scheduler_(config.rtos),
       prober_(make_prober(config.method, cache_, config.layout)) {}
 
@@ -140,10 +142,9 @@ std::vector<unsigned> SingleCoreSoC::index_line_ids() const {
 }
 
 double SingleCoreSoC::measured_cycles_per_round() {
-  VictimProcess victim{cipher_, cache_, config_.cost};
-  victim.begin_encryption(0x0123456789ABCDEFull, key_);
-  victim.finish();
-  return victim.cycles_per_round();
+  victim_.begin_encryption(0x0123456789ABCDEFull, key_);
+  victim_.finish();
+  return victim_.cycles_per_round();
 }
 
 unsigned SingleCoreSoC::first_probe_round() {
@@ -152,7 +153,7 @@ unsigned SingleCoreSoC::first_probe_round() {
 
 Observation SingleCoreSoC::observe(std::uint64_t plaintext, unsigned stage) {
   (void)stage;  // the probe moment is dictated by the scheduler, not the stage
-  VictimProcess victim{cipher_, cache_, config_.cost};
+  VictimProcess& victim = victim_;
 
   std::uint64_t attacker_cycles = 0;
   // The attacker's previous quantum ends just before the victim's next one
@@ -179,6 +180,7 @@ MpSoc::MpSoc(const Config& config, const Key128& victim_key)
       network_(topology_, config.link),
       cache_(config.cache),
       cipher_(config.layout),
+      victim_(cipher_, cache_, config.cost),
       prober_(cache_, config.layout) {}
 
 std::vector<unsigned> MpSoc::index_line_ids() const {
@@ -214,10 +216,9 @@ std::uint64_t MpSoc::probe_sequence_cycles() {
 }
 
 unsigned MpSoc::first_probe_round() {
-  VictimProcess victim{cipher_, cache_, config_.cost};
-  victim.begin_encryption(0x0123456789ABCDEFull, key_);
-  victim.finish();
-  const double cpr = victim.cycles_per_round();
+  victim_.begin_encryption(0x0123456789ABCDEFull, key_);
+  victim_.finish();
+  const double cpr = victim_.cycles_per_round();
   const auto probe = static_cast<double>(probe_sequence_cycles());
   // The attacker runs concurrently on its own tile; its first probe
   // completes after one probe sequence.
@@ -229,7 +230,7 @@ Observation MpSoc::observe(std::uint64_t plaintext, unsigned stage) {
   // With its own core, the attacker synchronises to round boundaries by
   // continuous probing: flush right before the monitored round, probe
   // right after it — the ideal probing-round-1 observation.
-  VictimProcess victim{cipher_, cache_, config_.cost};
+  VictimProcess& victim = victim_;
   victim.begin_encryption(plaintext, key_);
   victim.run_until_round(stage + 1);
 

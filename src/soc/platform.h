@@ -136,6 +136,9 @@ class DirectProbePlatform final : public ObservationSource {
   Key128 key_;
   cachesim::Cache cache_;
   gift::TableGift64 cipher_;
+  /// Reused across observe() calls (begin_encryption resets it); its trace
+  /// and sink buffers then stop allocating after the first encryption.
+  VictimProcess victim_;
   std::unique_ptr<CacheProber> prober_;
   Xoshiro256 noise_rng_;
   unsigned focus_ = 0;
@@ -174,6 +177,7 @@ class SingleCoreSoC final : public ObservationSource {
   Key128 key_;
   cachesim::Cache cache_;
   gift::TableGift64 cipher_;
+  VictimProcess victim_;  ///< reused across observe()/measurement calls
   RtosScheduler scheduler_;
   std::unique_ptr<CacheProber> prober_;
 };
@@ -230,6 +234,7 @@ class MpSoc final : public ObservationSource {
   noc::Network network_;
   cachesim::Cache cache_;
   gift::TableGift64 cipher_;
+  VictimProcess victim_;  ///< reused across observe()/measurement calls
   FlushReloadProber prober_;
 };
 

@@ -17,14 +17,15 @@ void VictimProcess::begin_encryption(std::uint64_t plaintext,
   pos_ = 0;
   cycle_ = start_cycle;
   start_cycle_ = start_cycle;
-  trace_.clear();
   // Precompute the full logical access stream (it depends only on the
   // plaintext/key, never on cache state); the platform then replays it
-  // against the cache with timing as it advances the victim.
-  pending_.clear();
-  gift::VectorTraceSink sink;
-  state_ = cipher_->encrypt(plaintext, key, &sink);
-  pending_ = sink.accesses();
+  // against the cache with timing as it advances the victim.  The sink
+  // and trace buffers are cleared, not reallocated, so repeated
+  // encryptions through one VictimProcess are allocation-free.
+  sink_.clear();
+  state_ = cipher_->encrypt(plaintext, key, &sink_);
+  trace_.clear();
+  trace_.reserve(sink_.accesses().size());
 }
 
 unsigned VictimProcess::accesses_into_round() const noexcept {
@@ -37,7 +38,7 @@ void VictimProcess::step() {
   assert(!done());
   const unsigned per_round = gift::TableGift64::accesses_per_round();
   if (accesses_into_round() < per_round) {
-    const gift::TableAccess& a = pending_[pos_];
+    const gift::TableAccess& a = sink_.accesses()[pos_];
     cycle_ += cost_.cycles_per_access_setup;
     const cachesim::AccessResult r = cache_->access(a.addr);
     cycle_ += r.latency;

@@ -102,11 +102,15 @@ class VictimProcess {
   std::uint64_t state_ = 0;
   Key128 key_{};
   unsigned round_ = 0;
-  std::size_t pos_ = 0;  ///< next index into pending_
+  std::size_t pos_ = 0;  ///< next index into sink_.accesses()
   std::uint64_t cycle_ = 0;
   std::uint64_t start_cycle_ = 0;
   std::vector<TimedAccess> trace_;
-  std::vector<gift::TableAccess> pending_;  ///< full logical access stream
+  /// Full logical access stream of the current encryption.  Reused
+  /// (clear-and-refill) across encryptions: after the first encryption a
+  /// VictimProcess allocates nothing — platforms keep one VictimProcess
+  /// per victim and begin_encryption() it per monitored encryption.
+  gift::VectorTraceSink sink_;
 };
 
 }  // namespace grinch::soc

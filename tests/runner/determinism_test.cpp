@@ -1,0 +1,148 @@
+// Determinism suite: the runner contract, end to end.
+//
+// Reduced Fig. 3 / Table I grids run through the real bench harness
+// (bench/bench_util.h) once on a 1-thread pool and once on an 8-thread
+// pool; every cell render and the machine-readable JSON document must be
+// byte-identical.  This is the executable form of the docs/RUNNER.md
+// guarantee that --threads never changes a reported number.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace grinch {
+namespace {
+
+std::vector<bench::CellSpec> reduced_fig3_grid() {
+  // Rounds 1..2, with and without flush — the cheap corner of Fig. 3,
+  // same seeds as the real bench.
+  std::vector<bench::CellSpec> specs;
+  for (unsigned k = 1; k <= 2; ++k) {
+    bench::CellSpec spec;
+    spec.platform.probing_round = k;
+    spec.platform.use_flush = true;
+    spec.trials = 2;
+    spec.budget = 20000;
+    spec.seed = 0xF1600 + k;
+    specs.push_back(spec);
+    spec.platform.use_flush = false;
+    spec.seed = 0xF1700 + k;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<bench::CellSpec> reduced_table1_grid() {
+  // Line sizes 1/2 words at probing rounds 1..2, same seeds as the bench.
+  std::vector<bench::CellSpec> specs;
+  for (unsigned words : {1u, 2u}) {
+    for (unsigned k = 1; k <= 2; ++k) {
+      bench::CellSpec spec;
+      spec.platform.cache.line_bytes = words;
+      spec.platform.probing_round = k;
+      spec.trials = 2;
+      spec.budget = 20000;
+      spec.seed = 0x7AB1E100 + words * 16 + k;
+      specs.push_back(spec);
+    }
+  }
+  return specs;
+}
+
+std::vector<std::string> render_cells(runner::ThreadPool& pool,
+                                      const std::vector<bench::CellSpec>& g) {
+  std::vector<std::string> out;
+  for (const bench::CellResult& r : bench::first_round_cells(pool, g))
+    out.push_back(r.cell.render());
+  return out;
+}
+
+TEST(Determinism, Fig3CellsIdenticalAcrossThreadCounts) {
+  const std::vector<bench::CellSpec> grid = reduced_fig3_grid();
+  runner::ThreadPool serial{1};
+  runner::ThreadPool wide{8};
+  EXPECT_EQ(render_cells(serial, grid), render_cells(wide, grid));
+}
+
+TEST(Determinism, Table1CellsIdenticalAcrossThreadCounts) {
+  const std::vector<bench::CellSpec> grid = reduced_table1_grid();
+  runner::ThreadPool serial{1};
+  runner::ThreadPool wide{8};
+  EXPECT_EQ(render_cells(serial, grid), render_cells(wide, grid));
+}
+
+TEST(Determinism, CellsMatchTheOldSerialLoop) {
+  // first_round_cells on any pool must reproduce the pre-runner serial
+  // harness: a plain loop drawing key128()/next() per trial from the
+  // cell's seed stream.
+  const std::vector<bench::CellSpec> grid = reduced_fig3_grid();
+  runner::ThreadPool wide{8};
+  const std::vector<bench::CellResult> parallel_cells_result =
+      bench::first_round_cells(wide, grid);
+  for (std::size_t c = 0; c < grid.size(); ++c) {
+    EffortCell serial_cell{grid[c].budget};
+    Xoshiro256 rng{grid[c].seed};
+    for (unsigned t = 0; t < grid[c].trials; ++t) {
+      const Key128 key = rng.key128();
+      const auto effort = bench::first_round_effort(
+          grid[c].platform, key, grid[c].budget, rng.next(), grid[c].attack);
+      if (effort) {
+        serial_cell.add_success(*effort);
+      } else {
+        serial_cell.add_dropout();
+      }
+    }
+    EXPECT_EQ(serial_cell.render(), parallel_cells_result[c].cell.render())
+        << "cell " << c;
+  }
+}
+
+/// Runs a reduced fig3 bench through BenchContext (as the binary does)
+/// and returns the determinism-comparable JSON document.
+std::string bench_document(const char* threads_flag) {
+  const char* argv[] = {"determinism_bench", "--threads", threads_flag};
+  bench::BenchContext ctx{3, const_cast<char**>(argv)};
+  ctx.set_config("budget", std::uint64_t{20000});
+  const std::vector<bench::CellSpec> grid = reduced_fig3_grid();
+  const std::vector<bench::CellResult> cells =
+      bench::first_round_cells(ctx.pool(), grid);
+
+  AsciiTable table{"Fig. 3 (reduced)"};
+  table.set_header({"probing round", "with flush", "without flush"});
+  for (unsigned k = 1; k <= 2; ++k)
+    table.add_row({std::to_string(k), cells[(k - 1) * 2].cell.render(),
+                   cells[(k - 1) * 2 + 1].cell.render()});
+  ctx.print_table(table);
+  // Wall-clock goes only to the timing/run sections, which
+  // results_json(false) excludes.
+  ctx.set_timing("grid_trial_seconds", 1.0);
+  return ctx.results_json(false).dump();
+}
+
+TEST(Determinism, JsonDocumentIdenticalAcrossThreadCounts) {
+  ::testing::internal::CaptureStdout();  // swallow the table prints
+  const std::string doc1 = bench_document("1");
+  const std::string doc8 = bench_document("8");
+  ::testing::internal::GetCapturedStdout();
+  EXPECT_EQ(doc1, doc8);
+  // Sanity: the document carries the table contents.
+  EXPECT_NE(doc1.find("Fig. 3 (reduced)"), std::string::npos);
+  EXPECT_NE(doc1.find("probing round"), std::string::npos);
+  // And no run-dependent sections leak into the compared form.
+  EXPECT_EQ(doc1.find("threads"), std::string::npos);
+  EXPECT_EQ(doc1.find("wall_seconds"), std::string::npos);
+  EXPECT_EQ(doc1.find("trial_seconds"), std::string::npos);
+}
+
+TEST(Determinism, RunInfoDocumentCarriesThreadsAndTiming) {
+  const char* argv[] = {"determinism_bench", "--threads", "3"};
+  bench::BenchContext ctx{3, const_cast<char**>(argv)};
+  const std::string doc = ctx.results_json(true).dump();
+  EXPECT_NE(doc.find("\"threads\": 3"), std::string::npos);
+  EXPECT_NE(doc.find("wall_seconds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grinch

@@ -1,0 +1,169 @@
+// ThreadPool / TrialRunner unit tests: exactly-once execution, empty
+// batches, exception propagation, and the seed-derivation contract that
+// the determinism suite builds on.
+#include "runner/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "runner/trial_runner.h"
+
+namespace grinch::runner {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ThreadPool pool;  // 0 = hardware concurrency
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool{4};
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  // Far more tasks than threads: distribution + stealing must still cover
+  // each index exactly once.
+  constexpr std::size_t kTasks = 1000;
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> counts(kTasks);
+  pool.parallel_for(kTasks, [&](std::size_t i) { ++counts[i]; });
+  for (std::size_t i = 0; i < kTasks; ++i)
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.parallel_for(8, [&](std::size_t i) {
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ResultsIndependentOfThreadCount) {
+  auto run = [](unsigned threads) {
+    ThreadPool pool{threads};
+    std::vector<std::uint64_t> out(257);
+    pool.parallel_for(out.size(), [&](std::size_t i) {
+      out[i] = i * i + 7;
+    });
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for(16,
+                        [&](std::size_t i) {
+                          if (i == 5) throw std::runtime_error{"boom"};
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, LowestIndexExceptionWins) {
+  // Several tasks throw; the batch still runs to completion and the
+  // rethrown exception is the lowest-index one (deterministic choice).
+  ThreadPool pool{4};
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      ++executed;
+      if (i % 3 == 1) throw std::runtime_error{std::to_string(i)};
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "1");
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionInInlineModePropagates) {
+  ThreadPool pool{1};
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t i) {
+                     if (i == 2) throw std::logic_error{"inline"};
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool{2};
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::runtime_error{"x"}; }),
+      std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.parallel_for(10, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(TrialRunner, MapReturnsResultsInIndexOrder) {
+  ThreadPool pool{4};
+  TrialRunner run{pool};
+  const std::vector<std::uint64_t> out =
+      run.map<std::uint64_t>(100, [](std::size_t i) { return i * 3; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * 3);
+}
+
+TEST(TrialSeeds, MatchSerialDrawOrder) {
+  // derive_trial_seeds must replicate the exact draws the old serial
+  // harness loops made: key128() then next(), per trial.
+  constexpr std::uint64_t kSeed = 0xF1601;
+  const std::vector<TrialSeed> derived = derive_trial_seeds(kSeed, 5);
+  Xoshiro256 rng{kSeed};
+  for (const TrialSeed& ts : derived) {
+    const Key128 key = rng.key128();
+    EXPECT_EQ(ts.key.hi, key.hi);
+    EXPECT_EQ(ts.key.lo, key.lo);
+    EXPECT_EQ(ts.seed, rng.next());
+  }
+}
+
+TEST(TrialSeeds, DeriveSeedsMatchesStream) {
+  Xoshiro256 rng{42};
+  const std::vector<std::uint64_t> seeds = derive_seeds(42, 4);
+  for (std::uint64_t s : seeds) EXPECT_EQ(s, rng.next());
+}
+
+TEST(ParallelCells, CoversTheWholeGridExactlyOnce) {
+  ThreadPool pool{4};
+  const std::vector<std::size_t> trials{3, 0, 5, 1};
+  std::vector<std::vector<std::atomic<int>>> counts;
+  counts.emplace_back(3);
+  counts.emplace_back(0);
+  counts.emplace_back(5);
+  counts.emplace_back(1);
+  parallel_cells(pool, trials, [&](std::size_t c, std::size_t t) {
+    ASSERT_LT(c, counts.size());
+    ASSERT_LT(t, counts[c].size());
+    ++counts[c][t];
+  });
+  for (std::size_t c = 0; c < counts.size(); ++c)
+    for (std::size_t t = 0; t < counts[c].size(); ++t)
+      EXPECT_EQ(counts[c][t].load(), 1) << "cell " << c << " trial " << t;
+}
+
+TEST(ParallelCells, EmptyGridIsANoOp) {
+  ThreadPool pool{2};
+  std::atomic<int> calls{0};
+  parallel_cells(pool, {}, [&](std::size_t, std::size_t) { ++calls; });
+  parallel_cells(pool, {0, 0, 0}, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+}  // namespace
+}  // namespace grinch::runner

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs every bench binary in --quick mode with --json output and
+# aggregates the per-bench documents into one BENCH_quick.json — the
+# machine-readable perf/results trajectory of the repo (CI uploads it per
+# PR; compare two artifacts to see what a change did to every table).
+#
+# Usage: tools/run_bench.sh [extra bench args...]
+#   BUILD_DIR  build tree holding bench/ binaries   (default: build)
+#   OUT_DIR    where to put the JSON + stdout logs  (default: $BUILD_DIR/bench-results)
+#
+# Extra args are forwarded to every bench, e.g. `tools/run_bench.sh
+# --threads 2` pins the trial parallelism.  Aggregation is plain shell —
+# no jq/python dependency.
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench-results}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+BENCHES=(
+  fig3_probing_round
+  table1_cache_line
+  table2_platforms
+  full_key_recovery
+  countermeasures
+  ablation_probe_method
+  ablation_cache_policy
+  ablation_probe_precision
+  ablation_prefetch
+  leakage_profile
+  extension_gift128
+  extension_present
+  extension_time_driven
+  micro_throughput
+)
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "run_bench: $BENCH_DIR not found — build first (cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR"
+
+for b in "${BENCHES[@]}"; do
+  echo "[run_bench] $b" >&2
+  "$BENCH_DIR/$b" --quick --json "$OUT_DIR/BENCH_$b.json" "$@" \
+    > "$OUT_DIR/$b.out"
+done
+
+# Aggregate into {"benches": [<doc>, <doc>, ...]}.  Inter-document commas
+# land on their own line; JSON does not mind the whitespace.
+AGG="$OUT_DIR/BENCH_quick.json"
+{
+  printf '{\n"benches": [\n'
+  first=1
+  for b in "${BENCHES[@]}"; do
+    if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+    cat "$OUT_DIR/BENCH_$b.json"
+  done
+  printf ']\n}\n'
+} > "$AGG"
+
+echo "[run_bench] aggregated ${#BENCHES[@]} documents into $AGG" >&2
