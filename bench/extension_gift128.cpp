@@ -3,14 +3,16 @@
 // The paper motivates GIFT's importance through the NIST LWC candidates,
 // most of which build on GIFT-128 (e.g. GIFT-COFB) — but evaluates the
 // attack on GIFT-64 only.  This harness runs the two-stage GIFT-128
-// variant: same vulnerability, same 16-entry S-Box table, 32 segments,
-// 64 key bits recovered per attacked round.
+// variant through the unified target pipeline
+// (target::DirectProbePlatform<Gift128Recovery> +
+// target::KeyRecoveryEngine): same vulnerability, same 16-entry S-Box
+// table, 32 segments, 64 key bits recovered per attacked round.
 //
 // Trials shard across the thread pool with pre-derived per-trial seeds.
 #include <cstdio>
 
-#include "attack/grinch128.h"
 #include "bench_util.h"
+#include "target/gift128_recovery.h"
 
 using namespace grinch;
 
@@ -22,45 +24,21 @@ int main(int argc, char** argv) {
   std::printf("Extension — full 128-bit GIFT-128 key recovery "
               "(paper: GIFT-64 only)\n\n");
 
-  struct TrialOutcome {
-    bool verified = false;
-    std::uint64_t total = 0;
-    std::uint64_t stage0 = 0;
-    std::uint64_t stage1 = 0;
-  };
-
-  const std::vector<runner::TrialSeed> seeds =
-      runner::derive_trial_seeds(0x128128, kTrials);
-  runner::TrialRunner run{ctx.pool()};
-  const std::vector<TrialOutcome> outcomes = run.map<TrialOutcome>(
-      kTrials, [&](std::size_t t) {
-        const runner::TrialSeed& ts = seeds[t];
-        soc::Gift128DirectProbePlatform platform{{}, ts.key};
-        attack::Grinch128Config cfg;
-        cfg.seed = ts.seed;
-        attack::Grinch128Attack attack{platform, cfg};
-        const attack::Grinch128Result r = attack.run();
-        TrialOutcome o;
-        if (!r.success || r.recovered_key != ts.key) return o;
-        o.verified = true;
-        o.total = r.total_encryptions;
-        o.stage0 = r.stage_encryptions[0];
-        o.stage1 = r.stage_encryptions[1];
-        return o;
-      });
+  const auto outcomes = bench::recovery_trials<target::Gift128Recovery>(
+      ctx.pool(), kTrials, 0x128128);
 
   SampleStats total, stage0, stage1;
   unsigned verified = 0;
   for (unsigned t = 0; t < kTrials; ++t) {
-    const TrialOutcome& o = outcomes[t];
+    const auto& o = outcomes[t];
     if (!o.verified) {
       std::printf("trial %u FAILED\n", t);
       continue;
     }
     ++verified;
-    total.add(static_cast<double>(o.total));
-    stage0.add(static_cast<double>(o.stage0));
-    stage1.add(static_cast<double>(o.stage1));
+    total.add(static_cast<double>(o.result.total_encryptions));
+    stage0.add(static_cast<double>(o.result.stage_encryptions[0]));
+    stage1.add(static_cast<double>(o.result.stage_encryptions[1]));
   }
 
   AsciiTable table{"GIFT-128 key recovery (extension)"};

@@ -8,11 +8,16 @@
 // GIFT quantifies how much protection GIFT's key-free first round does
 // NOT buy: a handful of extra encryptions and a four-stage loop.
 //
+// Runs through the same unified target pipeline as the GIFT benches
+// (target::DirectProbePlatform<Present80Recovery> +
+// target::KeyRecoveryEngine); PRESENT's entire cipher-specific surface is
+// the one traits/recovery header pair.
+//
 // Trials shard across the thread pool with pre-derived per-trial seeds.
 #include <cstdio>
 
-#include "attack/present_attack.h"
 #include "bench_util.h"
+#include "target/present80_recovery.h"
 
 using namespace grinch;
 
@@ -24,37 +29,15 @@ int main(int argc, char** argv) {
   std::printf("Extension — cache attack on PRESENT-80 vs GRINCH on "
               "GIFT-64\n\n");
 
-  struct TrialOutcome {
-    bool verified = false;
-    std::uint64_t encryptions = 0;
-  };
-
-  const std::vector<runner::TrialSeed> seeds =
-      runner::derive_trial_seeds(0x93E5E27, kTrials);
-  runner::TrialRunner run{ctx.pool()};
-  const std::vector<TrialOutcome> outcomes = run.map<TrialOutcome>(
-      kTrials, [&](std::size_t t) {
-        Key128 key = seeds[t].key;
-        key.hi &= 0xFFFF;  // PRESENT-80: 80 key bits
-        soc::Present80DirectProbePlatform platform{{}, key};
-        attack::PresentAttackConfig cfg;
-        cfg.seed = seeds[t].seed;
-        attack::Present80Attack attack{platform, cfg};
-        const attack::PresentAttackResult r = attack.run();
-        TrialOutcome o;
-        if (r.success && r.recovered_key == key) {
-          o.verified = true;
-          o.encryptions = r.cache_encryptions;
-        }
-        return o;
-      });
+  const auto outcomes = bench::recovery_trials<target::Present80Recovery>(
+      ctx.pool(), kTrials, 0x93E5E27);
 
   SampleStats enc;
   unsigned ok = 0;
-  for (const TrialOutcome& o : outcomes) {
+  for (const auto& o : outcomes) {
     if (o.verified) {
       ++ok;
-      enc.add(static_cast<double>(o.encryptions));
+      enc.add(static_cast<double>(o.result.total_encryptions));
     }
   }
 

@@ -1,61 +1,58 @@
 #include "analysis/registry.h"
 
+#include <string>
+#include <utility>
+
 #include "countermeasures/hardened_schedule.h"
 #include "countermeasures/packed_sbox.h"
 #include "gift/bitslice.h"
 #include "gift/gift128.h"
-#include "gift/table_gift128.h"
-#include "present/table_present.h"
+#include "target/gift128_traits.h"
+#include "target/gift64_traits.h"
+#include "target/present80_traits.h"
 
 namespace grinch::analysis {
 namespace {
 
-AnalysisTarget gift64_table_target() {
+/// One leaky table-implemented cipher, described through its target
+/// traits (src/target/): the name is `<Traits::kName>-table` and the
+/// dynamic runner builds Traits::TableCipher, assembling the block from
+/// the (pt_lo, pt_hi) words via Traits::block_from_words.
+template <typename Traits>
+AnalysisTarget table_cipher_target(const char* description, CipherModel model,
+                                   unsigned analysis_rounds) {
   AnalysisTarget t;
-  t.name = "gift64-table";
-  t.description = "table-based GIFT-64 (the paper's victim)";
+  t.name = std::string{Traits::kName} + "-table";
+  t.description = description;
   t.expect_leaky = true;
-  t.model = gift64_table_model();
+  t.model = std::move(model);
   t.cache = cachesim::CacheConfig::paper_default();
-  t.run = [](std::uint64_t pt_lo, std::uint64_t /*pt_hi*/, const Key128& key,
+  t.analysis_rounds = analysis_rounds;
+  t.run = [](std::uint64_t pt_lo, std::uint64_t pt_hi, const Key128& key,
              unsigned rounds, gift::TraceSink* sink) {
-    const gift::TableGift64 cipher;
-    (void)cipher.encrypt_rounds(pt_lo, key, rounds, sink);
+    const typename Traits::TableCipher cipher;
+    (void)cipher.encrypt_rounds(Traits::block_from_words(pt_lo, pt_hi), key,
+                                rounds, sink);
   };
   return t;
+}
+
+AnalysisTarget gift64_table_target() {
+  // analysis_rounds 5: the paper's rounds 2..5 = 4 x 32 fresh key bits.
+  return table_cipher_target<target::Gift64Traits>(
+      "table-based GIFT-64 (the paper's victim)", gift64_table_model(), 5);
 }
 
 AnalysisTarget gift128_table_target() {
-  AnalysisTarget t;
-  t.name = "gift128-table";
-  t.description = "table-based GIFT-128 (GIFT-COFB core)";
-  t.expect_leaky = true;
-  t.model = gift128_table_model();
-  t.cache = cachesim::CacheConfig::paper_default();
-  t.analysis_rounds = 3;  // two attacked rounds x 64 bits cover the key
-  t.run = [](std::uint64_t pt_lo, std::uint64_t pt_hi, const Key128& key,
-             unsigned rounds, gift::TraceSink* sink) {
-    const gift::TableGift128 cipher;
-    (void)cipher.encrypt_rounds(gift::State128{pt_hi, pt_lo}, key, rounds,
-                                sink);
-  };
-  return t;
+  // analysis_rounds 3: two attacked rounds x 64 bits cover the key.
+  return table_cipher_target<target::Gift128Traits>(
+      "table-based GIFT-128 (GIFT-COFB core)", gift128_table_model(), 3);
 }
 
 AnalysisTarget present80_table_target() {
-  AnalysisTarget t;
-  t.name = "present80-table";
-  t.description = "table-based PRESENT-80 (extension target)";
-  t.expect_leaky = true;
-  t.model = present80_table_model();
-  t.cache = cachesim::CacheConfig::paper_default();
-  t.analysis_rounds = 2;  // the round key covers the state from round 1 on
-  t.run = [](std::uint64_t pt_lo, std::uint64_t /*pt_hi*/, const Key128& key,
-             unsigned rounds, gift::TraceSink* sink) {
-    const present::TablePresent80 cipher;
-    (void)cipher.encrypt_rounds(pt_lo, key, rounds, sink);
-  };
-  return t;
+  // analysis_rounds 2: the round key covers the state from round 1 on.
+  return table_cipher_target<target::Present80Traits>(
+      "table-based PRESENT-80 (extension target)", present80_table_model(), 2);
 }
 
 AnalysisTarget gift64_bitsliced_target() {

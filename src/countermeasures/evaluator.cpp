@@ -22,6 +22,7 @@ class ConstantTimePlatform final : public soc::ObservationSource {
     o.present.assign(16, false);  // nothing to observe, ever
     o.probed_after_round = 28;
     o.ciphertext = cipher_.encrypt(plaintext, key_);
+    last_ciphertext_ = o.ciphertext;
     return o;
   }
   [[nodiscard]] const gift::TableLayout& layout() const override {
@@ -30,11 +31,15 @@ class ConstantTimePlatform final : public soc::ObservationSource {
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override {
     return soc::compute_index_line_ids(layout_, 1);
   }
+  [[nodiscard]] std::uint64_t last_ciphertext() const override {
+    return last_ciphertext_;
+  }
 
  private:
   Key128 key_;
   gift::TableLayout layout_;
   gift::BitslicedGift64 cipher_;
+  std::uint64_t last_ciphertext_ = 0;
 };
 
 }  // namespace

@@ -26,35 +26,15 @@
 
 #include "common/key128.h"
 #include "gift/gift64.h"
+#include "target/table_layout.h"
 
 namespace grinch::gift {
 
-/// Address-space placement of the victim's tables.
-struct TableLayout {
-  std::uint64_t sbox_base = 0x1000;  ///< first byte of the S-Box table
-  unsigned sbox_entries_per_row = 1; ///< 1 = paper default; 2 = countermeasure
-  unsigned sbox_row_bytes = 1;       ///< address stride between rows
-  std::uint64_t perm_base = 0x2000;  ///< first byte of the PermBits table
-  unsigned perm_row_bytes = 8;       ///< u64 mask per row
-
-  /// Number of S-Box rows under this layout.
-  [[nodiscard]] constexpr unsigned sbox_rows() const noexcept {
-    return 16 / sbox_entries_per_row;
-  }
-
-  /// Address of the S-Box row holding `index` (0..15).
-  [[nodiscard]] constexpr std::uint64_t sbox_row_addr(unsigned index)
-      const noexcept {
-    return sbox_base + (index / sbox_entries_per_row) * sbox_row_bytes;
-  }
-
-  /// Address of the PermBits row for (segment, value).
-  [[nodiscard]] constexpr std::uint64_t perm_row_addr(unsigned segment,
-                                                      unsigned value)
-      const noexcept {
-    return perm_base + (segment * 16u + value) * perm_row_bytes;
-  }
-};
+/// Compatibility alias: TableLayout moved to the cipher-neutral target
+/// layer (src/target/table_layout.h) — PRESENT and future table ciphers
+/// describe their placement with the same type without reaching into the
+/// gift namespace.
+using TableLayout = target::TableLayout;
 
 /// One instrumented table access.
 struct TableAccess {

@@ -34,7 +34,7 @@ std::vector<std::uint64_t> expand80(const Key128& key) {
 
 }  // namespace
 
-TablePresent80::TablePresent80(const gift::TableLayout& layout)
+TablePresent80::TablePresent80(const target::TableLayout& layout)
     : layout_(layout) {
   for (unsigned v = 0; v < 16; ++v)
     sbox_table_[v] = static_cast<std::uint8_t>(gift::present_sbox().apply(v));

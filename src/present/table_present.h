@@ -10,16 +10,19 @@
 
 #include "common/key128.h"
 #include "gift/table_gift.h"
+#include "target/table_layout.h"
 
 namespace grinch::present {
 
 /// Leaky LUT implementation of PRESENT-80 emitting gift::TableAccess
-/// events (kind kSBox for sBoxLayer, kPerm for the pLayer masks).
+/// events (kind kSBox for sBoxLayer, kPerm for the pLayer masks).  The
+/// table placement is the cipher-neutral target::TableLayout.
 class TablePresent80 {
  public:
-  explicit TablePresent80(const gift::TableLayout& layout = gift::TableLayout{});
+  explicit TablePresent80(
+      const target::TableLayout& layout = target::TableLayout{});
 
-  [[nodiscard]] const gift::TableLayout& layout() const noexcept {
+  [[nodiscard]] const target::TableLayout& layout() const noexcept {
     return layout_;
   }
 
@@ -33,7 +36,7 @@ class TablePresent80 {
                                              gift::TraceSink* sink) const;
 
  private:
-  gift::TableLayout layout_;
+  target::TableLayout layout_;
   std::uint8_t sbox_table_[16];
   std::uint64_t perm_table_[16][16];
 };

@@ -66,6 +66,7 @@ Observation HierarchyPlatform::observe(std::uint64_t plaintext,
     o.attacker_cycles += r.latency;
     o.present[index] = r.latency <= threshold;
   }
+  last_ciphertext_ = o.ciphertext;
   return o;
 }
 

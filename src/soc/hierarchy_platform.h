@@ -53,6 +53,9 @@ class HierarchyPlatform final : public ObservationSource {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+  [[nodiscard]] std::uint64_t last_ciphertext() const override {
+    return last_ciphertext_;
+  }
 
   [[nodiscard]] cachesim::CacheHierarchy& hierarchy() noexcept {
     return hierarchy_;
@@ -66,6 +69,7 @@ class HierarchyPlatform final : public ObservationSource {
   Key128 key_;
   cachesim::CacheHierarchy hierarchy_;
   gift::TableGift64 cipher_;
+  std::uint64_t last_ciphertext_ = 0;
 };
 
 }  // namespace grinch::soc

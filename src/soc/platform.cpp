@@ -1,7 +1,5 @@
 #include "soc/platform.h"
 
-#include <map>
-
 namespace grinch::soc {
 namespace {
 
@@ -24,20 +22,6 @@ Observation from_probe(const ProbeResult& probe, unsigned probed_after_round,
 }
 
 }  // namespace
-
-std::vector<unsigned> compute_index_line_ids(const gift::TableLayout& layout,
-                                             unsigned line_bytes) {
-  std::vector<unsigned> ids(16);
-  std::map<std::uint64_t, unsigned> line_of_base;
-  for (unsigned i = 0; i < 16; ++i) {
-    const std::uint64_t base =
-        layout.sbox_row_addr(i) & ~std::uint64_t{line_bytes - 1};
-    const auto [it, inserted] =
-        line_of_base.emplace(base, static_cast<unsigned>(line_of_base.size()));
-    ids[i] = it->second;
-  }
-  return ids;
-}
 
 // --------------------------------------------------- DirectProbePlatform --
 
@@ -123,6 +107,7 @@ Observation DirectProbePlatform::observe(std::uint64_t plaintext,
       }
     }
   }
+  last_ciphertext_ = o.ciphertext;
   return o;
 }
 
@@ -168,7 +153,10 @@ Observation SingleCoreSoC::observe(std::uint64_t plaintext, unsigned stage) {
   victim.run_until_cycle(scheduler_.config().quantum_cycles());
 
   const ProbeResult probe = prober_->probe();
-  return from_probe(probe, victim.rounds_done(), attacker_cycles, victim.ciphertext());
+  Observation o = from_probe(probe, victim.rounds_done(), attacker_cycles,
+                             victim.ciphertext());
+  last_ciphertext_ = o.ciphertext;
+  return o;
 }
 
 // ----------------------------------------------------------------- MpSoc --
@@ -241,7 +229,10 @@ Observation MpSoc::observe(std::uint64_t plaintext, unsigned stage) {
   victim.run_until_round(stage + 2);
   ProbeResult probe = prober_.probe();
   probe.cycles += 16 * remote_access_cycles();
-  return from_probe(probe, stage + 2, attacker_cycles, victim.ciphertext());
+  Observation o =
+      from_probe(probe, stage + 2, attacker_cycles, victim.ciphertext());
+  last_ciphertext_ = o.ciphertext;
+  return o;
 }
 
 }  // namespace grinch::soc

@@ -34,57 +34,19 @@
 #include "soc/prober.h"
 #include "soc/scheduler.h"
 #include "soc/victim.h"
+#include "target/observation.h"
 
 namespace grinch::soc {
 
-/// Probing technique selector.
-enum class ProbeMethod : std::uint8_t { kFlushReload, kPrimeProbe };
-
-/// What one monitored encryption yielded to the attacker.
-struct Observation {
-  /// present[i]: the cache line holding S-Box index i was resident.
-  std::vector<bool> present;
-  /// Cipher rounds (0-based, exclusive) whose accesses the probe covers.
-  unsigned probed_after_round = 0;
-  /// Attacker cycles spent preparing + probing.
-  std::uint64_t attacker_cycles = 0;
-  /// Ciphertext of the monitored encryption (the victim publishes it once
-  /// the encryption completes; the attack uses it to self-verify the
-  /// recovered key).
-  std::uint64_t ciphertext = 0;
-  /// Trace-driven channel (paper's taxonomy, ref [10]: hits/misses are
-  /// visible in the power trace): per monitored-round S-Box access
-  /// (segment order), whether it HIT.  Empty when the platform does not
-  /// capture traces.  Only meaningful with an attacker flush before the
-  /// monitored round.
-  std::vector<bool> sbox_hits;
-};
-
-/// A platform the attack can drive: one monitored encryption per call.
-class ObservationSource {
- public:
-  virtual ~ObservationSource() = default;
-
-  /// Runs one victim encryption of `plaintext` and returns the probe
-  /// observation for attack stage `stage` (see header comment).
-  virtual Observation observe(std::uint64_t plaintext, unsigned stage) = 0;
-
-  /// Hints which segment the attacker currently targets; platforms with
-  /// precision probing (§III-D "Cache Probing Precision") time their
-  /// probe right after that segment's S-Box access.  Default: ignored.
-  virtual void focus_segment(unsigned segment) { (void)segment; }
-
-  /// Table layout of the victim (the attack maps indices to lines).
-  [[nodiscard]] virtual const gift::TableLayout& layout() const = 0;
-
-  /// line_id[i] = opaque id of the cache line holding S-Box index i.
-  /// Indices with equal ids are indistinguishable to the prober.
-  [[nodiscard]] virtual std::vector<unsigned> index_line_ids() const = 0;
-};
-
-/// Computes index->line ids for a layout under a given line size.
-[[nodiscard]] std::vector<unsigned> compute_index_line_ids(
-    const gift::TableLayout& layout, unsigned line_bytes);
+// Observation vocabulary moved to the cipher-agnostic target layer
+// (src/target/observation.h); the soc names stay as aliases.  GIFT-64's
+// 64-bit block makes soc::ObservationSource the uint64_t instantiation of
+// the generic interface — the same one the PRESENT-80 target uses, so one
+// attack engine can drive either.
+using Observation = target::Observation;
+using ProbeMethod = target::ProbeMethod;
+using ObservationSource = target::ObservationSource<std::uint64_t>;
+using target::compute_index_line_ids;
 
 // ------------------------------------------------------------------------
 
@@ -124,6 +86,9 @@ class DirectProbePlatform final : public ObservationSource {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+  [[nodiscard]] std::uint64_t last_ciphertext() const override {
+    return last_ciphertext_;
+  }
 
   [[nodiscard]] cachesim::Cache& cache() noexcept { return cache_; }
   [[nodiscard]] const Key128& victim_key() const noexcept { return key_; }
@@ -142,6 +107,7 @@ class DirectProbePlatform final : public ObservationSource {
   std::unique_ptr<CacheProber> prober_;
   Xoshiro256 noise_rng_;
   unsigned focus_ = 0;
+  std::uint64_t last_ciphertext_ = 0;
 };
 
 // ------------------------------------------------------------------------
@@ -169,6 +135,9 @@ class SingleCoreSoC final : public ObservationSource {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+  [[nodiscard]] std::uint64_t last_ciphertext() const override {
+    return last_ciphertext_;
+  }
 
   [[nodiscard]] double measured_cycles_per_round();
 
@@ -180,6 +149,7 @@ class SingleCoreSoC final : public ObservationSource {
   VictimProcess victim_;  ///< reused across observe()/measurement calls
   RtosScheduler scheduler_;
   std::unique_ptr<CacheProber> prober_;
+  std::uint64_t last_ciphertext_ = 0;
 };
 
 // ------------------------------------------------------------------------
@@ -224,6 +194,9 @@ class MpSoc final : public ObservationSource {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
+  [[nodiscard]] std::uint64_t last_ciphertext() const override {
+    return last_ciphertext_;
+  }
 
   [[nodiscard]] noc::Network& network() noexcept { return network_; }
 
@@ -236,6 +209,7 @@ class MpSoc final : public ObservationSource {
   gift::TableGift64 cipher_;
   VictimProcess victim_;  ///< reused across observe()/measurement calls
   FlushReloadProber prober_;
+  std::uint64_t last_ciphertext_ = 0;
 };
 
 }  // namespace grinch::soc

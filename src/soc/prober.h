@@ -1,105 +1,16 @@
-// Attacker-side cache probing primitives.
-//
-// GRINCH step 2 ("Probe the Cache") offers two classical techniques:
-//
-//  * Flush+Reload — flush the monitored lines, let the victim run, reload
-//    each line and time it: a fast reload means the victim touched it.
-//    The paper prefers it because the flush is fast, allowing an earlier,
-//    cleaner probe.
-//  * Prime+Probe — fill the monitored sets with attacker lines, let the
-//    victim run, re-access the attacker lines: a slow re-access means the
-//    victim displaced one, i.e. touched the set.  Set-granular and
-//    noisier (any victim access aliasing the set triggers it).
-//
-// Both observe *only* access latency, exactly like the real attacks; the
-// hit/miss threshold is derived from the cache's configured latencies.
+// Compatibility forwarding header: the probing primitives moved to the
+// cipher-agnostic target layer (src/target/prober.h).  Existing soc code
+// and external users keep compiling against grinch::soc names.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "cachesim/cache.h"
-#include "gift/table_gift.h"
+#include "gift/table_gift.h"  // gift::TableLayout alias, part of the old surface
+#include "target/prober.h"
 
 namespace grinch::soc {
 
-/// What a probe saw: presence of each monitored S-Box row's line.
-struct ProbeResult {
-  /// row_present[r] == true when S-Box row r's cache line was resident.
-  std::vector<bool> row_present;
-  std::uint64_t cycles = 0;  ///< attacker time spent probing
-
-  /// Number of distinct *lines* observed present (rows sharing a line
-  /// count once).
-  [[nodiscard]] unsigned present_rows() const noexcept {
-    unsigned n = 0;
-    for (const bool p : row_present) n += p;
-    return n;
-  }
-};
-
-/// Common interface so platforms can swap probing techniques.
-class CacheProber {
- public:
-  virtual ~CacheProber() = default;
-
-  /// Prepares the cache before the victim window (flush or prime).
-  /// Returns attacker cycles spent.
-  virtual std::uint64_t prepare() = 0;
-
-  /// Measures after the victim window.
-  virtual ProbeResult probe() = 0;
-
-  [[nodiscard]] virtual const char* name() const noexcept = 0;
-};
-
-/// Flush+Reload over the victim's S-Box rows.
-class FlushReloadProber final : public CacheProber {
- public:
-  FlushReloadProber(cachesim::Cache& cache, const gift::TableLayout& layout);
-
-  /// clflush of every monitored line.
-  std::uint64_t prepare() override;
-
-  /// Reload each monitored row and time it.  NOTE: reloading pollutes the
-  /// cache (the real effect too); callers prepare() again before reuse.
-  ProbeResult probe() override;
-
-  [[nodiscard]] const char* name() const noexcept override {
-    return "Flush+Reload";
-  }
-
- private:
-  cachesim::Cache* cache_;
-  gift::TableLayout layout_;
-  std::uint64_t threshold_;  ///< latency below => hit
-};
-
-/// Prime+Probe over the sets the S-Box rows map to.
-class PrimeProbeProber final : public CacheProber {
- public:
-  /// `attacker_base` is an address region disjoint from the victim's
-  /// tables, used to build eviction sets.
-  PrimeProbeProber(cachesim::Cache& cache, const gift::TableLayout& layout,
-                   std::uint64_t attacker_base = 0x4000000);
-
-  /// Primes every monitored set with `associativity` attacker lines.
-  std::uint64_t prepare() override;
-
-  /// Re-accesses the priming lines; a miss marks the set as touched.
-  ProbeResult probe() override;
-
-  [[nodiscard]] const char* name() const noexcept override {
-    return "Prime+Probe";
-  }
-
- private:
-  [[nodiscard]] std::uint64_t prime_addr(unsigned row, unsigned way) const;
-
-  cachesim::Cache* cache_;
-  gift::TableLayout layout_;
-  std::uint64_t attacker_base_;
-  std::uint64_t threshold_;
-};
+using ProbeResult = target::ProbeResult;
+using CacheProber = target::CacheProber;
+using FlushReloadProber = target::FlushReloadProber;
+using PrimeProbeProber = target::PrimeProbeProber;
 
 }  // namespace grinch::soc

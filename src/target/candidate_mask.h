@@ -1,0 +1,52 @@
+// GRINCH Step 3 state, cipher-agnostic: a bitmask over the candidates for
+// one segment's unknown round-key bits.
+//
+// GIFT-style targets mix two key bits per segment (4 candidates); PRESENT
+// mixes a whole nibble before the S-Box (16 candidates).  The elimination
+// rule is identical either way: a candidate predicting an S-Box index
+// whose cache line was *absent* from the observation is impossible, so
+// masks shrink monotonically to the truth; an observation that would
+// empty a mask is noise and resets it.  `N` is the candidate count.
+#pragma once
+
+#include <cstdint>
+
+namespace grinch::target {
+
+template <unsigned N>
+class CandidateMask {
+  static_assert(N >= 2 && N <= 16, "candidate counts are 2..16");
+
+ public:
+  static constexpr std::uint16_t kFull =
+      static_cast<std::uint16_t>((1u << N) - 1u);
+
+  [[nodiscard]] bool contains(unsigned c) const noexcept {
+    return (mask_ >> c) & 1u;
+  }
+  void remove(unsigned c) noexcept {
+    mask_ &= static_cast<std::uint16_t>(~(1u << c));
+  }
+  void reset() noexcept { mask_ = kFull; }
+  [[nodiscard]] bool empty() const noexcept { return mask_ == 0; }
+  [[nodiscard]] unsigned size() const noexcept {
+    unsigned n = 0;
+    for (unsigned c = 0; c < N; ++c) n += contains(c);
+    return n;
+  }
+  [[nodiscard]] bool resolved() const noexcept { return size() == 1; }
+  /// The sole surviving candidate. Precondition: resolved().
+  [[nodiscard]] unsigned value() const noexcept {
+    for (unsigned c = 0; c < N; ++c) {
+      if (contains(c)) return c;
+    }
+    return 0;
+  }
+  [[nodiscard]] std::uint16_t mask() const noexcept { return mask_; }
+  void set_mask(std::uint16_t m) noexcept { mask_ = m & kFull; }
+
+ private:
+  std::uint16_t mask_ = kFull;
+};
+
+}  // namespace grinch::target

@@ -1,12 +1,11 @@
-#include "attack/grinch128.h"
+#include "target/gift128_recovery.h"
 
 #include <cassert>
 
-#include "gift/key_schedule.h"
 #include "gift/permutation.h"
 #include "gift/sbox.h"
 
-namespace grinch::attack {
+namespace grinch::target {
 
 TargetBits128 set_target_bits128(unsigned segment) {
   assert(segment < 32);
@@ -93,76 +92,19 @@ Key128 assemble_master_key128(std::span<const gift::RoundKey128> round_keys) {
   return key;
 }
 
-Grinch128Attack::Grinch128Attack(soc::ObservationSource128& source,
-                                 const Grinch128Config& config)
-    : source_(&source), config_(config), rng_(config.seed) {}
-
-Grinch128Result Grinch128Attack::run() {
-  Grinch128Result result;
-  PlaintextCrafter128 crafter{rng_};
-  std::vector<gift::RoundKey128> recovered;
-
-  std::array<TargetBits128, 32> targets{};
-  for (unsigned s = 0; s < 32; ++s) targets[s] = set_target_bits128(s);
-
-  for (unsigned stage = 0; stage < 2; ++stage) {
-    std::array<CandidateSet, 32> masks{};
-    auto all_done = [&] {
-      for (const auto& m : masks) {
-        if (!m.resolved()) return false;
-      }
-      return true;
-    };
-
-    while (!all_done()) {
-      if (result.total_encryptions >= config_.max_encryptions) return result;
-
-      unsigned target = 0;
-      for (unsigned s = 0; s < 32; ++s) {
-        if (!masks[s].resolved()) {
-          target = s;
-          break;
-        }
-      }
-      const gift::State128 pt =
-          crafter.craft_plaintext(targets[target], recovered, stage);
-      const soc::Observation obs = source_->observe(pt, stage);
-      ++result.total_encryptions;
-      ++result.stage_encryptions[stage];
-
-      const auto nibbles = pre_key_nibbles128(pt, recovered, stage);
-      // index = n XOR (c << 1): the key pair occupies nibble bits 1..2.
-      CandidateSet trial = masks[target];
-      for (unsigned c = 0; c < 4; ++c) {
-        if (!trial.contains(c)) continue;
-        const unsigned index = (nibbles[target] ^ (c << 1)) & 0xF;
-        if (!obs.present[index]) trial.remove(c);
-      }
-      if (trial.empty()) {
-        masks[target].reset();  // noisy observation
-      } else {
-        masks[target] = trial;
-      }
-    }
-
-    gift::RoundKey128 rk{};
-    for (unsigned s = 0; s < 32; ++s) {
-      const unsigned c = masks[s].value();
-      rk.u |= static_cast<std::uint32_t>((c >> 1) & 1u) << s;
-      rk.v |= static_cast<std::uint32_t>(c & 1u) << s;
-    }
-    recovered.push_back(rk);
-  }
-
-  result.recovered_key = assemble_master_key128(recovered);
+void Gift128Recovery::finalize(RecoveryResult<Gift128Recovery>& result,
+                               ObservationSource<gift::State128>& source,
+                               Xoshiro256& rng, gift::State128 /*last_pt*/,
+                               std::uint64_t /*last_ct*/) {
+  result.recovered_key = assemble_master_key128(result.stage_keys);
   // Verify against one more observed encryption.
-  const gift::State128 check_pt{rng_.block64(), rng_.block64()};
-  (void)source_->observe(check_pt, 0);
+  const gift::State128 check_pt{rng.block64(), rng.block64()};
+  (void)source.observe(check_pt, 0);
   ++result.total_encryptions;
-  result.key_verified = gift::Gift128::encrypt(check_pt, result.recovered_key) ==
-                        source_->last_ciphertext();
+  result.key_verified =
+      gift::Gift128::encrypt(check_pt, result.recovered_key) ==
+      source.last_ciphertext();
   result.success = result.key_verified;
-  return result;
 }
 
-}  // namespace grinch::attack
+}  // namespace grinch::target

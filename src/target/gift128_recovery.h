@@ -1,4 +1,5 @@
-// GRINCH extended to GIFT-128 (our extension; the paper attacks GIFT-64).
+// GRINCH attack hooks for GIFT-128 (our extension; the paper attacks
+// GIFT-64).
 //
 // GIFT-128 is the variant actually used by GIFT-COFB and most GIFT-based
 // NIST LWC candidates, so demonstrating the attack there closes the loop
@@ -20,17 +21,20 @@
 #pragma once
 
 #include <array>
-#include <span>
 #include <cstdint>
+#include <span>
 #include <vector>
 
-#include "attack/eliminator.h"
 #include "common/key128.h"
 #include "common/rng.h"
 #include "gift/gift128.h"
-#include "soc/gift128_platform.h"
+#include "gift/key_schedule.h"
+#include "target/candidate_mask.h"
+#include "target/gift128_traits.h"
+#include "target/observation.h"
+#include "target/recovery_engine.h"
 
-namespace grinch::attack {
+namespace grinch::target {
 
 /// Algorithm 1 for GIFT-128: the two source S-Box output bits feeding the
 /// key-facing positions 4s+1 / 4s+2 of target segment `s` (0..31).
@@ -70,31 +74,60 @@ class PlaintextCrafter128 {
 [[nodiscard]] Key128 assemble_master_key128(
     std::span<const gift::RoundKey128> round_keys);
 
-struct Grinch128Config {
-  std::uint64_t max_encryptions = 100000;
-  std::uint64_t seed = 0x128A77;
+/// Attack hooks driving KeyRecoveryEngine<Gift128Recovery>: two stages of
+/// crafted-plaintext elimination recover 64 key bits each.
+struct Gift128Recovery : Gift128Traits {
+  using StageKey = gift::RoundKey128;
+
+  static constexpr unsigned kStages = 2;
+  static constexpr unsigned kCandidatesPerSegment = 4;
+  static constexpr bool kUpdateAllSegments = false;
+  static constexpr std::uint64_t kDefaultSeed = 0x128A77;
+
+  class Crafter {
+   public:
+    explicit Crafter(Xoshiro256& rng) : inner_(rng) {
+      for (unsigned s = 0; s < 32; ++s) targets_[s] = set_target_bits128(s);
+    }
+    [[nodiscard]] gift::State128 craft(
+        unsigned segment, const std::vector<gift::RoundKey128>& recovered,
+        unsigned stage) {
+      return inner_.craft_plaintext(targets_[segment], recovered, stage);
+    }
+
+   private:
+    PlaintextCrafter128 inner_;
+    std::array<TargetBits128, 32> targets_{};
+  };
+
+  static std::array<unsigned, 32> pre_key_nibbles(
+      gift::State128 plaintext,
+      const std::vector<gift::RoundKey128>& known_round_keys, unsigned stage) {
+    return pre_key_nibbles128(plaintext, known_round_keys, stage);
+  }
+
+  /// index = n XOR (c << 1): the key pair occupies nibble bits 1..2.
+  static unsigned candidate_index(unsigned nibble, unsigned c) noexcept {
+    return (nibble ^ (c << 1)) & 0xF;
+  }
+
+  static gift::RoundKey128 stage_key_from(
+      const std::array<CandidateMask<4>, 32>& masks) {
+    gift::RoundKey128 rk{};
+    for (unsigned s = 0; s < 32; ++s) {
+      const unsigned c = masks[s].value();
+      rk.u |= static_cast<std::uint32_t>((c >> 1) & 1u) << s;
+      rk.v |= static_cast<std::uint32_t>(c & 1u) << s;
+    }
+    return rk;
+  }
+
+  /// Assembles the master key and verifies it against one more observed
+  /// encryption's full 128-bit ciphertext.
+  static void finalize(RecoveryResult<Gift128Recovery>& result,
+                       ObservationSource<gift::State128>& source,
+                       Xoshiro256& rng, gift::State128 last_pt,
+                       std::uint64_t last_ct);
 };
 
-struct Grinch128Result {
-  bool success = false;
-  bool key_verified = false;
-  Key128 recovered_key{};
-  std::uint64_t total_encryptions = 0;
-  std::array<std::uint64_t, 2> stage_encryptions{};
-};
-
-/// Two-stage GRINCH against GIFT-128 (full line resolution required).
-class Grinch128Attack {
- public:
-  Grinch128Attack(soc::ObservationSource128& source,
-                  const Grinch128Config& config);
-
-  [[nodiscard]] Grinch128Result run();
-
- private:
-  soc::ObservationSource128* source_;
-  Grinch128Config config_;
-  Xoshiro256 rng_;
-};
-
-}  // namespace grinch::attack
+}  // namespace grinch::target

@@ -1,0 +1,21 @@
+#include "target/observation.h"
+
+#include <map>
+
+namespace grinch::target {
+
+std::vector<unsigned> compute_index_line_ids(const TableLayout& layout,
+                                             unsigned line_bytes) {
+  std::vector<unsigned> ids(16);
+  std::map<std::uint64_t, unsigned> line_of_base;
+  for (unsigned i = 0; i < 16; ++i) {
+    const std::uint64_t base =
+        layout.sbox_row_addr(i) & ~std::uint64_t{line_bytes - 1};
+    const auto [it, inserted] =
+        line_of_base.emplace(base, static_cast<unsigned>(line_of_base.size()));
+    ids[i] = it->second;
+  }
+  return ids;
+}
+
+}  // namespace grinch::target

@@ -1,0 +1,83 @@
+// The cipher-agnostic observation contract of the attack pipeline.
+//
+// Every platform — RTL-style direct probe, RTOS single-core SoC, mesh
+// MPSoC, memory hierarchy — yields the same Observation shape: per-S-Box-
+// index line presence plus metadata.  The ObservationSource interface is
+// parameterised on the cipher's *block type only*, so 64-bit-block ciphers
+// (GIFT-64, PRESENT-80) share one interface instantiation and attack
+// engines can drive any platform of a matching block width polymorphically.
+//
+// Probing-round semantics (documented also in DESIGN.md): "probing round
+// k" for an attack stage `s` (0-based) means the probe observes the cache
+// after k rounds of the monitored window have executed.  Which cipher
+// round opens the window depends on the target's key-mix position (see
+// CipherTraits::kFirstKeyDependentRound in the per-cipher traits): GIFT
+// mixes the key *after* the S-Box layer, so stage s monitors cipher round
+// s+1; PRESENT mixes it *before*, so stage 0 monitors round 0 directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "target/table_layout.h"
+
+namespace grinch::target {
+
+/// Probing technique selector.
+enum class ProbeMethod : std::uint8_t { kFlushReload, kPrimeProbe };
+
+/// What one monitored encryption yielded to the attacker.
+struct Observation {
+  /// present[i]: the cache line holding S-Box index i was resident.
+  std::vector<bool> present;
+  /// Cipher rounds (0-based, exclusive) whose accesses the probe covers.
+  unsigned probed_after_round = 0;
+  /// Attacker cycles spent preparing + probing.
+  std::uint64_t attacker_cycles = 0;
+  /// Ciphertext of the monitored encryption, folded to 64 bits for wide
+  /// blocks (the victim publishes it once the encryption completes; the
+  /// attack uses it to self-verify the recovered key — wide-block targets
+  /// verify against ObservationSource::last_ciphertext() instead).
+  std::uint64_t ciphertext = 0;
+  /// Trace-driven channel (paper's taxonomy, ref [10]: hits/misses are
+  /// visible in the power trace): per monitored-round S-Box access
+  /// (segment order), whether it HIT.  Empty when the platform does not
+  /// capture traces.  Only meaningful with an attacker flush before the
+  /// monitored round.
+  std::vector<bool> sbox_hits;
+};
+
+/// A platform the attack can drive: one monitored encryption per call.
+/// `Block` is the cipher's plaintext/ciphertext type (std::uint64_t for
+/// 64-bit-block ciphers, gift::State128 for GIFT-128).
+template <typename Block>
+class ObservationSource {
+ public:
+  virtual ~ObservationSource() = default;
+
+  /// Runs one victim encryption of `plaintext` and returns the probe
+  /// observation for attack stage `stage` (see header comment).
+  virtual Observation observe(Block plaintext, unsigned stage) = 0;
+
+  /// Hints which segment the attacker currently targets; platforms with
+  /// precision probing (§III-D "Cache Probing Precision") time their
+  /// probe right after that segment's S-Box access.  Default: ignored.
+  virtual void focus_segment(unsigned segment) { (void)segment; }
+
+  /// Table layout of the victim (the attack maps indices to lines).
+  [[nodiscard]] virtual const TableLayout& layout() const = 0;
+
+  /// line_id[i] = opaque id of the cache line holding S-Box index i.
+  /// Indices with equal ids are indistinguishable to the prober.
+  [[nodiscard]] virtual std::vector<unsigned> index_line_ids() const = 0;
+
+  /// Full-width ciphertext of the last observed encryption (the attack
+  /// verifies its recovered key against it).
+  [[nodiscard]] virtual Block last_ciphertext() const = 0;
+};
+
+/// Computes index->line ids for a layout under a given line size.
+[[nodiscard]] std::vector<unsigned> compute_index_line_ids(
+    const TableLayout& layout, unsigned line_bytes);
+
+}  // namespace grinch::target

@@ -1,0 +1,115 @@
+// The single generic direct-probe observation platform.
+//
+// One template replaces the three per-cipher platforms the repo used to
+// carry (GIFT-64 / GIFT-128 / PRESENT-80 each had a copy): the victim
+// encrypts with its instrumented table cipher, the access stream is
+// replayed against the simulated cache around the attacker's prepare /
+// probe points, and a Flush+Reload probe reports line presence.
+//
+// `Traits` describes the cipher-specific facts (see docs/TARGETS.md):
+//   using Block / TableCipher;
+//   static constexpr unsigned kAccessesPerRound;
+//   static constexpr unsigned kFirstKeyDependentRound;  // GIFT 1, PRESENT 0
+//   static std::uint64_t fold_ciphertext(Block);
+//
+// Probing-round semantics: attack stage `s` monitors cipher round
+// s + kFirstKeyDependentRound (GIFT mixes the key *after* the S-Box
+// layer, so its round 0 is key-free and stage s monitors round s+1;
+// PRESENT mixes it *before*, so stage 0 monitors round 0 directly).
+// "Probing round k" means the probe observes the cache after k rounds of
+// that monitored window have executed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "common/key128.h"
+#include "gift/table_gift.h"
+#include "target/observation.h"
+#include "target/prober.h"
+
+namespace grinch::target {
+
+template <typename Traits>
+class DirectProbePlatform final
+    : public ObservationSource<typename Traits::Block> {
+ public:
+  using Block = typename Traits::Block;
+
+  struct Config {
+    cachesim::CacheConfig cache = cachesim::CacheConfig::paper_default();
+    TableLayout layout;
+    unsigned probing_round = 1;  ///< k in the semantics above (>= 1)
+    bool use_flush = true;
+  };
+
+  DirectProbePlatform(const Config& config, const Key128& victim_key)
+      : config_(config),
+        key_(victim_key),
+        cache_(config.cache),
+        cipher_(config.layout),
+        prober_(cache_, config.layout) {}
+
+  Observation observe(Block plaintext, unsigned stage) override {
+    // Collect the full access stream once, then replay rounds against the
+    // cache around the attacker's flush/probe points.  The sink is reused
+    // across calls, so it stops allocating after the first encryption.
+    sink_.clear();
+    const Block ct = cipher_.encrypt(plaintext, key_, &sink_);
+    constexpr unsigned per_round = Traits::kAccessesPerRound;
+
+    auto replay_rounds = [&](unsigned from, unsigned to) {
+      for (std::size_t i = static_cast<std::size_t>(from) * per_round;
+           i < static_cast<std::size_t>(to) * per_round &&
+           i < sink_.accesses().size();
+           ++i) {
+        (void)cache_.access(sink_.accesses()[i].addr);
+      }
+    };
+
+    std::uint64_t attacker_cycles = 0;
+    const unsigned monitored_from = stage + Traits::kFirstKeyDependentRound;
+    if (!config_.use_flush) attacker_cycles += prober_.prepare();
+    replay_rounds(0, monitored_from);
+    if (config_.use_flush) {
+      // The attacker flushes the monitored lines right before the
+      // monitored round.
+      attacker_cycles += prober_.prepare();
+    }
+
+    const unsigned probe_after = monitored_from + config_.probing_round;
+    replay_rounds(monitored_from, probe_after);
+
+    const ProbeResult probe = prober_.probe();
+    Observation o;
+    o.present = probe.row_present;
+    o.probed_after_round = probe_after;
+    o.attacker_cycles = attacker_cycles + probe.cycles;
+    o.ciphertext = Traits::fold_ciphertext(ct);
+    last_ciphertext_ = ct;
+    return o;
+  }
+
+  [[nodiscard]] const TableLayout& layout() const override {
+    return config_.layout;
+  }
+  [[nodiscard]] std::vector<unsigned> index_line_ids() const override {
+    return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+  }
+  [[nodiscard]] Block last_ciphertext() const override {
+    return last_ciphertext_;
+  }
+
+ private:
+  Config config_;
+  Key128 key_;
+  cachesim::Cache cache_;
+  typename Traits::TableCipher cipher_;
+  FlushReloadProber prober_;
+  gift::VectorTraceSink sink_;
+  Block last_ciphertext_{};
+};
+
+}  // namespace grinch::target

@@ -1,0 +1,106 @@
+// Cache-attack hooks for PRESENT-80 (our extension; generality of the
+// GRINCH observation pipeline).
+//
+// PRESENT adds the round key *before* the S-Box layer:
+//
+//     round 0 S-Box index of segment s  =  nibble_s(plaintext XOR RK0)
+//
+// so the very first round leaks the top 64 key-register bits — no crafted
+// plaintexts or multi-stage pipeline needed.  Each segment has 16 nibble
+// candidates; absent cache lines eliminate them exactly as in GRINCH.
+// RK0 covers key bits 79..16; the remaining 16 bits fall to an exhaustive
+// search against one known plaintext/ciphertext pair.
+//
+// This file IS the whole PRESENT-80 port: everything else (platform,
+// probers, elimination loop) comes from the generic target pipeline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/key128.h"
+#include "common/rng.h"
+#include "target/candidate_mask.h"
+#include "target/observation.h"
+#include "target/present80_traits.h"
+#include "target/recovery_engine.h"
+
+namespace grinch::target {
+
+/// Attack hooks driving KeyRecoveryEngine<Present80Recovery>: one stage of
+/// random-plaintext joint elimination recovers RK0, then finalize()
+/// brute-forces the 16 key bits the cache never sees.
+struct Present80Recovery : Present80Traits {
+  /// RK0 = key-register bits 79..16, one nibble per segment.
+  using StageKey = std::uint64_t;
+
+  static constexpr unsigned kStages = 1;
+  static constexpr unsigned kCandidatesPerSegment = 16;
+  /// Every segment's round-0 S-Box access shares one observation, so a
+  /// single random plaintext updates all 16 masks at once.
+  static constexpr bool kUpdateAllSegments = true;
+  static constexpr std::uint64_t kDefaultSeed = 0x9135E27;  // "PRESENT"-ish
+
+  /// No crafting needed: any random plaintext exercises every segment.
+  class Crafter {
+   public:
+    explicit Crafter(Xoshiro256& rng) : rng_(&rng) {}
+    [[nodiscard]] std::uint64_t craft(unsigned /*segment*/,
+                                      const std::vector<std::uint64_t>&,
+                                      unsigned /*stage*/) {
+      return rng_->block64();
+    }
+
+   private:
+    Xoshiro256* rng_;
+  };
+
+  static std::array<unsigned, 16> pre_key_nibbles(
+      std::uint64_t plaintext, const std::vector<std::uint64_t>&,
+      unsigned /*stage*/) {
+    std::array<unsigned, 16> out{};
+    for (unsigned s = 0; s < 16; ++s) out[s] = nibble(plaintext, s);
+    return out;
+  }
+
+  /// Segment s of round 0 accesses index nibble_s(pt) ^ k_s.
+  static unsigned candidate_index(unsigned nibble, unsigned v) noexcept {
+    return (nibble ^ v) & 0xF;
+  }
+
+  static std::uint64_t stage_key_from(
+      const std::array<CandidateMask<16>, 16>& masks) {
+    std::uint64_t rk0 = 0;
+    for (unsigned s = 0; s < 16; ++s) {
+      rk0 |= static_cast<std::uint64_t>(masks[s].value()) << (4 * s);
+    }
+    return rk0;
+  }
+
+  /// Brute-forces key bits 15..0 given RK0, against the last observed
+  /// plaintext/ciphertext pair.
+  static void finalize(RecoveryResult<Present80Recovery>& result,
+                       ObservationSource<std::uint64_t>& /*source*/,
+                       Xoshiro256& /*rng*/, std::uint64_t last_pt,
+                       std::uint64_t last_ct) {
+    const std::uint64_t rk0 = result.stage_keys[0];
+    result.offline_trials = 1u << 16;
+    // RK0 = key-register bits 79..16; enumerate bits 15..0.
+    for (std::uint64_t low = 0; low < (1u << 16); ++low) {
+      Key128 key;
+      key.hi = rk0 >> 48;          // bits 79..64
+      key.lo = (rk0 << 16) | low;  // bits 63..0
+      if (reference_encrypt(last_pt, key) == last_ct) {
+        result.recovered_key = key;
+        result.key_verified = true;
+        result.success = true;
+        return;
+      }
+    }
+    // No match: RK0 must have been wrong (noise); success stays false.
+  }
+};
+
+}  // namespace grinch::target

@@ -1,0 +1,45 @@
+// Target description of PRESENT-80 for the generic pipeline.
+//
+// GIFT's ISO-standardised ancestor: 64-bit block, 31 rounds, 16 segments,
+// and the round key mixed *before* the S-Box layer — so cipher round 0 is
+// already key-dependent and the attack monitors it directly (stage 0 maps
+// to round 0, no crafted plaintexts needed).
+#pragma once
+
+#include <cstdint>
+
+#include "common/key128.h"
+#include "common/rng.h"
+#include "present/present.h"
+#include "present/table_present.h"
+
+namespace grinch::target {
+
+struct Present80Traits {
+  using Block = std::uint64_t;
+  using TableCipher = present::TablePresent80;
+
+  static constexpr const char* kName = "present80";
+  static constexpr unsigned kSegments = 16;
+  /// 16 S-Box + 16 pLayer-mask lookups per round (mirrors GIFT's LUT
+  /// implementation style).
+  static constexpr unsigned kAccessesPerRound = 32;
+  /// Key mixed BEFORE the S-Box layer: round 0 leaks.
+  static constexpr unsigned kFirstKeyDependentRound = 0;
+
+  static std::uint64_t fold_ciphertext(Block ct) noexcept { return ct; }
+  static Block reference_encrypt(Block pt, const Key128& key) {
+    return present::Present80::encrypt(pt, key);
+  }
+  static Block random_block(Xoshiro256& rng) { return rng.block64(); }
+  static Block block_from_words(std::uint64_t lo, std::uint64_t hi) noexcept {
+    (void)hi;
+    return lo;
+  }
+  /// Restricts a random 128-bit value to PRESENT's 80-bit key space.
+  static Key128 canonical_key(const Key128& key) noexcept {
+    return Key128{key.hi & 0xFFFF, key.lo};
+  }
+};
+
+}  // namespace grinch::target

@@ -1,9 +1,9 @@
-#include "soc/prober.h"
+#include "target/prober.h"
 
 #include <map>
 #include <set>
 
-namespace grinch::soc {
+namespace grinch::target {
 namespace {
 
 std::uint64_t hit_threshold(const cachesim::Cache& cache) {
@@ -17,7 +17,7 @@ std::uint64_t hit_threshold(const cachesim::Cache& cache) {
 // ------------------------------------------------------- Flush+Reload --
 
 FlushReloadProber::FlushReloadProber(cachesim::Cache& cache,
-                                     const gift::TableLayout& layout)
+                                     const TableLayout& layout)
     : cache_(&cache), layout_(layout), threshold_(hit_threshold(cache)) {}
 
 std::uint64_t FlushReloadProber::prepare() {
@@ -57,7 +57,7 @@ ProbeResult FlushReloadProber::probe() {
 // -------------------------------------------------------- Prime+Probe --
 
 PrimeProbeProber::PrimeProbeProber(cachesim::Cache& cache,
-                                   const gift::TableLayout& layout,
+                                   const TableLayout& layout,
                                    std::uint64_t attacker_base)
     : cache_(&cache),
       layout_(layout),
@@ -114,4 +114,4 @@ ProbeResult PrimeProbeProber::probe() {
   return result;
 }
 
-}  // namespace grinch::soc
+}  // namespace grinch::target

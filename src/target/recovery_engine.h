@@ -1,0 +1,153 @@
+// The single generic elimination-based key-recovery engine.
+//
+// One template replaces the per-cipher attack drivers (Grinch128Attack,
+// Present80Attack) with the loop they shared: per stage, keep a candidate
+// mask per segment, craft (or draw) a plaintext, observe one monitored
+// encryption, and eliminate every candidate whose predicted S-Box index
+// was absent from the cache; empty masks signal noise and reset.  When
+// all stages resolve, a recovery-specific `finalize` assembles and
+// verifies the master key (GIFT walks the key schedule backwards; PRESENT
+// brute-forces the 16 bits the cache never sees).
+//
+// `Recovery` supplies the cipher-specific attack hooks on top of its
+// platform traits (full contract in docs/TARGETS.md):
+//   using Block / StageKey;
+//   static constexpr kName, kSegments, kStages, kCandidatesPerSegment,
+//                    kUpdateAllSegments, kDefaultSeed;
+//   class Crafter {  // owns any precomputed target-bit lists
+//     explicit Crafter(Xoshiro256& rng);
+//     Block craft(unsigned segment, const std::vector<StageKey>&, unsigned
+//                 stage);
+//   };
+//   static std::array<unsigned, kSegments> pre_key_nibbles(
+//       Block pt, const std::vector<StageKey>&, unsigned stage);
+//   static unsigned candidate_index(unsigned nibble, unsigned candidate);
+//   static StageKey stage_key_from(const masks array);
+//   static void finalize(RecoveryResult&, ObservationSource<Block>&,
+//                        Xoshiro256&, Block last_pt, std::uint64_t last_ct);
+//
+// The GIFT-64 paper pipeline with its noise machinery (voting,
+// cross-round solving, statistical elimination) remains in
+// attack::GrinchAttack; this engine is the clean-channel core all three
+// ciphers share.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/key128.h"
+#include "common/rng.h"
+#include "target/candidate_mask.h"
+#include "target/observation.h"
+
+namespace grinch::target {
+
+/// Outcome of one KeyRecoveryEngine run.
+template <typename Recovery>
+struct RecoveryResult {
+  bool success = false;
+  bool key_verified = false;
+  /// Every stage's candidate masks resolved via the cache channel (for
+  /// PRESENT this means RK0; the low 16 bits still need the offline
+  /// search, whose failure leaves success false).
+  bool stages_resolved = false;
+  Key128 recovered_key{};
+  std::uint64_t total_encryptions = 0;
+  /// Offline work (e.g. PRESENT's 2^16 exhaustive search); 0 when the
+  /// recovery needs none.
+  std::uint64_t offline_trials = 0;
+  std::array<std::uint64_t, Recovery::kStages> stage_encryptions{};
+  /// Recovered per-stage keys, one per resolved stage.
+  std::vector<typename Recovery::StageKey> stage_keys;
+};
+
+template <typename Recovery>
+class KeyRecoveryEngine {
+ public:
+  using Block = typename Recovery::Block;
+
+  struct Config {
+    std::uint64_t max_encryptions = 100000;
+    std::uint64_t seed = Recovery::kDefaultSeed;
+  };
+
+  KeyRecoveryEngine(ObservationSource<Block>& source, const Config& config)
+      : source_(&source), config_(config), rng_(config.seed) {}
+
+  [[nodiscard]] RecoveryResult<Recovery> run() {
+    RecoveryResult<Recovery> result;
+    typename Recovery::Crafter crafter{rng_};
+    std::vector<typename Recovery::StageKey> recovered;
+    Block last_pt{};
+    std::uint64_t last_ct = 0;
+
+    for (unsigned stage = 0; stage < Recovery::kStages; ++stage) {
+      std::array<CandidateMask<Recovery::kCandidatesPerSegment>,
+                 Recovery::kSegments>
+          masks{};
+      auto all_done = [&] {
+        for (const auto& m : masks) {
+          if (!m.resolved()) return false;
+        }
+        return true;
+      };
+
+      while (!all_done()) {
+        if (result.total_encryptions >= config_.max_encryptions) return result;
+
+        unsigned target = 0;
+        for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+          if (!masks[s].resolved()) {
+            target = s;
+            break;
+          }
+        }
+        const Block pt = crafter.craft(target, recovered, stage);
+        const Observation obs = source_->observe(pt, stage);
+        ++result.total_encryptions;
+        ++result.stage_encryptions[stage];
+        last_pt = pt;
+        last_ct = obs.ciphertext;
+
+        const auto nibbles = Recovery::pre_key_nibbles(pt, recovered, stage);
+        auto update = [&](unsigned s) {
+          auto trial = masks[s];
+          for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
+            if (!trial.contains(c)) continue;
+            const unsigned index = Recovery::candidate_index(nibbles[s], c);
+            if (!obs.present[index]) trial.remove(c);
+          }
+          if (trial.empty()) {
+            masks[s].reset();  // noisy observation
+          } else {
+            masks[s] = trial;
+          }
+        };
+        if constexpr (Recovery::kUpdateAllSegments) {
+          // Joint exploitation: every segment's S-Box access shares the
+          // observation, so one encryption updates all masks at once.
+          for (unsigned s = 0; s < Recovery::kSegments; ++s) update(s);
+        } else {
+          // Crafted-plaintext mode: only the targeted segment's pre-key
+          // bits are pinned, so only its mask may be updated.
+          update(target);
+        }
+      }
+
+      recovered.push_back(Recovery::stage_key_from(masks));
+    }
+
+    result.stages_resolved = true;
+    result.stage_keys = recovered;
+    Recovery::finalize(result, *source_, rng_, last_pt, last_ct);
+    return result;
+  }
+
+ private:
+  ObservationSource<Block>* source_;
+  Config config_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace grinch::target

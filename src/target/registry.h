@@ -1,0 +1,53 @@
+// The registered targets of the generic attack pipeline.
+//
+// One list names every cipher the repo can attack through the unified
+// DirectProbePlatform<Traits> + KeyRecoveryEngine<Recovery> pair.  The
+// cross-cipher conformance suite (tests/target/conformance_test.cpp)
+// iterates it, as do examples; porting a new table cipher means writing
+// its traits/recovery header (see docs/TARGETS.md) and adding it here.
+//
+// Header-only: Gift64Recovery borrows Algorithm 1/2 from src/attack/, so
+// translation units including this header must link grinch_attack.
+#pragma once
+
+#include <tuple>
+#include <utility>
+
+#include "common/key128.h"
+#include "target/gift128_recovery.h"
+#include "target/gift64_recovery.h"
+#include "target/platform.h"
+#include "target/present80_recovery.h"
+#include "target/recovery_engine.h"
+
+namespace grinch::target {
+
+/// Every registered target, as the Recovery type driving the pipeline.
+using RegisteredRecoveries =
+    std::tuple<Gift64Recovery, Gift128Recovery, Present80Recovery>;
+
+/// Calls `fn(Recovery{})` once per registered target.
+template <typename Fn>
+void for_each_registered_target(Fn&& fn) {
+  std::apply([&](auto... recovery) { (fn(recovery), ...); },
+             RegisteredRecoveries{});
+}
+
+/// Runs the whole pipeline against one target: generic direct-probe
+/// platform (driven through the unified ObservationSource interface),
+/// generic elimination engine, recovery result.  `victim_key` is
+/// canonicalised to the cipher's key space first.
+template <typename Recovery>
+[[nodiscard]] RecoveryResult<Recovery> recover_key(
+    const Key128& victim_key,
+    const typename KeyRecoveryEngine<Recovery>::Config& engine_config = {},
+    const typename DirectProbePlatform<Recovery>::Config& platform_config =
+        {}) {
+  DirectProbePlatform<Recovery> platform{platform_config,
+                                         Recovery::canonical_key(victim_key)};
+  ObservationSource<typename Recovery::Block>& source = platform;
+  KeyRecoveryEngine<Recovery> engine{source, engine_config};
+  return engine.run();
+}
+
+}  // namespace grinch::target

@@ -1,0 +1,44 @@
+// Cipher-neutral description of a victim's table placement in memory.
+//
+// Every target the observation pipeline attacks is a *table-implemented*
+// cipher: a 16-entry S-Box LUT plus (optionally) a per-(segment, value)
+// permutation-mask LUT.  Where those tables sit in the victim's address
+// space — and how many S-Box entries share a row — is a property of the
+// *target binary*, not of any one cipher, so the layout lives here in the
+// target layer.  GIFT-64, GIFT-128 and PRESENT-80 all share this shape
+// (the GRINCH paper's Table I sweeps `sbox_row_bytes` against the cache
+// line size; the §IV-C countermeasure packs two entries per row).
+#pragma once
+
+#include <cstdint>
+
+namespace grinch::target {
+
+/// Address-space placement of the victim's tables.
+struct TableLayout {
+  std::uint64_t sbox_base = 0x1000;  ///< first byte of the S-Box table
+  unsigned sbox_entries_per_row = 1; ///< 1 = paper default; 2 = countermeasure
+  unsigned sbox_row_bytes = 1;       ///< address stride between rows
+  std::uint64_t perm_base = 0x2000;  ///< first byte of the PermBits table
+  unsigned perm_row_bytes = 8;       ///< u64 mask per row
+
+  /// Number of S-Box rows under this layout.
+  [[nodiscard]] constexpr unsigned sbox_rows() const noexcept {
+    return 16 / sbox_entries_per_row;
+  }
+
+  /// Address of the S-Box row holding `index` (0..15).
+  [[nodiscard]] constexpr std::uint64_t sbox_row_addr(unsigned index)
+      const noexcept {
+    return sbox_base + (index / sbox_entries_per_row) * sbox_row_bytes;
+  }
+
+  /// Address of the PermBits row for (segment, value).
+  [[nodiscard]] constexpr std::uint64_t perm_row_addr(unsigned segment,
+                                                      unsigned value)
+      const noexcept {
+    return perm_base + (segment * 16u + value) * perm_row_bytes;
+  }
+};
+
+}  // namespace grinch::target

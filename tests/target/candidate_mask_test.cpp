@@ -1,0 +1,55 @@
+// Tests for the cipher-agnostic candidate mask (GRINCH Step 3 state).
+#include "target/candidate_mask.h"
+
+#include <gtest/gtest.h>
+
+namespace grinch::target {
+namespace {
+
+TEST(CandidateMask, StartsFullAndResolvesToLastSurvivor) {
+  CandidateMask<16> c;
+  EXPECT_EQ(c.size(), 16u);
+  EXPECT_FALSE(c.resolved());
+  for (unsigned v = 0; v < 15; ++v) c.remove(v);
+  EXPECT_TRUE(c.resolved());
+  EXPECT_EQ(c.value(), 15u);
+  c.reset();
+  EXPECT_EQ(c.size(), 16u);
+}
+
+TEST(CandidateMask, FourCandidateVariantMasksOnlyLowBits) {
+  CandidateMask<4> c;
+  EXPECT_EQ(CandidateMask<4>::kFull, 0xFu);
+  EXPECT_EQ(c.size(), 4u);
+  c.remove(0);
+  c.remove(3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  c.remove(2);
+  EXPECT_TRUE(c.resolved());
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(CandidateMask, EmptyAfterRemovingEverything) {
+  CandidateMask<4> c;
+  for (unsigned v = 0; v < 4; ++v) c.remove(v);
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.resolved());
+  c.reset();
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c.mask(), CandidateMask<4>::kFull);
+}
+
+TEST(CandidateMask, SetMaskClampsToCandidateRange) {
+  CandidateMask<4> c;
+  c.set_mask(0xFFFF);
+  EXPECT_EQ(c.mask(), 0xFu);
+  c.set_mask(0b0110);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+}
+
+}  // namespace
+}  // namespace grinch::target

@@ -1,0 +1,116 @@
+// Cross-cipher conformance suite for the unified target pipeline.
+//
+// Typed over every registered target (target/registry.h): each must give
+// deterministic observations under a fixed RNG seed, index->line ids
+// consistent with its table layout, a last_ciphertext() matching the
+// non-instrumented reference cipher, and full key recovery on the paper's
+// default cache configuration.  A target that passes here is a correct
+// citizen of DirectProbePlatform + KeyRecoveryEngine; porting a new
+// cipher, this suite is the contract to satisfy (docs/TARGETS.md).
+#include "target/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace grinch::target {
+namespace {
+
+template <typename Tuple>
+struct AsTestTypes;
+template <typename... Ts>
+struct AsTestTypes<std::tuple<Ts...>> {
+  using type = ::testing::Types<Ts...>;
+};
+
+using AllTargets = AsTestTypes<RegisteredRecoveries>::type;
+
+template <typename Recovery>
+class TargetConformance : public ::testing::Test {
+ protected:
+  static Key128 victim_key(std::uint64_t salt) {
+    Xoshiro256 rng{Recovery::kDefaultSeed ^ salt};
+    return Recovery::canonical_key(rng.key128());
+  }
+};
+TYPED_TEST_SUITE(TargetConformance, AllTargets);
+
+TYPED_TEST(TargetConformance, ObserveIsDeterministicUnderFixedSeed) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xD0);
+  DirectProbePlatform<Recovery> a{{}, key};
+  DirectProbePlatform<Recovery> b{{}, key};
+  Xoshiro256 rng_a{42};
+  Xoshiro256 rng_b{42};
+  for (unsigned i = 0; i < 16; ++i) {
+    const Observation oa = a.observe(Recovery::random_block(rng_a), 0);
+    const Observation ob = b.observe(Recovery::random_block(rng_b), 0);
+    EXPECT_EQ(oa.present, ob.present) << "observation " << i;
+    EXPECT_EQ(oa.probed_after_round, ob.probed_after_round);
+    EXPECT_EQ(oa.attacker_cycles, ob.attacker_cycles);
+    EXPECT_EQ(oa.ciphertext, ob.ciphertext);
+  }
+}
+
+TYPED_TEST(TargetConformance, IndexLineIdsConsistentWithLayout) {
+  using Recovery = TypeParam;
+  const DirectProbePlatform<Recovery> platform{{}, this->victim_key(0xD1)};
+  const typename DirectProbePlatform<Recovery>::Config defaults{};
+  const std::vector<unsigned> ids = platform.index_line_ids();
+  EXPECT_EQ(ids, compute_index_line_ids(platform.layout(),
+                                        defaults.cache.line_bytes));
+  // One id per S-Box index; equal ids exactly when two indices' rows
+  // share a cache line.
+  ASSERT_EQ(ids.size(), platform.layout().sbox_rows());
+  for (unsigned i = 0; i < ids.size(); ++i) {
+    for (unsigned j = 0; j < ids.size(); ++j) {
+      const bool same_line =
+          platform.layout().sbox_row_addr(i) / defaults.cache.line_bytes ==
+          platform.layout().sbox_row_addr(j) / defaults.cache.line_bytes;
+      EXPECT_EQ(ids[i] == ids[j], same_line) << i << " vs " << j;
+    }
+  }
+}
+
+TYPED_TEST(TargetConformance, LastCiphertextMatchesReferenceCipher) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xD2);
+  DirectProbePlatform<Recovery> platform{{}, key};
+  Xoshiro256 rng{7};
+  for (unsigned i = 0; i < 8; ++i) {
+    const auto pt = Recovery::random_block(rng);
+    const Observation obs = platform.observe(pt, 0);
+    const auto reference = Recovery::reference_encrypt(pt, key);
+    EXPECT_EQ(platform.last_ciphertext(), reference) << "encryption " << i;
+    EXPECT_EQ(obs.ciphertext, Recovery::fold_ciphertext(reference));
+  }
+}
+
+TYPED_TEST(TargetConformance, RecoversFullKeyOnPaperDefaultCache) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xD3);
+  const RecoveryResult<Recovery> r = recover_key<Recovery>(key);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.key_verified);
+  EXPECT_TRUE(r.stages_resolved);
+  EXPECT_EQ(r.recovered_key, key);
+  EXPECT_EQ(r.stage_keys.size(), Recovery::kStages);
+  for (unsigned s = 0; s < Recovery::kStages; ++s) {
+    EXPECT_GT(r.stage_encryptions[s], 0u) << "stage " << s;
+  }
+}
+
+TEST(Registry, VisitsEveryTargetOnceWithDistinctNames) {
+  std::vector<std::string> names;
+  for_each_registered_target(
+      [&](auto recovery) { names.emplace_back(decltype(recovery)::kName); });
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"gift64", "gift128", "present80"}));
+}
+
+}  // namespace
+}  // namespace grinch::target

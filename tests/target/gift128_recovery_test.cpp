@@ -1,5 +1,6 @@
-// Tests for the GIFT-128 attack extension.
-#include "attack/grinch128.h"
+// Tests for the GIFT-128 target (Algorithm 1/2 math + generic-engine
+// recovery; ported from the pre-unification attack-stack tests).
+#include "target/gift128_recovery.h"
 
 #include <gtest/gtest.h>
 
@@ -7,8 +8,9 @@
 #include "common/rng.h"
 #include "gift/permutation.h"
 #include "gift/sbox.h"
+#include "target/registry.h"
 
-namespace grinch::attack {
+namespace grinch::target {
 namespace {
 
 TEST(TargetBits128, SourceBitsFeedKeyFacingPositions) {
@@ -88,15 +90,14 @@ TEST(Assemble128, RoundTripsThroughTheKeySchedule) {
   }
 }
 
-TEST(Grinch128, RecoversFullKey) {
+TEST(Gift128Recovery, RecoversFullKey) {
   Xoshiro256 rng{5};
   for (int trial = 0; trial < 3; ++trial) {
     const Key128 key = rng.key128();
-    soc::Gift128DirectProbePlatform platform{{}, key};
-    Grinch128Config cfg;
+    KeyRecoveryEngine<Gift128Recovery>::Config cfg;
     cfg.seed = 500 + static_cast<std::uint64_t>(trial);
-    Grinch128Attack attack{platform, cfg};
-    const Grinch128Result r = attack.run();
+    const RecoveryResult<Gift128Recovery> r =
+        recover_key<Gift128Recovery>(key, cfg);
     ASSERT_TRUE(r.success) << "trial " << trial;
     EXPECT_TRUE(r.key_verified);
     EXPECT_EQ(r.recovered_key, key);
@@ -106,31 +107,31 @@ TEST(Grinch128, RecoversFullKey) {
   }
 }
 
-TEST(Grinch128, EffortIsHigherPerStageThanGift64) {
+TEST(Gift128Recovery, EffortIsHigherPerStageThanGift64) {
   // 32 S-Box accesses per round nearly saturate the 16-entry table, so
   // fewer lines are absent per probe and each segment costs more
   // encryptions than in GIFT-64 — but the total stays in the hundreds.
   Xoshiro256 rng{6};
   const Key128 key = rng.key128();
-  soc::Gift128DirectProbePlatform platform{{}, key};
-  Grinch128Config cfg;
+  KeyRecoveryEngine<Gift128Recovery>::Config cfg;
   cfg.seed = 77;
-  Grinch128Attack attack{platform, cfg};
-  const Grinch128Result r = attack.run();
+  const RecoveryResult<Gift128Recovery> r =
+      recover_key<Gift128Recovery>(key, cfg);
   ASSERT_TRUE(r.success);
   EXPECT_GT(r.total_encryptions, 300u);
   EXPECT_LT(r.total_encryptions, 3000u);
 }
 
-TEST(Grinch128, DropoutOnTinyBudget) {
+TEST(Gift128Recovery, DropoutOnTinyBudget) {
   Xoshiro256 rng{7};
   const Key128 key = rng.key128();
-  soc::Gift128DirectProbePlatform platform{{}, key};
-  Grinch128Config cfg;
+  KeyRecoveryEngine<Gift128Recovery>::Config cfg;
   cfg.max_encryptions = 50;
-  Grinch128Attack attack{platform, cfg};
-  EXPECT_FALSE(attack.run().success);
+  const RecoveryResult<Gift128Recovery> r =
+      recover_key<Gift128Recovery>(key, cfg);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.stages_resolved);
 }
 
 }  // namespace
-}  // namespace grinch::attack
+}  // namespace grinch::target

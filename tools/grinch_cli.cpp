@@ -18,16 +18,14 @@
 #include <string>
 
 #include "attack/grinch.h"
-#include "attack/grinch128.h"
-#include "attack/present_attack.h"
 #include "common/hex.h"
 #include "common/rng.h"
 #include "countermeasures/evaluator.h"
 #include "gift/gift128.h"
 #include "gift/gift64.h"
 #include "present/present.h"
-#include "soc/gift128_platform.h"
 #include "soc/platform.h"
+#include "target/registry.h"
 
 using namespace grinch;
 
@@ -180,12 +178,10 @@ int cmd_attack(const Args& args) {
 int cmd_attack128(const Args& args) {
   Xoshiro256 rng{args.get_u64("seed", 0xC128)};
   const Key128 key = key_from_args(args, rng);
-  soc::Gift128DirectProbePlatform platform{{}, key};
-  attack::Grinch128Config cfg;
+  target::KeyRecoveryEngine<target::Gift128Recovery>::Config cfg;
   cfg.max_encryptions = args.get_u64("budget", 100000);
   cfg.seed = args.get_u64("seed", 0xC128) ^ 0x128;
-  attack::Grinch128Attack attack{platform, cfg};
-  const attack::Grinch128Result r = attack.run();
+  const auto r = target::recover_key<target::Gift128Recovery>(key, cfg);
   std::printf("victim key:    %s\n", key.to_hex().c_str());
   std::printf("encryptions:   %llu (stages %llu + %llu)\n",
               static_cast<unsigned long long>(r.total_encryptions),
@@ -203,17 +199,15 @@ int cmd_attack128(const Args& args) {
 
 int cmd_attack_present(const Args& args) {
   Xoshiro256 rng{args.get_u64("seed", 0xC80)};
-  Key128 key = key_from_args(args, rng);
-  key.hi &= 0xFFFF;  // PRESENT-80 key space
-  soc::Present80DirectProbePlatform platform{{}, key};
-  attack::PresentAttackConfig cfg;
+  const Key128 key =
+      target::Present80Recovery::canonical_key(key_from_args(args, rng));
+  target::KeyRecoveryEngine<target::Present80Recovery>::Config cfg;
   cfg.max_encryptions = args.get_u64("budget", 100000);
   cfg.seed = args.get_u64("seed", 0xC80) ^ 0x80;
-  attack::Present80Attack attack{platform, cfg};
-  const attack::PresentAttackResult r = attack.run();
+  const auto r = target::recover_key<target::Present80Recovery>(key, cfg);
   std::printf("victim key (80-bit): %s\n", key.to_hex().c_str());
   std::printf("monitored encryptions: %llu; offline search: 2^16\n",
-              static_cast<unsigned long long>(r.cache_encryptions));
+              static_cast<unsigned long long>(r.total_encryptions));
   if (r.success) {
     std::printf("recovered key:       %s\nexact match:         %s\n",
                 r.recovered_key.to_hex().c_str(),
