@@ -22,7 +22,6 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "attack/eliminator.h"
 
@@ -33,7 +32,7 @@ struct CrossRoundObservation {
   /// Pre-key nibbles of the monitored round (known to the attacker).
   std::array<unsigned, 16> pre_key_nibbles{};
   /// Per-index line presence; must cover the *next* round's accesses.
-  std::vector<bool> present;
+  target::LineSet present;
   /// 0-based cipher round index of the next round (for constant folding);
   /// for attack stage a this is a+1.
   unsigned next_round_index = 0;

@@ -19,7 +19,7 @@ unsigned CandidateSet::value() const noexcept {
 }
 
 unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
-                              const std::vector<bool>& present,
+                              const target::LineSet& present,
                               unsigned* restarts) {
   assert(present.size() == 16);
   const std::uint8_t before = set.mask();
@@ -47,7 +47,7 @@ unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
 
 unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
                                     unsigned pre_key_nibble,
-                                    const std::vector<bool>& present,
+                                    const target::LineSet& present,
                                     unsigned threshold,
                                     unsigned* restarts) {
   assert(present.size() == 16);
@@ -103,14 +103,14 @@ gift::RoundKey64 round_key_from(const std::array<CandidateSet, 16>& masks) {
 
 unsigned CandidateEliminator::update_segment(unsigned s,
                                              unsigned pre_key_nibble,
-                                             const std::vector<bool>& present) {
+                                             const target::LineSet& present) {
   assert(s < 16);
   return eliminate_candidates(sets_[s], pre_key_nibble, present, &restarts_);
 }
 
 unsigned CandidateEliminator::update_all(
     const std::array<unsigned, 16>& pre_key_nibbles,
-    const std::vector<bool>& present) {
+    const target::LineSet& present) {
   unsigned removed = 0;
   for (unsigned s = 0; s < 16; ++s) {
     removed += update_segment(s, pre_key_nibbles[s], present);

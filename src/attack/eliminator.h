@@ -12,9 +12,9 @@
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "gift/key_schedule.h"
+#include "target/line_set.h"
 
 namespace grinch::attack {
 
@@ -46,7 +46,7 @@ class CandidateSet {
 /// treated as noise: the set resets and `restarts` (if given) increments.
 /// Returns candidates removed.
 unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
-                              const std::vector<bool>& present,
+                              const target::LineSet& present,
                               unsigned* restarts = nullptr);
 
 /// Per-candidate absent-vote counters for noise-robust elimination.
@@ -61,7 +61,7 @@ using AbsentVotes = std::array<std::uint8_t, 4>;
 /// eliminate_candidates().  Returns candidates removed.
 unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
                                     unsigned pre_key_nibble,
-                                    const std::vector<bool>& present,
+                                    const target::LineSet& present,
                                     unsigned threshold,
                                     unsigned* restarts = nullptr);
 
@@ -81,11 +81,11 @@ class CandidateEliminator {
   /// Eliminates candidates of segment `s` given its pre-key nibble and the
   /// per-index line-presence vector.  Returns candidates removed.
   unsigned update_segment(unsigned s, unsigned pre_key_nibble,
-                          const std::vector<bool>& present);
+                          const target::LineSet& present);
 
   /// update_segment over all 16 segments (joint exploitation mode).
   unsigned update_all(const std::array<unsigned, 16>& pre_key_nibbles,
-                      const std::vector<bool>& present);
+                      const target::LineSet& present);
 
   [[nodiscard]] const CandidateSet& candidates(unsigned s) const {
     return sets_[s];

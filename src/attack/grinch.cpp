@@ -70,7 +70,7 @@ gift::RoundKey64 GrinchAttack::best_guess_round_key(
 
 unsigned GrinchAttack::update_statistical(StageState& state, unsigned segment,
                                           unsigned pre_key_nibble,
-                                          const std::vector<bool>& present)
+                                          const target::LineSet& present)
     const {
   if (state.masks[segment].resolved()) return 0;
   auto& absents = state.absent_count[segment];
@@ -323,11 +323,11 @@ AttackResult GrinchAttack::run() {
     result.recovered_key = assemble_master_key(result.round_keys);
     // Self-verify against one extra encryption's ciphertext.
     const std::uint64_t check_pt = rng_.block64();
-    const soc::Observation obs = source_->observe(check_pt, 0);
+    (void)source_->observe(check_pt, 0);
     ++result.total_encryptions;
     result.key_verified =
         gift::Gift64::encrypt(check_pt, result.recovered_key) ==
-        obs.ciphertext;
+        source_->last_ciphertext();
     result.success = result.key_verified;
   }
   return result;

@@ -131,7 +131,7 @@ class GrinchAttack {
   /// just resolved.
   unsigned update_statistical(StageState& state, unsigned segment,
                               unsigned pre_key_nibble,
-                              const std::vector<bool>& present) const;
+                              const target::LineSet& present) const;
 
   /// Drives observations until stage `stage`'s masks are all singletons
   /// (also finishing a pending previous stage), the budget runs out, or

@@ -6,7 +6,7 @@ namespace grinch::attack {
 
 unsigned eliminate_with_trace(std::array<CandidateSet, 16>& masks,
                               const std::array<unsigned, 16>& pre_key_nibbles,
-                              const std::vector<bool>& hits) {
+                              const target::LineSet& hits) {
   assert(hits.size() == 16);
   unsigned removed = 0;
 

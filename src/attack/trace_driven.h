@@ -22,7 +22,6 @@
 #pragma once
 
 #include <array>
-#include <vector>
 
 #include "attack/eliminator.h"
 
@@ -33,6 +32,6 @@ namespace grinch::attack {
 /// `hits[s]` the per-access outcome.  Returns candidates removed.
 unsigned eliminate_with_trace(std::array<CandidateSet, 16>& masks,
                               const std::array<unsigned, 16>& pre_key_nibbles,
-                              const std::vector<bool>& hits);
+                              const target::LineSet& hits);
 
 }  // namespace grinch::attack

@@ -15,8 +15,7 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
 
   const std::size_t lines =
       static_cast<std::size_t>(config_.num_sets) * ways_;
-  tags_.assign(lines, 0);
-  valid_.assign(lines, 0);
+  entries_.assign(lines, 0);
 
   switch (config_.replacement) {
     case Replacement::kLru:
@@ -41,17 +40,18 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   }
 }
 
-int Cache::find_way(std::size_t base, std::uint64_t tag) const noexcept {
+int Cache::find_way(std::size_t base, std::uint64_t needle) const noexcept {
+  const std::uint64_t* entries = &entries_[base];
   for (unsigned w = 0; w < ways_; ++w) {
-    if (valid_[base + w] && tags_[base + w] == tag)
-      return static_cast<int>(w);
+    if (entries[w] == needle) return static_cast<int>(w);
   }
   return -1;
 }
 
 int Cache::find_invalid(std::size_t base) const noexcept {
+  const std::uint64_t* entries = &entries_[base];
   for (unsigned w = 0; w < ways_; ++w) {
-    if (!valid_[base + w]) return static_cast<int>(w);
+    if (!(entries[w] & 1u)) return static_cast<int>(w);
   }
   return -1;
 }
@@ -133,7 +133,7 @@ AccessResult Cache::access(std::uint64_t addr) {
   result.set = si;
   result.tag = tag;
 
-  if (const int way = find_way(base, tag); way >= 0) {
+  if (const int way = find_way(base, (tag << 1) | 1u); way >= 0) {
     ++stats_.hits;
     policy_hit(si, static_cast<unsigned>(way));
     result.hit = true;
@@ -153,10 +153,9 @@ AccessResult Cache::access(std::uint64_t addr) {
     result.evicted = true;
     // Reconstruct the displaced line's base address from (tag, set).
     result.evicted_line_addr =
-        ((tags_[base + victim] << sets_shift_) | si) << line_shift_;
+        (((entries_[base + victim] >> 1) << sets_shift_) | si) << line_shift_;
   }
-  tags_[base + victim] = tag;
-  valid_[base + victim] = 1;
+  entries_[base + victim] = (tag << 1) | 1u;
   policy_fill(si, victim);
   result.hit = false;
   result.latency = config_.miss_latency;
@@ -170,11 +169,19 @@ AccessResult Cache::access(std::uint64_t addr) {
   return result;
 }
 
-void Cache::fill_line(std::uint64_t addr) {
+void Cache::touch(std::uint64_t addr) {
   const std::uint64_t si = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
   const std::size_t base = static_cast<std::size_t>(si) * ways_;
-  if (find_way(base, tag) >= 0) return;  // already resident
+  ++stats_.accesses;
+
+  if (const int way = find_way(base, (tag << 1) | 1u); way >= 0) {
+    ++stats_.hits;
+    policy_hit(si, static_cast<unsigned>(way));
+    return;
+  }
+
+  ++stats_.misses;
   unsigned victim;
   if (const int invalid = find_invalid(base); invalid >= 0) {
     victim = static_cast<unsigned>(invalid);
@@ -183,8 +190,28 @@ void Cache::fill_line(std::uint64_t addr) {
     victim = policy_victim(si);
     ++stats_.evictions;
   }
-  tags_[base + victim] = tag;
-  valid_[base + victim] = 1;
+  entries_[base + victim] = (tag << 1) | 1u;
+  policy_fill(si, victim);
+  for (unsigned i = 1; i <= config_.prefetch_lines; ++i) {
+    fill_line(line_base(addr) + static_cast<std::uint64_t>(i) *
+                                    config_.line_bytes);
+  }
+}
+
+void Cache::fill_line(std::uint64_t addr) {
+  const std::uint64_t si = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const std::size_t base = static_cast<std::size_t>(si) * ways_;
+  if (find_way(base, (tag << 1) | 1u) >= 0) return;  // already resident
+  unsigned victim;
+  if (const int invalid = find_invalid(base); invalid >= 0) {
+    victim = static_cast<unsigned>(invalid);
+    ++valid_count_;
+  } else {
+    victim = policy_victim(si);
+    ++stats_.evictions;
+  }
+  entries_[base + victim] = (tag << 1) | 1u;
   policy_fill(si, victim);
   ++stats_.prefetch_fills;
 }
@@ -192,14 +219,14 @@ void Cache::fill_line(std::uint64_t addr) {
 bool Cache::contains(std::uint64_t addr) const noexcept {
   const std::size_t base =
       static_cast<std::size_t>(set_index(addr)) * ways_;
-  return find_way(base, tag_of(addr)) >= 0;
+  return find_way(base, (tag_of(addr) << 1) | 1u) >= 0;
 }
 
 void Cache::flush() {
   // Replacement state is deliberately left alone (matching real hardware
   // and the original implementation): invalid ways are filled first, so
   // stale stamps never pick a victim before the set refills.
-  std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
+  for (std::uint64_t& e : entries_) e &= ~std::uint64_t{1};
   valid_count_ = 0;
   ++stats_.full_flushes;
 }
@@ -208,8 +235,8 @@ bool Cache::flush_line(std::uint64_t addr) {
   const std::size_t base =
       static_cast<std::size_t>(set_index(addr)) * ways_;
   ++stats_.line_flushes;
-  if (const int way = find_way(base, tag_of(addr)); way >= 0) {
-    valid_[base + static_cast<unsigned>(way)] = 0;
+  if (const int way = find_way(base, (tag_of(addr) << 1) | 1u); way >= 0) {
+    entries_[base + static_cast<unsigned>(way)] &= ~std::uint64_t{1};
     --valid_count_;
     return true;
   }

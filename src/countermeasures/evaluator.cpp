@@ -21,15 +21,14 @@ class ConstantTimePlatform final : public soc::ObservationSource {
     soc::Observation o;
     o.present.assign(16, false);  // nothing to observe, ever
     o.probed_after_round = 28;
-    o.ciphertext = cipher_.encrypt(plaintext, key_);
-    last_ciphertext_ = o.ciphertext;
+    last_ciphertext_ = cipher_.encrypt(plaintext, key_);
     return o;
   }
   [[nodiscard]] const gift::TableLayout& layout() const override {
     return layout_;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override {
-    return soc::compute_index_line_ids(layout_, 1);
+    return line_ids_;
   }
   [[nodiscard]] std::uint64_t last_ciphertext() const override {
     return last_ciphertext_;
@@ -39,6 +38,7 @@ class ConstantTimePlatform final : public soc::ObservationSource {
   Key128 key_;
   gift::TableLayout layout_;
   gift::BitslicedGift64 cipher_;
+  std::vector<unsigned> line_ids_ = soc::compute_index_line_ids(layout_, 1);
   std::uint64_t last_ciphertext_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "gift/table_gift.h"
 
 #include <array>
+#include <cassert>
 
 #include "gift/constants.h"
 #include "gift/permutation.h"
@@ -72,6 +73,14 @@ std::uint64_t TableGift64::encrypt_impl(std::uint64_t plaintext,
     rk_vec = provider_(key, rounds);
     rks = rk_vec.data();
   }
+  return encrypt_with_keys(plaintext, rks, rounds, sink);
+}
+
+template <typename Sink>
+std::uint64_t TableGift64::encrypt_with_keys(std::uint64_t plaintext,
+                                             const RoundKey64* rks,
+                                             unsigned rounds,
+                                             Sink* sink) const {
   std::uint64_t state = plaintext;
   for (unsigned r = 0; r < rounds; ++r) {
     if (sink) sink->on_round_begin(r);
@@ -136,6 +145,20 @@ std::uint64_t TableGift64::encrypt(std::uint64_t plaintext, const Key128& key,
 std::uint64_t TableGift64::encrypt(std::uint64_t plaintext, const Key128& key,
                                    VectorTraceSink* sink) const {
   return encrypt_rounds(plaintext, key, Gift64::kRounds, sink);
+}
+
+std::uint64_t TableGift64::encrypt_with_schedule(
+    std::uint64_t plaintext, std::span<const RoundKey64> schedule,
+    unsigned rounds, TraceSink* sink) const {
+  assert(schedule.size() >= rounds);
+  return encrypt_with_keys(plaintext, schedule.data(), rounds, sink);
+}
+
+std::uint64_t TableGift64::encrypt_with_schedule(
+    std::uint64_t plaintext, std::span<const RoundKey64> schedule,
+    unsigned rounds, VectorTraceSink* sink) const {
+  assert(schedule.size() >= rounds);
+  return encrypt_with_keys(plaintext, schedule.data(), rounds, sink);
 }
 
 }  // namespace grinch::gift

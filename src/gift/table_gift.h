@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/key128.h"
@@ -134,6 +135,35 @@ class TableGift64 {
                           static_cast<TraceSink*>(nullptr));
   }
 
+  /// Precomputed round keys for repeated encryptions under one key.  The
+  /// observation hot path (target/platform.h) derives the schedule once
+  /// per victim and encrypts with it, skipping the per-call key expansion
+  /// (and, for custom providers, its heap allocation).
+  using Schedule = std::vector<RoundKey64>;
+  [[nodiscard]] Schedule make_schedule(const Key128& key,
+                                       unsigned rounds = Gift64::kRounds)
+      const {
+    return provider_(key, rounds);
+  }
+
+  /// encrypt_rounds with a precomputed schedule (schedule.size() >=
+  /// rounds).  Runs only the first `rounds` rounds — the partial-round
+  /// fast path: the emitted trace is the exact prefix of the full-round
+  /// trace, and the returned state matches the full encryption once
+  /// rounds == Gift64::kRounds.
+  [[nodiscard]] std::uint64_t encrypt_with_schedule(
+      std::uint64_t plaintext, std::span<const RoundKey64> schedule,
+      unsigned rounds, TraceSink* sink = nullptr) const;
+  [[nodiscard]] std::uint64_t encrypt_with_schedule(
+      std::uint64_t plaintext, std::span<const RoundKey64> schedule,
+      unsigned rounds, VectorTraceSink* sink) const;
+  [[nodiscard]] std::uint64_t encrypt_with_schedule(
+      std::uint64_t plaintext, std::span<const RoundKey64> schedule,
+      unsigned rounds, std::nullptr_t) const {
+    return encrypt_with_schedule(plaintext, schedule, rounds,
+                                 static_cast<TraceSink*>(nullptr));
+  }
+
   /// Table accesses issued per round (16 S-Box + 16 PermBits lookups).
   [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
     return 32;
@@ -143,6 +173,10 @@ class TableGift64 {
   template <typename Sink>
   std::uint64_t encrypt_impl(std::uint64_t plaintext, const Key128& key,
                              unsigned rounds, Sink* sink) const;
+  template <typename Sink>
+  std::uint64_t encrypt_with_keys(std::uint64_t plaintext,
+                                  const RoundKey64* rks, unsigned rounds,
+                                  Sink* sink) const;
 
   TableLayout layout_;
   /// provider_ is the standard schedule — round keys then come from a

@@ -1,5 +1,8 @@
 #include "gift/table_gift128.h"
 
+#include <array>
+#include <cassert>
+
 #include "gift/constants.h"
 #include "gift/permutation.h"
 #include "gift/sbox.h"
@@ -25,10 +28,47 @@ TableGift128::TableGift128(const TableLayout& layout) : layout_(layout) {
   }
 }
 
+TableGift128::Schedule TableGift128::make_schedule(const Key128& key,
+                                                   unsigned rounds) const {
+  Schedule rks;
+  rks.reserve(rounds);
+  Key128 k = key;
+  for (unsigned r = 0; r < rounds; ++r) {
+    rks.push_back(extract_round_key128(k));
+    k = update_key_state(k);
+  }
+  return rks;
+}
+
 State128 TableGift128::encrypt_rounds(State128 plaintext, const Key128& key,
                                       unsigned rounds, TraceSink* sink) const {
+  // Derive the keys into a stack buffer (no heap) and share the round
+  // loop with the precomputed-schedule path.
+  if (rounds <= Gift128::kRounds) {
+    std::array<RoundKey128, Gift128::kRounds> rks;
+    Key128 k = key;
+    for (unsigned r = 0; r < rounds; ++r) {
+      rks[r] = extract_round_key128(k);
+      k = update_key_state(k);
+    }
+    return encrypt_with_keys(plaintext, rks.data(), rounds, sink);
+  }
+  const Schedule rks = make_schedule(key, rounds);
+  return encrypt_with_keys(plaintext, rks.data(), rounds, sink);
+}
+
+State128 TableGift128::encrypt_with_schedule(
+    State128 plaintext, std::span<const RoundKey128> schedule, unsigned rounds,
+    TraceSink* sink) const {
+  assert(schedule.size() >= rounds);
+  return encrypt_with_keys(plaintext, schedule.data(), rounds, sink);
+}
+
+State128 TableGift128::encrypt_with_keys(State128 plaintext,
+                                         const RoundKey128* rks,
+                                         unsigned rounds,
+                                         TraceSink* sink) const {
   State128 state = plaintext;
-  Key128 k = key;
   for (unsigned r = 0; r < rounds; ++r) {
     if (sink) sink->on_round_begin(r);
 
@@ -65,14 +105,13 @@ State128 TableGift128::encrypt_rounds(State128 plaintext, const Key128& key,
       permuted.lo |= perm_lo_[s][v];
     }
 
-    state = Gift128::add_round_key(permuted, extract_round_key128(k));
+    state = Gift128::add_round_key(permuted, rks[r]);
     // Constant addition (same shape as the spec implementation).
     state.hi ^= std::uint64_t{1} << 63;
     const std::uint8_t c = round_constant(r);
     for (unsigned t = 0; t < 6; ++t) {
       state.lo ^= static_cast<std::uint64_t>((c >> t) & 1u) << (4 * t + 3);
     }
-    k = update_key_state(k);
 
     if (sink) sink->on_round_end(r);
   }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/key128.h"
@@ -30,12 +31,30 @@ class TableGift128 {
                                         unsigned rounds,
                                         TraceSink* sink = nullptr) const;
 
+  /// Precomputed round keys for repeated encryptions under one key (the
+  /// observation hot path derives them once per victim).
+  using Schedule = std::vector<RoundKey128>;
+  [[nodiscard]] Schedule make_schedule(const Key128& key,
+                                       unsigned rounds = Gift128::kRounds)
+      const;
+
+  /// encrypt_rounds with a precomputed schedule (schedule.size() >=
+  /// rounds): the partial-round fast path — the emitted trace is the
+  /// exact prefix of the full-round trace, and the returned state matches
+  /// the full encryption once rounds == Gift128::kRounds.
+  [[nodiscard]] State128 encrypt_with_schedule(
+      State128 plaintext, std::span<const RoundKey128> schedule,
+      unsigned rounds, TraceSink* sink = nullptr) const;
+
   /// 32 S-Box + 32 PermBits lookups per round.
   [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
     return 64;
   }
 
  private:
+  State128 encrypt_with_keys(State128 plaintext, const RoundKey128* rks,
+                             unsigned rounds, TraceSink* sink) const;
+
   TableLayout layout_;
   std::uint8_t sbox_table_[16];
   /// PERM[s][v] = P128 applied to v << 4s, as (hi, lo) contributions.

@@ -1,17 +1,16 @@
 #include "present/table_present.h"
 
-#include <vector>
+#include <cassert>
 
 #include "present/present.h"
 #include "gift/permutation.h"
 #include "gift/sbox.h"
 
 namespace grinch::present {
-namespace {
 
 /// Key schedule identical to Present80's (see present.cpp); duplicated
 /// round-key extraction kept private there, so recompute here.
-std::vector<std::uint64_t> expand80(const Key128& key) {
+TablePresent80::Schedule TablePresent80::make_schedule(const Key128& key) {
   std::uint16_t hi = static_cast<std::uint16_t>(key.hi & 0xFFFF);
   std::uint64_t lo = key.lo;
   std::vector<std::uint64_t> rks;
@@ -32,8 +31,6 @@ std::vector<std::uint64_t> expand80(const Key128& key) {
   return rks;
 }
 
-}  // namespace
-
 TablePresent80::TablePresent80(const target::TableLayout& layout)
     : layout_(layout) {
   for (unsigned v = 0; v < 16; ++v)
@@ -48,7 +45,13 @@ std::uint64_t TablePresent80::encrypt_rounds(std::uint64_t plaintext,
                                              const Key128& key,
                                              unsigned rounds,
                                              gift::TraceSink* sink) const {
-  const std::vector<std::uint64_t> rks = expand80(key);
+  return encrypt_with_schedule(plaintext, make_schedule(key), rounds, sink);
+}
+
+std::uint64_t TablePresent80::encrypt_with_schedule(
+    std::uint64_t plaintext, std::span<const std::uint64_t> rks,
+    unsigned rounds, gift::TraceSink* sink) const {
+  assert(rks.size() > Present80::kRounds);
   std::uint64_t state = plaintext;
   for (unsigned r = 0; r < rounds && r < Present80::kRounds; ++r) {
     if (sink) sink->on_round_begin(r);

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "common/key128.h"
 #include "gift/table_gift.h"
@@ -34,6 +36,20 @@ class TablePresent80 {
                                              const Key128& key,
                                              unsigned rounds,
                                              gift::TraceSink* sink) const;
+
+  /// All 32 PRESENT round keys (index r = key of round r; index 31 = the
+  /// final whitening key).  The observation hot path expands them once
+  /// per victim instead of per encryption.
+  using Schedule = std::vector<std::uint64_t>;
+  [[nodiscard]] static Schedule make_schedule(const Key128& key);
+
+  /// encrypt_rounds with a precomputed schedule (schedule.size() == 32):
+  /// the partial-round fast path — the emitted trace is the exact prefix
+  /// of the full-round trace, and the returned state matches the full
+  /// encryption once rounds >= Present80 rounds (whitening applied).
+  [[nodiscard]] std::uint64_t encrypt_with_schedule(
+      std::uint64_t plaintext, std::span<const std::uint64_t> schedule,
+      unsigned rounds, gift::TraceSink* sink = nullptr) const;
 
  private:
   target::TableLayout layout_;

@@ -1,5 +1,7 @@
 #include "soc/hierarchy_platform.h"
 
+#include <algorithm>
+
 namespace grinch::soc {
 
 HierarchyPlatform::HierarchyPlatform(const Config& config,
@@ -7,11 +9,22 @@ HierarchyPlatform::HierarchyPlatform(const Config& config,
     : config_(config),
       key_(victim_key),
       hierarchy_(config.hierarchy),
-      cipher_(config.layout) {}
+      cipher_(config.layout),
+      schedule_(cipher_.make_schedule(victim_key)),
+      line_ids_(compute_index_line_ids(config.layout,
+                                       config.hierarchy.l1.line_bytes)) {}
 
 std::vector<unsigned> HierarchyPlatform::index_line_ids() const {
-  return compute_index_line_ids(config_.layout,
-                                config_.hierarchy.l1.line_bytes);
+  return line_ids_;
+}
+
+std::uint64_t HierarchyPlatform::last_ciphertext() const {
+  if (!last_ct_valid_) {
+    last_ct_ = cipher_.encrypt_with_schedule(last_pt_, schedule_,
+                                             gift::Gift64::kRounds, nullptr);
+    last_ct_valid_ = true;
+  }
+  return last_ct_;
 }
 
 void HierarchyPlatform::flush_monitored() {
@@ -26,47 +39,77 @@ void HierarchyPlatform::flush_monitored() {
   }
 }
 
+std::uint64_t HierarchyPlatform::reload_threshold() const noexcept {
+  // "Present" = served from L1, i.e. latency at or below the L1/L2
+  // midpoint (or the flat hit/miss midpoint without an L2).
+  return config_.hierarchy.l2
+             ? (config_.hierarchy.l1.hit_latency +
+                config_.hierarchy.l1.miss_latency +
+                config_.hierarchy.l2->hit_latency) /
+                   2
+             : (config_.hierarchy.l1.hit_latency +
+                config_.hierarchy.l1.miss_latency) /
+                   2;
+}
+
 Observation HierarchyPlatform::observe(std::uint64_t plaintext,
                                        unsigned stage) {
-  gift::VectorTraceSink sink;
-  const std::uint64_t ct = cipher_.encrypt(plaintext, key_, &sink);
-  const unsigned per_round = gift::TableGift64::accesses_per_round();
+  return observe_at(plaintext, stage + 1 + config_.probing_round,
+                    reload_threshold());
+}
 
+void HierarchyPlatform::observe_batch(std::span<const std::uint64_t>
+                                          plaintexts,
+                                      unsigned stage,
+                                      target::ObservationBatch& out) {
+  const unsigned probe_after = stage + 1 + config_.probing_round;
+  const std::uint64_t threshold = reload_threshold();
+  out.resize(plaintexts.size());
+  for (std::size_t i = 0; i < plaintexts.size(); ++i) {
+    out[i] = observe_at(plaintexts[i], probe_after, threshold);
+  }
+}
+
+Observation HierarchyPlatform::observe_at(std::uint64_t plaintext,
+                                          unsigned probe_after,
+                                          std::uint64_t threshold) {
+  // The probe consumes accesses only up to probe_after, so the victim
+  // emits just that prefix of rounds (the full ciphertext completes
+  // lazily in last_ciphertext()); the reused sink stops allocating after
+  // the first encryption.
+  sink_.clear();
+  const unsigned emit_rounds = std::min(probe_after, gift::Gift64::kRounds);
+  const std::uint64_t state =
+      cipher_.encrypt_with_schedule(plaintext, schedule_, emit_rounds, &sink_);
+  last_pt_ = plaintext;
+  last_ct_valid_ = emit_rounds >= gift::Gift64::kRounds;
+  if (last_ct_valid_) last_ct_ = state;
+
+  const unsigned per_round = gift::TableGift64::accesses_per_round();
   auto replay_rounds = [&](unsigned from, unsigned to) {
     for (std::size_t i = static_cast<std::size_t>(from) * per_round;
-         i < static_cast<std::size_t>(to) * per_round; ++i) {
-      (void)hierarchy_.access(sink.accesses()[i].addr);
+         i < static_cast<std::size_t>(to) * per_round &&
+         i < sink_.accesses().size();
+         ++i) {
+      (void)hierarchy_.access(sink_.accesses()[i].addr);
     }
   };
 
-  replay_rounds(0, stage + 1);
+  replay_rounds(0, probe_after - config_.probing_round);
   flush_monitored();
-  const unsigned probe_after = stage + 1 + config_.probing_round;
-  replay_rounds(stage + 1, probe_after);
+  replay_rounds(probe_after - config_.probing_round, probe_after);
 
   // Reload in descending order (anti-prefetch hygiene, as in the flat
-  // prober); "present" = served from L1, i.e. latency at or below the
-  // L1/L2 midpoint.
-  const std::uint64_t threshold =
-      config_.hierarchy.l2
-          ? (config_.hierarchy.l1.hit_latency +
-             config_.hierarchy.l1.miss_latency +
-             config_.hierarchy.l2->hit_latency) /
-                2
-          : (config_.hierarchy.l1.hit_latency +
-             config_.hierarchy.l1.miss_latency) /
-                2;
+  // prober).
   Observation o;
   o.present.assign(16, false);
   o.probed_after_round = probe_after;
-  o.ciphertext = ct;
   for (unsigned index = 16; index-- > 0;) {
     const std::uint64_t addr = config_.layout.sbox_row_addr(index);
     const auto r = hierarchy_.access(addr);
     o.attacker_cycles += r.latency;
     o.present[index] = r.latency <= threshold;
   }
-  last_ciphertext_ = o.ciphertext;
   return o;
 }
 

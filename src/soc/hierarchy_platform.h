@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cachesim/hierarchy.h"
@@ -49,13 +50,16 @@ class HierarchyPlatform final : public ObservationSource {
   HierarchyPlatform(const Config& config, const Key128& victim_key);
 
   Observation observe(std::uint64_t plaintext, unsigned stage) override;
+  /// Batched variant: the probe depth and reload threshold depend only on
+  /// the stage/config, so they are derived once per batch; each element
+  /// then runs the scalar pipeline (bit-identical to observe() calls).
+  void observe_batch(std::span<const std::uint64_t> plaintexts, unsigned stage,
+                     target::ObservationBatch& out) override;
   [[nodiscard]] const gift::TableLayout& layout() const override {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
-  [[nodiscard]] std::uint64_t last_ciphertext() const override {
-    return last_ciphertext_;
-  }
+  [[nodiscard]] std::uint64_t last_ciphertext() const override;
 
   [[nodiscard]] cachesim::CacheHierarchy& hierarchy() noexcept {
     return hierarchy_;
@@ -65,11 +69,25 @@ class HierarchyPlatform final : public ObservationSource {
   /// Evicts the monitored lines per the configured capability.
   void flush_monitored();
 
+  /// Reload-latency cutoff separating "victim touched it" from cold.
+  [[nodiscard]] std::uint64_t reload_threshold() const noexcept;
+
+  Observation observe_at(std::uint64_t plaintext, unsigned probe_after,
+                         std::uint64_t threshold);
+
   Config config_;
   Key128 key_;
   cachesim::CacheHierarchy hierarchy_;
   gift::TableGift64 cipher_;
-  std::uint64_t last_ciphertext_ = 0;
+  gift::TableGift64::Schedule schedule_;
+  std::vector<unsigned> line_ids_;  ///< computed once at construction
+  /// Reused across observe() calls; stops allocating after the first.
+  gift::VectorTraceSink sink_;
+  /// Lazy full ciphertext of the last observed encryption (the victim
+  /// only emits the probed prefix of rounds; completed on demand).
+  std::uint64_t last_pt_ = 0;
+  mutable std::uint64_t last_ct_ = 0;
+  mutable bool last_ct_valid_ = true;  ///< 0 before any observation
 };
 
 }  // namespace grinch::soc

@@ -1,5 +1,7 @@
 #include "soc/platform.h"
 
+#include <algorithm>
+
 namespace grinch::soc {
 namespace {
 
@@ -12,12 +14,11 @@ std::unique_ptr<CacheProber> make_prober(ProbeMethod method,
 }
 
 Observation from_probe(const ProbeResult& probe, unsigned probed_after_round,
-                       std::uint64_t extra_cycles, std::uint64_t ciphertext) {
+                       std::uint64_t extra_cycles) {
   Observation o;
   o.present = probe.row_present;
   o.probed_after_round = probed_after_round;
   o.attacker_cycles = probe.cycles + extra_cycles;
-  o.ciphertext = ciphertext;
   return o;
 }
 
@@ -33,10 +34,19 @@ DirectProbePlatform::DirectProbePlatform(const Config& config,
       cipher_(config.layout, config.round_key_provider),
       victim_(cipher_, cache_, config.cost),
       prober_(make_prober(config.method, cache_, config.layout)),
-      noise_rng_(config.noise_seed) {}
+      noise_rng_(config.noise_seed),
+      line_ids_(
+          compute_index_line_ids(config.layout, config.cache.line_bytes)) {}
 
 std::vector<unsigned> DirectProbePlatform::index_line_ids() const {
-  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+  return line_ids_;
+}
+
+std::uint64_t DirectProbePlatform::last_ciphertext() const {
+  // The victim ran only the rounds the probe consumed; completing the
+  // encryption is functional (no cache traffic) and cached per
+  // encryption, so only verification encryptions pay for it.
+  return victim_.full_ciphertext();
 }
 
 void DirectProbePlatform::inject_noise() {
@@ -52,13 +62,42 @@ void DirectProbePlatform::inject_noise() {
   }
 }
 
+unsigned DirectProbePlatform::rounds_needed(unsigned stage) const noexcept {
+  // Precision probing pauses inside round stage+1, so that round's
+  // accesses must exist (and the victim must not be done before them);
+  // otherwise the probe lands after round stage+probing_round.  The
+  // trace-driven channel reads round stage+1's timed hits, which the
+  // probe plan already covers in both modes.
+  const unsigned want =
+      config_.precise_probe ? stage + 2 : stage + 1 + config_.probing_round;
+  return std::min(want, gift::Gift64::kRounds);
+}
+
 Observation DirectProbePlatform::observe(std::uint64_t plaintext,
                                          unsigned stage) {
+  return observe_with_rounds(plaintext, stage, rounds_needed(stage));
+}
+
+void DirectProbePlatform::observe_batch(std::span<const std::uint64_t>
+                                            plaintexts,
+                                        unsigned stage,
+                                        target::ObservationBatch& out) {
+  const unsigned want_rounds = rounds_needed(stage);
+  out.resize(plaintexts.size());
+  for (std::size_t i = 0; i < plaintexts.size(); ++i) {
+    out[i] = observe_with_rounds(plaintexts[i], stage, want_rounds);
+  }
+}
+
+Observation DirectProbePlatform::observe_with_rounds(std::uint64_t plaintext,
+                                                     unsigned stage,
+                                                     unsigned want_rounds) {
   // A fresh encryption on a cache that still holds earlier encryptions'
   // lines would leak nothing; like the paper's attacker, start each
   // monitored encryption from an evicted state for the monitored lines.
+  // The victim generates only the rounds this observation consumes.
   VictimProcess& victim = victim_;
-  victim.begin_encryption(plaintext, key_);
+  victim.begin_encryption(plaintext, key_, 0, want_rounds);
 
   std::uint64_t attacker_cycles = 0;
   if (!config_.use_flush) {
@@ -92,8 +131,7 @@ Observation DirectProbePlatform::observe(std::uint64_t plaintext,
   }
 
   const ProbeResult probe = prober_->probe();
-  Observation o =
-      from_probe(probe, probe_after, attacker_cycles, victim.ciphertext());
+  Observation o = from_probe(probe, probe_after, attacker_cycles);
 
   if (config_.capture_trace && config_.use_flush &&
       victim.rounds_done() >= stage + 2) {
@@ -107,7 +145,6 @@ Observation DirectProbePlatform::observe(std::uint64_t plaintext,
       }
     }
   }
-  last_ciphertext_ = o.ciphertext;
   return o;
 }
 
@@ -120,10 +157,20 @@ SingleCoreSoC::SingleCoreSoC(const Config& config, const Key128& victim_key)
       cipher_(config.layout),
       victim_(cipher_, cache_, config.cost),
       scheduler_(config.rtos),
-      prober_(make_prober(config.method, cache_, config.layout)) {}
+      prober_(make_prober(config.method, cache_, config.layout)),
+      line_ids_(
+          compute_index_line_ids(config.layout, config.cache.line_bytes)) {}
 
 std::vector<unsigned> SingleCoreSoC::index_line_ids() const {
-  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+  return line_ids_;
+}
+
+std::uint64_t SingleCoreSoC::last_ciphertext() const {
+  if (!last_ct_valid_) {
+    last_ct_ = cipher_.encrypt(last_pt_, key_);
+    last_ct_valid_ = true;
+  }
+  return last_ct_;
 }
 
 double SingleCoreSoC::measured_cycles_per_round() {
@@ -147,15 +194,17 @@ Observation SingleCoreSoC::observe(std::uint64_t plaintext, unsigned stage) {
   // modelling an attacker that never flushes *during* the encryption.
   attacker_cycles += prober_->prepare();
 
+  // The probe moment emerges from scheduling, so the victim cannot be
+  // truncated up front: any round may execute within the quantum.
   victim.begin_encryption(plaintext, key_);
   // The victim owns the core for one quantum, then is preempted (possibly
   // mid-round); the attacker probes at the start of its own quantum.
   victim.run_until_cycle(scheduler_.config().quantum_cycles());
 
   const ProbeResult probe = prober_->probe();
-  Observation o = from_probe(probe, victim.rounds_done(), attacker_cycles,
-                             victim.ciphertext());
-  last_ciphertext_ = o.ciphertext;
+  Observation o = from_probe(probe, victim.rounds_done(), attacker_cycles);
+  last_pt_ = plaintext;
+  last_ct_valid_ = false;
   return o;
 }
 
@@ -169,10 +218,18 @@ MpSoc::MpSoc(const Config& config, const Key128& victim_key)
       cache_(config.cache),
       cipher_(config.layout),
       victim_(cipher_, cache_, config.cost),
-      prober_(cache_, config.layout) {}
+      prober_(cache_, config.layout),
+      line_ids_(
+          compute_index_line_ids(config.layout, config.cache.line_bytes)) {}
 
-std::vector<unsigned> MpSoc::index_line_ids() const {
-  return compute_index_line_ids(config_.layout, config_.cache.line_bytes);
+std::vector<unsigned> MpSoc::index_line_ids() const { return line_ids_; }
+
+std::uint64_t MpSoc::last_ciphertext() const {
+  if (!last_ct_valid_) {
+    last_ct_ = cipher_.encrypt(last_pt_, key_);
+    last_ct_valid_ = true;
+  }
+  return last_ct_;
 }
 
 std::uint64_t MpSoc::remote_access_cycles() {
@@ -217,9 +274,10 @@ unsigned MpSoc::first_probe_round() {
 Observation MpSoc::observe(std::uint64_t plaintext, unsigned stage) {
   // With its own core, the attacker synchronises to round boundaries by
   // continuous probing: flush right before the monitored round, probe
-  // right after it — the ideal probing-round-1 observation.
+  // right after it — the ideal probing-round-1 observation.  Only rounds
+  // 0..stage+1 are consumed, so the victim stops there.
   VictimProcess& victim = victim_;
-  victim.begin_encryption(plaintext, key_);
+  victim.begin_encryption(plaintext, key_, 0, stage + 2);
   victim.run_until_round(stage + 1);
 
   std::uint64_t attacker_cycles = prober_.prepare();
@@ -229,9 +287,9 @@ Observation MpSoc::observe(std::uint64_t plaintext, unsigned stage) {
   victim.run_until_round(stage + 2);
   ProbeResult probe = prober_.probe();
   probe.cycles += 16 * remote_access_cycles();
-  Observation o =
-      from_probe(probe, stage + 2, attacker_cycles, victim.ciphertext());
-  last_ciphertext_ = o.ciphertext;
+  Observation o = from_probe(probe, stage + 2, attacker_cycles);
+  last_pt_ = plaintext;
+  last_ct_valid_ = false;
   return o;
 }
 

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cachesim/cache.h"
@@ -81,14 +82,18 @@ class DirectProbePlatform final : public ObservationSource {
   DirectProbePlatform(const Config& config, const Key128& victim_key);
 
   Observation observe(std::uint64_t plaintext, unsigned stage) override;
+  /// Batched variant of the generic contract: the per-stage probe plan
+  /// (how many victim rounds the observation needs) is derived once for
+  /// the whole batch, then each element runs the scalar pipeline, so
+  /// results are bit-identical to per-element observe() calls.
+  void observe_batch(std::span<const std::uint64_t> plaintexts, unsigned stage,
+                     target::ObservationBatch& out) override;
   void focus_segment(unsigned segment) override { focus_ = segment & 0xF; }
   [[nodiscard]] const gift::TableLayout& layout() const override {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
-  [[nodiscard]] std::uint64_t last_ciphertext() const override {
-    return last_ciphertext_;
-  }
+  [[nodiscard]] std::uint64_t last_ciphertext() const override;
 
   [[nodiscard]] cachesim::Cache& cache() noexcept { return cache_; }
   [[nodiscard]] const Key128& victim_key() const noexcept { return key_; }
@@ -96,6 +101,13 @@ class DirectProbePlatform final : public ObservationSource {
  private:
   /// Injects the configured per-round noise traffic into the cache.
   void inject_noise();
+
+  /// Victim rounds an observation of `stage` actually needs (partial-round
+  /// fast path; clamped to the cipher's round count).
+  [[nodiscard]] unsigned rounds_needed(unsigned stage) const noexcept;
+
+  Observation observe_with_rounds(std::uint64_t plaintext, unsigned stage,
+                                  unsigned want_rounds);
 
   Config config_;
   Key128 key_;
@@ -107,7 +119,7 @@ class DirectProbePlatform final : public ObservationSource {
   std::unique_ptr<CacheProber> prober_;
   Xoshiro256 noise_rng_;
   unsigned focus_ = 0;
-  std::uint64_t last_ciphertext_ = 0;
+  std::vector<unsigned> line_ids_;  ///< computed once at construction
 };
 
 // ------------------------------------------------------------------------
@@ -135,9 +147,7 @@ class SingleCoreSoC final : public ObservationSource {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
-  [[nodiscard]] std::uint64_t last_ciphertext() const override {
-    return last_ciphertext_;
-  }
+  [[nodiscard]] std::uint64_t last_ciphertext() const override;
 
   [[nodiscard]] double measured_cycles_per_round();
 
@@ -149,7 +159,13 @@ class SingleCoreSoC final : public ObservationSource {
   VictimProcess victim_;  ///< reused across observe()/measurement calls
   RtosScheduler scheduler_;
   std::unique_ptr<CacheProber> prober_;
-  std::uint64_t last_ciphertext_ = 0;
+  std::vector<unsigned> line_ids_;  ///< computed once at construction
+  /// Lazy full ciphertext of the last observed encryption (the victim
+  /// buffer is also reused by measurement helpers, so the pair is kept
+  /// here; completed functionally on first last_ciphertext() use).
+  std::uint64_t last_pt_ = 0;
+  mutable std::uint64_t last_ct_ = 0;
+  mutable bool last_ct_valid_ = true;  ///< 0 before any observation
 };
 
 // ------------------------------------------------------------------------
@@ -194,9 +210,7 @@ class MpSoc final : public ObservationSource {
     return config_.layout;
   }
   [[nodiscard]] std::vector<unsigned> index_line_ids() const override;
-  [[nodiscard]] std::uint64_t last_ciphertext() const override {
-    return last_ciphertext_;
-  }
+  [[nodiscard]] std::uint64_t last_ciphertext() const override;
 
   [[nodiscard]] noc::Network& network() noexcept { return network_; }
 
@@ -209,7 +223,12 @@ class MpSoc final : public ObservationSource {
   gift::TableGift64 cipher_;
   VictimProcess victim_;  ///< reused across observe()/measurement calls
   FlushReloadProber prober_;
-  std::uint64_t last_ciphertext_ = 0;
+  std::vector<unsigned> line_ids_;  ///< computed once at construction
+  /// Lazy full ciphertext of the last observed encryption (see
+  /// SingleCoreSoC; the victim buffer is shared with first_probe_round).
+  std::uint64_t last_pt_ = 0;
+  mutable std::uint64_t last_ct_ = 0;
+  mutable bool last_ct_valid_ = true;  ///< 0 before any observation
 };
 
 }  // namespace grinch::soc

@@ -1,5 +1,6 @@
 #include "soc/victim.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace grinch::soc {
@@ -11,21 +12,42 @@ VictimProcess::VictimProcess(const gift::TableGift64& cipher,
 
 void VictimProcess::begin_encryption(std::uint64_t plaintext,
                                      const Key128& key,
-                                     std::uint64_t start_cycle) {
+                                     std::uint64_t start_cycle,
+                                     unsigned max_rounds) {
   key_ = key;
+  plaintext_ = plaintext;
   round_ = 0;
   pos_ = 0;
   cycle_ = start_cycle;
   start_cycle_ = start_cycle;
-  // Precompute the full logical access stream (it depends only on the
-  // plaintext/key, never on cache state); the platform then replays it
-  // against the cache with timing as it advances the victim.  The sink
-  // and trace buffers are cleared, not reallocated, so repeated
+  avail_rounds_ = std::min(max_rounds, gift::Gift64::kRounds);
+  if (!schedule_valid_ || key != schedule_key_) {
+    schedule_ = cipher_->make_schedule(key);
+    schedule_key_ = key;
+    schedule_valid_ = true;
+  }
+  // Precompute the logical access stream up to avail_rounds_ (it depends
+  // only on the plaintext/key, never on cache state); the platform then
+  // replays it against the cache with timing as it advances the victim.
+  // The sink and trace buffers are cleared, not reallocated, so repeated
   // encryptions through one VictimProcess are allocation-free.
   sink_.clear();
-  state_ = cipher_->encrypt(plaintext, key, &sink_);
+  state_ =
+      cipher_->encrypt_with_schedule(plaintext, schedule_, avail_rounds_,
+                                     &sink_);
+  full_ct_valid_ = avail_rounds_ >= gift::Gift64::kRounds;
+  if (full_ct_valid_) full_ct_ = state_;
   trace_.clear();
   trace_.reserve(sink_.accesses().size());
+}
+
+std::uint64_t VictimProcess::full_ciphertext() const {
+  if (!full_ct_valid_) {
+    full_ct_ = cipher_->encrypt_with_schedule(plaintext_, schedule_,
+                                              gift::Gift64::kRounds, nullptr);
+    full_ct_valid_ = true;
+  }
+  return full_ct_;
 }
 
 unsigned VictimProcess::accesses_into_round() const noexcept {
@@ -75,8 +97,8 @@ std::uint64_t VictimProcess::run_until_access(unsigned count) {
 }
 
 std::uint64_t VictimProcess::finish() {
-  run_until_round(gift::Gift64::kRounds);
-  return state_;
+  run_until_round(avail_rounds_);
+  return full_ciphertext();
 }
 
 double VictimProcess::cycles_per_round() const noexcept {

@@ -51,8 +51,17 @@ class VictimProcess {
                 const VictimCostModel& cost);
 
   /// Starts a new encryption at simulated time `start_cycle`.
+  ///
+  /// `max_rounds` bounds how deep the victim will execute (clamped to the
+  /// cipher's round count): a platform that probes after round k only
+  /// needs the access stream up to k, so generating further rounds is
+  /// wasted work.  The truncated stream is the exact prefix of the full
+  /// one; the full ciphertext stays available through full_ciphertext(),
+  /// which completes the encryption functionally (no cache traffic) on
+  /// first use.
   void begin_encryption(std::uint64_t plaintext, const Key128& key,
-                        std::uint64_t start_cycle = 0);
+                        std::uint64_t start_cycle = 0,
+                        unsigned max_rounds = gift::Gift64::kRounds);
 
   /// Executes the rest of the current round's table accesses against the
   /// cache.  Returns the cycle at which the round completed.
@@ -71,21 +80,23 @@ class VictimProcess {
   /// already past that point within the round.
   std::uint64_t run_until_access(unsigned count);
 
-  /// Completes the encryption; returns the ciphertext.
+  /// Completes the available rounds; returns the (full) ciphertext.
   std::uint64_t finish();
 
   [[nodiscard]] unsigned rounds_done() const noexcept { return round_; }
   /// Accesses already executed within the current (partial) round.
   [[nodiscard]] unsigned accesses_into_round() const noexcept;
-  [[nodiscard]] bool done() const noexcept {
-    return round_ >= gift::Gift64::kRounds;
-  }
+  /// True once every available round (begin_encryption's max_rounds,
+  /// clamped) has executed against the cache.
+  [[nodiscard]] bool done() const noexcept { return round_ >= avail_rounds_; }
   [[nodiscard]] std::uint64_t now() const noexcept { return cycle_; }
   [[nodiscard]] const std::vector<TimedAccess>& trace() const noexcept {
     return trace_;
   }
-  /// Ciphertext; valid once done().
-  [[nodiscard]] std::uint64_t ciphertext() const noexcept { return state_; }
+  /// Full ciphertext of the current encryption, regardless of how many
+  /// rounds were executed or requested.  Truncated encryptions are
+  /// completed functionally on first use (cached; no cache-sim traffic).
+  [[nodiscard]] std::uint64_t full_ciphertext() const;
 
   /// Average cycles consumed per completed round of this encryption.
   [[nodiscard]] double cycles_per_round() const noexcept;
@@ -99,13 +110,22 @@ class VictimProcess {
   /// accesses are exhausted); advances round_/pos_.
   void step();
 
-  std::uint64_t state_ = 0;
+  std::uint64_t state_ = 0;      ///< cipher state after avail_rounds_
+  std::uint64_t plaintext_ = 0;  ///< plaintext of the current encryption
   Key128 key_{};
   unsigned round_ = 0;
+  unsigned avail_rounds_ = gift::Gift64::kRounds;  ///< rounds in sink_
   std::size_t pos_ = 0;  ///< next index into sink_.accesses()
   std::uint64_t cycle_ = 0;
   std::uint64_t start_cycle_ = 0;
+  mutable std::uint64_t full_ct_ = 0;
+  mutable bool full_ct_valid_ = true;  ///< 0 before any encryption
   std::vector<TimedAccess> trace_;
+  /// Round keys of the current key, derived once and reused until the key
+  /// changes (the observation hot path re-encrypts under one victim key).
+  gift::TableGift64::Schedule schedule_;
+  Key128 schedule_key_{};
+  bool schedule_valid_ = false;
   /// Full logical access stream of the current encryption.  Reused
   /// (clear-and-refill) across encryptions: after the first encryption a
   /// VictimProcess allocates nothing — platforms keep one VictimProcess

@@ -9,6 +9,7 @@
 // empty a mask is noise and resets it.  `N` is the candidate count.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 namespace grinch::target {
@@ -30,11 +31,11 @@ class CandidateMask {
   void reset() noexcept { mask_ = kFull; }
   [[nodiscard]] bool empty() const noexcept { return mask_ == 0; }
   [[nodiscard]] unsigned size() const noexcept {
-    unsigned n = 0;
-    for (unsigned c = 0; c < N; ++c) n += contains(c);
-    return n;
+    return static_cast<unsigned>(std::popcount(mask_));
   }
-  [[nodiscard]] bool resolved() const noexcept { return size() == 1; }
+  [[nodiscard]] bool resolved() const noexcept {
+    return std::has_single_bit(mask_);
+  }
   /// The sole surviving candidate. Precondition: resolved().
   [[nodiscard]] unsigned value() const noexcept {
     for (unsigned c = 0; c < N; ++c) {

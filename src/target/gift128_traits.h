@@ -20,6 +20,7 @@ struct Gift128Traits {
 
   static constexpr const char* kName = "gift128";
   static constexpr unsigned kSegments = gift::Gift128::kSegments;
+  static constexpr unsigned kRounds = gift::Gift128::kRounds;
   static constexpr unsigned kAccessesPerRound =
       gift::TableGift128::accesses_per_round();
   /// Key mixed AFTER the S-Box layer: round 0 leaks nothing.

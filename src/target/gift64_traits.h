@@ -21,6 +21,7 @@ struct Gift64Traits {
 
   static constexpr const char* kName = "gift64";
   static constexpr unsigned kSegments = gift::Gift64::kSegments;
+  static constexpr unsigned kRounds = gift::Gift64::kRounds;
   static constexpr unsigned kAccessesPerRound =
       gift::TableGift64::accesses_per_round();
   /// Key mixed AFTER the S-Box layer: round 0 leaks nothing.

@@ -7,6 +7,15 @@
 // (GIFT-64, PRESENT-80) share one interface instantiation and attack
 // engines can drive any platform of a matching block width polymorphically.
 //
+// Observation is a fixed-size value type (LineSet bitsets, no heap): the
+// elimination engine consumes hundreds of thousands per figure and batch
+// buffers hold them by value.  The monitored encryption's ciphertext is
+// NOT part of an observation — the probe sees cache lines, not data; the
+// attack fetches the published ciphertext of the *last* encryption through
+// last_ciphertext() when it verifies a recovered key, which lets platforms
+// truncate the simulated encryption at the probe point (the partial-round
+// fast path, docs/TARGETS.md) and only complete it on demand.
+//
 // Probing-round semantics (documented also in DESIGN.md): "probing round
 // k" for an attack stage `s` (0-based) means the probe observes the cache
 // after k rounds of the monitored window have executed.  Which cipher
@@ -17,8 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "target/line_set.h"
 #include "target/table_layout.h"
 
 namespace grinch::target {
@@ -29,23 +40,22 @@ enum class ProbeMethod : std::uint8_t { kFlushReload, kPrimeProbe };
 /// What one monitored encryption yielded to the attacker.
 struct Observation {
   /// present[i]: the cache line holding S-Box index i was resident.
-  std::vector<bool> present;
+  LineSet present;
   /// Cipher rounds (0-based, exclusive) whose accesses the probe covers.
   unsigned probed_after_round = 0;
   /// Attacker cycles spent preparing + probing.
   std::uint64_t attacker_cycles = 0;
-  /// Ciphertext of the monitored encryption, folded to 64 bits for wide
-  /// blocks (the victim publishes it once the encryption completes; the
-  /// attack uses it to self-verify the recovered key — wide-block targets
-  /// verify against ObservationSource::last_ciphertext() instead).
-  std::uint64_t ciphertext = 0;
   /// Trace-driven channel (paper's taxonomy, ref [10]: hits/misses are
   /// visible in the power trace): per monitored-round S-Box access
   /// (segment order), whether it HIT.  Empty when the platform does not
   /// capture traces.  Only meaningful with an attacker flush before the
   /// monitored round.
-  std::vector<bool> sbox_hits;
+  LineSet sbox_hits;
 };
+
+/// Reusable buffer for observe_batch results (elements are fixed-size, so
+/// a warm buffer never reallocates).
+using ObservationBatch = std::vector<Observation>;
 
 /// A platform the attack can drive: one monitored encryption per call.
 /// `Block` is the cipher's plaintext/ciphertext type (std::uint64_t for
@@ -58,6 +68,22 @@ class ObservationSource {
   /// Runs one victim encryption of `plaintext` and returns the probe
   /// observation for attack stage `stage` (see header comment).
   virtual Observation observe(Block plaintext, unsigned stage) = 0;
+
+  /// Observes `plaintexts` in order, as if observe() were called for each
+  /// one left to right: out[i] is bit-identical to what the scalar call
+  /// would have produced, and last_ciphertext() afterwards refers to the
+  /// final element.  Platforms override this to amortise per-encryption
+  /// bookkeeping (bounds derivation, prober/sink reuse) across the batch;
+  /// the default is the scalar loop, so overriding is never required for
+  /// correctness.  `out` is resized to the batch; reuse it across calls to
+  /// keep the path allocation-free.
+  virtual void observe_batch(std::span<const Block> plaintexts, unsigned stage,
+                             ObservationBatch& out) {
+    out.resize(plaintexts.size());
+    for (std::size_t i = 0; i < plaintexts.size(); ++i) {
+      out[i] = observe(plaintexts[i], stage);
+    }
+  }
 
   /// Hints which segment the attacker currently targets; platforms with
   /// precision probing (§III-D "Cache Probing Precision") time their
@@ -72,7 +98,8 @@ class ObservationSource {
   [[nodiscard]] virtual std::vector<unsigned> index_line_ids() const = 0;
 
   /// Full-width ciphertext of the last observed encryption (the attack
-  /// verifies its recovered key against it).
+  /// verifies its recovered key against it).  Platforms running the
+  /// partial-round fast path complete the encryption lazily here.
   [[nodiscard]] virtual Block last_ciphertext() const = 0;
 };
 

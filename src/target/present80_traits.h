@@ -21,6 +21,7 @@ struct Present80Traits {
 
   static constexpr const char* kName = "present80";
   static constexpr unsigned kSegments = 16;
+  static constexpr unsigned kRounds = present::Present80::kRounds;
   /// 16 S-Box + 16 pLayer-mask lookups per round (mirrors GIFT's LUT
   /// implementation style).
   static constexpr unsigned kAccessesPerRound = 32;

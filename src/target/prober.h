@@ -15,12 +15,20 @@
 // hit/miss threshold is derived from the cache's configured latencies.
 // The probers are cipher-agnostic: they monitor whatever TableLayout they
 // are given, so one implementation serves every registered target.
+//
+// Hot path: probe() runs once per monitored encryption, so the line/set
+// dedup bookkeeping (which index is the first of its cache line / set,
+// which attacker addresses prime a set) is computed once at construction;
+// prepare()/probe() then execute a fixed access schedule with no per-call
+// allocation.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "cachesim/cache.h"
+#include "target/line_set.h"
 #include "target/table_layout.h"
 
 namespace grinch::target {
@@ -28,15 +36,13 @@ namespace grinch::target {
 /// What a probe saw: presence of each monitored S-Box row's line.
 struct ProbeResult {
   /// row_present[r] == true when S-Box row r's cache line was resident.
-  std::vector<bool> row_present;
+  LineSet row_present;
   std::uint64_t cycles = 0;  ///< attacker time spent probing
 
   /// Number of distinct *lines* observed present (rows sharing a line
   /// count once).
   [[nodiscard]] unsigned present_rows() const noexcept {
-    unsigned n = 0;
-    for (const bool p : row_present) n += p;
-    return n;
+    return row_present.count();
   }
 };
 
@@ -72,9 +78,17 @@ class FlushReloadProber final : public CacheProber {
   }
 
  private:
+  /// Per-index reload schedule, fixed at construction.
+  struct RowInfo {
+    std::uint64_t addr = 0;      ///< the row's byte address
+    std::uint8_t line_slot = 0;  ///< dense id of the row's cache line
+    bool reload = false;  ///< first row of its line in probe order: access it
+  };
+
   cachesim::Cache* cache_;
   TableLayout layout_;
   std::uint64_t threshold_;  ///< latency below => hit
+  std::array<RowInfo, LineSet::kMaxBits> rows_{};
 };
 
 /// Prime+Probe over the sets the S-Box rows map to.
@@ -96,12 +110,22 @@ class PrimeProbeProber final : public CacheProber {
   }
 
  private:
-  [[nodiscard]] std::uint64_t prime_addr(unsigned row, unsigned way) const;
+  /// Per-index probe schedule, fixed at construction.
+  struct IndexInfo {
+    std::uint8_t set_slot = 0;       ///< dense id of the index's cache set
+    bool measure = false;  ///< first index of its set in probe order
+    std::uint16_t addr_begin = 0;    ///< offset into probe_addrs_
+  };
 
   cachesim::Cache* cache_;
   TableLayout layout_;
-  std::uint64_t attacker_base_;
   std::uint64_t threshold_;
+  std::array<IndexInfo, 16> index_info_{};
+  /// Eviction-set addresses re-accessed by probe(), `associativity` many
+  /// per measured set, in measurement order.
+  std::vector<std::uint64_t> probe_addrs_;
+  /// Priming access sequence of prepare(), in order.
+  std::vector<std::uint64_t> prime_addrs_;
 };
 
 }  // namespace grinch::target

@@ -26,14 +26,38 @@
 //   static void finalize(RecoveryResult&, ObservationSource<Block>&,
 //                        Xoshiro256&, Block last_pt, std::uint64_t last_ct);
 //
+// Hot path (perf notes, see DESIGN.md "Performance"):
+//  * Elimination is a word-wise AND: the observation's LineSet word is
+//    gathered into a per-candidate keep mask and folded into the
+//    CandidateMask in one step — no per-candidate branching, no heap.
+//  * The first unresolved segment is tracked with a cursor + unresolved
+//    count instead of rescanning all segments per encryption.
+//  * Encryptions are submitted in speculative batches through
+//    observe_batch (Config::max_batch; 1 = strict scalar observe() calls).
+//    The engine snapshots the RNG, crafts a batch assuming the current
+//    target segment stays unresolved, observes it, then REPLAYS the craft
+//    sequence against the real mask state: each batch element is consumed
+//    only if its replayed plaintext matches the speculative one, so the
+//    consumed plaintext sequence, RNG stream, observation order and
+//    encryption counts are byte-identical to the scalar loop for any
+//    max_batch.  A mismatch (the target segment resolved mid-batch)
+//    discards the rest of the batch and carries the already-crafted
+//    plaintext into the next one.  Discarded speculative encryptions are
+//    wall-time waste only — they are never counted, and on the
+//    flush-per-observation direct-probe platform they cannot alter later
+//    observations (every probe verdict is fully determined by the
+//    accesses between that observation's own flush and probe).
+//
 // The GIFT-64 paper pipeline with its noise machinery (voting,
 // cross-round solving, statistical elimination) remains in
 // attack::GrinchAttack; this engine is the clean-channel core all three
 // ciphers share.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/key128.h"
@@ -70,6 +94,11 @@ class KeyRecoveryEngine {
   struct Config {
     std::uint64_t max_encryptions = 100000;
     std::uint64_t seed = Recovery::kDefaultSeed;
+    /// Largest speculative batch submitted per observe_batch call; the
+    /// engine ramps 1 -> max_batch while speculation holds and resets on
+    /// a mispredict.  1 pins the engine to scalar observe() semantics
+    /// (which every other value reproduces bit-identically anyway).
+    unsigned max_batch = 16;
   };
 
   KeyRecoveryEngine(ObservationSource<Block>& source, const Config& config)
@@ -80,59 +109,120 @@ class KeyRecoveryEngine {
     typename Recovery::Crafter crafter{rng_};
     std::vector<typename Recovery::StageKey> recovered;
     Block last_pt{};
-    std::uint64_t last_ct = 0;
+    bool observed_any = false;
+    const unsigned max_batch = std::max(config_.max_batch, 1u);
 
     for (unsigned stage = 0; stage < Recovery::kStages; ++stage) {
       std::array<CandidateMask<Recovery::kCandidatesPerSegment>,
                  Recovery::kSegments>
           masks{};
-      auto all_done = [&] {
-        for (const auto& m : masks) {
-          if (!m.resolved()) return false;
+      // Satellite invariant: `cursor` is the lowest unresolved segment
+      // whenever `unresolved > 0`; maintained incrementally by update().
+      unsigned unresolved = Recovery::kSegments;
+      unsigned cursor = 0;
+
+      auto update = [&](unsigned s, const LineSet& present,
+                        const std::array<unsigned, Recovery::kSegments>&
+                            nibbles) {
+        // keep bit c: candidate c's predicted S-Box index was present.
+        std::uint16_t keep = 0;
+        const std::uint64_t word = present.word();
+        for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
+          keep |= static_cast<std::uint16_t>(
+              ((word >> Recovery::candidate_index(nibbles[s], c)) & 1u) << c);
         }
-        return true;
+        const bool was_resolved = masks[s].resolved();
+        const std::uint16_t next =
+            static_cast<std::uint16_t>(masks[s].mask() & keep);
+        if (next == 0) {
+          masks[s].reset();  // noisy observation
+        } else {
+          masks[s].set_mask(next);
+        }
+        const bool now_resolved = masks[s].resolved();
+        if (was_resolved == now_resolved) return;
+        if (now_resolved) {
+          --unresolved;
+          while (cursor < Recovery::kSegments && masks[cursor].resolved()) {
+            ++cursor;
+          }
+        } else {
+          // A reset can re-open a segment already counted resolved (joint
+          // mode under noise); pull the cursor back if it jumped past it.
+          ++unresolved;
+          cursor = std::min(cursor, s);
+        }
       };
 
-      while (!all_done()) {
-        if (result.total_encryptions >= config_.max_encryptions) return result;
+      unsigned batch_size = 1;
+      bool have_carry = false;
+      Block carry{};
+      while (unresolved > 0) {
+        const std::uint64_t budget =
+            config_.max_encryptions - result.total_encryptions;
+        if (budget == 0) return result;  // a carry implies budget >= 1
 
-        unsigned target = 0;
-        for (unsigned s = 0; s < Recovery::kSegments; ++s) {
-          if (!masks[s].resolved()) {
-            target = s;
-            break;
-          }
+        // Speculatively craft the batch as if `cursor` stays the target
+        // throughout.  A carried-over plaintext was already crafted (and
+        // budget-checked) against the true state, so it skips the replay.
+        pts_.clear();
+        unsigned pre_validated = 0;
+        if (have_carry) {
+          pts_.push_back(carry);
+          have_carry = false;
+          pre_validated = 1;
         }
-        const Block pt = crafter.craft(target, recovered, stage);
-        const Observation obs = source_->observe(pt, stage);
-        ++result.total_encryptions;
-        ++result.stage_encryptions[stage];
-        last_pt = pt;
-        last_ct = obs.ciphertext;
+        const auto want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(batch_size, budget));
+        const Xoshiro256 rng_snapshot = rng_;
+        while (pts_.size() < want) {
+          pts_.push_back(crafter.craft(cursor, recovered, stage));
+        }
+        source_->observe_batch(std::span<const Block>(pts_), stage, batch_);
+        last_pt = pts_.back();
+        observed_any = true;
+        rng_ = rng_snapshot;
 
-        const auto nibbles = Recovery::pre_key_nibbles(pt, recovered, stage);
-        auto update = [&](unsigned s) {
-          auto trial = masks[s];
-          for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
-            if (!trial.contains(c)) continue;
-            const unsigned index = Recovery::candidate_index(nibbles[s], c);
-            if (!obs.present[index]) trial.remove(c);
+        // Replay-consume: re-run the scalar loop's craft sequence against
+        // the live masks; element j is valid only if the replayed
+        // plaintext equals the speculative one.
+        bool mispredicted = false;
+        for (std::size_t j = 0; j < pts_.size(); ++j) {
+          if (j >= pre_validated) {
+            if (result.total_encryptions >= config_.max_encryptions) {
+              return result;
+            }
+            const Block pt = crafter.craft(cursor, recovered, stage);
+            if (!(pt == pts_[j])) {
+              // The target moved mid-batch: keep this plaintext for the
+              // next submission, drop the stale speculative tail.
+              carry = pt;
+              have_carry = true;
+              mispredicted = true;
+              break;
+            }
           }
-          if (trial.empty()) {
-            masks[s].reset();  // noisy observation
+          const Observation& obs = batch_[j];
+          ++result.total_encryptions;
+          ++result.stage_encryptions[stage];
+          const auto nibbles =
+              Recovery::pre_key_nibbles(pts_[j], recovered, stage);
+          if constexpr (Recovery::kUpdateAllSegments) {
+            // Joint exploitation: every segment's S-Box access shares the
+            // observation, so one encryption updates all masks at once.
+            for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+              update(s, obs.present, nibbles);
+            }
           } else {
-            masks[s] = trial;
+            // Crafted-plaintext mode: only the targeted segment's pre-key
+            // bits are pinned, so only its mask may be updated.
+            update(cursor, obs.present, nibbles);
           }
-        };
-        if constexpr (Recovery::kUpdateAllSegments) {
-          // Joint exploitation: every segment's S-Box access shares the
-          // observation, so one encryption updates all masks at once.
-          for (unsigned s = 0; s < Recovery::kSegments; ++s) update(s);
-        } else {
-          // Crafted-plaintext mode: only the targeted segment's pre-key
-          // bits are pinned, so only its mask may be updated.
-          update(target);
+          if (unresolved == 0) break;  // stage done; drop the spare tail
         }
+        batch_size = mispredicted
+                         ? 1
+                         : std::min(max_batch, batch_size * 2);
       }
 
       recovered.push_back(Recovery::stage_key_from(masks));
@@ -140,6 +230,9 @@ class KeyRecoveryEngine {
 
     result.stages_resolved = true;
     result.stage_keys = recovered;
+    const std::uint64_t last_ct =
+        observed_any ? Recovery::fold_ciphertext(source_->last_ciphertext())
+                     : 0;
     Recovery::finalize(result, *source_, rng_, last_pt, last_ct);
     return result;
   }
@@ -148,6 +241,9 @@ class KeyRecoveryEngine {
   ObservationSource<Block>* source_;
   Config config_;
   Xoshiro256 rng_;
+  /// Batch buffers, reused across the run (warm after one iteration).
+  std::vector<Block> pts_;
+  ObservationBatch batch_;
 };
 
 }  // namespace grinch::target

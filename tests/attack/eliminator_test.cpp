@@ -5,8 +5,8 @@
 namespace grinch::attack {
 namespace {
 
-std::vector<bool> presence(std::initializer_list<unsigned> present_indices) {
-  std::vector<bool> p(16, false);
+target::LineSet presence(std::initializer_list<unsigned> present_indices) {
+  target::LineSet p(16);
   for (unsigned i : present_indices) p[i] = true;
   return p;
 }
@@ -47,7 +47,7 @@ TEST(Eliminate, AbsentLineRemovesCandidate) {
 
 TEST(Eliminate, FullPresenceRemovesNothing) {
   CandidateSet set;
-  std::vector<bool> all(16, true);
+  target::LineSet all(16, true);
   EXPECT_EQ(eliminate_candidates(set, 7, all), 0u);
   EXPECT_EQ(set.size(), 4u);
 }

@@ -20,7 +20,7 @@ TEST(TraceEliminate, MissRemovesCollidingCandidates) {
   // Segment 1: n_1 = 4; access MISSED => index != 5 => candidate 1
   // (4^1 = 5) is impossible.
   n[1] = 4;
-  std::vector<bool> hits(16, false);
+  target::LineSet hits(16);
   const unsigned removed = eliminate_with_trace(masks, n, hits);
   EXPECT_GE(removed, 1u);
   EXPECT_FALSE(masks[1].contains(1));
@@ -35,7 +35,7 @@ TEST(TraceEliminate, HitPinsToEarlierIndices) {
   for (unsigned c = 1; c < 4; ++c) masks[0].remove(c);
   // Segment 1 HIT with n_1 = 4: index must be 7 => candidate 3 (4^3=7).
   n[1] = 4;
-  std::vector<bool> hits(16, false);
+  target::LineSet hits(16);
   hits[1] = true;
   (void)eliminate_with_trace(masks, n, hits);
   ASSERT_TRUE(masks[1].resolved());
@@ -45,7 +45,7 @@ TEST(TraceEliminate, HitPinsToEarlierIndices) {
 TEST(TraceEliminate, HitWithUnresolvedEarlierSegmentsIsConservative) {
   std::array<CandidateSet, 16> masks{};  // nothing resolved
   std::array<unsigned, 16> n{};
-  std::vector<bool> hits(16, false);
+  target::LineSet hits(16);
   hits[5] = true;
   // No earlier segment resolved: the HIT constraint must not prune.
   EXPECT_EQ(eliminate_with_trace(masks, n, hits), 0u);
@@ -60,7 +60,7 @@ TEST(TraceEliminate, CascadesAcrossSegments) {
   for (unsigned c = 1; c < 4; ++c) masks[0].remove(c);  // index 0xA
   n[1] = 0x9;  // HIT: index must be 0xA => candidate 3
   n[2] = 0xA;  // MISS: cannot be 0xA (from seg 0) nor seg 1's 0xA
-  std::vector<bool> hits(16, false);
+  target::LineSet hits(16);
   hits[1] = true;
   (void)eliminate_with_trace(masks, n, hits);
   ASSERT_TRUE(masks[1].resolved());
@@ -76,7 +76,7 @@ TEST(TraceEliminate, ContradictoryTraceIsSkippedNotFatal) {
   for (unsigned c = 1; c < 4; ++c) masks[0].remove(c);
   n[1] = 3;
   for (unsigned c = 1; c < 4; ++c) masks[1].remove(c);  // only candidate 0
-  std::vector<bool> hits(16, false);
+  target::LineSet hits(16);
   (void)eliminate_with_trace(masks, n, hits);
   EXPECT_FALSE(masks[1].empty());
 }

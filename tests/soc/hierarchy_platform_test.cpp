@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "attack/grinch.h"
 #include "common/bits.h"
 #include "common/rng.h"
@@ -19,7 +21,7 @@ TEST(HierarchyPlatform, CleanObservationMatchesMonitoredRound) {
   const Observation obs = platform.observe(pt, 0);
 
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
   EXPECT_EQ(obs.present, expected);
 }
@@ -38,7 +40,7 @@ TEST(HierarchyPlatform, L1EvictOnlyStillDistinguishes) {
   const Observation obs = platform.observe(pt, 0);
 
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
   EXPECT_EQ(obs.present, expected);
 }
@@ -59,6 +61,25 @@ TEST(HierarchyPlatform, FullAttackThroughTheHierarchy) {
     EXPECT_EQ(r.recovered_key, key);
     EXPECT_LT(r.total_encryptions, 500u);
   }
+}
+
+TEST(HierarchyPlatform, ObserveBatchBitIdenticalToScalar) {
+  Xoshiro256 rng{5};
+  const Key128 key = rng.key128();
+  HierarchyPlatform scalar{HierarchyPlatform::Config{}, key};
+  HierarchyPlatform batched{HierarchyPlatform::Config{}, key};
+  std::vector<std::uint64_t> pts;
+  for (unsigned i = 0; i < 6; ++i) pts.push_back(rng.block64());
+  target::ObservationBatch batch;
+  batched.observe_batch(pts, 0, batch);
+  ASSERT_EQ(batch.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Observation o = scalar.observe(pts[i], 0);
+    EXPECT_EQ(batch[i].present, o.present) << i;
+    EXPECT_EQ(batch[i].probed_after_round, o.probed_after_round);
+    EXPECT_EQ(batch[i].attacker_cycles, o.attacker_cycles);
+  }
+  EXPECT_EQ(batched.last_ciphertext(), scalar.last_ciphertext());
 }
 
 TEST(HierarchyPlatform, SingleLevelConfigWorksToo) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "attack/predictor.h"
 #include "common/bits.h"
 #include "common/rng.h"
@@ -47,7 +49,7 @@ TEST(DirectProbe, WithFlushObservesExactlyTheMonitoredRound) {
 
   // Ground truth: the set of S-Box indices of cipher round 1.
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
   EXPECT_EQ(obs.present, expected);
 }
@@ -64,7 +66,7 @@ TEST(DirectProbe, WithoutFlushIncludesRoundZeroDirt) {
   const Observation obs = platform.observe(pt, 0);
 
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned r = 0; r < 2; ++r) {  // rounds 0 and 1 accumulate
     for (unsigned s = 0; s < 16; ++s) expected[nibble(states[r], s)] = true;
   }
@@ -80,8 +82,7 @@ TEST(DirectProbe, LaterProbingAccumulatesMoreLines) {
     cfg.probing_round = k;
     DirectProbePlatform platform{cfg, key};
     const Observation obs = platform.observe(0x1234567812345678ull, 0);
-    unsigned count = 0;
-    for (bool p : obs.present) count += p;
+    const unsigned count = obs.present.count();
     EXPECT_GE(count, prev_count) << "probing round " << k;
     prev_count = count;
   }
@@ -92,7 +93,10 @@ TEST(DirectProbe, CiphertextIsTheRealOne) {
   const Key128 key = rng.key128();
   DirectProbePlatform platform{DirectProbePlatform::Config{}, key};
   const std::uint64_t pt = rng.block64();
-  EXPECT_EQ(platform.observe(pt, 0).ciphertext, gift::Gift64::encrypt(pt, key));
+  // The observation itself carries no ciphertext (the victim truncates at
+  // the probe point); the published ciphertext is completed on demand.
+  (void)platform.observe(pt, 0);
+  EXPECT_EQ(platform.last_ciphertext(), gift::Gift64::encrypt(pt, key));
 }
 
 TEST(DirectProbe, StageShiftsTheMonitoredRound) {
@@ -105,9 +109,31 @@ TEST(DirectProbe, StageShiftsTheMonitoredRound) {
   const Observation obs = platform.observe(pt, /*stage=*/2);
   EXPECT_EQ(obs.probed_after_round, 4u);
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(states[3], s)] = true;
   EXPECT_EQ(obs.present, expected);
+}
+
+TEST(DirectProbe, ObserveBatchBitIdenticalToScalar) {
+  Xoshiro256 rng{113};
+  const Key128 key = rng.key128();
+  DirectProbePlatform scalar{DirectProbePlatform::Config{}, key};
+  DirectProbePlatform batched{DirectProbePlatform::Config{}, key};
+  for (unsigned stage = 0; stage < 2; ++stage) {
+    std::vector<std::uint64_t> pts;
+    for (unsigned i = 0; i < 6; ++i) pts.push_back(rng.block64());
+    target::ObservationBatch batch;
+    batched.observe_batch(pts, stage, batch);
+    ASSERT_EQ(batch.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Observation o = scalar.observe(pts[i], stage);
+      EXPECT_EQ(batch[i].present, o.present) << "stage " << stage << " " << i;
+      EXPECT_EQ(batch[i].probed_after_round, o.probed_after_round);
+      EXPECT_EQ(batch[i].attacker_cycles, o.attacker_cycles);
+      EXPECT_EQ(batch[i].sbox_hits, o.sbox_hits);
+    }
+    EXPECT_EQ(batched.last_ciphertext(), scalar.last_ciphertext());
+  }
 }
 
 // --------------------------------------------------------- SingleCoreSoC --
@@ -179,7 +205,7 @@ TEST(MpSoc, ObservationIsCleanMonitoredRound) {
   const std::uint64_t pt = rng.block64();
   const Observation obs = soc.observe(pt, 0);
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
   EXPECT_EQ(obs.present, expected);
 }

@@ -57,7 +57,7 @@ TEST(PreciseProbe, LaterFocusSeesMoreSegments) {
   platform.focus_segment(15);
   const Observation obs = platform.observe(pt, 0);
   const auto states = gift::Gift64::round_states(pt, key);
-  std::vector<bool> expected(16, false);
+  target::LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(states[1], s)] = true;
   EXPECT_EQ(obs.present, expected);
 }

@@ -83,7 +83,7 @@ TEST(Victim, RunUntilCycleStopsMidRound) {
   EXPECT_GT(f.victim.accesses_into_round(), 0u);
   EXPECT_LT(f.victim.accesses_into_round(), 32u);
   // Resuming still produces the right ciphertext.
-  EXPECT_EQ(f.victim.finish(), f.victim.ciphertext());
+  EXPECT_EQ(f.victim.finish(), f.victim.full_ciphertext());
 }
 
 TEST(Victim, RunUntilRoundIsIdempotent) {

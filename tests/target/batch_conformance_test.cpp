@@ -1,0 +1,171 @@
+// Registry-wide batched-observation conformance suite.
+//
+// The observe_batch contract (target/observation.h) promises that a batch
+// is bit-identical to the equivalent sequence of scalar observe() calls:
+// same Observation fields element by element, and last_ciphertext()
+// referring to the final element afterwards.  DirectProbePlatform
+// overrides the default loop to hoist per-encryption bookkeeping, so this
+// suite drives every registered target both ways and compares.  It also
+// pins the engine-level guarantee: KeyRecoveryEngine's speculative
+// batching (Config::max_batch > 1) must reproduce the scalar run exactly —
+// same recovered key, same total and per-stage encryption counts.
+#include "target/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace grinch::target {
+namespace {
+
+template <typename Tuple>
+struct AsTestTypes;
+template <typename... Ts>
+struct AsTestTypes<std::tuple<Ts...>> {
+  using type = ::testing::Types<Ts...>;
+};
+
+using AllTargets = AsTestTypes<RegisteredRecoveries>::type;
+
+template <typename Recovery>
+class BatchConformance : public ::testing::Test {
+ protected:
+  static Key128 victim_key(std::uint64_t salt) {
+    Xoshiro256 rng{Recovery::kDefaultSeed ^ salt};
+    return Recovery::canonical_key(rng.key128());
+  }
+};
+TYPED_TEST_SUITE(BatchConformance, AllTargets);
+
+TYPED_TEST(BatchConformance, ObserveBatchBitIdenticalToScalar) {
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0xB0);
+  DirectProbePlatform<Recovery> scalar{{}, key};
+  DirectProbePlatform<Recovery> batched{{}, key};
+  Xoshiro256 rng{0xBA7C4};
+  ObservationBatch batch;
+  for (unsigned stage = 0; stage < 3 && stage < Recovery::kStages; ++stage) {
+    std::vector<Block> pts;
+    for (unsigned i = 0; i < 8; ++i) pts.push_back(Recovery::random_block(rng));
+    batched.observe_batch(pts, stage, batch);
+    ASSERT_EQ(batch.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Observation o = scalar.observe(pts[i], stage);
+      EXPECT_EQ(batch[i].present, o.present)
+          << "stage " << stage << " element " << i;
+      EXPECT_EQ(batch[i].probed_after_round, o.probed_after_round);
+      EXPECT_EQ(batch[i].attacker_cycles, o.attacker_cycles);
+      EXPECT_EQ(batch[i].sbox_hits, o.sbox_hits);
+    }
+    EXPECT_EQ(batched.last_ciphertext(), scalar.last_ciphertext())
+        << "stage " << stage;
+  }
+}
+
+TYPED_TEST(BatchConformance, DefaultLoopAndOverrideAgree) {
+  // The base-class default (scalar loop) and the platform override must be
+  // interchangeable: drive the override through the interface and compare
+  // against the default implementation on an identical twin.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0xB1);
+  DirectProbePlatform<Recovery> a{{}, key};
+  DirectProbePlatform<Recovery> b{{}, key};
+  ObservationSource<Block>& via_override = a;
+  Xoshiro256 rng{0xD0D0};
+  std::vector<Block> pts;
+  for (unsigned i = 0; i < 6; ++i) pts.push_back(Recovery::random_block(rng));
+  ObservationBatch out_override;
+  via_override.observe_batch(pts, 0, out_override);
+  ObservationBatch out_default;
+  b.ObservationSource<Block>::observe_batch(pts, 0, out_default);
+  ASSERT_EQ(out_override.size(), out_default.size());
+  for (std::size_t i = 0; i < out_override.size(); ++i) {
+    EXPECT_EQ(out_override[i].present, out_default[i].present) << i;
+    EXPECT_EQ(out_override[i].probed_after_round,
+              out_default[i].probed_after_round);
+    EXPECT_EQ(out_override[i].attacker_cycles, out_default[i].attacker_cycles);
+    EXPECT_EQ(out_override[i].sbox_hits, out_default[i].sbox_hits);
+  }
+  EXPECT_EQ(a.last_ciphertext(), b.last_ciphertext());
+}
+
+TYPED_TEST(BatchConformance, EmptyBatchIsANoOp) {
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0xB2);
+  DirectProbePlatform<Recovery> platform{{}, key};
+  Xoshiro256 rng{0xE0};
+  const Block pt = Recovery::random_block(rng);
+  (void)platform.observe(pt, 0);
+  const Block before = platform.last_ciphertext();
+  ObservationBatch out;
+  out.resize(5);  // stale contents must be cleared
+  platform.observe_batch(std::span<const Block>{}, 0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(platform.last_ciphertext(), before);
+}
+
+TYPED_TEST(BatchConformance, BatchedEngineMatchesScalarEngine) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xB3);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg;
+  scalar_cfg.max_batch = 1;
+  typename KeyRecoveryEngine<Recovery>::Config batched_cfg;
+  batched_cfg.max_batch = 16;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  const RecoveryResult<Recovery> b = recover_key<Recovery>(key, batched_cfg);
+  ASSERT_TRUE(s.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(b.recovered_key, s.recovered_key);
+  EXPECT_EQ(b.key_verified, s.key_verified);
+  EXPECT_EQ(b.stages_resolved, s.stages_resolved);
+  EXPECT_EQ(b.total_encryptions, s.total_encryptions);
+  EXPECT_EQ(b.offline_trials, s.offline_trials);
+  ASSERT_EQ(b.stage_encryptions.size(), s.stage_encryptions.size());
+  for (std::size_t i = 0; i < s.stage_encryptions.size(); ++i) {
+    EXPECT_EQ(b.stage_encryptions[i], s.stage_encryptions[i]) << "stage " << i;
+  }
+}
+
+TYPED_TEST(BatchConformance, IntermediateBatchSizesAlsoMatchScalar) {
+  // The engine grows its batch adaptively up to max_batch; any ceiling
+  // must land on the same result, not just the default 16.
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xB4);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg;
+  scalar_cfg.max_batch = 1;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  ASSERT_TRUE(s.success);
+  for (unsigned cap : {2u, 5u, 32u}) {
+    typename KeyRecoveryEngine<Recovery>::Config cfg;
+    cfg.max_batch = cap;
+    const RecoveryResult<Recovery> r = recover_key<Recovery>(key, cfg);
+    EXPECT_EQ(r.recovered_key, s.recovered_key) << "max_batch " << cap;
+    EXPECT_EQ(r.total_encryptions, s.total_encryptions) << "max_batch " << cap;
+  }
+}
+
+TYPED_TEST(BatchConformance, BatchedBudgetExhaustionMatchesScalar) {
+  // The encryption budget is checked per observation, so a batched run
+  // must fail at exactly the same count as the scalar one.
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xB5);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg;
+  scalar_cfg.max_batch = 1;
+  scalar_cfg.max_encryptions = 3;
+  typename KeyRecoveryEngine<Recovery>::Config batched_cfg;
+  batched_cfg.max_batch = 16;
+  batched_cfg.max_encryptions = 3;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  const RecoveryResult<Recovery> b = recover_key<Recovery>(key, batched_cfg);
+  EXPECT_EQ(b.success, s.success);
+  EXPECT_EQ(b.stages_resolved, s.stages_resolved);
+  EXPECT_EQ(b.total_encryptions, s.total_encryptions);
+}
+
+}  // namespace
+}  // namespace grinch::target

@@ -52,7 +52,7 @@ TYPED_TEST(TargetConformance, ObserveIsDeterministicUnderFixedSeed) {
     EXPECT_EQ(oa.present, ob.present) << "observation " << i;
     EXPECT_EQ(oa.probed_after_round, ob.probed_after_round);
     EXPECT_EQ(oa.attacker_cycles, ob.attacker_cycles);
-    EXPECT_EQ(oa.ciphertext, ob.ciphertext);
+    EXPECT_EQ(a.last_ciphertext(), b.last_ciphertext());
   }
 }
 
@@ -83,10 +83,9 @@ TYPED_TEST(TargetConformance, LastCiphertextMatchesReferenceCipher) {
   Xoshiro256 rng{7};
   for (unsigned i = 0; i < 8; ++i) {
     const auto pt = Recovery::random_block(rng);
-    const Observation obs = platform.observe(pt, 0);
+    (void)platform.observe(pt, 0);
     const auto reference = Recovery::reference_encrypt(pt, key);
     EXPECT_EQ(platform.last_ciphertext(), reference) << "encryption " << i;
-    EXPECT_EQ(obs.ciphertext, Recovery::fold_ciphertext(reference));
   }
 }
 

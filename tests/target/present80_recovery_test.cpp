@@ -28,7 +28,7 @@ TEST(PresentPlatform, RoundZeroObservationIsKeyDependent) {
   // Ground truth: round 0 indices are nibbles of pt XOR RK0 (the top 64
   // key-register bits).
   const std::uint64_t rk0 = (key.hi << 48) | (key.lo >> 16);
-  std::vector<bool> expected(16, false);
+  LineSet expected(16);
   for (unsigned s = 0; s < 16; ++s) expected[nibble(pt ^ rk0, s)] = true;
   EXPECT_EQ(obs.present, expected);
 }
@@ -38,9 +38,8 @@ TEST(PresentPlatform, CiphertextIsReal) {
   const Key128 key = random_key80(rng);
   DirectProbePlatform<Present80Recovery> platform{{}, key};
   const std::uint64_t pt = rng.block64();
-  const Observation obs = platform.observe(pt, 0);
-  EXPECT_EQ(obs.ciphertext, present::Present80::encrypt(pt, key));
-  EXPECT_EQ(platform.last_ciphertext(), obs.ciphertext);
+  (void)platform.observe(pt, 0);
+  EXPECT_EQ(platform.last_ciphertext(), present::Present80::encrypt(pt, key));
 }
 
 TEST(Present80Recovery, RecoversFullEightyBitKey) {

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Compare fresh bench output against the committed BENCH_*.json baselines.
+
+For every BENCH_<name>.json at the repo root this looks up the fresh
+counterpart produced by tools/run_bench.sh (build/bench-results/ by
+default) and reports what changed:
+
+  * google-benchmark documents (micro_throughput): per-benchmark cpu_time
+    ratio against the baseline.  A benchmark slower than --threshold
+    (default 1.5x) is flagged; new/removed benchmarks are listed.
+  * repo-format documents ("tables"/"metrics"): deterministic content
+    (tables, config, non-timing metrics) must match byte for byte —
+    these are fixed-seed results, so any drift is a correctness signal,
+    not noise.  Timing metrics (keys ending in `_seconds`) are ignored.
+
+Exit status is 0 unless --strict is given: CI runs this as a non-fatal
+warning step (quick-mode timings on shared runners are noisy), while a
+local `--strict` run turns any flag into a failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+TIMING_SUFFIXES = ("_seconds", "_sec")
+
+
+def load(path: pathlib.Path):
+    with path.open() as f:
+        return json.load(f)
+
+
+def is_google_benchmark(doc) -> bool:
+    return isinstance(doc, dict) and "benchmarks" in doc and "context" in doc
+
+
+def strip_timing(value):
+    """Recursively drops timing metrics from a repo-format document."""
+    if isinstance(value, dict):
+        return {
+            k: strip_timing(v)
+            for k, v in value.items()
+            if not k.endswith(TIMING_SUFFIXES)
+        }
+    if isinstance(value, list):
+        return [strip_timing(v) for v in value]
+    return value
+
+
+def compare_google_benchmark(name, baseline, fresh, threshold):
+    warnings = []
+    base_times = {
+        b["name"]: float(b["cpu_time"])
+        for b in baseline.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    fresh_times = {
+        b["name"]: float(b["cpu_time"])
+        for b in fresh.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+    for bench, base_ns in sorted(base_times.items()):
+        if bench not in fresh_times:
+            warnings.append(f"{name}: benchmark '{bench}' missing from fresh run")
+            continue
+        ratio = fresh_times[bench] / base_ns if base_ns > 0 else float("inf")
+        marker = "REGRESSION" if ratio > threshold else "ok"
+        line = (
+            f"{name}: {bench}: {base_ns:.1f} -> {fresh_times[bench]:.1f} ns "
+            f"({ratio:.2f}x) {marker}"
+        )
+        print(f"  {line}")
+        if ratio > threshold:
+            warnings.append(line)
+    for bench in sorted(set(fresh_times) - set(base_times)):
+        print(f"  {name}: new benchmark '{bench}' (no baseline)")
+    return warnings
+
+
+def compare_repo_format(name, baseline, fresh):
+    if strip_timing(baseline) == strip_timing(fresh):
+        print(f"  {name}: deterministic results identical")
+        return []
+    return [f"{name}: deterministic results differ from committed baseline"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--results",
+        default="build/bench-results",
+        help="directory holding fresh BENCH_<name>.json documents",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="directory holding committed BENCH_<name>.json baselines",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="flag google-benchmark entries slower than this ratio",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when anything is flagged",
+    )
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    results_dir = pathlib.Path(args.results)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"check_bench: no BENCH_*.json baselines in {baseline_dir}")
+        return 0
+
+    warnings = []
+    for base_path in baselines:
+        fresh_path = results_dir / base_path.name
+        if not fresh_path.exists():
+            warnings.append(f"{base_path.name}: no fresh result in {results_dir}")
+            continue
+        try:
+            baseline = load(base_path)
+            fresh = load(fresh_path)
+        except (OSError, json.JSONDecodeError) as e:
+            warnings.append(f"{base_path.name}: unreadable ({e})")
+            continue
+        print(f"[check_bench] {base_path.name}")
+        if is_google_benchmark(baseline):
+            warnings += compare_google_benchmark(
+                base_path.name, baseline, fresh, args.threshold
+            )
+        else:
+            warnings += compare_repo_format(base_path.name, baseline, fresh)
+
+    if warnings:
+        print(f"\ncheck_bench: {len(warnings)} warning(s):")
+        for w in warnings:
+            print(f"  WARNING: {w}")
+        return 1 if args.strict else 0
+    print("\ncheck_bench: all baselines within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
