@@ -50,15 +50,14 @@ std::uint64_t DirectProbePlatform::last_ciphertext() const {
 }
 
 void DirectProbePlatform::inject_noise() {
-  // Third-party traffic: addresses disjoint from the victim's tables but
-  // mapping onto the same sets, so heavy noise evicts monitored lines
-  // (false absents) without ever faking a presence.
-  constexpr std::uint64_t kNoiseBase = 0x100000;
-  const std::uint64_t span =
-      static_cast<std::uint64_t>(config_.cache.line_bytes) *
-      config_.cache.num_sets * 64;  // 64 tags per set available
+  // Third-party traffic drawn from the shared noise address space
+  // (target::NoiseAddressSpace): disjoint from the victim's tables and
+  // the Prime+Probe region but aliasing every cache set, so heavy noise
+  // evicts monitored lines — the cache-level mechanism behind the fault
+  // vocabulary's false-absent mode, and nothing else.
   for (unsigned i = 0; i < config_.noise_accesses_per_round; ++i) {
-    (void)cache_.access(kNoiseBase + noise_rng_.uniform(span));
+    (void)cache_.access(
+        target::NoiseAddressSpace::draw(config_.cache, noise_rng_));
   }
 }
 

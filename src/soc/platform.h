@@ -35,6 +35,7 @@
 #include "soc/prober.h"
 #include "soc/scheduler.h"
 #include "soc/victim.h"
+#include "target/fault_model.h"
 #include "target/observation.h"
 
 namespace grinch::soc {
@@ -73,8 +74,14 @@ class DirectProbePlatform final : public ObservationSource {
     /// ref [10]).  Requires use_flush.
     bool capture_trace = false;
     /// Noise model: random third-party accesses injected per executed
-    /// victim round (address space disjoint from the tables but aliasing
-    /// the monitored sets — evicts lines, never fakes them).
+    /// victim round, drawn uniformly from target::NoiseAddressSpace —
+    /// the documented region above every victim table and below the
+    /// Prime+Probe eviction sets that aliases all monitored cache sets.
+    /// This is the cache-level *mechanism* behind the channel-level
+    /// false-absent fault mode (target/fault_model.h): noise can evict
+    /// monitored lines but never fake a presence.  For the other fault
+    /// modes (false presents, drops, stale reads, bursts) wrap the
+    /// platform in a target::FaultyObservationSource instead.
     unsigned noise_accesses_per_round = 0;
     std::uint64_t noise_seed = 0xA05E;
   };

@@ -51,6 +51,12 @@ struct Observation {
   /// capture traces.  Only meaningful with an attacker flush before the
   /// monitored round.
   LineSet sbox_hits;
+  /// The probe missed this encryption's window (channel fault model,
+  /// target/fault_model.h): the attacker *knows* the probe was late, so
+  /// the observation is detectably useless and consumers must skip its
+  /// content (the encryption still happened and still costs budget).
+  /// Platforms never set this — only fault-injection decorators do.
+  bool dropped = false;
 };
 
 /// Reusable buffer for observe_batch results (elements are fixed-size, so

@@ -30,6 +30,8 @@
 //  * Elimination is a word-wise AND: the observation's LineSet word is
 //    gathered into a per-candidate keep mask and folded into the
 //    CandidateMask in one step — no per-candidate branching, no heap.
+//    (The voted path below trades that for per-candidate counters, but
+//    only when Config::vote_threshold > 1.)
 //  * The first unresolved segment is tracked with a cursor + unresolved
 //    count instead of rescanning all segments per encryption.
 //  * Encryptions are submitted in speculative batches through
@@ -46,16 +48,41 @@
 //    wall-time waste only — they are never counted, and on the
 //    flush-per-observation direct-probe platform they cannot alter later
 //    observations (every probe verdict is fully determined by the
-//    accesses between that observation's own flush and probe).
+//    accesses between that observation's own flush and probe).  With
+//    fault injection enabled the channel state IS shared across
+//    observations, so the engine rewinds the fault channel to the
+//    consumed prefix after every batch (FaultyObservationSource::
+//    rewind_to), restoring the same guarantee.
 //
-// The GIFT-64 paper pipeline with its noise machinery (voting,
-// cross-round solving, statistical elimination) remains in
-// attack::GrinchAttack; this engine is the clean-channel core all three
-// ciphers share.
+// Noise robustness (docs/ROBUSTNESS.md): the paper's MPSoC results
+// survive a channel with evictions, spurious hits and missed windows.
+// With Config::faults set, the engine wraps its source in a
+// FaultyObservationSource and degrades gracefully:
+//  * voted elimination (Config::vote_threshold, ported from
+//    attack/eliminator.h): a candidate dies only after `threshold`
+//    absent observations without an intervening presence, dropping the
+//    wrong-elimination probability exponentially in the threshold;
+//  * detectably dropped observations cost budget but never eliminate;
+//  * a segment whose mask empties resets (counted per segment and in
+//    RecoveryResult::noise_restarts); a segment that keeps resetting
+//    backs off — speculation collapses to scalar and its effective vote
+//    threshold escalates (Config::backoff_resets / max_vote_threshold);
+//  * a segment stuck without mask progress for Config::stall_limit
+//    updates resets too (false presents can wedge a candidate alive);
+//  * on budget exhaustion the result is *partial*, not a bare failure:
+//    RecoveryResult carries the failed stage, its surviving candidate
+//    masks, and the residual brute-force cost in bits.
+// With all fault rates zero and the default knobs, every path above is
+// inert and the engine is byte-identical to the clean-channel core.
+//
+// The GIFT-64 paper pipeline with its full noise machinery (cross-round
+// solving, statistical elimination) remains in attack::GrinchAttack.
 #pragma once
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -63,6 +90,8 @@
 #include "common/key128.h"
 #include "common/rng.h"
 #include "target/candidate_mask.h"
+#include "target/fault_model.h"
+#include "target/faulty_source.h"
 #include "target/observation.h"
 
 namespace grinch::target {
@@ -84,6 +113,36 @@ struct RecoveryResult {
   std::array<std::uint64_t, Recovery::kStages> stage_encryptions{};
   /// Recovered per-stage keys, one per resolved stage.
   std::vector<typename Recovery::StageKey> stage_keys;
+
+  // --- noisy-channel accounting (all zero on a clean run) ---
+  /// Times an observation emptied a segment's mask (or a segment
+  /// stalled) and forced a reset, summed over segments and stages.
+  std::uint64_t noise_restarts = 0;
+  /// Observations the probe detectably missed (Observation::dropped);
+  /// they cost budget but carry no information.
+  std::uint64_t dropped_observations = 0;
+  /// Per-segment reset counts, summed across stages (and attempts).
+  std::array<std::uint32_t, Recovery::kSegments> segment_resets{};
+  /// Full-attack restarts: every stage resolved but the assembled key
+  /// failed verification (the channel lied consistently enough to lock a
+  /// wrong candidate in), so the whole recovery re-ran.  Only possible
+  /// on a faulty channel.
+  std::uint64_t verify_restarts = 0;
+
+  // --- partial-result contract (budget exhaustion) ---
+  /// Stage in progress when the budget ran out; == Recovery::kStages
+  /// when every stage resolved (then surviving_masks is meaningless).
+  unsigned failed_stage = Recovery::kStages;
+  /// The failed stage's surviving candidate masks, one per segment.  On
+  /// a faulty channel the true candidates are *expected* (not
+  /// guaranteed) to survive — voting makes wrong elimination
+  /// exponentially unlikely, and resets re-open a wronged segment.
+  std::array<std::uint16_t, Recovery::kSegments> surviving_masks{};
+  /// log2 of the remaining cache-channel key-search space: surviving
+  /// candidates of the failed stage plus the full entropy of the stages
+  /// never reached.  0 when all stages resolved (offline_trials still
+  /// applies separately).
+  double residual_key_bits = 0.0;
 };
 
 template <typename Recovery>
@@ -99,6 +158,39 @@ class KeyRecoveryEngine {
     /// a mispredict.  1 pins the engine to scalar observe() semantics
     /// (which every other value reproduces bit-identically anyway).
     unsigned max_batch = 16;
+    /// Absent observations (without an intervening presence) needed to
+    /// eliminate a candidate.  1 = the paper's hard elimination, the
+    /// word-wise fast path; raise to 2-3 on noisy channels where
+    /// evictions fake absences (see attack::eliminate_candidates_voted,
+    /// whose semantics this ports segment-locally).
+    unsigned vote_threshold = 1;
+    /// Ceiling for per-segment threshold escalation under backoff.
+    unsigned max_vote_threshold = 6;
+    /// A segment resetting this many times within one stage escalates
+    /// its effective vote threshold by one (up to max_vote_threshold)
+    /// and collapses speculation to scalar for the next batch.  0
+    /// disables escalation.
+    unsigned backoff_resets = 6;
+    /// Updates of one unresolved segment without any mask change before
+    /// the engine declares it stalled and resets it.  0 disables stall
+    /// detection.  The default never triggers on a clean channel (a
+    /// clean observation of an unresolved segment prunes with
+    /// probability bounded well away from 0).
+    unsigned stall_limit = 512;
+    /// Channel fault injection (target/fault_model.h).  All-zero rates =
+    /// clean channel: no decorator is interposed and the engine is
+    /// byte-identical to the pre-fault-layer core.
+    FaultProfile faults;
+
+    /// Knobs documented for noisy channels (docs/ROBUSTNESS.md): voted
+    /// elimination at threshold 2, everything else default — backoff and
+    /// verify-restart escalation harden the threshold further when the
+    /// channel demands it.
+    [[nodiscard]] static Config noisy_defaults() {
+      Config c;
+      c.vote_threshold = 2;
+      return c;
+    }
   };
 
   KeyRecoveryEngine(ObservationSource<Block>& source, const Config& config)
@@ -106,135 +198,286 @@ class KeyRecoveryEngine {
 
   [[nodiscard]] RecoveryResult<Recovery> run() {
     RecoveryResult<Recovery> result;
+    // The fault channel sits between the engine and the platform only
+    // when a fault rate is nonzero; a clean run drives the source
+    // directly (and the decorator, if interposed, must be rewound to the
+    // consumed prefix after every speculative batch — see header).
+    FaultyObservationSource<Block> faulty{*source_, config_.faults};
+    const bool faulted = config_.faults.any();
+    ObservationSource<Block>& source =
+        faulted ? static_cast<ObservationSource<Block>&>(faulty) : *source_;
+    FaultyObservationSource<Block>* channel = faulted ? &faulty : nullptr;
+
     typename Recovery::Crafter crafter{rng_};
     std::vector<typename Recovery::StageKey> recovered;
     Block last_pt{};
     bool observed_any = false;
     const unsigned max_batch = std::max(config_.max_batch, 1u);
+    const unsigned base_threshold = std::max(config_.vote_threshold, 1u);
+    const unsigned threshold_cap =
+        std::max(config_.max_vote_threshold, base_threshold);
+    // Run-level escalation: every backoff_resets full-attack restarts
+    // (wrong key failed verification) harden elimination one notch more.
+    unsigned attempt_extra = 0;
 
-    for (unsigned stage = 0; stage < Recovery::kStages; ++stage) {
-      std::array<CandidateMask<Recovery::kCandidatesPerSegment>,
-                 Recovery::kSegments>
-          masks{};
-      // Satellite invariant: `cursor` is the lowest unresolved segment
-      // whenever `unresolved > 0`; maintained incrementally by update().
-      unsigned unresolved = Recovery::kSegments;
-      unsigned cursor = 0;
+    for (;;) {  // one iteration per full-attack attempt
+      for (unsigned stage = 0; stage < Recovery::kStages; ++stage) {
+        std::array<CandidateMask<Recovery::kCandidatesPerSegment>,
+                   Recovery::kSegments>
+            masks{};
+        // Voted elimination state: per-candidate consecutive-absent
+        // counters, per-segment stall/stagnation counters, and per-segment
+        // threshold escalation (all inert at vote_threshold 1 on a clean
+        // channel).
+        std::array<std::array<std::uint8_t, Recovery::kCandidatesPerSegment>,
+                   Recovery::kSegments>
+            votes{};
+        // Presence-evidence tallies for the voted path's resolution
+        // confirmation (all candidates share a segment's update count, so
+        // raw counts compare directly).
+        std::array<std::array<std::uint16_t, Recovery::kCandidatesPerSegment>,
+                   Recovery::kSegments>
+            presence{};
+        std::array<std::uint32_t, Recovery::kSegments> stage_resets{};
+        std::array<std::uint32_t, Recovery::kSegments> stagnant{};
+        std::array<std::uint8_t, Recovery::kSegments> extra_threshold{};
+        // Satellite invariant: `cursor` is the lowest unresolved segment
+        // whenever `unresolved > 0`; maintained incrementally by update().
+        unsigned unresolved = Recovery::kSegments;
+        unsigned cursor = 0;
+        bool reset_in_batch = false;
 
-      auto update = [&](unsigned s, const LineSet& present,
-                        const std::array<unsigned, Recovery::kSegments>&
-                            nibbles) {
-        // keep bit c: candidate c's predicted S-Box index was present.
-        std::uint16_t keep = 0;
-        const std::uint64_t word = present.word();
-        for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
-          keep |= static_cast<std::uint16_t>(
-              ((word >> Recovery::candidate_index(nibbles[s], c)) & 1u) << c);
-        }
-        const bool was_resolved = masks[s].resolved();
-        const std::uint16_t next =
-            static_cast<std::uint16_t>(masks[s].mask() & keep);
-        if (next == 0) {
-          masks[s].reset();  // noisy observation
-        } else {
-          masks[s].set_mask(next);
-        }
-        const bool now_resolved = masks[s].resolved();
-        if (was_resolved == now_resolved) return;
-        if (now_resolved) {
-          --unresolved;
-          while (cursor < Recovery::kSegments && masks[cursor].resolved()) {
-            ++cursor;
+        auto reset_segment = [&](unsigned s) {
+          masks[s].reset();
+          votes[s] = {};
+          presence[s] = {};
+          stagnant[s] = 0;
+          ++result.noise_restarts;
+          ++result.segment_resets[s];
+          ++stage_resets[s];
+          reset_in_batch = true;
+          // Segment-level backoff: a segment that keeps resetting faces a
+          // channel its current threshold cannot beat — escalate it.
+          if (config_.backoff_resets > 0 &&
+              stage_resets[s] % config_.backoff_resets == 0 &&
+              base_threshold + attempt_extra + extra_threshold[s] <
+                  threshold_cap) {
+            ++extra_threshold[s];
           }
-        } else {
-          // A reset can re-open a segment already counted resolved (joint
-          // mode under noise); pull the cursor back if it jumped past it.
-          ++unresolved;
-          cursor = std::min(cursor, s);
-        }
-      };
+        };
 
-      unsigned batch_size = 1;
-      bool have_carry = false;
-      Block carry{};
-      while (unresolved > 0) {
-        const std::uint64_t budget =
-            config_.max_encryptions - result.total_encryptions;
-        if (budget == 0) return result;  // a carry implies budget >= 1
-
-        // Speculatively craft the batch as if `cursor` stays the target
-        // throughout.  A carried-over plaintext was already crafted (and
-        // budget-checked) against the true state, so it skips the replay.
-        pts_.clear();
-        unsigned pre_validated = 0;
-        if (have_carry) {
-          pts_.push_back(carry);
-          have_carry = false;
-          pre_validated = 1;
-        }
-        const auto want = static_cast<std::size_t>(
-            std::min<std::uint64_t>(batch_size, budget));
-        const Xoshiro256 rng_snapshot = rng_;
-        while (pts_.size() < want) {
-          pts_.push_back(crafter.craft(cursor, recovered, stage));
-        }
-        source_->observe_batch(std::span<const Block>(pts_), stage, batch_);
-        last_pt = pts_.back();
-        observed_any = true;
-        rng_ = rng_snapshot;
-
-        // Replay-consume: re-run the scalar loop's craft sequence against
-        // the live masks; element j is valid only if the replayed
-        // plaintext equals the speculative one.
-        bool mispredicted = false;
-        for (std::size_t j = 0; j < pts_.size(); ++j) {
-          if (j >= pre_validated) {
-            if (result.total_encryptions >= config_.max_encryptions) {
-              return result;
-            }
-            const Block pt = crafter.craft(cursor, recovered, stage);
-            if (!(pt == pts_[j])) {
-              // The target moved mid-batch: keep this plaintext for the
-              // next submission, drop the stale speculative tail.
-              carry = pt;
-              have_carry = true;
-              mispredicted = true;
-              break;
-            }
-          }
-          const Observation& obs = batch_[j];
-          ++result.total_encryptions;
-          ++result.stage_encryptions[stage];
-          const auto nibbles =
-              Recovery::pre_key_nibbles(pts_[j], recovered, stage);
-          if constexpr (Recovery::kUpdateAllSegments) {
-            // Joint exploitation: every segment's S-Box access shares the
-            // observation, so one encryption updates all masks at once.
-            for (unsigned s = 0; s < Recovery::kSegments; ++s) {
-              update(s, obs.present, nibbles);
+        auto update = [&](unsigned s, const LineSet& present,
+                          const std::array<unsigned, Recovery::kSegments>&
+                              nibbles) {
+          // keep bit c: candidate c's predicted S-Box index was present —
+          // or absent fewer than `threshold` times in a row (voted mode).
+          std::uint16_t keep = 0;
+          const std::uint64_t word = present.word();
+          const unsigned threshold = std::min(
+              threshold_cap, base_threshold + attempt_extra + extra_threshold[s]);
+          if (threshold <= 1) {
+            for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
+              keep |= static_cast<std::uint16_t>(
+                  ((word >> Recovery::candidate_index(nibbles[s], c)) & 1u)
+                  << c);
             }
           } else {
-            // Crafted-plaintext mode: only the targeted segment's pre-key
-            // bits are pinned, so only its mask may be updated.
-            update(cursor, obs.present, nibbles);
+            for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
+              if ((word >> Recovery::candidate_index(nibbles[s], c)) & 1u) {
+                votes[s][c] = 0;  // a presence pardons the candidate
+                if (presence[s][c] != 0xFFFF) ++presence[s][c];
+                keep |= static_cast<std::uint16_t>(1u << c);
+              } else {
+                votes[s][c] = static_cast<std::uint8_t>(
+                    std::min<unsigned>(votes[s][c] + 1u, 255u));
+                if (votes[s][c] < threshold) {
+                  keep |= static_cast<std::uint16_t>(1u << c);
+                }
+              }
+            }
           }
-          if (unresolved == 0) break;  // stage done; drop the spare tail
+          const bool was_resolved = masks[s].resolved();
+          const std::uint16_t prev = masks[s].mask();
+          const std::uint16_t next = static_cast<std::uint16_t>(prev & keep);
+          if (next == 0) {
+            reset_segment(s);  // noisy observation
+          } else {
+            masks[s].set_mask(next);
+            if (threshold > 1 && !was_resolved && masks[s].resolved()) {
+              // Resolution confirmation: the survivor must carry at least
+              // as much presence evidence as every candidate it outlived.
+              // The true candidate's line is present in (almost) every
+              // observation, an impostor's only when another access covers
+              // it — so a survivor out-presenced by an eliminated
+              // candidate means the channel likely killed the truth, and
+              // the segment starts over rather than lock the impostor in.
+              const unsigned survivor = masks[s].value();
+              for (unsigned c = 0; c < Recovery::kCandidatesPerSegment;
+                   ++c) {
+                if (presence[s][c] > presence[s][survivor]) {
+                  reset_segment(s);
+                  break;
+                }
+              }
+            }
+            if (!masks[s].resolved()) {
+              if (next == prev) {
+                // No progress: false presents can keep a wrong candidate
+                // alive indefinitely; a reset re-rolls its vote state.  The
+                // limit scales with the threshold — voted elimination
+                // legitimately spaces mask changes ~threshold times further
+                // apart than hard elimination does.
+                if (config_.stall_limit > 0 &&
+                    ++stagnant[s] >= config_.stall_limit * threshold) {
+                  reset_segment(s);
+                }
+              } else {
+                stagnant[s] = 0;
+              }
+            }
+          }
+          const bool now_resolved = masks[s].resolved();
+          if (was_resolved == now_resolved) return;
+          if (now_resolved) {
+            --unresolved;
+            while (cursor < Recovery::kSegments && masks[cursor].resolved()) {
+              ++cursor;
+            }
+          } else {
+            // A reset can re-open a segment already counted resolved (joint
+            // mode under noise); pull the cursor back if it jumped past it.
+            ++unresolved;
+            cursor = std::min(cursor, s);
+          }
+        };
+
+        // Fills the partial-result fields from this stage's live masks.
+        auto partial = [&]() -> RecoveryResult<Recovery>& {
+          result.failed_stage = stage;
+          double bits = 0.0;
+          for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+            result.surviving_masks[s] = masks[s].mask();
+            bits += std::log2(static_cast<double>(masks[s].size()));
+          }
+          bits += static_cast<double>(Recovery::kStages - 1 - stage) *
+                  Recovery::kSegments *
+                  std::log2(static_cast<double>(
+                      Recovery::kCandidatesPerSegment));
+          result.residual_key_bits = bits;
+          return result;
+        };
+
+        unsigned batch_size = 1;
+        bool have_carry = false;
+        Block carry{};
+        while (unresolved > 0) {
+          const std::uint64_t budget =
+              config_.max_encryptions - result.total_encryptions;
+          if (budget == 0) return partial();  // a carry implies budget >= 1
+
+          // Speculatively craft the batch as if `cursor` stays the target
+          // throughout.  A carried-over plaintext was already crafted (and
+          // budget-checked) against the true state, so it skips the replay.
+          pts_.clear();
+          unsigned pre_validated = 0;
+          if (have_carry) {
+            pts_.push_back(carry);
+            have_carry = false;
+            pre_validated = 1;
+          }
+          const auto want = static_cast<std::size_t>(
+              std::min<std::uint64_t>(batch_size, budget));
+          const Xoshiro256 rng_snapshot = rng_;
+          while (pts_.size() < want) {
+            pts_.push_back(crafter.craft(cursor, recovered, stage));
+          }
+          source.observe_batch(std::span<const Block>(pts_), stage, batch_);
+          last_pt = pts_.back();
+          observed_any = true;
+          rng_ = rng_snapshot;
+
+          // Replay-consume: re-run the scalar loop's craft sequence against
+          // the live masks; element j is valid only if the replayed
+          // plaintext equals the speculative one.
+          reset_in_batch = false;
+          std::size_t consumed = 0;
+          bool mispredicted = false;
+          for (std::size_t j = 0; j < pts_.size(); ++j) {
+            if (j >= pre_validated) {
+              if (result.total_encryptions >= config_.max_encryptions) {
+                if (channel != nullptr) channel->rewind_to(consumed);
+                return partial();
+              }
+              const Block pt = crafter.craft(cursor, recovered, stage);
+              if (!(pt == pts_[j])) {
+                // The target moved mid-batch: keep this plaintext for the
+                // next submission, drop the stale speculative tail.
+                carry = pt;
+                have_carry = true;
+                mispredicted = true;
+                break;
+              }
+            }
+            const Observation& obs = batch_[j];
+            ++result.total_encryptions;
+            ++result.stage_encryptions[stage];
+            ++consumed;
+            if (obs.dropped) {
+              // Detectable probe miss: budget spent, nothing learned.
+              ++result.dropped_observations;
+              continue;
+            }
+            const auto nibbles =
+                Recovery::pre_key_nibbles(pts_[j], recovered, stage);
+            if constexpr (Recovery::kUpdateAllSegments) {
+              // Joint exploitation: every segment's S-Box access shares the
+              // observation, so one encryption updates all masks at once.
+              for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+                update(s, obs.present, nibbles);
+              }
+            } else {
+              // Crafted-plaintext mode: only the targeted segment's pre-key
+              // bits are pinned, so only its mask may be updated.
+              update(cursor, obs.present, nibbles);
+            }
+            if (unresolved == 0) break;  // stage done; drop the spare tail
+          }
+          // Discarded speculative elements must leave no trace in the fault
+          // channel, or batched and scalar runs would diverge.
+          if (channel != nullptr) channel->rewind_to(consumed);
+          batch_size = (mispredicted || reset_in_batch)
+                           ? 1
+                           : std::min(max_batch, batch_size * 2);
         }
-        batch_size = mispredicted
-                         ? 1
-                         : std::min(max_batch, batch_size * 2);
+
+        recovered.push_back(Recovery::stage_key_from(masks));
       }
 
-      recovered.push_back(Recovery::stage_key_from(masks));
-    }
-
-    result.stages_resolved = true;
-    result.stage_keys = recovered;
-    const std::uint64_t last_ct =
-        observed_any ? Recovery::fold_ciphertext(source_->last_ciphertext())
-                     : 0;
-    Recovery::finalize(result, *source_, rng_, last_pt, last_ct);
-    return result;
+      result.stages_resolved = true;
+      result.stage_keys = recovered;
+      const std::uint64_t last_ct =
+          observed_any ? Recovery::fold_ciphertext(source.last_ciphertext())
+                       : 0;
+      Recovery::finalize(result, source, rng_, last_pt, last_ct);
+      if (result.success || !faulted ||
+          result.total_encryptions >= config_.max_encryptions) {
+        return result;
+      }
+      // Every stage resolved, but the assembled key failed verification:
+      // the channel locked a wrong candidate in.  With budget left, restart
+      // the whole recovery (the fault streams keep advancing, so the next
+      // attempt sees different noise) and periodically harden elimination.
+      ++result.verify_restarts;
+      if (config_.backoff_resets > 0 &&
+          result.verify_restarts % config_.backoff_resets == 0 &&
+          base_threshold + attempt_extra < threshold_cap) {
+        ++attempt_extra;
+      }
+      recovered.clear();
+      result.stage_keys.clear();
+      result.stages_resolved = false;
+      result.key_verified = false;
+    }  // for (;;) — next full-attack attempt
   }
 
  private:

@@ -185,5 +185,61 @@ TEST(Noise, DeterministicAcrossIdenticalPlatforms) {
   EXPECT_EQ(p1.observe(pt, 0).present, p2.observe(pt, 0).present);
 }
 
+// ------------------------------------------------------- NoiseAddressSpace --
+// The noise region (target/fault_model.h) is documented to behave exactly
+// like the fault vocabulary's false-absent mode: it must alias every
+// monitored cache set (so traffic can evict monitored lines) while staying
+// disjoint from both the victim's tables (no fake presences) and the
+// Prime+Probe eviction-set region (no self-eviction of the attacker).
+
+TEST(NoiseAddressSpace, StartsAboveEveryVictimTable) {
+  const gift::TableLayout layout;
+  const std::uint64_t sbox_end =
+      layout.sbox_base + layout.sbox_rows() * layout.sbox_row_bytes;
+  const std::uint64_t perm_end =
+      layout.perm_base + 16ull * 16ull * layout.perm_row_bytes;
+  EXPECT_GE(target::NoiseAddressSpace::kBase, sbox_end);
+  EXPECT_GE(target::NoiseAddressSpace::kBase, perm_end);
+}
+
+TEST(NoiseAddressSpace, SpanAliasesEveryCacheSet) {
+  // Walk the region line by line: all sets must be covered, each with
+  // kWaysCovered distinct tags (enough to displace any associativity in
+  // use from every set).
+  const cachesim::CacheConfig cfg = cachesim::CacheConfig::paper_default();
+  cachesim::Cache cache{cfg};
+  const std::uint64_t span = target::NoiseAddressSpace::span(cfg);
+  std::vector<unsigned> lines_per_set(cfg.num_sets, 0);
+  for (std::uint64_t a = target::NoiseAddressSpace::kBase;
+       a < target::NoiseAddressSpace::kBase + span; a += cfg.line_bytes) {
+    ++lines_per_set[cache.set_index(a)];
+  }
+  for (unsigned s = 0; s < cfg.num_sets; ++s) {
+    EXPECT_EQ(lines_per_set[s], target::NoiseAddressSpace::kWaysCovered)
+        << "set " << s;
+    EXPECT_GE(lines_per_set[s], cfg.associativity) << "set " << s;
+  }
+}
+
+TEST(NoiseAddressSpace, EndsBelowThePrimeProbeRegion) {
+  // PrimeProbeProber builds its eviction sets from 0x4000000 up; noise
+  // traffic must never masquerade as the attacker's priming lines.
+  const cachesim::CacheConfig cfg = cachesim::CacheConfig::paper_default();
+  EXPECT_LT(target::NoiseAddressSpace::kBase +
+                target::NoiseAddressSpace::span(cfg),
+            0x4000000u);
+}
+
+TEST(NoiseAddressSpace, DrawStaysInsideTheRegion) {
+  const cachesim::CacheConfig cfg = cachesim::CacheConfig::paper_default();
+  const std::uint64_t span = target::NoiseAddressSpace::span(cfg);
+  Xoshiro256 rng{8};
+  for (unsigned i = 0; i < 4096; ++i) {
+    const std::uint64_t a = target::NoiseAddressSpace::draw(cfg, rng);
+    EXPECT_GE(a, target::NoiseAddressSpace::kBase);
+    EXPECT_LT(a, target::NoiseAddressSpace::kBase + span);
+  }
+}
+
 }  // namespace
 }  // namespace grinch::soc

@@ -9,6 +9,13 @@
 // pins the engine-level guarantee: KeyRecoveryEngine's speculative
 // batching (Config::max_batch > 1) must reproduce the scalar run exactly —
 // same recovered key, same total and per-stage encryption counts.
+//
+// The guarantee extends through channel fault injection: a
+// FaultyObservationSource advances per-mode random streams per *delivered*
+// observation, so batch delivery must corrupt identically to scalar
+// delivery, and the engine must rewind the channel past discarded
+// speculative tails (FaultyObservationSource::rewind_to) so every noise
+// counter matches the scalar run too.
 #include "target/registry.h"
 
 #include <gtest/gtest.h>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "target/faulty_source.h"
 
 namespace grinch::target {
 namespace {
@@ -165,6 +173,65 @@ TYPED_TEST(BatchConformance, BatchedBudgetExhaustionMatchesScalar) {
   EXPECT_EQ(b.success, s.success);
   EXPECT_EQ(b.stages_resolved, s.stages_resolved);
   EXPECT_EQ(b.total_encryptions, s.total_encryptions);
+}
+
+TYPED_TEST(BatchConformance, FaultyDecoratorBatchMatchesScalarDelivery) {
+  // The decorator corrupts in delivery order: wrapping the platform and
+  // observing a batch must produce the same corrupted elements (and fault
+  // stats) as delivering the same plaintexts one by one.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0xB6);
+  const FaultProfile profile = FaultProfile::moderate();
+  DirectProbePlatform<Recovery> scalar_inner{{}, key};
+  DirectProbePlatform<Recovery> batch_inner{{}, key};
+  FaultyObservationSource<Block> scalar{scalar_inner, profile};
+  FaultyObservationSource<Block> batched{batch_inner, profile};
+  Xoshiro256 rng{0xFA7B};
+  std::vector<Block> pts;
+  for (unsigned i = 0; i < 24; ++i) pts.push_back(Recovery::random_block(rng));
+  ObservationBatch out;
+  batched.observe_batch(pts, 0, out);
+  ASSERT_EQ(out.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Observation o = scalar.observe(pts[i], 0);
+    EXPECT_EQ(out[i].present, o.present) << "element " << i;
+    EXPECT_EQ(out[i].dropped, o.dropped) << "element " << i;
+  }
+  EXPECT_EQ(batched.stats().dropped, scalar.stats().dropped);
+  EXPECT_EQ(batched.stats().stale, scalar.stats().stale);
+  EXPECT_EQ(batched.stats().bursts, scalar.stats().bursts);
+  EXPECT_EQ(batched.stats().lines_flipped_absent,
+            scalar.stats().lines_flipped_absent);
+  EXPECT_EQ(batched.stats().lines_flipped_present,
+            scalar.stats().lines_flipped_present);
+}
+
+TYPED_TEST(BatchConformance, BatchedEngineMatchesScalarEngineUnderFaults) {
+  // Speculative batching against a faulty channel: discarded speculative
+  // observations advance the fault streams inside observe_batch, so the
+  // engine's rewind must make the batched run byte-identical to the
+  // scalar one — including every noise counter.
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0xB7);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg =
+      KeyRecoveryEngine<Recovery>::Config::noisy_defaults();
+  scalar_cfg.max_encryptions = 800000;
+  scalar_cfg.faults = FaultProfile::moderate();
+  scalar_cfg.max_batch = 1;
+  typename KeyRecoveryEngine<Recovery>::Config batched_cfg = scalar_cfg;
+  batched_cfg.max_batch = 16;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  const RecoveryResult<Recovery> b = recover_key<Recovery>(key, batched_cfg);
+  ASSERT_TRUE(s.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(b.recovered_key, s.recovered_key);
+  EXPECT_EQ(b.total_encryptions, s.total_encryptions);
+  EXPECT_EQ(b.noise_restarts, s.noise_restarts);
+  EXPECT_EQ(b.dropped_observations, s.dropped_observations);
+  EXPECT_EQ(b.verify_restarts, s.verify_restarts);
+  EXPECT_EQ(b.segment_resets, s.segment_resets);
+  EXPECT_EQ(b.stage_encryptions, s.stage_encryptions);
 }
 
 }  // namespace

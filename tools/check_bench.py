@@ -81,10 +81,53 @@ def compare_google_benchmark(name, baseline, fresh, threshold):
 
 
 def compare_repo_format(name, baseline, fresh):
+    # The "run" section is execution metadata (thread count, wall time),
+    # not results: documents are byte-identical for any --threads value,
+    # so the comparison must not depend on where the baseline was made.
+    baseline = {k: v for k, v in baseline.items() if k != "run"}
+    fresh = {k: v for k, v in fresh.items() if k != "run"}
     if strip_timing(baseline) == strip_timing(fresh):
         print(f"  {name}: deterministic results identical")
         return []
     return [f"{name}: deterministic results differ from committed baseline"]
+
+
+def summarize_robustness(name, fresh):
+    """Extra checks for BENCH_robustness.json (the fault-channel sweep).
+
+    On top of the byte-for-byte determinism comparison, validate the
+    document's robustness invariants so a drifting baseline is diagnosed,
+    not just flagged: every cipher must recover through the moderate mixed
+    profile, and every saturating partial result must keep the true
+    candidates in its surviving masks.
+    """
+    warnings = []
+    for cipher, cells in fresh.get("metrics", {}).items():
+        if not isinstance(cells, dict):
+            continue
+        moderate = cells.get("moderate", {})
+        if moderate and moderate.get("verified") != moderate.get("trials"):
+            warnings.append(
+                f"{name}: {cipher}: moderate profile verified "
+                f"{moderate.get('verified')}/{moderate.get('trials')}"
+            )
+        saturating = cells.get("saturating", {})
+        if saturating and saturating.get(
+            "partial_truth_contained"
+        ) != saturating.get("partial"):
+            warnings.append(
+                f"{name}: {cipher}: saturating partial results lost true "
+                f"candidates ({saturating.get('partial_truth_contained')}/"
+                f"{saturating.get('partial')} contained)"
+            )
+        line = (
+            f"{cipher}: moderate {moderate.get('verified', '?')}/"
+            f"{moderate.get('trials', '?')} verified, saturating "
+            f"{saturating.get('partial_truth_contained', '?')}/"
+            f"{saturating.get('partial', '?')} truth-containing partials"
+        )
+        print(f"  {line}")
+    return warnings
 
 
 def main() -> int:
@@ -138,6 +181,8 @@ def main() -> int:
             )
         else:
             warnings += compare_repo_format(base_path.name, baseline, fresh)
+            if base_path.name == "BENCH_robustness.json":
+                warnings += summarize_robustness(base_path.name, fresh)
 
     if warnings:
         print(f"\ncheck_bench: {len(warnings)} warning(s):")

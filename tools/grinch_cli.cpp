@@ -155,15 +155,19 @@ int cmd_attack(const Args& args) {
               pcfg.use_flush ? "flush" : "no flush",
               pcfg.method == soc::ProbeMethod::kPrimeProbe ? "Prime+Probe"
                                                            : "Flush+Reload");
+  unsigned long long restarts = 0;
   for (std::size_t s = 0; s < r.stages.size(); ++s) {
-    std::printf("stage %zu:         %s (%llu encryptions)\n", s,
+    restarts += r.stages[s].noise_restarts;
+    std::printf("stage %zu:         %s (%llu encryptions, %u restarts)\n", s,
                 r.stages[s].success   ? "resolved"
                 : r.stages[s].deferred ? "deferred"
                                        : "failed",
-                static_cast<unsigned long long>(r.stages[s].encryptions));
+                static_cast<unsigned long long>(r.stages[s].encryptions),
+                r.stages[s].noise_restarts);
   }
   std::printf("encryptions:     %llu\n",
               static_cast<unsigned long long>(r.total_encryptions));
+  std::printf("noise restarts:  %llu\n", restarts);
   if (acfg.stages == 4 && r.success) {
     std::printf("recovered key:   %s\n", r.recovered_key.to_hex().c_str());
     std::printf("verified:        %s\n", r.key_verified ? "yes" : "no");
@@ -175,18 +179,51 @@ int cmd_attack(const Args& args) {
   return r.success ? 0 : 1;
 }
 
+// Shared noisy-channel knobs of the unified-engine commands:
+// --fault-profile clean|moderate|saturating injects channel faults
+// (target/fault_model.h), --fault-seed reseeds them, --vote overrides the
+// elimination threshold (defaults to the noisy preset when faults are on).
+template <typename Config>
+void apply_fault_args(const Args& args, Config& cfg) {
+  cfg.faults = target::FaultProfile::named(args.get("fault-profile", "clean"));
+  cfg.faults.seed = args.get_u64("fault-seed", cfg.faults.seed);
+  const unsigned fallback =
+      cfg.faults.any() ? Config::noisy_defaults().vote_threshold
+                       : cfg.vote_threshold;
+  cfg.vote_threshold = static_cast<unsigned>(args.get_u64("vote", fallback));
+}
+
+template <typename Recovery>
+void print_noise_report(const target::RecoveryResult<Recovery>& r) {
+  std::printf("noise restarts: %llu; dropped observations: %llu;"
+              " verify restarts: %llu\n",
+              static_cast<unsigned long long>(r.noise_restarts),
+              static_cast<unsigned long long>(r.dropped_observations),
+              static_cast<unsigned long long>(r.verify_restarts));
+  if (r.failed_stage >= Recovery::kStages) return;
+  std::printf("partial result: stage %u unresolved, %.1f residual key bits,"
+              " surviving masks",
+              r.failed_stage, r.residual_key_bits);
+  for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+    std::printf(" %03x", r.surviving_masks[s]);
+  }
+  std::printf("\n");
+}
+
 int cmd_attack128(const Args& args) {
   Xoshiro256 rng{args.get_u64("seed", 0xC128)};
   const Key128 key = key_from_args(args, rng);
   target::KeyRecoveryEngine<target::Gift128Recovery>::Config cfg;
   cfg.max_encryptions = args.get_u64("budget", 100000);
   cfg.seed = args.get_u64("seed", 0xC128) ^ 0x128;
+  apply_fault_args(args, cfg);
   const auto r = target::recover_key<target::Gift128Recovery>(key, cfg);
   std::printf("victim key:    %s\n", key.to_hex().c_str());
   std::printf("encryptions:   %llu (stages %llu + %llu)\n",
               static_cast<unsigned long long>(r.total_encryptions),
               static_cast<unsigned long long>(r.stage_encryptions[0]),
               static_cast<unsigned long long>(r.stage_encryptions[1]));
+  print_noise_report(r);
   if (r.success) {
     std::printf("recovered key: %s\nexact match:   %s\n",
                 r.recovered_key.to_hex().c_str(),
@@ -204,10 +241,12 @@ int cmd_attack_present(const Args& args) {
   target::KeyRecoveryEngine<target::Present80Recovery>::Config cfg;
   cfg.max_encryptions = args.get_u64("budget", 100000);
   cfg.seed = args.get_u64("seed", 0xC80) ^ 0x80;
+  apply_fault_args(args, cfg);
   const auto r = target::recover_key<target::Present80Recovery>(key, cfg);
   std::printf("victim key (80-bit): %s\n", key.to_hex().c_str());
   std::printf("monitored encryptions: %llu; offline search: 2^16\n",
               static_cast<unsigned long long>(r.total_encryptions));
+  print_noise_report(r);
   if (r.success) {
     std::printf("recovered key:       %s\nexact match:         %s\n",
                 r.recovered_key.to_hex().c_str(),

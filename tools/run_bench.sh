@@ -31,8 +31,19 @@ BENCHES=(
   extension_gift128
   extension_present
   extension_time_driven
+  robustness_sweep
   micro_throughput
 )
+
+# JSON document name for a bench binary (BENCH_<name>.json).  The
+# robustness sweep's document is named for the property it tracks, not the
+# binary, matching the committed baseline BENCH_robustness.json.
+doc_name() {
+  case "$1" in
+    robustness_sweep) echo "robustness" ;;
+    *) echo "$1" ;;
+  esac
+}
 
 if [ ! -d "$BENCH_DIR" ]; then
   echo "run_bench: $BENCH_DIR not found — build first (cmake --build $BUILD_DIR)" >&2
@@ -42,7 +53,7 @@ mkdir -p "$OUT_DIR"
 
 for b in "${BENCHES[@]}"; do
   echo "[run_bench] $b" >&2
-  "$BENCH_DIR/$b" --quick --json "$OUT_DIR/BENCH_$b.json" "$@" \
+  "$BENCH_DIR/$b" --quick --json "$OUT_DIR/BENCH_$(doc_name "$b").json" "$@" \
     > "$OUT_DIR/$b.out"
 done
 
@@ -54,7 +65,7 @@ AGG="$OUT_DIR/BENCH_quick.json"
   first=1
   for b in "${BENCHES[@]}"; do
     if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
-    cat "$OUT_DIR/BENCH_$b.json"
+    cat "$OUT_DIR/BENCH_$(doc_name "$b").json"
   done
   printf ']\n}\n'
 } > "$AGG"
