@@ -1,0 +1,75 @@
+// Quantified leakage of every registered analysis target — the static
+// companion to leakage_profile (which measures the *dynamic* probe-side
+// distribution).  One row per target: Shannon bits through each channel,
+// the taint pass's upper bound, channel capacity of the best single
+// observation, and the fixed-seed sampled whole-trace estimate.  The JSON
+// document (BENCH_leakage.json) is the committed baseline behind the CI
+// leakage-budget gate; tools/check_bench.py audits its invariants
+// (taint >= measured, packed < baseline, budgets respected).
+#include <string>
+#include <vector>
+
+#include "analysis/quantify.h"
+#include "bench_util.h"
+
+using namespace grinch;
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchContext ctx{argc, argv};
+
+  analysis::QuantifyConfig cfg;
+  // The exhaustive per-segment enumeration is exact at any budget; quick
+  // mode only shrinks the sampled whole-trace pass.  Single-threaded by
+  // design (key_class.h), so --threads cannot change the document.
+  cfg.sample_budget = ctx.quick() ? 64 : 512;
+  ctx.set_config("samples", json::Value{cfg.sample_budget});
+  ctx.set_config("rounds", json::Value{"target default"});
+
+  AsciiTable table{"Quantified leakage (Shannon bits over the analysis window)"};
+  table.set_header({"target", "S-Box bits", "Perm bits", "taint bound",
+                    "capacity/obs", "residual", "sampled classes",
+                    "sampled bits", "budget"});
+
+  bool all_ok = true;
+  for (const analysis::QuantifyReport& r : analysis::quantify_all(cfg)) {
+    all_ok = all_ok && r.ok();
+    table.add_row({r.target, fmt(r.measured_sbox_bits()),
+                   fmt(r.measured_perm_bits()),
+                   fmt(r.taint_sbox_bound) + "+" + fmt(r.taint_perm_bound),
+                   fmt(r.capacity_bits_per_observation()),
+                   fmt(r.expected_residual_bits()),
+                   std::to_string(r.sampled.classes), fmt(r.sampled.bits),
+                   r.ok() ? "ok" : "DRIFT"});
+
+    json::Value m = json::Value::object();
+    m.set("sbox_bits", r.measured_sbox_bits());
+    m.set("perm_bits", r.measured_perm_bits());
+    m.set("taint_sbox_bound", r.taint_sbox_bound);
+    m.set("taint_perm_bound", r.taint_perm_bound);
+    m.set("capacity_bits_per_observation", r.capacity_bits_per_observation());
+    m.set("expected_residual_bits", r.expected_residual_bits());
+    m.set("sampled_classes", static_cast<std::uint64_t>(r.sampled.classes));
+    m.set("sampled_bits", r.sampled.bits);
+    m.set("budget_sbox_bits", r.budget_sbox_bits);
+    m.set("budget_perm_bits", r.budget_perm_bits);
+    m.set("budget_ok", r.within_budget());
+    m.set("within_taint_bound", r.within_taint_bound());
+    ctx.set_metric(r.target, std::move(m));
+  }
+  ctx.set_metric("all_within_budget", all_ok);
+
+  ctx.print_table(table);
+  const int rc = ctx.finish();
+  // The bench doubles as a gate: drift fails the run even without the CLI.
+  return rc != 0 ? rc : (all_ok ? 0 : 1);
+}

@@ -1,0 +1,96 @@
+#include "analysis/key_class.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace grinch::analysis {
+
+void canonicalize(Footprint& fp) {
+  std::sort(fp.begin(), fp.end());
+  fp.erase(std::unique(fp.begin(), fp.end()), fp.end());
+}
+
+double shannon_bits(const std::vector<std::uint64_t>& counts,
+                    std::uint64_t total) {
+  if (total == 0) return 0.0;
+  double bits = 0.0;
+  for (const std::uint64_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    bits -= p * std::log2(p);
+  }
+  return bits;
+}
+
+double binary_entropy_bits(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+std::uint32_t KeyClassPartition::largest_class() const noexcept {
+  std::uint32_t largest = 0;
+  for (const std::uint32_t s : class_size) largest = std::max(largest, s);
+  return largest;
+}
+
+double KeyClassPartition::mutual_information_bits() const {
+  std::vector<std::uint64_t> counts(class_size.begin(), class_size.end());
+  return shannon_bits(counts, keyspace());
+}
+
+double KeyClassPartition::expected_class_size() const {
+  if (class_of.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::uint32_t s : class_size) {
+    sum += static_cast<double>(s) * static_cast<double>(s);
+  }
+  return sum / static_cast<double>(keyspace());
+}
+
+KeyClassPartition partition_keys(
+    std::uint32_t keyspace,
+    const std::function<void(std::uint32_t key, Footprint& out)>& footprint) {
+  KeyClassPartition part;
+  part.class_of.resize(keyspace, 0);
+  // std::map keeps the implementation allocation-light for the <= 16-key
+  // spaces this is used on; class ids follow first-seen key order.
+  std::map<Footprint, std::uint32_t> id_of;
+  Footprint fp;
+  for (std::uint32_t key = 0; key < keyspace; ++key) {
+    fp.clear();
+    footprint(key, fp);
+    canonicalize(fp);
+    const auto [it, inserted] =
+        id_of.try_emplace(fp, static_cast<std::uint32_t>(part.class_size.size()));
+    if (inserted) part.class_size.push_back(0);
+    part.class_of[key] = it->second;
+    ++part.class_size[it->second];
+  }
+  return part;
+}
+
+SampledClasses sample_footprint_classes(
+    std::uint64_t samples, const std::function<void(Footprint& out)>& draw) {
+  std::map<Footprint, std::uint64_t> histogram;
+  Footprint fp;
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    fp.clear();
+    draw(fp);
+    canonicalize(fp);
+    ++histogram[fp];
+  }
+  SampledClasses out;
+  out.samples = samples;
+  out.classes = histogram.size();
+  std::vector<std::uint64_t> counts;
+  counts.reserve(histogram.size());
+  for (const auto& [unused_fp, count] : histogram) {
+    counts.push_back(count);
+    out.largest_class = std::max(out.largest_class, count);
+  }
+  out.bits = shannon_bits(counts, samples);
+  return out;
+}
+
+}  // namespace grinch::analysis

@@ -1,0 +1,100 @@
+// Key-equivalence classes under an observable cache-line footprint.
+//
+// The quantitative leakage engine (quantify.h) reduces every question of
+// "how much does this access pattern reveal?" to the same object: a
+// partition of a small key space into classes of keys the attacker cannot
+// distinguish, because they induce the same observable footprint.  For a
+// deterministic victim under a fixed (attacker-known) input, the channel
+// key -> footprint is noiseless, so the Shannon mutual information
+// I(K; O) collapses to the entropy of the class-size distribution:
+//
+//     I(K; O) = H(O) = -sum_c (|c| / |K|) * log2(|c| / |K|)
+//
+// and the expected number of candidates surviving one observation — the
+// figure the elimination engine cares about — is E[|class(K)|] =
+// sum_c |c|^2 / |K|.  Chattopadhyay et al. ("Quantifying the Information
+// Leak in Cache Attacks through Symbolic Execution") make the same
+// reduction; here the "symbolic execution" is exact enumeration, which
+// the 4-bit-per-segment structure of the GIFT family makes affordable.
+//
+// Two modes:
+//  * partition_keys — exhaustive, for key spaces small enough to walk
+//    (the <= 4 fresh key bits feeding one segment's lookup index).
+//  * sample_footprint_classes — fixed-seed sampled, for joint spaces
+//    (e.g. all 32 fresh bits of a GIFT-64 round, or a whole-trace
+//    footprint under a full random Key128).  The plug-in entropy of the
+//    sampled footprint histogram is a *lower bound* estimate of I(K; O).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace grinch::analysis {
+
+/// Canonical observable footprint: sorted, deduplicated cache-line base
+/// addresses (or any other observable tokens) one execution touches.
+using Footprint = std::vector<std::uint64_t>;
+
+/// Sorts and deduplicates in place — footprints must be canonical before
+/// they are compared or hashed.
+void canonicalize(Footprint& fp);
+
+/// Plug-in Shannon entropy (bits) of a histogram: counts over `total`
+/// draws.  Zero-count cells contribute nothing.
+[[nodiscard]] double shannon_bits(const std::vector<std::uint64_t>& counts,
+                                  std::uint64_t total);
+
+/// Entropy of a Bernoulli(p) observable — the per-cache-line leak of the
+/// binary "was this line touched?" channel.
+[[nodiscard]] double binary_entropy_bits(double p);
+
+/// Partition of the key space [0, keyspace) into observational
+/// equivalence classes.
+struct KeyClassPartition {
+  std::vector<std::uint32_t> class_of;    ///< key value -> class id
+  std::vector<std::uint32_t> class_size;  ///< class id -> member count
+
+  [[nodiscard]] std::uint64_t keyspace() const noexcept {
+    return class_of.size();
+  }
+  [[nodiscard]] std::size_t classes() const noexcept {
+    return class_size.size();
+  }
+  [[nodiscard]] std::uint32_t largest_class() const noexcept;
+
+  /// I(K; O) of the noiseless channel = entropy of the class sizes.
+  [[nodiscard]] double mutual_information_bits() const;
+
+  /// E[|class(K)|] over a uniform true key — the candidate-set size one
+  /// observation leaves the recovery engine, on average.
+  [[nodiscard]] double expected_class_size() const;
+};
+
+/// Exhaustive partition: `footprint(key, out)` fills `out` with the lines
+/// key `key` touches; keys with identical canonical footprints share a
+/// class.  Class ids are assigned in first-seen key order, so the result
+/// is deterministic.
+[[nodiscard]] KeyClassPartition partition_keys(
+    std::uint32_t keyspace,
+    const std::function<void(std::uint32_t key, Footprint& out)>& footprint);
+
+/// Result of the fixed-seed sampled pass over a key space too large to
+/// enumerate.
+struct SampledClasses {
+  std::uint64_t samples = 0;
+  std::size_t classes = 0;  ///< distinct footprints observed
+  /// Plug-in entropy of the sampled footprint histogram: a lower-bound
+  /// estimate of I(K; O) (undersampling only ever hides classes).
+  double bits = 0.0;
+  std::uint64_t largest_class = 0;  ///< draws landing in the modal footprint
+};
+
+/// Draws `samples` footprints via `draw` (which owns its RNG, seeded by
+/// the caller for determinism) and groups them.  Deterministic for a
+/// fixed seed; single-threaded on purpose so thread count cannot change
+/// the histogram.
+[[nodiscard]] SampledClasses sample_footprint_classes(
+    std::uint64_t samples, const std::function<void(Footprint& out)>& draw);
+
+}  // namespace grinch::analysis

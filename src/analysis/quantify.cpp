@@ -1,0 +1,450 @@
+#include "analysis/quantify.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "cachesim/cache.h"
+#include "common/rng.h"
+
+namespace grinch::analysis {
+namespace {
+
+constexpr double kEps = 1e-9;  ///< float-summation slack for comparisons
+
+/// %g-style compact formatting ("2", "1.58") for bit counts.
+std::string fmt_bits(double bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", bits);
+  return buf;
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Scatters the compact key value over the set bits of `mask` (bit i of
+/// `compact` lands on the i-th lowest set bit of `mask`).
+unsigned spread_over_mask(unsigned compact, unsigned mask) {
+  unsigned out = 0;
+  unsigned bit = 0;
+  for (unsigned m = mask; m != 0; m &= m - 1, ++bit) {
+    if ((compact >> bit) & 1u) out |= m & (~m + 1u);
+  }
+  return out;
+}
+
+/// One channel of one segment, quantified exhaustively: every base of
+/// the attacker-known index bits x every fresh-key value.
+struct ChannelQuantity {
+  double bits = 0.0;      ///< average MI over bases
+  double capacity = 0.0;  ///< max MI over bases
+  unsigned classes = 1;   ///< at the first capacity-achieving base
+  double expected_candidates = 1.0;
+};
+
+/// `row_line(index)` maps a concrete 4-bit lookup index to the observable
+/// cache-line base the access lands on.
+ChannelQuantity quantify_channel(
+    unsigned key_mask, const std::function<std::uint64_t(unsigned)>& row_line) {
+  ChannelQuantity q;
+  const auto key_bits = static_cast<unsigned>(__builtin_popcount(key_mask));
+  const std::uint32_t keyspace = 1u << key_bits;
+  if (key_mask == 0) return q;  // nothing secret feeds this index
+
+  double sum = 0.0;
+  unsigned bases = 0;
+  bool first = true;
+  for (unsigned base = 0; base < 16; ++base) {
+    if ((base & key_mask) != 0) continue;  // bases are a coset transversal
+    const KeyClassPartition part =
+        partition_keys(keyspace, [&](std::uint32_t key, Footprint& fp) {
+          fp.push_back(row_line(base ^ spread_over_mask(key, key_mask)));
+        });
+    const double mi = part.mutual_information_bits();
+    sum += mi;
+    ++bases;
+    if (first || mi > q.capacity + kEps) {
+      first = false;
+      q.capacity = mi;
+      q.classes = static_cast<unsigned>(part.classes());
+      q.expected_candidates = part.expected_class_size();
+    }
+  }
+  q.bits = bases != 0 ? sum / bases : 0.0;
+  return q;
+}
+
+}  // namespace
+
+double RoundQuantity::sbox_bits() const noexcept {
+  double total = 0.0;
+  for (const SegmentQuantity& s : segments) total += s.sbox_bits;
+  return total;
+}
+
+double RoundQuantity::perm_bits() const noexcept {
+  double total = 0.0;
+  for (const SegmentQuantity& s : segments) total += s.perm_bits;
+  return total;
+}
+
+double RoundQuantity::sbox_capacity() const noexcept {
+  double total = 0.0;
+  for (const SegmentQuantity& s : segments) total += s.sbox_capacity;
+  return total;
+}
+
+double RoundQuantity::perm_capacity() const noexcept {
+  double total = 0.0;
+  for (const SegmentQuantity& s : segments) total += s.perm_capacity;
+  return total;
+}
+
+double QuantifyReport::measured_sbox_bits() const noexcept {
+  double total = 0.0;
+  for (const RoundQuantity& r : rounds) total += r.sbox_bits();
+  return total;
+}
+
+double QuantifyReport::measured_perm_bits() const noexcept {
+  double total = 0.0;
+  for (const RoundQuantity& r : rounds) total += r.perm_bits();
+  return total;
+}
+
+double QuantifyReport::capacity_bits_per_observation() const noexcept {
+  double best = 0.0;
+  for (const RoundQuantity& r : rounds) {
+    best = std::max(best, r.sbox_capacity() + r.perm_capacity());
+  }
+  return best;
+}
+
+double QuantifyReport::expected_residual_bits() const noexcept {
+  // Richest round by capacity: the observation the staged attack actually
+  // buys.  Residual = log2 of the expected surviving S-Box-channel
+  // candidate product (the elimination engine probes S-Box lines).
+  const RoundQuantity* best = nullptr;
+  double best_cap = -1.0;
+  for (const RoundQuantity& r : rounds) {
+    const double cap = r.sbox_capacity() + r.perm_capacity();
+    if (cap > best_cap + kEps) {
+      best_cap = cap;
+      best = &r;
+    }
+  }
+  if (best == nullptr) return 0.0;
+  double residual = 0.0;
+  for (const SegmentQuantity& s : best->segments) {
+    residual += std::log2(s.sbox_expected_candidates);
+  }
+  return residual;
+}
+
+bool QuantifyReport::within_taint_bound() const noexcept {
+  return measured_sbox_bits() <= taint_sbox_bound + kEps &&
+         measured_perm_bits() <= taint_perm_bound + kEps;
+}
+
+bool QuantifyReport::within_budget() const noexcept {
+  return std::abs(measured_sbox_bits() - budget_sbox_bits) <=
+             budget_tolerance &&
+         std::abs(measured_perm_bits() - budget_perm_bits) <= budget_tolerance;
+}
+
+QuantifyReport quantify(const AnalysisTarget& target,
+                        const QuantifyConfig& cfg) {
+  QuantifyReport report;
+  report.target = target.name;
+  report.description = target.description;
+  report.budget_sbox_bits = target.quantify.budget_sbox_bits;
+  report.budget_perm_bits = target.quantify.budget_perm_bits;
+  report.budget_tolerance = target.quantify.budget_tolerance;
+
+  const unsigned rounds =
+      cfg.rounds != 0 ? cfg.rounds : target.analysis_rounds;
+  report.rounds_analyzed = rounds;
+  const cachesim::Cache cache{target.cache};
+  const CipherModel& model = target.model;
+
+  const bool sbox_observable = target.observe_sbox && model.sbox_lookups;
+  const bool perm_observable = target.observe_perm && model.perm_lookups;
+
+  // Pass 1: exhaustive per-segment class enumeration per attacked round,
+  // plus the taint pass's upper bounds over the same accesses.
+  for (unsigned r = 0; r < rounds; ++r) {
+    RoundQuantity round_q;
+    round_q.round = r;
+    for (const TaintedAccess& a : attacked_round_accesses(model, r)) {
+      if (a.kind == gift::TableAccess::Kind::kSBox) {
+        if (target.observe_sbox) {
+          report.taint_sbox_bound +=
+              leaked_key_bits(a, target.layout, cache);
+        }
+        SegmentQuantity seg;
+        seg.segment = a.segment;
+        for (unsigned b = 0; b < 4; ++b) {
+          if (carries_key(a.index_taint[b])) seg.key_mask |= 1u << b;
+        }
+        seg.key_bits =
+            static_cast<unsigned>(__builtin_popcount(seg.key_mask));
+        if (sbox_observable) {
+          const ChannelQuantity q =
+              quantify_channel(seg.key_mask, [&](unsigned index) {
+                return cache.line_base(target.layout.sbox_row_addr(index));
+              });
+          seg.sbox_bits = q.bits;
+          seg.sbox_capacity = q.capacity;
+          seg.sbox_classes = q.classes;
+          seg.sbox_expected_candidates = q.expected_candidates;
+        }
+        if (perm_observable && target.quantify.sbox_value) {
+          // The PermBits row is indexed by the substituted nibble: the
+          // S-Box bijection decides which rows the fresh key can reach.
+          const unsigned s = a.segment;
+          const ChannelQuantity q =
+              quantify_channel(seg.key_mask, [&](unsigned index) {
+                return cache.line_base(target.layout.perm_row_addr(
+                    s, target.quantify.sbox_value(index)));
+              });
+          seg.perm_bits = q.bits;
+          seg.perm_capacity = q.capacity;
+          seg.perm_classes = q.classes;
+        }
+        round_q.segments.push_back(seg);
+      } else if (target.observe_perm) {
+        report.taint_perm_bound += leaked_key_bits(a, target.layout, cache);
+      }
+    }
+    report.rounds.push_back(std::move(round_q));
+  }
+
+  // Pass 2: per-cache-line breakdown of the S-Box table in the first
+  // key-dependent attacked round, at the reference (all-zero) base.
+  if (sbox_observable) {
+    const RoundQuantity* line_round = nullptr;
+    for (const RoundQuantity& r : report.rounds) {
+      bool key_fed = false;
+      for (const SegmentQuantity& s : r.segments) key_fed |= s.key_bits > 0;
+      if (key_fed) {
+        line_round = &r;
+        break;
+      }
+    }
+    if (line_round != nullptr) {
+      report.line_round = line_round->round;
+      // Universe: the distinct lines the 16 S-Box rows occupy, in address
+      // order; miss probability multiplies across segments (fresh
+      // round-key bits are independent across segments).
+      std::map<std::uint64_t, double> miss_probability;
+      for (unsigned index = 0; index < 16; ++index) {
+        miss_probability.emplace(
+            cache.line_base(target.layout.sbox_row_addr(index)), 1.0);
+      }
+      for (const SegmentQuantity& s : line_round->segments) {
+        const std::uint32_t keyspace = 1u << s.key_bits;
+        std::map<std::uint64_t, unsigned> touches;
+        for (std::uint32_t key = 0; key < keyspace; ++key) {
+          ++touches[cache.line_base(target.layout.sbox_row_addr(
+              spread_over_mask(key, s.key_mask)))];
+        }
+        for (auto& [line, miss] : miss_probability) {
+          const auto it = touches.find(line);
+          const double p_touch =
+              it == touches.end()
+                  ? 0.0
+                  : static_cast<double>(it->second) / keyspace;
+          miss *= 1.0 - p_touch;
+        }
+      }
+      for (const auto& [line, miss] : miss_probability) {
+        LineQuantity lq;
+        lq.line_base = line;
+        lq.touch_probability = 1.0 - miss;
+        lq.bits = binary_entropy_bits(lq.touch_probability);
+        report.sbox_lines.push_back(lq);
+      }
+    }
+  }
+
+  // Pass 3: fixed-seed sampled whole-trace estimate on the real
+  // implementation (cumulative channel — every round key unknown).
+  const unsigned budget = cfg.sample_budget != 0
+                              ? cfg.sample_budget
+                              : target.quantify.sample_budget;
+  if (cfg.run_sampled && budget != 0 && target.run) {
+    const std::uint64_t seed = cfg.sample_seed != 0
+                                   ? cfg.sample_seed
+                                   : target.quantify.sample_seed;
+    Xoshiro256 rng{seed};
+    const std::uint64_t pt_lo = rng.block64();
+    const std::uint64_t pt_hi = rng.block64();
+    gift::VectorTraceSink sink;
+    const SampledClasses sampled =
+        sample_footprint_classes(budget, [&](Footprint& fp) {
+          const Key128 key = rng.key128();
+          sink.clear();
+          target.run(pt_lo, pt_hi, key, rounds, &sink);
+          for (const gift::TableAccess& a : sink.accesses()) {
+            if (a.round >= rounds || !target.observes(a.kind)) continue;
+            fp.push_back(cache.line_base(a.addr));
+          }
+        });
+    report.sampled.samples = sampled.samples;
+    report.sampled.classes = sampled.classes;
+    report.sampled.bits = sampled.bits;
+  }
+
+  return report;
+}
+
+std::vector<QuantifyReport> quantify_all(const QuantifyConfig& cfg) {
+  std::vector<QuantifyReport> reports;
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  reports.reserve(targets.size());
+  for (const AnalysisTarget& target : targets) {
+    reports.push_back(quantify(target, cfg));
+  }
+  return reports;
+}
+
+std::string QuantifyReport::to_text(bool verbose) const {
+  std::string out;
+  out += "target : " + target + " — " + description + "\n";
+  out += "measure: " + fmt_bits(measured_sbox_bits()) +
+         " bits via S-Box + " + fmt_bits(measured_perm_bits()) +
+         " via PermBits across " + std::to_string(rounds_analyzed) +
+         " rounds (taint bound " + fmt_bits(taint_sbox_bound) + " + " +
+         fmt_bits(taint_perm_bound) + ")\n";
+  out += "per obs: capacity " + fmt_bits(capacity_bits_per_observation()) +
+         " bits; expected residual " + fmt_bits(expected_residual_bits()) +
+         " bits/segment-set after one clean observation\n";
+  for (const RoundQuantity& r : rounds) {
+    const double bits = r.sbox_bits() + r.perm_bits();
+    if (bits == 0.0 && !verbose) continue;
+    out += "  round " + std::to_string(r.round + 1) + ": " +
+           fmt_bits(r.sbox_bits()) + " S-Box + " + fmt_bits(r.perm_bits()) +
+           " PermBits bits (" + std::to_string(r.segments.size()) +
+           " segments)\n";
+    if (verbose) {
+      for (const SegmentQuantity& s : r.segments) {
+        out += "    segment " + std::to_string(s.segment) + ": " +
+               std::to_string(s.key_bits) + " fresh key bits -> " +
+               std::to_string(s.sbox_classes) + " classes, " +
+               fmt_bits(s.sbox_bits) + " bits (capacity " +
+               fmt_bits(s.sbox_capacity) + "), E[candidates] " +
+               fmt_bits(s.sbox_expected_candidates);
+        if (s.perm_bits > 0.0) {
+          out += "; perm " + fmt_bits(s.perm_bits) + " bits (" +
+                 std::to_string(s.perm_classes) + " classes)";
+        }
+        out += "\n";
+      }
+    }
+  }
+  if (!sbox_lines.empty() && verbose) {
+    out += "  S-Box lines, round " + std::to_string(line_round + 1) + ":\n";
+    for (const LineQuantity& l : sbox_lines) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "    line 0x%llx: p(touch) %.4g, %.4g bits\n",
+                    static_cast<unsigned long long>(l.line_base),
+                    l.touch_probability, l.bits);
+      out += buf;
+    }
+  }
+  if (sampled.samples != 0) {
+    out += "sampled: " + std::to_string(sampled.classes) +
+           " distinct footprints over " + std::to_string(sampled.samples) +
+           " keys -> >= " + fmt_bits(sampled.bits) +
+           " bits/observation (cumulative channel)\n";
+  }
+  out += "budget : declared " + fmt_bits(budget_sbox_bits) + " + " +
+         fmt_bits(budget_perm_bits) + " bits — ";
+  out += within_budget() ? "within budget" : "DRIFTED";
+  out += within_taint_bound() ? "" : " [EXCEEDS TAINT BOUND]";
+  out += "\n";
+  return out;
+}
+
+std::string QuantifyReport::to_json() const {
+  std::string out = "{\"target\":\"";
+  append_json_escaped(out, target);
+  out += "\",\"description\":\"";
+  append_json_escaped(out, description);
+  out += "\",\"rounds_analyzed\":" + std::to_string(rounds_analyzed);
+  out += ",\"measured_sbox_bits\":" + fmt_bits(measured_sbox_bits());
+  out += ",\"measured_perm_bits\":" + fmt_bits(measured_perm_bits());
+  out += ",\"measured_total_bits\":" + fmt_bits(measured_total_bits());
+  out += ",\"capacity_bits_per_observation\":" +
+         fmt_bits(capacity_bits_per_observation());
+  out += ",\"expected_residual_bits\":" + fmt_bits(expected_residual_bits());
+  out += ",\"taint_sbox_bound\":" + fmt_bits(taint_sbox_bound);
+  out += ",\"taint_perm_bound\":" + fmt_bits(taint_perm_bound);
+  out += ",\"within_taint_bound\":";
+  out += within_taint_bound() ? "true" : "false";
+  out += ",\"budget\":{\"sbox_bits\":" + fmt_bits(budget_sbox_bits);
+  out += ",\"perm_bits\":" + fmt_bits(budget_perm_bits);
+  out += ",\"tolerance\":" + fmt_bits(budget_tolerance);
+  out += ",\"ok\":";
+  out += within_budget() ? "true" : "false";
+  out += "},\"rounds\":[";
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    const RoundQuantity& r = rounds[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"round\":" + std::to_string(r.round + 1);
+    out += ",\"sbox_bits\":" + fmt_bits(r.sbox_bits());
+    out += ",\"perm_bits\":" + fmt_bits(r.perm_bits());
+    out += ",\"sbox_capacity\":" + fmt_bits(r.sbox_capacity());
+    out += ",\"segments\":[";
+    for (std::size_t j = 0; j < r.segments.size(); ++j) {
+      const SegmentQuantity& s = r.segments[j];
+      if (j != 0) out.push_back(',');
+      out += "{\"segment\":" + std::to_string(s.segment);
+      out += ",\"key_bits\":" + std::to_string(s.key_bits);
+      out += ",\"sbox_bits\":" + fmt_bits(s.sbox_bits);
+      out += ",\"sbox_capacity\":" + fmt_bits(s.sbox_capacity);
+      out += ",\"sbox_classes\":" + std::to_string(s.sbox_classes);
+      out += ",\"expected_candidates\":" +
+             fmt_bits(s.sbox_expected_candidates);
+      out += ",\"perm_bits\":" + fmt_bits(s.perm_bits);
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "],\"sbox_lines\":[";
+  for (std::size_t i = 0; i < sbox_lines.size(); ++i) {
+    const LineQuantity& l = sbox_lines[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"line_base\":" + std::to_string(l.line_base);
+    out += ",\"touch_probability\":" + fmt_bits(l.touch_probability);
+    out += ",\"bits\":" + fmt_bits(l.bits);
+    out += "}";
+  }
+  out += "],\"sampled\":{\"samples\":" + std::to_string(sampled.samples);
+  out += ",\"classes\":" + std::to_string(sampled.classes);
+  out += ",\"bits\":" + fmt_bits(sampled.bits);
+  out += "},\"ok\":";
+  out += ok() ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+std::string quantify_reports_to_json(
+    const std::vector<QuantifyReport>& reports) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += reports[i].to_json();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace grinch::analysis

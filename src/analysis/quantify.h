@@ -1,0 +1,168 @@
+// leakcheck pass 3 — quantitative leakage analysis.
+//
+// The taint pass (taint.h) proves *whether* a cache line depends on key
+// material; this engine measures *how much*, in Shannon bits, by
+// enumerating the key-equivalence classes (key_class.h) the observable
+// cache-line footprint induces.  For every attacked round and segment it
+// models the concrete index algebra of the cross-round attack:
+//
+//     S-Box channel:    line( sbox_row_addr( base XOR k ) )
+//     PermBits channel: line( perm_row_addr( s, SBOX[ base XOR k ] ) )
+//
+// where `base` is the attacker-known part of the lookup index (chosen
+// plaintext + recovered earlier round keys) and `k` ranges over the
+// fresh key bits the taint pass marked on that index (<= 4 bits per
+// segment, so the classes are enumerated exhaustively: every base x
+// every key).  Per segment the report carries
+//
+//  * bits per observation  — I(K; footprint), averaged over bases;
+//  * channel capacity      — max over bases (the best a chosen-plaintext
+//                            attacker can extract from one observation);
+//  * equivalence classes and the expected surviving candidate count —
+//    the candidate-set size the elimination engine should expect after
+//    one clean observation.
+//
+// Round and target totals sum the per-segment numbers (fresh round-key
+// bits are distinct master-key bits, so segment channels are
+// information-disjoint).  Two cross-checks anchor the output:
+//
+//  * the taint pass's leaked_key_bits() is a sound upper bound, so
+//    measured <= taint bound must hold per channel (within_taint_bound);
+//  * the target's declared QuantifySpec budget must match the measured
+//    bits exactly (within_budget) — the CI leakage-budget gate.
+//
+// Key spaces the per-segment enumeration cannot cover — the *joint*
+// fresh-key space of a whole round, observed as one union footprint by a
+// real probe, under a full random Key128 — are handled by a fixed-seed
+// sampled pass over the target's dynamic runner (sample_budget draws),
+// whose plug-in entropy is reported as a lower-bound estimate of the
+// cumulative per-observation leak.
+//
+// Baseline table GIFT-64 reproduces the paper's analytically known
+// figure: 2.0 bits per segment per attacked round through the S-Box
+// channel (tests/analysis/quantify_test.cpp pins it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/key_class.h"
+#include "analysis/registry.h"
+
+namespace grinch::analysis {
+
+/// Quantified leak of one segment's lookups in one attacked round.
+struct SegmentQuantity {
+  unsigned segment = 0;
+  unsigned key_mask = 0;  ///< in-nibble positions of the fresh key bits
+  unsigned key_bits = 0;  ///< popcount(key_mask): fresh bits feeding the index
+
+  // S-Box channel (the paper's channel; zero when not observed).
+  double sbox_bits = 0.0;      ///< I(K; footprint) averaged over bases
+  double sbox_capacity = 0.0;  ///< max over bases
+  unsigned sbox_classes = 1;   ///< classes at a capacity-achieving base
+  double sbox_expected_candidates = 1.0;  ///< E[|class|] at that base
+
+  // PermBits-LUT channel (zero when computed in registers).
+  double perm_bits = 0.0;
+  double perm_capacity = 0.0;
+  unsigned perm_classes = 1;
+};
+
+/// Quantified leak of one attacked round.
+struct RoundQuantity {
+  unsigned round = 0;  ///< 0-based code round (display adds 1)
+  std::vector<SegmentQuantity> segments;
+
+  [[nodiscard]] double sbox_bits() const noexcept;
+  [[nodiscard]] double perm_bits() const noexcept;
+  [[nodiscard]] double sbox_capacity() const noexcept;
+  [[nodiscard]] double perm_capacity() const noexcept;
+};
+
+/// Per-cache-line leak: the binary "was this line touched during the
+/// attacked round?" channel, over uniform fresh keys at the reference
+/// (all-zero) base.
+struct LineQuantity {
+  std::uint64_t line_base = 0;
+  double touch_probability = 0.0;
+  double bits = 0.0;  ///< binary entropy of the indicator
+};
+
+/// The fixed-seed sampled whole-trace pass (cumulative channel: every
+/// round key unknown, footprint = union over the analysis window).
+struct SampledQuantity {
+  std::uint64_t samples = 0;
+  std::size_t classes = 0;
+  double bits = 0.0;  ///< plug-in lower-bound estimate of I(K; footprint)
+};
+
+/// Quantified verdict for one target.
+struct QuantifyReport {
+  std::string target;
+  std::string description;
+  unsigned rounds_analyzed = 0;
+  std::vector<RoundQuantity> rounds;
+
+  /// Per-line breakdown of the S-Box table in `line_round` (the first
+  /// attacked round with a nonzero measured leak; empty when leak-free).
+  std::vector<LineQuantity> sbox_lines;
+  unsigned line_round = 0;
+
+  SampledQuantity sampled;
+
+  /// The taint pass's per-channel upper bounds over the same window
+  /// (S-Box side equals StaticReport::recoverable_bits()).
+  double taint_sbox_bound = 0.0;
+  double taint_perm_bound = 0.0;
+
+  /// Declared budget copied from the target's QuantifySpec.
+  double budget_sbox_bits = 0.0;
+  double budget_perm_bits = 0.0;
+  double budget_tolerance = 1e-6;
+
+  [[nodiscard]] double measured_sbox_bits() const noexcept;
+  [[nodiscard]] double measured_perm_bits() const noexcept;
+  [[nodiscard]] double measured_total_bits() const noexcept {
+    return measured_sbox_bits() + measured_perm_bits();
+  }
+  /// Best single observation (capacity of the richest attacked round).
+  [[nodiscard]] double capacity_bits_per_observation() const noexcept;
+  /// log2 of the candidate-set size one clean observation of the richest
+  /// round leaves per segment, summed — what the recovery engine expects.
+  [[nodiscard]] double expected_residual_bits() const noexcept;
+
+  [[nodiscard]] bool within_taint_bound() const noexcept;
+  [[nodiscard]] bool within_budget() const noexcept;
+  /// The CI gate: budget respected and the taint bound never exceeded.
+  [[nodiscard]] bool ok() const noexcept {
+    return within_taint_bound() && within_budget();
+  }
+
+  [[nodiscard]] std::string to_text(bool verbose = false) const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// JSON array over several reports.
+[[nodiscard]] std::string quantify_reports_to_json(
+    const std::vector<QuantifyReport>& reports);
+
+struct QuantifyConfig {
+  unsigned rounds = 0;          ///< attacked rounds (0 = target default)
+  unsigned sample_budget = 0;   ///< override QuantifySpec (0 = keep)
+  std::uint64_t sample_seed = 0;  ///< override QuantifySpec (0 = keep)
+  bool run_sampled = true;      ///< skip the dynamic sampled pass when false
+};
+
+/// Quantifies one target.
+[[nodiscard]] QuantifyReport quantify(const AnalysisTarget& target,
+                                      const QuantifyConfig& cfg = {});
+
+/// Quantifies every built-in target (the parity bridge: the registry
+/// covers each registered pipeline cipher and countermeasure variant, so
+/// they are all measured automatically).
+[[nodiscard]] std::vector<QuantifyReport> quantify_all(
+    const QuantifyConfig& cfg = {});
+
+}  // namespace grinch::analysis

@@ -21,6 +21,40 @@
 
 namespace grinch::analysis {
 
+/// Declared leakage budget plus the enumeration hooks the quantitative
+/// engine (analysis/quantify.h) needs on top of the taint model.
+///
+/// The budget is the static-analysis analogue of a committed bench
+/// baseline: every target declares how many bits its observable channels
+/// are *supposed* to measure at (Shannon mutual information, summed over
+/// the analysis window), and `leakcheck quantify` fails when the measured
+/// value drifts — a countermeasure that silently weakens, or a refactor
+/// that widens a table's cache footprint, trips the gate in CI.
+struct QuantifySpec {
+  /// Declared measured bits through the S-Box channel (the paper's
+  /// channel: which S-Box rows' cache lines an encryption touches).
+  double budget_sbox_bits = 0.0;
+  /// Declared measured bits through the PermBits-LUT channel.
+  double budget_perm_bits = 0.0;
+  /// Absolute drift tolerated before the gate fails.  The measured values
+  /// are sums of exact log2 terms, so the tolerance only absorbs
+  /// floating-point summation error.
+  double budget_tolerance = 1e-6;
+
+  /// Keys drawn for the sampled whole-trace pass (0 disables it); the
+  /// per-segment classes are enumerated exhaustively regardless.
+  unsigned sample_budget = 512;
+  std::uint64_t sample_seed = 0xC1A55E5;  ///< fixed seed — results are part
+                                          ///< of the deterministic report
+
+  /// Concrete 4-bit S-Box: maps a SubCells lookup index to the value that
+  /// then indexes the PermBits row — the enumeration hook that lets the
+  /// perm channel be quantified exactly (taint only says "all four index
+  /// bits are key-dependent"; the S-Box bijection says *which* rows are
+  /// reachable).  Null when the model issues no perm lookups.
+  std::function<unsigned(unsigned)> sbox_value;
+};
+
 struct AnalysisTarget {
   std::string name;
   std::string description;
@@ -50,6 +84,10 @@ struct AnalysisTarget {
   /// its kPerm events are not observable memory traffic).
   bool observe_sbox = true;
   bool observe_perm = true;
+
+  /// Quantitative-engine hooks and the declared leakage budget
+  /// (analysis/quantify.h; the CI gate compares measured bits against it).
+  QuantifySpec quantify;
 
   [[nodiscard]] bool observes(gift::TableAccess::Kind kind) const noexcept {
     return kind == gift::TableAccess::Kind::kSBox ? observe_sbox

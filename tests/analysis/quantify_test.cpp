@@ -1,0 +1,228 @@
+#include "analysis/quantify.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/key_class.h"
+#include "analysis/leakcheck.h"
+#include "analysis/registry.h"
+
+namespace grinch::analysis {
+namespace {
+
+/// Quantifies one built-in target by name, enumeration-only (the sampled
+/// pass is exercised separately so most tests stay O(microseconds)).
+QuantifyReport quantify_static(const std::string& name) {
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget* target = find_target(targets, name);
+  EXPECT_NE(target, nullptr) << name;
+  QuantifyConfig cfg;
+  cfg.run_sampled = false;
+  return quantify(*target, cfg);
+}
+
+TEST(KeyClass, SingletonClassesCarryFullEntropy) {
+  // 4 keys, 4 distinct footprints: I = log2 4, one candidate survives.
+  const KeyClassPartition part =
+      partition_keys(4, [](std::uint32_t key, Footprint& fp) {
+        fp.push_back(key);
+      });
+  EXPECT_EQ(part.classes(), 4u);
+  EXPECT_DOUBLE_EQ(part.mutual_information_bits(), 2.0);
+  EXPECT_DOUBLE_EQ(part.expected_class_size(), 1.0);
+}
+
+TEST(KeyClass, IndistinguishableKeysCarryNothing) {
+  const KeyClassPartition part =
+      partition_keys(8, [](std::uint32_t, Footprint& fp) {
+        fp.push_back(42);
+      });
+  EXPECT_EQ(part.classes(), 1u);
+  EXPECT_DOUBLE_EQ(part.mutual_information_bits(), 0.0);
+  EXPECT_DOUBLE_EQ(part.expected_class_size(), 8.0);
+}
+
+TEST(KeyClass, FootprintOrderAndDuplicatesDoNotSplitClasses) {
+  // {1,2} touched in either order (with repeats) is the same observation.
+  const KeyClassPartition part =
+      partition_keys(2, [](std::uint32_t key, Footprint& fp) {
+        if (key == 0) {
+          fp = {1, 2, 1};
+        } else {
+          fp = {2, 1};
+        }
+      });
+  EXPECT_EQ(part.classes(), 1u);
+}
+
+TEST(KeyClass, BinaryEntropyEndpoints) {
+  EXPECT_DOUBLE_EQ(binary_entropy_bits(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy_bits(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy_bits(0.5), 1.0);
+}
+
+TEST(Quantify, Gift64BaselineMeasuresTwoBitsPerSegmentPerAttackedRound) {
+  // The paper's headline number, reproduced from first principles: each
+  // attacked round exposes exactly 2.0 bits per segment through the
+  // S-Box channel (2 fresh key bits -> 4 rows -> 4 distinct lines at the
+  // paper-default 1-byte-line cache).
+  const QuantifyReport r = quantify_static("gift64-table");
+  ASSERT_EQ(r.rounds.size(), 5u);
+  // Paper round 1 (code round 0) is key-independent.
+  for (const SegmentQuantity& s : r.rounds[0].segments) {
+    EXPECT_EQ(s.key_bits, 0u);
+    EXPECT_DOUBLE_EQ(s.sbox_bits, 0.0);
+  }
+  for (unsigned round = 1; round <= 4; ++round) {
+    ASSERT_EQ(r.rounds[round].segments.size(), 16u);
+    for (const SegmentQuantity& s : r.rounds[round].segments) {
+      EXPECT_EQ(s.key_bits, 2u);
+      EXPECT_DOUBLE_EQ(s.sbox_bits, 2.0);
+      EXPECT_DOUBLE_EQ(s.sbox_capacity, 2.0);
+      EXPECT_EQ(s.sbox_classes, 4u);
+      EXPECT_DOUBLE_EQ(s.sbox_expected_candidates, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(r.rounds[round].sbox_bits(), 32.0);
+  }
+  EXPECT_DOUBLE_EQ(r.measured_sbox_bits(), 128.0);
+  EXPECT_DOUBLE_EQ(r.measured_perm_bits(), 128.0);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Quantify, TaintBoundUpperBoundsMeasuredBitsForEveryTarget) {
+  // Soundness anchor: the taint pass's recoverable_bits() counts worst-
+  // case distinct lines, so the exact MI can never exceed it.
+  LeakcheckConfig static_only;
+  static_only.run_dynamic = false;
+  for (const AnalysisTarget& target : builtin_targets()) {
+    QuantifyConfig cfg;
+    cfg.run_sampled = false;
+    const QuantifyReport r = quantify(target, cfg);
+    EXPECT_TRUE(r.within_taint_bound()) << target.name;
+    const LeakReport leak = analyze(target, static_only);
+    EXPECT_DOUBLE_EQ(r.taint_sbox_bound, leak.static_pass.recoverable_bits())
+        << target.name;
+    EXPECT_LE(r.measured_sbox_bits(),
+              leak.static_pass.recoverable_bits() + 1e-9)
+        << target.name;
+  }
+}
+
+TEST(Quantify, SboxValueHookTightensThePermBoundStrictly) {
+  // Taint alone says "all 4 perm-index bits are key-dependent" (4 bits /
+  // segment / round = 256 total); the S-Box bijection proves only 4 of
+  // the 16 rows are reachable, halving the measured figure.
+  const QuantifyReport r = quantify_static("gift64-table");
+  EXPECT_DOUBLE_EQ(r.measured_perm_bits(), 128.0);
+  EXPECT_DOUBLE_EQ(r.taint_perm_bound, 256.0);
+}
+
+TEST(Quantify, PackedVariantsLeakStrictlyLessThanBaselineThroughSbox) {
+  const double baseline =
+      quantify_static("gift64-table").measured_sbox_bits();
+  for (const char* packed :
+       {"gift64-packed-sbox", "gift64-packed-sbox-lut-perm"}) {
+    const QuantifyReport r = quantify_static(packed);
+    EXPECT_LT(r.measured_sbox_bits(), baseline) << packed;
+    EXPECT_DOUBLE_EQ(r.measured_sbox_bits(), 0.0) << packed;
+  }
+}
+
+TEST(Quantify, LutPermBackdoorIsQuantifiedNotJustFlagged) {
+  // The packed S-Box with a LUT PermBits keeps the full per-round leak
+  // through the perm table — same 2 bits/segment/round as the baseline.
+  const QuantifyReport r = quantify_static("gift64-packed-sbox-lut-perm");
+  EXPECT_DOUBLE_EQ(r.measured_sbox_bits(), 0.0);
+  EXPECT_DOUBLE_EQ(r.measured_perm_bits(), 128.0);
+  // The S-Box channel leaves all 4 candidates per segment standing, so
+  // an S-Box-probing recovery engine faces 2 bits/segment of residual.
+  EXPECT_DOUBLE_EQ(r.expected_residual_bits(), 32.0);
+}
+
+TEST(Quantify, HardenedScheduleLeavesTheChannelUntouched) {
+  // The hardened UpdateKey defeats key *reconstruction*, not observation:
+  // measured bits equal the baseline's, and the report says so.
+  const QuantifyReport baseline = quantify_static("gift64-table");
+  const QuantifyReport hardened =
+      quantify_static("gift64-hardened-schedule");
+  EXPECT_DOUBLE_EQ(hardened.measured_sbox_bits(),
+                   baseline.measured_sbox_bits());
+  EXPECT_DOUBLE_EQ(hardened.measured_perm_bits(),
+                   baseline.measured_perm_bits());
+}
+
+TEST(Quantify, BudgetGateTripsOnInjectedDrift) {
+  QuantifyReport r = quantify_static("gift64-table");
+  ASSERT_TRUE(r.ok());
+  r.budget_sbox_bits = 96.0;  // declare the wrong figure
+  EXPECT_FALSE(r.within_budget());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.within_taint_bound());  // drift != unsoundness
+}
+
+TEST(Quantify, LineTableMatchesTheReachableRowsAtTheReferenceBase) {
+  // Paper default: 16 rows in 16 distinct one-byte lines.  At the
+  // all-zero base each segment's 2 fresh key bits reach rows 0..3 only
+  // (index = 0 XOR k, k in {0..3}), each with probability 1/4, so across
+  // the 16 independent segments p(line j touched) = 1 - (3/4)^16 for
+  // j < 4 and exactly 0 for the 12 unreachable lines.
+  const QuantifyReport r = quantify_static("gift64-table");
+  EXPECT_EQ(r.line_round, 1u);
+  ASSERT_EQ(r.sbox_lines.size(), 16u);
+  const double p_reachable = 1.0 - std::pow(0.75, 16.0);
+  unsigned reachable = 0;
+  for (const LineQuantity& l : r.sbox_lines) {
+    if (l.touch_probability > 0.0) {
+      ++reachable;
+      EXPECT_NEAR(l.touch_probability, p_reachable, 1e-12);
+      EXPECT_GT(l.bits, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(l.bits, 0.0);
+    }
+  }
+  EXPECT_EQ(reachable, 4u);
+}
+
+TEST(Quantify, SampledPassIsDeterministicAndBudgetBounded) {
+  const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget* target = find_target(targets, "gift64-table");
+  ASSERT_NE(target, nullptr);
+  QuantifyConfig cfg;
+  cfg.sample_budget = 32;
+  const QuantifyReport a = quantify(*target, cfg);
+  const QuantifyReport b = quantify(*target, cfg);
+  EXPECT_EQ(a.to_json(), b.to_json());  // fixed seed: byte-identical
+  EXPECT_EQ(a.sampled.samples, 32u);
+  EXPECT_LE(a.sampled.classes, 32u);
+  // Plug-in entropy of n samples can never exceed log2 n.
+  EXPECT_LE(a.sampled.bits, std::log2(32.0) + 1e-9);
+}
+
+TEST(Quantify, SampledPassSeesNothingOnLeakFreeTargets) {
+  for (const char* name : {"gift64-bitsliced", "gift64-packed-sbox"}) {
+    const std::vector<AnalysisTarget> targets = builtin_targets();
+    const AnalysisTarget* target = find_target(targets, name);
+    ASSERT_NE(target, nullptr);
+    QuantifyConfig cfg;
+    cfg.sample_budget = 16;
+    const QuantifyReport r = quantify(*target, cfg);
+    EXPECT_EQ(r.sampled.classes, 1u) << name;
+    EXPECT_DOUBLE_EQ(r.sampled.bits, 0.0) << name;
+  }
+}
+
+TEST(Quantify, QuantifyAllCoversEveryBuiltinTargetWithinBudget) {
+  QuantifyConfig cfg;
+  cfg.run_sampled = false;
+  const std::vector<QuantifyReport> reports = quantify_all(cfg);
+  EXPECT_EQ(reports.size(), builtin_targets().size());
+  for (const QuantifyReport& r : reports) {
+    EXPECT_TRUE(r.ok()) << r.target;
+  }
+}
+
+}  // namespace
+}  // namespace grinch::analysis

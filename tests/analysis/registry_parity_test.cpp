@@ -1,0 +1,72 @@
+// Parity between the two registries that must stay in lock step: the
+// attack pipeline's registered targets (target/registry.h) and leakcheck's
+// analysis targets (analysis/registry.h).  Porting a cipher to one without
+// the other would leave it either unattackable or unaudited — both are
+// regressions this suite catches by iterating each list against the other.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/registry.h"
+#include "target/registry.h"
+
+namespace grinch {
+namespace {
+
+/// `<Traits::kName>-table` for every registered pipeline cipher.
+std::set<std::string> pipeline_table_names() {
+  std::set<std::string> names;
+  target::for_each_registered_target([&](auto recovery) {
+    names.insert(std::string{decltype(recovery)::kName} + "-table");
+  });
+  return names;
+}
+
+TEST(RegistryParity, EveryPipelineCipherHasAnAnalysisTarget) {
+  const std::vector<analysis::AnalysisTarget> targets =
+      analysis::builtin_targets();
+  for (const std::string& name : pipeline_table_names()) {
+    EXPECT_NE(analysis::find_target(targets, name), nullptr)
+        << name << " is attackable but leakcheck does not audit it";
+  }
+}
+
+TEST(RegistryParity, EveryTableAnalysisTargetIsARegisteredCipher) {
+  const std::set<std::string> pipeline = pipeline_table_names();
+  for (const analysis::AnalysisTarget& t : analysis::builtin_targets()) {
+    constexpr const char* kSuffix = "-table";
+    constexpr std::size_t kSuffixLen = 6;
+    const bool is_table_cipher =
+        t.name.size() > kSuffixLen &&
+        t.name.compare(t.name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+    if (!is_table_cipher) continue;
+    EXPECT_TRUE(pipeline.count(t.name) > 0)
+        << t.name << " is audited but the attack pipeline cannot target it";
+  }
+}
+
+TEST(RegistryParity, LeakExpectationsAndBudgetsAgree) {
+  // A target expected leaky must declare a nonzero budget and vice versa
+  // — otherwise the qualitative verdict and the quantitative gate would
+  // accept contradictory states of the world.
+  for (const analysis::AnalysisTarget& t : analysis::builtin_targets()) {
+    const double budget =
+        t.quantify.budget_sbox_bits + t.quantify.budget_perm_bits;
+    EXPECT_EQ(t.expect_leaky, budget > 0.0) << t.name;
+  }
+}
+
+TEST(RegistryParity, PermQuantificationHookPresentWheneverPermIsObserved) {
+  // The perm channel is enumerated through the concrete S-Box; a target
+  // that observes perm lookups without the hook would silently quantify
+  // that channel as zero.
+  for (const analysis::AnalysisTarget& t : analysis::builtin_targets()) {
+    if (t.observe_perm && t.model.perm_lookups) {
+      EXPECT_TRUE(static_cast<bool>(t.quantify.sbox_value)) << t.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grinch

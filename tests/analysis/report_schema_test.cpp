@@ -1,0 +1,236 @@
+// Golden-schema test for the machine-readable leakcheck reports.
+//
+// CI and tools/check_bench.py consume LeakReport::to_json and
+// QuantifyReport::to_json; both emitters build strings by hand, so a
+// refactor can silently break the JSON grammar or drop a key a consumer
+// scripts against.  This suite parses the real output with a minimal
+// strict JSON reader (the repo intentionally has no JSON parser in src/ —
+// common/json.h only emits) and pins the key sets as a schema.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/leakcheck.h"
+#include "analysis/quantify.h"
+#include "analysis/registry.h"
+
+namespace grinch::analysis {
+namespace {
+
+/// Minimal strict JSON syntax checker that records every object key as a
+/// dotted path ("budget.sbox_bits"; array elements do not extend the
+/// path, so element schemas merge).  Fails the test on any grammar error.
+class SchemaReader {
+ public:
+  explicit SchemaReader(const std::string& text) : text_(text) {}
+
+  /// Parses the whole document; returns false on trailing garbage or any
+  /// syntax error (position reported via failure()).
+  bool parse() {
+    ok_ = value("");
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return ok_;
+  }
+
+  [[nodiscard]] const std::set<std::string>& keys() const { return keys_; }
+  [[nodiscard]] const std::string& failure() const { return failure_; }
+
+ private:
+  void fail(const std::string& what) {
+    if (ok_) failure_ = what + " at offset " + std::to_string(pos_);
+    ok_ = false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool string_literal(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      out.push_back(text_[pos_++]);
+    }
+    return consume('"');
+  }
+
+  bool number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-')) ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool keyword(const char* word) {
+    skip_ws();
+    const std::string w{word};
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  bool value(const std::string& path) {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of document");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object(path);
+    if (c == '[') return array(path);
+    if (c == '"') {
+      std::string s;
+      if (!string_literal(s)) {
+        fail("bad string");
+        return false;
+      }
+      return true;
+    }
+    if (keyword("true") || keyword("false") || keyword("null")) return true;
+    if (number()) return true;
+    fail("unexpected token");
+    return false;
+  }
+
+  bool object(const std::string& path) {  // NOLINT(misc-no-recursion)
+    consume('{');
+    if (consume('}')) return true;
+    do {
+      std::string key;
+      if (!string_literal(key)) {
+        fail("expected object key");
+        return false;
+      }
+      const std::string child = path.empty() ? key : path + "." + key;
+      keys_.insert(child);
+      if (!consume(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      if (!value(child)) return false;
+    } while (consume(','));
+    if (!consume('}')) {
+      fail("expected '}'");
+      return false;
+    }
+    return true;
+  }
+
+  bool array(const std::string& path) {  // NOLINT(misc-no-recursion)
+    consume('[');
+    if (consume(']')) return true;
+    do {
+      if (!value(path)) return false;
+    } while (consume(','));
+    if (!consume(']')) {
+      fail("expected ']'");
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string failure_;
+  std::set<std::string> keys_;
+};
+
+/// Asserts `json` parses and contains every path in `required`.
+void expect_schema(const std::string& json,
+                   const std::vector<std::string>& required,
+                   const std::string& what) {
+  SchemaReader reader{json};
+  ASSERT_TRUE(reader.parse()) << what << ": " << reader.failure() << "\n"
+                              << json;
+  for (const std::string& path : required) {
+    EXPECT_TRUE(reader.keys().count(path) > 0)
+        << what << " lost required key '" << path << "'";
+  }
+}
+
+const AnalysisTarget& gift64_table() {
+  static const std::vector<AnalysisTarget> targets = builtin_targets();
+  const AnalysisTarget* t = find_target(targets, "gift64-table");
+  EXPECT_NE(t, nullptr);
+  return *t;
+}
+
+TEST(ReportSchema, LeakReportJsonKeepsItsContract) {
+  LeakcheckConfig cfg;
+  cfg.diff.trials = 2;
+  const LeakReport report = analyze(gift64_table(), cfg);
+  expect_schema(
+      report.to_json(),
+      {"target", "description", "expected_leaky", "leaky", "consistent",
+       "static", "static.rounds_analyzed", "static.recoverable_bits",
+       "static.rounds", "static.rounds.round", "static.rounds.sbox_bits",
+       "static.rounds.perm_bits", "static.rounds.segments",
+       "static.rounds.segments.segment", "static.rounds.segments.bits",
+       "static.rounds.segments.index_taint", "dynamic", "dynamic.trials",
+       "dynamic.diverged"},
+      "LeakReport::to_json");
+}
+
+TEST(ReportSchema, QuantifyReportJsonKeepsItsContract) {
+  QuantifyConfig cfg;
+  cfg.sample_budget = 8;
+  const QuantifyReport report = quantify(gift64_table(), cfg);
+  expect_schema(
+      report.to_json(),
+      {"target", "description", "rounds_analyzed", "measured_sbox_bits",
+       "measured_perm_bits", "measured_total_bits",
+       "capacity_bits_per_observation", "expected_residual_bits",
+       "taint_sbox_bound", "taint_perm_bound", "within_taint_bound",
+       "budget", "budget.sbox_bits", "budget.perm_bits", "budget.tolerance",
+       "budget.ok", "rounds", "rounds.round", "rounds.sbox_bits",
+       "rounds.perm_bits", "rounds.sbox_capacity", "rounds.segments",
+       "rounds.segments.segment", "rounds.segments.key_bits",
+       "rounds.segments.sbox_bits", "rounds.segments.sbox_classes",
+       "rounds.segments.expected_candidates", "sbox_lines",
+       "sbox_lines.line_base", "sbox_lines.touch_probability",
+       "sbox_lines.bits", "sampled", "sampled.samples", "sampled.classes",
+       "sampled.bits", "ok"},
+      "QuantifyReport::to_json");
+}
+
+TEST(ReportSchema, ReportArraysAreValidJson) {
+  LeakcheckConfig leak_cfg;
+  leak_cfg.run_dynamic = false;
+  QuantifyConfig quant_cfg;
+  quant_cfg.run_sampled = false;
+  const std::string leak_array = reports_to_json(analyze_all(leak_cfg));
+  const std::string quant_array =
+      quantify_reports_to_json(quantify_all(quant_cfg));
+  SchemaReader leak_reader{leak_array};
+  EXPECT_TRUE(leak_reader.parse()) << leak_reader.failure();
+  SchemaReader quant_reader{quant_array};
+  EXPECT_TRUE(quant_reader.parse()) << quant_reader.failure();
+}
+
+}  // namespace
+}  // namespace grinch::analysis

@@ -130,6 +130,62 @@ def summarize_robustness(name, fresh):
     return warnings
 
 
+def summarize_leakage(name, fresh):
+    """Extra checks for BENCH_leakage.json (the quantified-leakage table).
+
+    The document's invariants are theorems about the analysis, so a
+    violation is a bug in the engine (or a silently weakened
+    countermeasure), never noise:
+
+      * the taint pass's bound is sound: measured <= bound per channel;
+      * every target matches its declared leakage budget;
+      * the packed-S-Box countermeasure strictly beats the table baseline
+        on the S-Box channel (the paper's Table I claim, quantified).
+    """
+    warnings = []
+    metrics = fresh.get("metrics", {})
+    targets = {k: v for k, v in metrics.items() if isinstance(v, dict)}
+    for target, m in sorted(targets.items()):
+        eps = 1e-9
+        if m.get("sbox_bits", 0.0) > m.get("taint_sbox_bound", 0.0) + eps:
+            warnings.append(
+                f"{name}: {target}: measured S-Box bits "
+                f"{m.get('sbox_bits')} exceed taint bound "
+                f"{m.get('taint_sbox_bound')}"
+            )
+        if m.get("perm_bits", 0.0) > m.get("taint_perm_bound", 0.0) + eps:
+            warnings.append(
+                f"{name}: {target}: measured PermBits bits "
+                f"{m.get('perm_bits')} exceed taint bound "
+                f"{m.get('taint_perm_bound')}"
+            )
+        if not m.get("budget_ok", False):
+            warnings.append(
+                f"{name}: {target}: measured bits drifted from declared "
+                f"budget ({m.get('sbox_bits')}/{m.get('budget_sbox_bits')} "
+                f"sbox, {m.get('perm_bits')}/{m.get('budget_perm_bits')} perm)"
+            )
+        print(
+            f"  {target}: sbox {m.get('sbox_bits', '?')} <= "
+            f"{m.get('taint_sbox_bound', '?')}, perm "
+            f"{m.get('perm_bits', '?')} <= {m.get('taint_perm_bound', '?')}, "
+            f"budget {'ok' if m.get('budget_ok') else 'DRIFT'}"
+        )
+    baseline_bits = targets.get("gift64-table", {}).get("sbox_bits")
+    for packed in ("gift64-packed-sbox", "gift64-packed-sbox-lut-perm"):
+        packed_bits = targets.get(packed, {}).get("sbox_bits")
+        if baseline_bits is None or packed_bits is None:
+            warnings.append(f"{name}: missing {packed} or gift64-table metrics")
+        elif not packed_bits < baseline_bits:
+            warnings.append(
+                f"{name}: {packed} S-Box leak ({packed_bits}) not strictly "
+                f"below the table baseline ({baseline_bits})"
+            )
+    if not metrics.get("all_within_budget", False):
+        warnings.append(f"{name}: document reports budget drift")
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -183,6 +239,8 @@ def main() -> int:
             warnings += compare_repo_format(base_path.name, baseline, fresh)
             if base_path.name == "BENCH_robustness.json":
                 warnings += summarize_robustness(base_path.name, fresh)
+            if base_path.name == "BENCH_leakage.json":
+                warnings += summarize_leakage(base_path.name, fresh)
 
     if warnings:
         print(f"\ncheck_bench: {len(warnings)} warning(s):")

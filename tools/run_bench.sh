@@ -32,6 +32,7 @@ BENCHES=(
   extension_present
   extension_time_driven
   robustness_sweep
+  leakage_quantify
   micro_throughput
 )
 
@@ -41,6 +42,7 @@ BENCHES=(
 doc_name() {
   case "$1" in
     robustness_sweep) echo "robustness" ;;
+    leakage_quantify) echo "leakage" ;;
     *) echo "$1" ;;
   esac
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Static-analyzes src/ with cppcheck (second analyzer next to clang-tidy:
+# different engine, different findings — cppcheck does whole-program value
+# flow the tidy checks don't attempt).
+#
+#   tools/run_cppcheck.sh [build-dir] [extra cppcheck args...]
+#
+# Uses the configured build dir's compile_commands.json when present so
+# include paths and defines match the real build; falls back to a plain
+# recursive run over src/ otherwise.  Exits nonzero on findings or when
+# cppcheck is unavailable; pair with GRINCH_CPPCHECK_OPTIONAL=1 to
+# tolerate a missing binary on dev boxes.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+CPPCHECK=${CPPCHECK:-cppcheck}
+if ! command -v "$CPPCHECK" >/dev/null 2>&1; then
+  if [ "${GRINCH_CPPCHECK_OPTIONAL:-0}" = "1" ]; then
+    echo "run_cppcheck: $CPPCHECK not found; skipping" \
+         "(GRINCH_CPPCHECK_OPTIONAL=1)" >&2
+    exit 0
+  fi
+  echo "run_cppcheck: $CPPCHECK not found" \
+       "(set CPPCHECK or GRINCH_CPPCHECK_OPTIONAL=1)" >&2
+  exit 2
+fi
+
+# Gate on the conservative profile: definite errors and warnings only.
+# style/performance are clang-tidy's turf (readability-*, performance-*);
+# missingIncludeSystem and unmatchedSuppression are configuration noise.
+# The unusedFunction check is suppressed because libraries legitimately
+# export API surface the analyzed TU set does not call (examples/tests
+# are out of scope here), and checkersReport because the report summary
+# line is not a finding.
+common_args="--std=c++20 --language=c++ \
+  --enable=warning,portability \
+  --inline-suppr \
+  --suppress=missingIncludeSystem \
+  --suppress=unmatchedSuppression \
+  --suppress=checkersReport \
+  --error-exitcode=1 --quiet"
+
+if [ -f "$build_dir/compile_commands.json" ]; then
+  # cppcheck understands compile_commands.json directly; restrict to src/
+  # so gtest/benchmark TUs don't dominate the run.
+  # shellcheck disable=SC2086  # word-splitting of the flag list is intended
+  "$CPPCHECK" $common_args \
+    --project="$build_dir/compile_commands.json" \
+    --file-filter="$repo_root/src/*" "$@"
+else
+  # shellcheck disable=SC2086
+  "$CPPCHECK" $common_args -I "$repo_root/src" "$repo_root/src" "$@"
+fi
+echo "run_cppcheck: clean"
