@@ -11,6 +11,7 @@
 // Unrecognized arguments pass through to google-benchmark verbatim.
 #include <benchmark/benchmark.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,9 +25,11 @@
 #include "gift/table_gift.h"
 #include "noc/network.h"
 #include "present/present.h"
+#include "runner/trial_runner.h"
 #include "soc/platform.h"
 #include "target/gift64_recovery.h"
 #include "target/platform.h"
+#include "target/wide_engine.h"
 
 using namespace grinch;
 
@@ -141,21 +144,64 @@ void BM_ObserveBatch(benchmark::State& state) {
   // zero-allocation LineSet observations, hoisted probe window).
   // items_per_second is observations per second; compare its inverse
   // against baseline_direct_observe_ns for the per-observation speedup.
+  // Width 64 routes through observe_wide — the transposed lockstep fast
+  // path (target/wide_observe.h) — the scalar widths through
+  // observe_batch, so /64 vs /16 is the wide-transport speedup
+  // (tools/check_bench.py asserts wide <= scalar per observation).
   const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  const bool wide = batch > 16;
   Xoshiro256 rng{9};
   target::DirectProbePlatform<target::Gift64Recovery> platform{
       {}, rng.key128()};
   std::vector<std::uint64_t> pts(batch);
   target::ObservationBatch out;
+  target::WideObservationBatch wide_out;
   for (auto _ : state) {
     for (std::uint64_t& p : pts) p = rng.block64();
-    platform.observe_batch(pts, 0, out);
-    benchmark::DoNotOptimize(out.data());
+    if (wide) {
+      platform.observe_wide(pts, 0, wide_out);
+      benchmark::DoNotOptimize(wide_out.lanes_present(0));
+    } else {
+      platform.observe_batch(pts, 0, out);
+      benchmark::DoNotOptimize(out.data());
+    }
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
-BENCHMARK(BM_ObserveBatch)->Arg(1)->Arg(16);
+BENCHMARK(BM_ObserveBatch)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_WideRecovery(benchmark::State& state) {
+  // Multi-trial recovery throughput: 64 independent GIFT-64 trials,
+  // sharded into lockstep groups of `range(0)` lanes through the
+  // WideRecoveryEngine (width 1 = the scalar trial loop's work, one lane
+  // per group).  items_per_second is recovered keys per second;
+  // tools/check_bench.py asserts per-trial time at width 64 stays within
+  // 1/0.75 of width 1 (>= 0.75x linear scaling).
+  const unsigned width = static_cast<unsigned>(state.range(0));
+  constexpr std::size_t kTrials = 64;
+  const auto seeds = runner::derive_trial_seeds(0x71D3, kTrials);
+  std::vector<target::WideTrialSpec> specs(kTrials);
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    specs[t] = {seeds[t].key, seeds[t].seed, 0};
+  }
+  const auto shards = runner::make_wide_shards(kTrials, width);
+  for (auto _ : state) {
+    target::WideRecoveryEngine<target::Gift64Recovery> engine{{}};
+    std::size_t recovered = 0;
+    for (const runner::WideShard& shard : shards) {
+      const auto results = engine.run(
+          std::span<const target::WideTrialSpec>(specs).subspan(shard.begin,
+                                                                shard.width));
+      for (const auto& r : results) recovered += r.success ? 1 : 0;
+    }
+    if (recovered != kTrials) state.SkipWithError("recovery failed");
+    benchmark::DoNotOptimize(recovered);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTrials));
+}
+BENCHMARK(BM_WideRecovery)->Arg(1)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_FullFirstRoundAttack(benchmark::State& state) {
   Xoshiro256 rng{8};

@@ -1,21 +1,44 @@
 #include "attack/eliminator.h"
 
+#include <array>
+#include <bit>
 #include <cassert>
 
 namespace grinch::attack {
+namespace {
+
+// Hard elimination as a table lookup: candidate c of segment nibble n
+// predicts S-Box index (n ^ c) & 0xF, so all four candidates land in the
+// aligned 4-index group n & ~3 and the keep mask is a fixed XOR-permute
+// of that group's presence bits.  kKeepLut[n & 3][presence4] is that
+// permute, precomputed for all 4 x 16 inputs.
+constexpr std::array<std::array<std::uint8_t, 16>, 4> make_keep_lut() {
+  std::array<std::array<std::uint8_t, 16>, 4> lut{};
+  for (unsigned low2 = 0; low2 < 4; ++low2) {
+    for (unsigned presence = 0; presence < 16; ++presence) {
+      std::uint8_t keep = 0;
+      for (unsigned c = 0; c < 4; ++c) {
+        if ((presence >> (low2 ^ c)) & 1u) {
+          keep = static_cast<std::uint8_t>(keep | (1u << c));
+        }
+      }
+      lut[low2][presence] = keep;
+    }
+  }
+  return lut;
+}
+
+constexpr auto kKeepLut = make_keep_lut();
+
+}  // namespace
 
 unsigned CandidateSet::size() const noexcept {
-  unsigned n = 0;
-  for (unsigned c = 0; c < 4; ++c) n += contains(c);
-  return n;
+  return static_cast<unsigned>(std::popcount(mask()));
 }
 
 unsigned CandidateSet::value() const noexcept {
   assert(resolved());
-  for (unsigned c = 0; c < 4; ++c) {
-    if (contains(c)) return c;
-  }
-  return 0;
+  return static_cast<unsigned>(std::countr_zero(mask()));
 }
 
 unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
@@ -23,13 +46,11 @@ unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
                               unsigned* restarts) {
   assert(present.size() == 16);
   const std::uint8_t before = set.mask();
-  CandidateSet trial = set;
-  for (unsigned c = 0; c < 4; ++c) {
-    if (!trial.contains(c)) continue;
-    const unsigned index = (pre_key_nibble ^ c) & 0xF;
-    if (!present[index]) trial.remove(c);
-  }
-  if (trial.empty()) {
+  const unsigned presence4 =
+      static_cast<unsigned>(present.word() >> (pre_key_nibble & ~3u)) & 0xFu;
+  const std::uint8_t keep = kKeepLut[pre_key_nibble & 3u][presence4];
+  const auto after = static_cast<std::uint8_t>(before & keep);
+  if (after == 0) {
     // Every candidate contradicted: the observation must be noisy (e.g.
     // the probe landed before the monitored access).  Start the segment
     // over rather than committing to a wrong elimination.
@@ -37,12 +58,9 @@ unsigned eliminate_candidates(CandidateSet& set, unsigned pre_key_nibble,
     if (restarts) ++*restarts;
     return 0;
   }
-  set = trial;
-  unsigned removed = 0;
-  for (unsigned c = 0; c < 4; ++c) {
-    removed += ((before >> c) & 1u) && !set.contains(c);
-  }
-  return removed;
+  set.set_mask(after);
+  return static_cast<unsigned>(
+      std::popcount(static_cast<std::uint8_t>(before & ~after)));
 }
 
 unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
@@ -53,11 +71,12 @@ unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
   assert(present.size() == 16);
   assert(threshold >= 1);
   const std::uint8_t before = set.mask();
+  const std::uint64_t word = present.word();
   CandidateSet trial = set;
   for (unsigned c = 0; c < 4; ++c) {
     if (!trial.contains(c)) continue;
     const unsigned index = (pre_key_nibble ^ c) & 0xF;
-    if (present[index]) {
+    if ((word >> index) & 1u) {
       votes[c] = 0;  // evidence of presence clears suspicion
     } else if (++votes[c] >= threshold) {
       trial.remove(c);
@@ -70,11 +89,8 @@ unsigned eliminate_candidates_voted(CandidateSet& set, AbsentVotes& votes,
     return 0;
   }
   set = trial;
-  unsigned removed = 0;
-  for (unsigned c = 0; c < 4; ++c) {
-    removed += ((before >> c) & 1u) && !set.contains(c);
-  }
-  return removed;
+  return static_cast<unsigned>(
+      std::popcount(static_cast<std::uint8_t>(before & ~trial.mask())));
 }
 
 bool all_resolved(const std::array<CandidateSet, 16>& masks) {

@@ -1,0 +1,104 @@
+// Lockstep multi-lane cache state for the wide observation path.
+//
+// LockstepCaches advances up to 64 independent flush-per-observation
+// trials ("lanes") through one struct-of-arrays tag/stamp store: all
+// lanes share one tags_/stamps_/counts_ allocation laid out lane-major,
+// so a wide batch walks contiguous memory instead of 64 scattered Cache
+// objects, and a lane reset is one small memset.
+//
+// Each lane models an *initially empty* cache.  That is exact — not an
+// approximation — for the supported configurations (supports()): on an
+// LRU cache with no prefetcher, every line resident before the
+// attacker's flush point carries a strictly older recency stamp than any
+// line filled inside the monitored window, so
+//   * a monitored (flushed) line is present at the probe iff the window
+//     itself filled it and no later in-window fill evicted it;
+//   * the eviction order among in-window lines is the same whether the
+//     pre-window lines exist or not (they are only ever victimised
+//     first, and evicting a pre-window line never changes a monitored
+//     line's verdict);
+//   * an in-window hit on a pre-window line refreshes its stamp exactly
+//     like the cold lane's fill does, so subsequent victim choices agree.
+// The per-observation verdicts and latencies therefore equal a scalar
+// Cache that carries the full warm history (differentially pinned by
+// tests/cachesim/lockstep_test.cpp and the wide conformance suite).
+// FIFO breaks the argument (hits do not refresh stamps), PLRU/Random
+// track state the cold lane cannot reproduce, and a prefetcher drags
+// neighbour lines across the flush boundary — those configurations must
+// use the scalar path (callers check supports()).
+//
+// Sets are kept compact: `counts_` holds the number of live lines per
+// (lane, set); fills append, flushes swap-remove.  Slot order is
+// irrelevant to behaviour — lookups match tags and the LRU victim is the
+// unique minimum stamp (the per-lane clock strictly increases, so stamps
+// never tie).  Tag and stamp of a slot live adjacent in one array
+// ((tag, stamp) u64 pairs), so the common low-occupancy set probe costs
+// a single cache line instead of one per array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/config.h"
+
+namespace grinch::cachesim {
+
+class LockstepCaches {
+ public:
+  LockstepCaches(const CacheConfig& config, unsigned max_lanes);
+
+  /// True when a cold per-lane cache reproduces the warm scalar cache's
+  /// probe verdicts exactly (see header comment).
+  [[nodiscard]] static bool supports(const CacheConfig& config) noexcept {
+    return config.replacement == Replacement::kLru &&
+           config.prefetch_lines == 0;
+  }
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] unsigned max_lanes() const noexcept { return max_lanes_; }
+
+  /// Empties lane `lane` (all sets, clock to 0).
+  void reset_lane(unsigned lane);
+
+  /// Untimed access on `lane` (victim replay): hit refreshes recency,
+  /// miss fills — exactly Cache::touch on the supported configs.
+  void touch(unsigned lane, std::uint64_t addr) {
+    (void)access(lane, addr);
+  }
+
+  /// Timed access on `lane` (attacker probe): returns whether it hit;
+  /// state transitions are identical to touch().
+  [[nodiscard]] bool access(unsigned lane, std::uint64_t addr);
+
+  /// Invalidates the line containing `addr` on `lane`; returns true when
+  /// a live line was dropped.
+  bool flush_line(unsigned lane, std::uint64_t addr);
+
+  /// Non-mutating presence check (tests/diagnostics).
+  [[nodiscard]] bool contains(unsigned lane, std::uint64_t addr) const;
+
+ private:
+  /// Index of slot 0's (tag, stamp) pair for (lane, set) in data_.
+  [[nodiscard]] std::size_t slot_base(unsigned lane,
+                                      std::uint64_t set) const noexcept {
+    return (static_cast<std::size_t>(lane) * num_sets_ +
+            static_cast<std::size_t>(set)) *
+           ways_ * 2;
+  }
+
+  CacheConfig config_;
+  unsigned max_lanes_;
+  unsigned ways_;
+  unsigned num_sets_;
+  unsigned line_shift_;
+  unsigned sets_shift_;
+  std::uint64_t set_mask_;
+  /// Shared SoA storage, lane-major: slot i of (lane, set) is the pair
+  /// data_[slot_base + 2i] (tag) / data_[slot_base + 2i + 1] (stamp).
+  /// Only the first counts_[lane*num_sets + set] slots are live.
+  std::vector<std::uint64_t> data_;
+  std::vector<std::uint8_t> counts_;
+  std::vector<std::uint32_t> clocks_;  ///< per-lane recency clock
+};
+
+}  // namespace grinch::cachesim

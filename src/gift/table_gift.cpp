@@ -42,8 +42,10 @@ TableGift64::TableGift64(const TableLayout& layout, RoundKeyProvider provider)
       standard_schedule_(!provider),
       provider_(provider ? std::move(provider) : standard_round_keys) {
   const SBox& sbox = gift_sbox();
-  for (unsigned v = 0; v < 16; ++v)
+  for (unsigned v = 0; v < 16; ++v) {
     sbox_table_[v] = static_cast<std::uint8_t>(sbox.apply(v));
+    sbox_addr_[v] = layout_.sbox_row_addr(v);
+  }
   const BitPermutation& perm = gift64_permutation();
   for (unsigned s = 0; s < 16; ++s) {
     for (unsigned v = 0; v < 16; ++v) {
@@ -74,53 +76,6 @@ std::uint64_t TableGift64::encrypt_impl(std::uint64_t plaintext,
     rks = rk_vec.data();
   }
   return encrypt_with_keys(plaintext, rks, rounds, sink);
-}
-
-template <typename Sink>
-std::uint64_t TableGift64::encrypt_with_keys(std::uint64_t plaintext,
-                                             const RoundKey64* rks,
-                                             unsigned rounds,
-                                             Sink* sink) const {
-  std::uint64_t state = plaintext;
-  for (unsigned r = 0; r < rounds; ++r) {
-    if (sink) sink->on_round_begin(r);
-
-    // SubCells via the 16-entry S-Box table.  The *index* of each lookup
-    // is the current 4-bit segment value — this is what leaks.
-    std::uint64_t substituted = 0;
-    for (unsigned s = 0; s < Gift64::kSegments; ++s) {
-      const auto v = static_cast<unsigned>((state >> (4 * s)) & 0xF);
-      if (sink) {
-        sink->on_access(TableAccess{layout_.sbox_row_addr(v),
-                                    TableAccess::Kind::kSBox,
-                                    static_cast<std::uint8_t>(r),
-                                    static_cast<std::uint8_t>(s),
-                                    static_cast<std::uint8_t>(v)});
-      }
-      substituted |= static_cast<std::uint64_t>(sbox_table_[v]) << (4 * s);
-    }
-
-    // PermBits via precomputed per-segment masks.
-    std::uint64_t permuted = 0;
-    for (unsigned s = 0; s < Gift64::kSegments; ++s) {
-      const auto v = static_cast<unsigned>((substituted >> (4 * s)) & 0xF);
-      if (sink) {
-        sink->on_access(TableAccess{layout_.perm_row_addr(s, v),
-                                    TableAccess::Kind::kPerm,
-                                    static_cast<std::uint8_t>(r),
-                                    static_cast<std::uint8_t>(s),
-                                    static_cast<std::uint8_t>(v)});
-      }
-      permuted |= perm_table_[s][v];
-    }
-
-    // AddRoundKey + constant: pure register arithmetic, no table traffic.
-    state = Gift64::add_round_key(permuted, rks[r]);
-    state = add_constant64(state, round_constant(r));
-
-    if (sink) sink->on_round_end(r);
-  }
-  return state;
 }
 
 std::uint64_t TableGift64::encrypt_rounds(std::uint64_t plaintext,

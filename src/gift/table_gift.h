@@ -19,6 +19,7 @@
 // (Gift64) in tests/gift/table_gift_test.cpp.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "common/key128.h"
+#include "gift/constants.h"
 #include "gift/gift64.h"
 #include "target/table_layout.h"
 
@@ -164,6 +166,20 @@ class TableGift64 {
                                  static_cast<TraceSink*>(nullptr));
   }
 
+  /// Fully static sink (any class with the TraceSink callback shape, no
+  /// inheritance required): the round loop and the callbacks inline into
+  /// one function — the wide lockstep path streams accesses straight
+  /// into its lane cache with zero dispatch overhead.  Exact-match
+  /// overload resolution keeps TraceSink*/VectorTraceSink* callers on
+  /// the non-template entry points above.
+  template <typename Sink>
+  [[nodiscard]] std::uint64_t encrypt_with_schedule(
+      std::uint64_t plaintext, std::span<const RoundKey64> schedule,
+      unsigned rounds, Sink* sink) const {
+    assert(schedule.size() >= rounds);
+    return encrypt_with_keys(plaintext, schedule.data(), rounds, sink);
+  }
+
   /// Table accesses issued per round (16 S-Box + 16 PermBits lookups).
   [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
     return 32;
@@ -173,10 +189,55 @@ class TableGift64 {
   template <typename Sink>
   std::uint64_t encrypt_impl(std::uint64_t plaintext, const Key128& key,
                              unsigned rounds, Sink* sink) const;
+
+  /// The round loop, generic over the sink's static type.  Header-defined
+  /// so sink callbacks devirtualize/inline per instantiation.
   template <typename Sink>
   std::uint64_t encrypt_with_keys(std::uint64_t plaintext,
                                   const RoundKey64* rks, unsigned rounds,
-                                  Sink* sink) const;
+                                  Sink* sink) const {
+    std::uint64_t state = plaintext;
+    for (unsigned r = 0; r < rounds; ++r) {
+      if (sink) sink->on_round_begin(r);
+
+      // SubCells via the 16-entry S-Box table.  The *index* of each
+      // lookup is the current 4-bit segment value — this is what leaks.
+      std::uint64_t substituted = 0;
+      for (unsigned s = 0; s < Gift64::kSegments; ++s) {
+        const auto v = static_cast<unsigned>((state >> (4 * s)) & 0xF);
+        if (sink) {
+          sink->on_access(TableAccess{sbox_addr_[v],
+                                      TableAccess::Kind::kSBox,
+                                      static_cast<std::uint8_t>(r),
+                                      static_cast<std::uint8_t>(s),
+                                      static_cast<std::uint8_t>(v)});
+        }
+        substituted |= static_cast<std::uint64_t>(sbox_table_[v]) << (4 * s);
+      }
+
+      // PermBits via precomputed per-segment masks.
+      std::uint64_t permuted = 0;
+      for (unsigned s = 0; s < Gift64::kSegments; ++s) {
+        const auto v = static_cast<unsigned>((substituted >> (4 * s)) & 0xF);
+        if (sink) {
+          sink->on_access(TableAccess{layout_.perm_row_addr(s, v),
+                                      TableAccess::Kind::kPerm,
+                                      static_cast<std::uint8_t>(r),
+                                      static_cast<std::uint8_t>(s),
+                                      static_cast<std::uint8_t>(v)});
+        }
+        permuted |= perm_table_[s][v];
+      }
+
+      // AddRoundKey + constant: pure register arithmetic, no table
+      // traffic.
+      state = Gift64::add_round_key(permuted, rks[r]);
+      state = add_constant64(state, round_constant(r));
+
+      if (sink) sink->on_round_end(r);
+    }
+    return state;
+  }
 
   TableLayout layout_;
   /// provider_ is the standard schedule — round keys then come from a
@@ -185,6 +246,8 @@ class TableGift64 {
   bool standard_schedule_;
   RoundKeyProvider provider_;
   std::uint8_t sbox_table_[16];
+  std::uint64_t sbox_addr_[16];       // = layout_.sbox_row_addr(v), hoisting
+                                      // its division off the round loop
   std::uint64_t perm_table_[16][16];  // PERM[s][v] = P64 applied to v<<4s
 };
 

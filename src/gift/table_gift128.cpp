@@ -11,8 +11,10 @@ namespace grinch::gift {
 
 TableGift128::TableGift128(const TableLayout& layout) : layout_(layout) {
   const SBox& sbox = gift_sbox();
-  for (unsigned v = 0; v < 16; ++v)
+  for (unsigned v = 0; v < 16; ++v) {
     sbox_table_[v] = static_cast<std::uint8_t>(sbox.apply(v));
+    sbox_addr_[v] = layout_.sbox_row_addr(v);
+  }
   const BitPermutation& perm = gift128_permutation();
   for (unsigned s = 0; s < 32; ++s) {
     for (unsigned v = 0; v < 16; ++v) {
@@ -62,60 +64,6 @@ State128 TableGift128::encrypt_with_schedule(
     TraceSink* sink) const {
   assert(schedule.size() >= rounds);
   return encrypt_with_keys(plaintext, schedule.data(), rounds, sink);
-}
-
-State128 TableGift128::encrypt_with_keys(State128 plaintext,
-                                         const RoundKey128* rks,
-                                         unsigned rounds,
-                                         TraceSink* sink) const {
-  State128 state = plaintext;
-  for (unsigned r = 0; r < rounds; ++r) {
-    if (sink) sink->on_round_begin(r);
-
-    // SubCells via the shared 16-entry table; the lookup index leaks.
-    State128 substituted{};
-    for (unsigned s = 0; s < Gift128::kSegments; ++s) {
-      const unsigned v = state.nibble(s);
-      if (sink) {
-        sink->on_access(TableAccess{layout_.sbox_row_addr(v),
-                                    TableAccess::Kind::kSBox,
-                                    static_cast<std::uint8_t>(r),
-                                    static_cast<std::uint8_t>(s),
-                                    static_cast<std::uint8_t>(v)});
-      }
-      const std::uint64_t y = sbox_table_[v];
-      if (s < 16)
-        substituted.lo |= y << (4 * s);
-      else
-        substituted.hi |= y << (4 * (s - 16));
-    }
-
-    // PermBits via precomputed per-segment masks.
-    State128 permuted{};
-    for (unsigned s = 0; s < Gift128::kSegments; ++s) {
-      const unsigned v = substituted.nibble(s);
-      if (sink) {
-        sink->on_access(TableAccess{layout_.perm_row_addr(s, v),
-                                    TableAccess::Kind::kPerm,
-                                    static_cast<std::uint8_t>(r),
-                                    static_cast<std::uint8_t>(s),
-                                    static_cast<std::uint8_t>(v)});
-      }
-      permuted.hi |= perm_hi_[s][v];
-      permuted.lo |= perm_lo_[s][v];
-    }
-
-    state = Gift128::add_round_key(permuted, rks[r]);
-    // Constant addition (same shape as the spec implementation).
-    state.hi ^= std::uint64_t{1} << 63;
-    const std::uint8_t c = round_constant(r);
-    for (unsigned t = 0; t < 6; ++t) {
-      state.lo ^= static_cast<std::uint64_t>((c >> t) & 1u) << (4 * t + 3);
-    }
-
-    if (sink) sink->on_round_end(r);
-  }
-  return state;
 }
 
 State128 TableGift128::encrypt(State128 plaintext, const Key128& key,

@@ -8,11 +8,13 @@
 // TraceSink) so probers and cache machinery are reused unchanged.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/key128.h"
+#include "gift/constants.h"
 #include "gift/gift128.h"
 #include "gift/table_gift.h"
 
@@ -46,17 +48,83 @@ class TableGift128 {
       State128 plaintext, std::span<const RoundKey128> schedule,
       unsigned rounds, TraceSink* sink = nullptr) const;
 
+  /// Fully static sink (any class with the TraceSink callback shape, no
+  /// inheritance required): round loop and callbacks inline into one
+  /// function — the wide lockstep path's zero-dispatch entry point.
+  /// TraceSink* callers keep resolving to the non-template overload.
+  template <typename Sink>
+  [[nodiscard]] State128 encrypt_with_schedule(
+      State128 plaintext, std::span<const RoundKey128> schedule,
+      unsigned rounds, Sink* sink) const {
+    assert(schedule.size() >= rounds);
+    return encrypt_with_keys(plaintext, schedule.data(), rounds, sink);
+  }
+
   /// 32 S-Box + 32 PermBits lookups per round.
   [[nodiscard]] static constexpr unsigned accesses_per_round() noexcept {
     return 64;
   }
 
  private:
+  /// The round loop, generic over the sink's static type.  Header-defined
+  /// so sink callbacks devirtualize/inline per instantiation.
+  template <typename Sink>
   State128 encrypt_with_keys(State128 plaintext, const RoundKey128* rks,
-                             unsigned rounds, TraceSink* sink) const;
+                             unsigned rounds, Sink* sink) const {
+    State128 state = plaintext;
+    for (unsigned r = 0; r < rounds; ++r) {
+      if (sink) sink->on_round_begin(r);
+
+      // SubCells via the shared 16-entry table; the lookup index leaks.
+      State128 substituted{};
+      for (unsigned s = 0; s < Gift128::kSegments; ++s) {
+        const unsigned v = state.nibble(s);
+        if (sink) {
+          sink->on_access(TableAccess{sbox_addr_[v],
+                                      TableAccess::Kind::kSBox,
+                                      static_cast<std::uint8_t>(r),
+                                      static_cast<std::uint8_t>(s),
+                                      static_cast<std::uint8_t>(v)});
+        }
+        const std::uint64_t y = sbox_table_[v];
+        if (s < 16)
+          substituted.lo |= y << (4 * s);
+        else
+          substituted.hi |= y << (4 * (s - 16));
+      }
+
+      // PermBits via precomputed per-segment masks.
+      State128 permuted{};
+      for (unsigned s = 0; s < Gift128::kSegments; ++s) {
+        const unsigned v = substituted.nibble(s);
+        if (sink) {
+          sink->on_access(TableAccess{layout_.perm_row_addr(s, v),
+                                      TableAccess::Kind::kPerm,
+                                      static_cast<std::uint8_t>(r),
+                                      static_cast<std::uint8_t>(s),
+                                      static_cast<std::uint8_t>(v)});
+        }
+        permuted.hi |= perm_hi_[s][v];
+        permuted.lo |= perm_lo_[s][v];
+      }
+
+      state = Gift128::add_round_key(permuted, rks[r]);
+      // Constant addition (same shape as the spec implementation).
+      state.hi ^= std::uint64_t{1} << 63;
+      const std::uint8_t c = round_constant(r);
+      for (unsigned t = 0; t < 6; ++t) {
+        state.lo ^= static_cast<std::uint64_t>((c >> t) & 1u) << (4 * t + 3);
+      }
+
+      if (sink) sink->on_round_end(r);
+    }
+    return state;
+  }
 
   TableLayout layout_;
   std::uint8_t sbox_table_[16];
+  std::uint64_t sbox_addr_[16];  // = layout_.sbox_row_addr(v), hoisting its
+                                 // division off the round loop
   /// PERM[s][v] = P128 applied to v << 4s, as (hi, lo) contributions.
   std::uint64_t perm_hi_[32][16];
   std::uint64_t perm_lo_[32][16];

@@ -33,8 +33,10 @@ TablePresent80::Schedule TablePresent80::make_schedule(const Key128& key) {
 
 TablePresent80::TablePresent80(const target::TableLayout& layout)
     : layout_(layout) {
-  for (unsigned v = 0; v < 16; ++v)
+  for (unsigned v = 0; v < 16; ++v) {
     sbox_table_[v] = static_cast<std::uint8_t>(gift::present_sbox().apply(v));
+    sbox_addr_[v] = layout_.sbox_row_addr(v);
+  }
   for (unsigned s = 0; s < 16; ++s)
     for (unsigned v = 0; v < 16; ++v)
       perm_table_[s][v] = gift::present_permutation().apply64(
@@ -51,42 +53,7 @@ std::uint64_t TablePresent80::encrypt_rounds(std::uint64_t plaintext,
 std::uint64_t TablePresent80::encrypt_with_schedule(
     std::uint64_t plaintext, std::span<const std::uint64_t> rks,
     unsigned rounds, gift::TraceSink* sink) const {
-  assert(rks.size() > Present80::kRounds);
-  std::uint64_t state = plaintext;
-  for (unsigned r = 0; r < rounds && r < Present80::kRounds; ++r) {
-    if (sink) sink->on_round_begin(r);
-    state ^= rks[r];
-
-    std::uint64_t substituted = 0;
-    for (unsigned s = 0; s < 16; ++s) {
-      const auto v = static_cast<unsigned>((state >> (4 * s)) & 0xF);
-      if (sink) {
-        sink->on_access(gift::TableAccess{layout_.sbox_row_addr(v),
-                                          gift::TableAccess::Kind::kSBox,
-                                          static_cast<std::uint8_t>(r),
-                                          static_cast<std::uint8_t>(s),
-                                          static_cast<std::uint8_t>(v)});
-      }
-      substituted |= static_cast<std::uint64_t>(sbox_table_[v]) << (4 * s);
-    }
-
-    std::uint64_t permuted = 0;
-    for (unsigned s = 0; s < 16; ++s) {
-      const auto v = static_cast<unsigned>((substituted >> (4 * s)) & 0xF);
-      if (sink) {
-        sink->on_access(gift::TableAccess{layout_.perm_row_addr(s, v),
-                                          gift::TableAccess::Kind::kPerm,
-                                          static_cast<std::uint8_t>(r),
-                                          static_cast<std::uint8_t>(s),
-                                          static_cast<std::uint8_t>(v)});
-      }
-      permuted |= perm_table_[s][v];
-    }
-    state = permuted;
-    if (sink) sink->on_round_end(r);
-  }
-  if (rounds >= Present80::kRounds) state ^= rks[Present80::kRounds];
-  return state;
+  return encrypt_with_schedule<gift::TraceSink>(plaintext, rks, rounds, sink);
 }
 
 std::uint64_t TablePresent80::encrypt(std::uint64_t plaintext,

@@ -6,12 +6,14 @@
 // trace-sink machinery so platforms and probers work unchanged.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/key128.h"
 #include "gift/table_gift.h"
+#include "present/present.h"
 #include "target/table_layout.h"
 
 namespace grinch::present {
@@ -51,9 +53,57 @@ class TablePresent80 {
       std::uint64_t plaintext, std::span<const std::uint64_t> schedule,
       unsigned rounds, gift::TraceSink* sink = nullptr) const;
 
+  /// Fully static sink (any class with the TraceSink callback shape, no
+  /// inheritance required): round loop and callbacks inline into one
+  /// function — the wide lockstep path's zero-dispatch entry point.
+  /// TraceSink* callers keep resolving to the non-template overload.
+  template <typename Sink>
+  [[nodiscard]] std::uint64_t encrypt_with_schedule(
+      std::uint64_t plaintext, std::span<const std::uint64_t> rks,
+      unsigned rounds, Sink* sink) const {
+    assert(rks.size() > Present80::kRounds);
+    std::uint64_t state = plaintext;
+    for (unsigned r = 0; r < rounds && r < Present80::kRounds; ++r) {
+      if (sink) sink->on_round_begin(r);
+      state ^= rks[r];
+
+      std::uint64_t substituted = 0;
+      for (unsigned s = 0; s < 16; ++s) {
+        const auto v = static_cast<unsigned>((state >> (4 * s)) & 0xF);
+        if (sink) {
+          sink->on_access(gift::TableAccess{sbox_addr_[v],
+                                            gift::TableAccess::Kind::kSBox,
+                                            static_cast<std::uint8_t>(r),
+                                            static_cast<std::uint8_t>(s),
+                                            static_cast<std::uint8_t>(v)});
+        }
+        substituted |= static_cast<std::uint64_t>(sbox_table_[v]) << (4 * s);
+      }
+
+      std::uint64_t permuted = 0;
+      for (unsigned s = 0; s < 16; ++s) {
+        const auto v = static_cast<unsigned>((substituted >> (4 * s)) & 0xF);
+        if (sink) {
+          sink->on_access(gift::TableAccess{layout_.perm_row_addr(s, v),
+                                            gift::TableAccess::Kind::kPerm,
+                                            static_cast<std::uint8_t>(r),
+                                            static_cast<std::uint8_t>(s),
+                                            static_cast<std::uint8_t>(v)});
+        }
+        permuted |= perm_table_[s][v];
+      }
+      state = permuted;
+      if (sink) sink->on_round_end(r);
+    }
+    if (rounds >= Present80::kRounds) state ^= rks[Present80::kRounds];
+    return state;
+  }
+
  private:
   target::TableLayout layout_;
   std::uint8_t sbox_table_[16];
+  std::uint64_t sbox_addr_[16];  // = layout_.sbox_row_addr(v), hoisting its
+                                 // division off the round loop
   std::uint64_t perm_table_[16][16];
 };
 

@@ -1,6 +1,19 @@
 #include "runner/trial_runner.h"
 
+#include <algorithm>
+
 namespace grinch::runner {
+
+std::vector<WideShard> make_wide_shards(std::size_t trials, unsigned width) {
+  const unsigned w = std::clamp(width, 1u, 64u);
+  std::vector<WideShard> out;
+  out.reserve((trials + w - 1) / w);
+  for (std::size_t begin = 0; begin < trials; begin += w) {
+    out.push_back(
+        {begin, static_cast<unsigned>(std::min<std::size_t>(w, trials - begin))});
+  }
+  return out;
+}
 
 std::vector<TrialSeed> derive_trial_seeds(std::uint64_t seed,
                                           std::size_t trials) {

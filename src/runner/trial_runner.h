@@ -60,6 +60,21 @@ class TrialRunner {
   ThreadPool* pool_;
 };
 
+/// One contiguous slice of a trial list, sized for the wide recovery
+/// engine: trials [begin, begin + width) run as one lockstep group.
+struct WideShard {
+  std::size_t begin = 0;
+  unsigned width = 0;
+};
+
+/// Cuts `trials` into contiguous shards of at most `width` lanes (the
+/// last shard may be narrower; width is clamped to [1, 64]).  Shards are
+/// independent — dispatch each to a WideRecoveryEngine::run() call,
+/// serially or across a pool — and cover the trial list exactly, in
+/// order, so sharded results concatenate into the unsharded order.
+[[nodiscard]] std::vector<WideShard> make_wide_shards(std::size_t trials,
+                                                      unsigned width);
+
 /// Flattens a grid of cells with per-cell trial counts into one task
 /// list — `fn(cell, trial)` — so a cheap cell's threads immediately help
 /// the expensive cells instead of idling at per-cell barriers.  Tasks are

@@ -2,12 +2,12 @@
 //
 // FaultyObservationSource decorates a platform with the fault vocabulary
 // of target/fault_model.h: every delivered observation passes through the
-// fault channel, which may evict monitored lines from it (false absents),
-// add lines the victim never touched (false presents), mark it dropped
-// (detectable probe miss), replace it with the previous delivered line
-// set (stale) or with uniform garbage (burst).  Faults act at *cache
-// line* granularity — indices sharing a line flip together — using the
-// inner source's index_line_ids() grouping.
+// fault channel (target/fault_channel.h), which may evict monitored lines
+// from it (false absents), add lines the victim never touched (false
+// presents), mark it dropped (detectable probe miss), replace it with the
+// previous delivered line set (stale) or with uniform garbage (burst).
+// Faults act at *cache line* granularity — indices sharing a line flip
+// together — using the inner source's index_line_ids() grouping.
 //
 // Determinism: each fault mode owns an independent Xoshiro256 sub-seeded
 // from FaultProfile::seed via SplitMix64, and draws exactly once per
@@ -15,27 +15,25 @@
 // once per monitored line).  Corruption is therefore a pure function of
 // the delivered-observation sequence, byte-reproducible across runs and
 // thread counts, and identical whether observations arrive through
-// observe() or observe_batch() — the batch override corrupts elements in
-// delivery order.
+// observe(), observe_batch() or observe_wide() — the batch overrides
+// corrupt elements in delivery order.
 //
 // Speculative batching: KeyRecoveryEngine may observe a speculative batch
 // and then consume only a prefix of it (recovery_engine.h).  Discarded
 // elements must not advance the fault channel, or the batched engine
-// would diverge from the scalar one.  observe_batch() therefore
-// checkpoints the channel state after every element, and rewind_to(k)
-// restores the state to "k elements consumed".  The engine calls it
-// automatically when Config::faults is set; when wrapping a source
-// manually, drive the engine with max_batch = 1 (strict scalar) or call
-// rewind_to() yourself after partial consumption.
+// would diverge from the scalar one.  observe_batch()/observe_wide()
+// therefore checkpoint the channel state after every element, and
+// rewind_to(k) restores the state to "k elements consumed".  The engine
+// calls it automatically when Config::faults is set; when wrapping a
+// source manually, drive the engine with max_batch = 1 (strict scalar) or
+// call rewind_to() yourself after partial consumption.
 #pragma once
 
-#include <array>
-#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
 
-#include "common/rng.h"
+#include "target/fault_channel.h"
 #include "target/fault_model.h"
 #include "target/observation.h"
 
@@ -44,50 +42,16 @@ namespace grinch::target {
 template <typename Block>
 class FaultyObservationSource final : public ObservationSource<Block> {
  public:
-  /// Faults delivered so far (consumed-prefix accurate: rewind_to() rolls
-  /// counters back together with the random streams).
-  struct Stats {
-    std::uint64_t observations = 0;  ///< delivered through the channel
-    std::uint64_t dropped = 0;       ///< marked Observation::dropped
-    std::uint64_t stale = 0;         ///< previous line set replayed
-    std::uint64_t bursts = 0;        ///< burst windows started
-    std::uint64_t burst_corrupted = 0;  ///< observations inside a burst
-    std::uint64_t lines_flipped_absent = 0;
-    std::uint64_t lines_flipped_present = 0;
-  };
+  using Stats = FaultChannel::Stats;
 
   FaultyObservationSource(ObservationSource<Block>& inner,
                           const FaultProfile& profile)
-      : inner_(&inner), profile_(profile) {
-    SplitMix64 seeder{profile.seed};
-    channel_.absent_rng = Xoshiro256{seeder.next()};
-    channel_.present_rng = Xoshiro256{seeder.next()};
-    channel_.drop_rng = Xoshiro256{seeder.next()};
-    channel_.stale_rng = Xoshiro256{seeder.next()};
-    channel_.burst_rng = Xoshiro256{seeder.next()};
-    // Line grouping: rows of the observation bitset that share a cache
-    // line corrupt together.  Row r holds sbox_entries_per_row indices,
-    // and index_line_ids() names each index's line.
-    const TableLayout& layout = inner.layout();
-    const std::vector<unsigned> ids = inner.index_line_ids();
-    rows_ = layout.sbox_rows();
-    unsigned lines = 0;
-    std::array<std::uint64_t, LineSet::kMaxBits> mask_of_line{};
-    std::array<bool, LineSet::kMaxBits> seen{};
-    for (unsigned r = 0; r < rows_; ++r) {
-      const unsigned line = ids[r * layout.sbox_entries_per_row];
-      mask_of_line[line] |= std::uint64_t{1} << r;
-      if (!seen[line]) {
-        seen[line] = true;
-        ++lines;
-      }
-    }
-    line_masks_.assign(mask_of_line.begin(), mask_of_line.begin() + lines);
-  }
+      : inner_(&inner),
+        channel_(profile, inner.layout(), inner.index_line_ids()) {}
 
   Observation observe(Block plaintext, unsigned stage) override {
     Observation o = inner_->observe(plaintext, stage);
-    corrupt(o);
+    channel_.corrupt(o);
     checkpoints_.clear();
     return o;
   }
@@ -96,19 +60,36 @@ class FaultyObservationSource final : public ObservationSource<Block> {
                      ObservationBatch& out) override {
     inner_->observe_batch(plaintexts, stage, out);
     checkpoints_.clear();
-    checkpoints_.push_back(channel_);
+    checkpoints_.push_back(channel_.state());
     for (Observation& o : out) {
-      corrupt(o);
-      checkpoints_.push_back(channel_);
+      channel_.corrupt(o);
+      checkpoints_.push_back(channel_.state());
+    }
+  }
+
+  /// Wide transport with identical delivery semantics: the inner source
+  /// fills the transposed batch (its lockstep fast path stays live), then
+  /// each lane is corrupted in order and stored back.  extract(i)
+  /// afterwards equals what the scalar observe() chain would deliver.
+  void observe_wide(std::span<const Block> plaintexts, unsigned stage,
+                    WideObservationBatch& out) override {
+    inner_->observe_wide(plaintexts, stage, out);
+    checkpoints_.clear();
+    checkpoints_.push_back(channel_.state());
+    for (unsigned lane = 0; lane < out.width(); ++lane) {
+      Observation o = out.extract(lane);
+      channel_.corrupt(o);
+      out.store(lane, o);
+      checkpoints_.push_back(channel_.state());
     }
   }
 
   /// Restores the fault channel to the state after `consumed` elements of
-  /// the last observe_batch() call, as if the discarded tail had never
-  /// been observed.  A no-op when the whole batch was consumed or no
-  /// batch is pending.
+  /// the last observe_batch()/observe_wide() call, as if the discarded
+  /// tail had never been observed.  A no-op when the whole batch was
+  /// consumed or no batch is pending.
   void rewind_to(std::size_t consumed) {
-    if (consumed < checkpoints_.size()) channel_ = checkpoints_[consumed];
+    if (consumed < checkpoints_.size()) channel_.restore(checkpoints_[consumed]);
     checkpoints_.clear();
   }
 
@@ -127,113 +108,17 @@ class FaultyObservationSource final : public ObservationSource<Block> {
     return inner_->last_ciphertext();
   }
 
-  [[nodiscard]] const Stats& stats() const noexcept { return channel_.stats; }
+  [[nodiscard]] const Stats& stats() const noexcept { return channel_.stats(); }
   [[nodiscard]] const FaultProfile& profile() const noexcept {
-    return profile_;
+    return channel_.profile();
   }
 
  private:
-  /// Everything rewind_to() must restore: the five sub-streams, the burst
-  /// countdown, the stale-replay memory, and the counters.
-  struct ChannelState {
-    Xoshiro256 absent_rng{0}, present_rng{0}, drop_rng{0}, stale_rng{0},
-        burst_rng{0};
-    unsigned burst_remaining = 0;
-    LineSet last_present;
-    bool has_last = false;
-    Stats stats;
-  };
-
-  static bool hit(Xoshiro256& rng, double rate) noexcept {
-    // 53-bit uniform in [0, 1): deterministic, unbiased enough for rates.
-    const double u =
-        static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
-    return u < rate;
-  }
-
-  void corrupt(Observation& o) {
-    ChannelState& ch = channel_;
-    ++ch.stats.observations;
-
-    // Fixed draw schedule: each enabled mode draws regardless of what the
-    // other modes decided, so the streams stay independent of each
-    // other's rates.  Precedence among the whole-observation modes is
-    // burst > dropped > stale (a preempted attacker cannot also probe).
-    bool burst_now = ch.burst_remaining > 0;
-    if (profile_.burst_rate > 0.0 && !burst_now &&
-        hit(ch.burst_rng, profile_.burst_rate)) {
-      ch.burst_remaining = profile_.burst_length;
-      ++ch.stats.bursts;
-      burst_now = ch.burst_remaining > 0;
-    }
-    const bool drop_now =
-        profile_.dropped_rate > 0.0 && hit(ch.drop_rng, profile_.dropped_rate);
-    const bool stale_now =
-        profile_.stale_rate > 0.0 && hit(ch.stale_rng, profile_.stale_rate);
-    std::uint64_t evict_mask = 0;
-    std::uint64_t inject_mask = 0;
-    if (profile_.false_absent_rate > 0.0) {
-      for (const std::uint64_t m : line_masks_) {
-        if (hit(ch.absent_rng, profile_.false_absent_rate)) evict_mask |= m;
-      }
-    }
-    if (profile_.false_present_rate > 0.0) {
-      for (const std::uint64_t m : line_masks_) {
-        if (hit(ch.present_rng, profile_.false_present_rate)) inject_mask |= m;
-      }
-    }
-
-    if (burst_now) {
-      --ch.burst_remaining;
-      ++ch.stats.burst_corrupted;
-      // Scheduler preemption: the probe reports uniform garbage occupancy.
-      LineSet garbage;
-      garbage.assign(rows_, false);
-      for (const std::uint64_t m : line_masks_) {
-        if (ch.burst_rng.coin() != 0) {
-          for (unsigned r = 0; r < rows_; ++r) {
-            if ((m >> r) & 1u) garbage.set(r, true);
-          }
-        }
-      }
-      o.present = garbage;
-    } else if (drop_now) {
-      ++ch.stats.dropped;
-      // The probe missed the window: flag it (detectable) and report the
-      // uninformative all-present set in case a consumer looks anyway.
-      o.dropped = true;
-      o.present.assign(rows_, true);
-    } else if (stale_now && ch.has_last) {
-      ++ch.stats.stale;
-      o.present = ch.last_present;
-    } else {
-      const std::uint64_t before = o.present.word();
-      const std::uint64_t after = (before & ~evict_mask) | inject_mask;
-      ch.stats.lines_flipped_absent +=
-          static_cast<std::uint64_t>(std::popcount(before & evict_mask));
-      ch.stats.lines_flipped_present +=
-          static_cast<std::uint64_t>(std::popcount(inject_mask & ~before));
-      LineSet present;
-      present.assign(rows_, false);
-      for (unsigned r = 0; r < rows_; ++r) {
-        if ((after >> r) & 1u) present.set(r, true);
-      }
-      o.present = present;
-    }
-
-    ch.last_present = o.present;
-    ch.has_last = true;
-  }
-
   ObservationSource<Block>* inner_;
-  FaultProfile profile_;
-  unsigned rows_ = 0;
-  /// Per-line row bitmasks (one entry per distinct cache line).
-  std::vector<std::uint64_t> line_masks_;
-  ChannelState channel_;
-  /// channel_ after each element of the pending batch (index 0 = before
-  /// element 0); rewind_to() restores from here.
-  std::vector<ChannelState> checkpoints_;
+  FaultChannel channel_;
+  /// Channel state after each element of the pending batch (index 0 =
+  /// before element 0); rewind_to() restores from here.
+  std::vector<FaultChannel::State> checkpoints_;
 };
 
 }  // namespace grinch::target

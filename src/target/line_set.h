@@ -13,6 +13,7 @@
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <utility>
 
 namespace grinch::target {
 
@@ -76,9 +77,42 @@ class LineSet {
   /// All bits as one word (bit i == element i); bits >= size() are zero.
   [[nodiscard]] constexpr std::uint64_t word() const noexcept { return bits_; }
 
+  /// Rebuilds a set directly from a word (bits >= size are dropped).
+  [[nodiscard]] static constexpr LineSet from_word(std::uint64_t bits,
+                                                   unsigned size) noexcept {
+    assert(size <= kMaxBits);
+    LineSet s;
+    s.size_ = size;
+    s.bits_ = bits & mask_for(size);
+    return s;
+  }
+
   /// Number of set entries.
   [[nodiscard]] constexpr unsigned count() const noexcept {
     return static_cast<unsigned>(std::popcount(bits_));
+  }
+
+  /// {count(), index of the lowest set entry} in two word ops; the first
+  /// index is size() when the set is empty.  Replaces the per-bit
+  /// scan-then-count loops of the eliminators.
+  [[nodiscard]] constexpr std::pair<unsigned, unsigned> count_and_first()
+      const noexcept {
+    const unsigned first =
+        bits_ ? static_cast<unsigned>(std::countr_zero(bits_)) : size_;
+    return {static_cast<unsigned>(std::popcount(bits_)), first};
+  }
+
+  /// Scatters this set into a lane-transposed layout: for every row
+  /// r < size(), bit `lane` of lanes[r] becomes test(r) (other lanes'
+  /// bits are untouched), so lanes[r] accumulates row r's verdict across
+  /// up to 64 trials.  Idempotent per lane — re-storing a corrected
+  /// observation overwrites the lane's previous bits.
+  constexpr void transpose_into(std::uint64_t* lanes, int lane) const noexcept {
+    assert(lane >= 0 && lane < static_cast<int>(kMaxBits));
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (unsigned r = 0; r < size_; ++r) {
+      lanes[r] = ((bits_ >> r) & 1u) ? (lanes[r] | bit) : (lanes[r] & ~bit);
+    }
   }
 
   friend constexpr bool operator==(const LineSet&, const LineSet&) noexcept =

@@ -13,6 +13,7 @@
 
 #include "target/faulty_source.h"
 #include "target/registry.h"
+#include "target/wide_engine.h"
 
 namespace grinch::target {
 
@@ -30,6 +31,15 @@ template class KeyRecoveryEngine<Present80Recovery>;
 // Fault-injection channel over both block widths in use.
 template class FaultyObservationSource<std::uint64_t>;
 template class FaultyObservationSource<gift::State128>;
+
+// Wide path: the lockstep observation core and the multi-trial engine,
+// per registered cipher.
+template class WideObserveCore<Gift64Recovery>;
+template class WideObserveCore<Gift128Recovery>;
+template class WideObserveCore<Present80Recovery>;
+template class WideRecoveryEngine<Gift64Recovery>;
+template class WideRecoveryEngine<Gift128Recovery>;
+template class WideRecoveryEngine<Present80Recovery>;
 
 // The pipeline entry point, per target, so its body is linted too.
 template RecoveryResult<Gift64Recovery> recover_key<Gift64Recovery>(

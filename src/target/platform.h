@@ -33,6 +33,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "gift/table_gift.h"
 #include "target/observation.h"
 #include "target/prober.h"
+#include "target/wide_observe.h"
 
 namespace grinch::target {
 
@@ -84,6 +86,37 @@ class DirectProbePlatform final
     }
   }
 
+  void observe_wide(std::span<const Block> plaintexts, unsigned stage,
+                    WideObservationBatch& out) override {
+    // The lockstep fast path is exact only on LRU-without-prefetch
+    // configurations (cachesim/lockstep.h); everything else transposes
+    // the scalar batch through the base-class default.
+    if (!WideObserveCore<Traits>::supported(config_.cache) ||
+        plaintexts.empty()) {
+      ObservationSource<Block>::observe_wide(plaintexts, stage, out);
+      return;
+    }
+    if (wide_core_ == nullptr) {
+      wide_core_ = std::make_unique<WideObserveCore<Traits>>(config_.cache,
+                                                             config_.layout);
+    }
+    const ProbeWindow window = window_for(stage);
+    const unsigned instrument_from =
+        config_.use_flush ? window.monitored_from : 0;
+    wide_jobs_.resize(plaintexts.size());
+    for (std::size_t i = 0; i < plaintexts.size(); ++i) {
+      wide_jobs_[i] = {&schedule_, plaintexts[i], window, instrument_from};
+    }
+    wide_states_.resize(plaintexts.size());
+    wide_core_->run(std::span<const typename WideObserveCore<Traits>::Job>(
+                        wide_jobs_),
+                    out, wide_states_.data());
+    // Same bookkeeping as the scalar pipeline's final element.
+    last_pt_ = plaintexts.back();
+    last_ct_valid_ = window.emit_rounds >= Traits::kRounds;
+    if (last_ct_valid_) last_ct_ = wide_states_.back();
+  }
+
   [[nodiscard]] const TableLayout& layout() const override {
     return config_.layout;
   }
@@ -102,22 +135,8 @@ class DirectProbePlatform final
   }
 
  private:
-  struct ProbeWindow {
-    unsigned monitored_from = 0;  ///< first round of the monitored window
-    unsigned probe_after = 0;     ///< rounds executed when the probe lands
-    unsigned emit_rounds = 0;     ///< rounds the victim actually simulates
-  };
-
   [[nodiscard]] ProbeWindow window_for(unsigned stage) const noexcept {
-    ProbeWindow w;
-    w.monitored_from = stage + Traits::kFirstKeyDependentRound;
-    w.probe_after = w.monitored_from + config_.probing_round;
-    // The probe never consumes accesses past probe_after, so the victim
-    // stops encrypting there (probing-round sweeps may ask for more
-    // rounds than the cipher has; probe_after itself stays unclamped in
-    // the reported observation).
-    w.emit_rounds = std::min(w.probe_after, Traits::kRounds);
-    return w;
+    return probe_window_for<Traits>(stage, config_.probing_round);
   }
 
   Observation observe_at(Block plaintext, const ProbeWindow& window) {
@@ -170,6 +189,11 @@ class DirectProbePlatform final
   typename Traits::TableCipher::Schedule schedule_;
   std::vector<unsigned> line_ids_;
   gift::VectorTraceSink sink_;
+  /// Wide-path state, created on first observe_wide (nullptr until then,
+  /// so scalar-only users pay nothing).
+  std::unique_ptr<WideObserveCore<Traits>> wide_core_;
+  std::vector<typename WideObserveCore<Traits>::Job> wide_jobs_;
+  std::vector<Block> wide_states_;
   Block last_pt_{};
   mutable Block last_ct_{};
   mutable bool last_ct_valid_ = true;  ///< Block{} before any observation

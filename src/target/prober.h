@@ -77,14 +77,26 @@ class FlushReloadProber final : public CacheProber {
     return "Flush+Reload";
   }
 
- private:
-  /// Per-index reload schedule, fixed at construction.
+  /// Per-index reload schedule, fixed at construction.  Public so the
+  /// wide observation path (target/wide_observe.h) can replay the exact
+  /// schedule against its lockstep cache lanes.
   struct RowInfo {
     std::uint64_t addr = 0;      ///< the row's byte address
     std::uint8_t line_slot = 0;  ///< dense id of the row's cache line
     bool reload = false;  ///< first row of its line in probe order: access it
   };
 
+  /// rows()[index] is probe()'s fixed schedule entry for S-Box index
+  /// `index` (probe order is index 15 down to 0).
+  [[nodiscard]] const std::array<RowInfo, LineSet::kMaxBits>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+  /// Reload latency at or below this is classified a hit.
+  [[nodiscard]] std::uint64_t threshold() const noexcept { return threshold_; }
+
+ private:
   cachesim::Cache* cache_;
   TableLayout layout_;
   std::uint64_t threshold_;  ///< latency below => hit

@@ -9,6 +9,10 @@
 // verifies the master key (GIFT walks the key schedule backwards; PRESENT
 // brute-forces the 16 bits the cache never sees).
 //
+// The per-stage state machine (masks, voting, stall/backoff, cursor) is
+// target/stage_state.h, shared verbatim with the multi-trial wide engine
+// (target/wide_engine.h); RecoveryResult lives there too.
+//
 // `Recovery` supplies the cipher-specific attack hooks on top of its
 // platform traits (full contract in docs/TARGETS.md):
 //   using Block / StageKey;
@@ -27,11 +31,12 @@
 //                        Xoshiro256&, Block last_pt, std::uint64_t last_ct);
 //
 // Hot path (perf notes, see DESIGN.md "Performance"):
-//  * Elimination is a word-wise AND: the observation's LineSet word is
-//    gathered into a per-candidate keep mask and folded into the
-//    CandidateMask in one step — no per-candidate branching, no heap.
-//    (The voted path below trades that for per-candidate counters, but
-//    only when Config::vote_threshold > 1.)
+//  * Elimination is a table lookup: the observation's LineSet word
+//    indexes the recovery's precomputed EliminationTable
+//    (target/stage_state.h) and the keep mask folds into the
+//    CandidateMask in one AND — no per-candidate branching, no heap.
+//    (The voted path trades that for per-candidate counters, but only
+//    when Config::vote_threshold > 1.)
 //  * The first unresolved segment is tracked with a cursor + unresolved
 //    count instead of rescanning all segments per encryption.
 //  * Encryptions are submitted in speculative batches through
@@ -53,6 +58,13 @@
 //    observations, so the engine rewinds the fault channel to the
 //    consumed prefix after every batch (FaultyObservationSource::
 //    rewind_to), restoring the same guarantee.
+//  * Config::wide_width > 1 moves the speculative batches onto the
+//    transposed wide transport (ObservationSource::observe_wide): up to
+//    wide_width trials per call run through the lockstep cache fast path
+//    where supported (and through the scalar pipeline otherwise), with
+//    every consumed Observation extracted bit-identically.  wide_width
+//    then REPLACES max_batch as the speculation ceiling; 1 keeps today's
+//    observe_batch path.
 //
 // Noise robustness (docs/ROBUSTNESS.md): the paper's MPSoC results
 // survive a channel with evictions, spurious hits and missed windows.
@@ -81,69 +93,18 @@
 
 #include <algorithm>
 #include <array>
-#include <bit>
-#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/key128.h"
 #include "common/rng.h"
-#include "target/candidate_mask.h"
 #include "target/fault_model.h"
 #include "target/faulty_source.h"
 #include "target/observation.h"
+#include "target/stage_state.h"
 
 namespace grinch::target {
-
-/// Outcome of one KeyRecoveryEngine run.
-template <typename Recovery>
-struct RecoveryResult {
-  bool success = false;
-  bool key_verified = false;
-  /// Every stage's candidate masks resolved via the cache channel (for
-  /// PRESENT this means RK0; the low 16 bits still need the offline
-  /// search, whose failure leaves success false).
-  bool stages_resolved = false;
-  Key128 recovered_key{};
-  std::uint64_t total_encryptions = 0;
-  /// Offline work (e.g. PRESENT's 2^16 exhaustive search); 0 when the
-  /// recovery needs none.
-  std::uint64_t offline_trials = 0;
-  std::array<std::uint64_t, Recovery::kStages> stage_encryptions{};
-  /// Recovered per-stage keys, one per resolved stage.
-  std::vector<typename Recovery::StageKey> stage_keys;
-
-  // --- noisy-channel accounting (all zero on a clean run) ---
-  /// Times an observation emptied a segment's mask (or a segment
-  /// stalled) and forced a reset, summed over segments and stages.
-  std::uint64_t noise_restarts = 0;
-  /// Observations the probe detectably missed (Observation::dropped);
-  /// they cost budget but carry no information.
-  std::uint64_t dropped_observations = 0;
-  /// Per-segment reset counts, summed across stages (and attempts).
-  std::array<std::uint32_t, Recovery::kSegments> segment_resets{};
-  /// Full-attack restarts: every stage resolved but the assembled key
-  /// failed verification (the channel lied consistently enough to lock a
-  /// wrong candidate in), so the whole recovery re-ran.  Only possible
-  /// on a faulty channel.
-  std::uint64_t verify_restarts = 0;
-
-  // --- partial-result contract (budget exhaustion) ---
-  /// Stage in progress when the budget ran out; == Recovery::kStages
-  /// when every stage resolved (then surviving_masks is meaningless).
-  unsigned failed_stage = Recovery::kStages;
-  /// The failed stage's surviving candidate masks, one per segment.  On
-  /// a faulty channel the true candidates are *expected* (not
-  /// guaranteed) to survive — voting makes wrong elimination
-  /// exponentially unlikely, and resets re-open a wronged segment.
-  std::array<std::uint16_t, Recovery::kSegments> surviving_masks{};
-  /// log2 of the remaining cache-channel key-search space: surviving
-  /// candidates of the failed stage plus the full entropy of the stages
-  /// never reached.  0 when all stages resolved (offline_trials still
-  /// applies separately).
-  double residual_key_bits = 0.0;
-};
 
 template <typename Recovery>
 class KeyRecoveryEngine {
@@ -158,9 +119,17 @@ class KeyRecoveryEngine {
     /// a mispredict.  1 pins the engine to scalar observe() semantics
     /// (which every other value reproduces bit-identically anyway).
     unsigned max_batch = 16;
+    /// Wide transport width (clamped to [1, 64]).  1 = today's
+    /// observe_batch path.  > 1 routes speculative batches of up to
+    /// wide_width encryptions through ObservationSource::observe_wide —
+    /// the transposed lockstep fast path on supported cache configs, the
+    /// scalar pipeline otherwise — and supersedes max_batch as the
+    /// speculation ceiling.  Consumed observations, RNG stream and every
+    /// RecoveryResult field are bit-identical at any width.
+    unsigned wide_width = 1;
     /// Absent observations (without an intervening presence) needed to
     /// eliminate a candidate.  1 = the paper's hard elimination, the
-    /// word-wise fast path; raise to 2-3 on noisy channels where
+    /// table-lookup fast path; raise to 2-3 on noisy channels where
     /// evictions fake absences (see attack::eliminate_candidates_voted,
     /// whose semantics this ports segment-locally).
     unsigned vote_threshold = 1;
@@ -212,168 +181,33 @@ class KeyRecoveryEngine {
     std::vector<typename Recovery::StageKey> recovered;
     Block last_pt{};
     bool observed_any = false;
-    const unsigned max_batch = std::max(config_.max_batch, 1u);
-    const unsigned base_threshold = std::max(config_.vote_threshold, 1u);
-    const unsigned threshold_cap =
-        std::max(config_.max_vote_threshold, base_threshold);
+    const unsigned wide_width = std::clamp(config_.wide_width, 1u, 64u);
+    const bool wide = wide_width > 1;
+    const unsigned max_batch =
+        wide ? wide_width : std::max(config_.max_batch, 1u);
+    const ElimParams params{
+        std::max(config_.vote_threshold, 1u),
+        std::max(config_.max_vote_threshold,
+                 std::max(config_.vote_threshold, 1u)),
+        config_.backoff_resets, config_.stall_limit};
     // Run-level escalation: every backoff_resets full-attack restarts
     // (wrong key failed verification) harden elimination one notch more.
     unsigned attempt_extra = 0;
 
     for (;;) {  // one iteration per full-attack attempt
       for (unsigned stage = 0; stage < Recovery::kStages; ++stage) {
-        std::array<CandidateMask<Recovery::kCandidatesPerSegment>,
-                   Recovery::kSegments>
-            masks{};
-        // Voted elimination state: per-candidate consecutive-absent
-        // counters, per-segment stall/stagnation counters, and per-segment
-        // threshold escalation (all inert at vote_threshold 1 on a clean
-        // channel).
-        std::array<std::array<std::uint8_t, Recovery::kCandidatesPerSegment>,
-                   Recovery::kSegments>
-            votes{};
-        // Presence-evidence tallies for the voted path's resolution
-        // confirmation (all candidates share a segment's update count, so
-        // raw counts compare directly).
-        std::array<std::array<std::uint16_t, Recovery::kCandidatesPerSegment>,
-                   Recovery::kSegments>
-            presence{};
-        std::array<std::uint32_t, Recovery::kSegments> stage_resets{};
-        std::array<std::uint32_t, Recovery::kSegments> stagnant{};
-        std::array<std::uint8_t, Recovery::kSegments> extra_threshold{};
-        // Satellite invariant: `cursor` is the lowest unresolved segment
-        // whenever `unresolved > 0`; maintained incrementally by update().
-        unsigned unresolved = Recovery::kSegments;
-        unsigned cursor = 0;
-        bool reset_in_batch = false;
-
-        auto reset_segment = [&](unsigned s) {
-          masks[s].reset();
-          votes[s] = {};
-          presence[s] = {};
-          stagnant[s] = 0;
-          ++result.noise_restarts;
-          ++result.segment_resets[s];
-          ++stage_resets[s];
-          reset_in_batch = true;
-          // Segment-level backoff: a segment that keeps resetting faces a
-          // channel its current threshold cannot beat — escalate it.
-          if (config_.backoff_resets > 0 &&
-              stage_resets[s] % config_.backoff_resets == 0 &&
-              base_threshold + attempt_extra + extra_threshold[s] <
-                  threshold_cap) {
-            ++extra_threshold[s];
-          }
-        };
-
-        auto update = [&](unsigned s, const LineSet& present,
-                          const std::array<unsigned, Recovery::kSegments>&
-                              nibbles) {
-          // keep bit c: candidate c's predicted S-Box index was present —
-          // or absent fewer than `threshold` times in a row (voted mode).
-          std::uint16_t keep = 0;
-          const std::uint64_t word = present.word();
-          const unsigned threshold = std::min(
-              threshold_cap, base_threshold + attempt_extra + extra_threshold[s]);
-          if (threshold <= 1) {
-            for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
-              keep |= static_cast<std::uint16_t>(
-                  ((word >> Recovery::candidate_index(nibbles[s], c)) & 1u)
-                  << c);
-            }
-          } else {
-            for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
-              if ((word >> Recovery::candidate_index(nibbles[s], c)) & 1u) {
-                votes[s][c] = 0;  // a presence pardons the candidate
-                if (presence[s][c] != 0xFFFF) ++presence[s][c];
-                keep |= static_cast<std::uint16_t>(1u << c);
-              } else {
-                votes[s][c] = static_cast<std::uint8_t>(
-                    std::min<unsigned>(votes[s][c] + 1u, 255u));
-                if (votes[s][c] < threshold) {
-                  keep |= static_cast<std::uint16_t>(1u << c);
-                }
-              }
-            }
-          }
-          const bool was_resolved = masks[s].resolved();
-          const std::uint16_t prev = masks[s].mask();
-          const std::uint16_t next = static_cast<std::uint16_t>(prev & keep);
-          if (next == 0) {
-            reset_segment(s);  // noisy observation
-          } else {
-            masks[s].set_mask(next);
-            if (threshold > 1 && !was_resolved && masks[s].resolved()) {
-              // Resolution confirmation: the survivor must carry at least
-              // as much presence evidence as every candidate it outlived.
-              // The true candidate's line is present in (almost) every
-              // observation, an impostor's only when another access covers
-              // it — so a survivor out-presenced by an eliminated
-              // candidate means the channel likely killed the truth, and
-              // the segment starts over rather than lock the impostor in.
-              const unsigned survivor = masks[s].value();
-              for (unsigned c = 0; c < Recovery::kCandidatesPerSegment;
-                   ++c) {
-                if (presence[s][c] > presence[s][survivor]) {
-                  reset_segment(s);
-                  break;
-                }
-              }
-            }
-            if (!masks[s].resolved()) {
-              if (next == prev) {
-                // No progress: false presents can keep a wrong candidate
-                // alive indefinitely; a reset re-rolls its vote state.  The
-                // limit scales with the threshold — voted elimination
-                // legitimately spaces mask changes ~threshold times further
-                // apart than hard elimination does.
-                if (config_.stall_limit > 0 &&
-                    ++stagnant[s] >= config_.stall_limit * threshold) {
-                  reset_segment(s);
-                }
-              } else {
-                stagnant[s] = 0;
-              }
-            }
-          }
-          const bool now_resolved = masks[s].resolved();
-          if (was_resolved == now_resolved) return;
-          if (now_resolved) {
-            --unresolved;
-            while (cursor < Recovery::kSegments && masks[cursor].resolved()) {
-              ++cursor;
-            }
-          } else {
-            // A reset can re-open a segment already counted resolved (joint
-            // mode under noise); pull the cursor back if it jumped past it.
-            ++unresolved;
-            cursor = std::min(cursor, s);
-          }
-        };
-
-        // Fills the partial-result fields from this stage's live masks.
-        auto partial = [&]() -> RecoveryResult<Recovery>& {
-          result.failed_stage = stage;
-          double bits = 0.0;
-          for (unsigned s = 0; s < Recovery::kSegments; ++s) {
-            result.surviving_masks[s] = masks[s].mask();
-            bits += std::log2(static_cast<double>(masks[s].size()));
-          }
-          bits += static_cast<double>(Recovery::kStages - 1 - stage) *
-                  Recovery::kSegments *
-                  std::log2(static_cast<double>(
-                      Recovery::kCandidatesPerSegment));
-          result.residual_key_bits = bits;
-          return result;
-        };
+        StageState<Recovery> st;
 
         unsigned batch_size = 1;
         bool have_carry = false;
         Block carry{};
-        while (unresolved > 0) {
+        while (st.unresolved > 0) {
           const std::uint64_t budget =
               config_.max_encryptions - result.total_encryptions;
-          if (budget == 0) return partial();  // a carry implies budget >= 1
+          if (budget == 0) {  // a carry implies budget >= 1
+            st.fill_partial(result, stage);
+            return result;
+          }
 
           // Speculatively craft the batch as if `cursor` stays the target
           // throughout.  A carried-over plaintext was already crafted (and
@@ -389,9 +223,14 @@ class KeyRecoveryEngine {
               std::min<std::uint64_t>(batch_size, budget));
           const Xoshiro256 rng_snapshot = rng_;
           while (pts_.size() < want) {
-            pts_.push_back(crafter.craft(cursor, recovered, stage));
+            pts_.push_back(crafter.craft(st.cursor, recovered, stage));
           }
-          source.observe_batch(std::span<const Block>(pts_), stage, batch_);
+          if (wide) {
+            source.observe_wide(std::span<const Block>(pts_), stage,
+                                wide_batch_);
+          } else {
+            source.observe_batch(std::span<const Block>(pts_), stage, batch_);
+          }
           last_pt = pts_.back();
           observed_any = true;
           rng_ = rng_snapshot;
@@ -399,16 +238,17 @@ class KeyRecoveryEngine {
           // Replay-consume: re-run the scalar loop's craft sequence against
           // the live masks; element j is valid only if the replayed
           // plaintext equals the speculative one.
-          reset_in_batch = false;
+          st.reset_in_batch = false;
           std::size_t consumed = 0;
           bool mispredicted = false;
           for (std::size_t j = 0; j < pts_.size(); ++j) {
             if (j >= pre_validated) {
               if (result.total_encryptions >= config_.max_encryptions) {
                 if (channel != nullptr) channel->rewind_to(consumed);
-                return partial();
+                st.fill_partial(result, stage);
+                return result;
               }
-              const Block pt = crafter.craft(cursor, recovered, stage);
+              const Block pt = crafter.craft(st.cursor, recovered, stage);
               if (!(pt == pts_[j])) {
                 // The target moved mid-batch: keep this plaintext for the
                 // next submission, drop the stale speculative tail.
@@ -418,7 +258,9 @@ class KeyRecoveryEngine {
                 break;
               }
             }
-            const Observation& obs = batch_[j];
+            const Observation obs =
+                wide ? wide_batch_.extract(static_cast<unsigned>(j))
+                     : batch_[j];
             ++result.total_encryptions;
             ++result.stage_encryptions[stage];
             ++consumed;
@@ -433,24 +275,26 @@ class KeyRecoveryEngine {
               // Joint exploitation: every segment's S-Box access shares the
               // observation, so one encryption updates all masks at once.
               for (unsigned s = 0; s < Recovery::kSegments; ++s) {
-                update(s, obs.present, nibbles);
+                st.update(s, obs.present, nibbles, params, attempt_extra,
+                          result);
               }
             } else {
               // Crafted-plaintext mode: only the targeted segment's pre-key
               // bits are pinned, so only its mask may be updated.
-              update(cursor, obs.present, nibbles);
+              st.update(st.cursor, obs.present, nibbles, params,
+                        attempt_extra, result);
             }
-            if (unresolved == 0) break;  // stage done; drop the spare tail
+            if (st.unresolved == 0) break;  // stage done; drop the spare tail
           }
           // Discarded speculative elements must leave no trace in the fault
           // channel, or batched and scalar runs would diverge.
           if (channel != nullptr) channel->rewind_to(consumed);
-          batch_size = (mispredicted || reset_in_batch)
+          batch_size = (mispredicted || st.reset_in_batch)
                            ? 1
                            : std::min(max_batch, batch_size * 2);
         }
 
-        recovered.push_back(Recovery::stage_key_from(masks));
+        recovered.push_back(Recovery::stage_key_from(st.masks));
       }
 
       result.stages_resolved = true;
@@ -470,7 +314,7 @@ class KeyRecoveryEngine {
       ++result.verify_restarts;
       if (config_.backoff_resets > 0 &&
           result.verify_restarts % config_.backoff_resets == 0 &&
-          base_threshold + attempt_extra < threshold_cap) {
+          params.base_threshold + attempt_extra < params.threshold_cap) {
         ++attempt_extra;
       }
       recovered.clear();
@@ -487,6 +331,7 @@ class KeyRecoveryEngine {
   /// Batch buffers, reused across the run (warm after one iteration).
   std::vector<Block> pts_;
   ObservationBatch batch_;
+  WideObservationBatch wide_batch_;
 };
 
 }  // namespace grinch::target

@@ -1,0 +1,343 @@
+// The multi-trial wide key-recovery engine.
+//
+// WideRecoveryEngine runs up to 64 *independent recovery trials* (own
+// victim key, own RNG seed, own fault channel) in lockstep: per outer
+// step every unfinished lane crafts its next plaintext, all lanes'
+// monitored encryptions execute as ONE WideObserveCore run over the
+// transposed lockstep cache (cachesim/lockstep.h), and each lane consumes
+// its extracted observation through the same StageState machine the
+// scalar engine uses (target/stage_state.h).  That amortises the
+// per-observation dispatch across the whole fleet — the multi-trial
+// throughput benches (BM_WideRecovery) scale near-linearly with width.
+//
+// Conformance contract: lane i's RecoveryResult is bit-identical to
+//
+//   recover_key<Recovery>(specs[i].victim_key, cfg_i, platform_config)
+//
+// where cfg_i is this engine's Config with seed = specs[i].seed and
+// faults.seed = specs[i].fault_seed — for every registered cipher, any
+// width, with or without faults (tests/target/wide_conformance_test.cpp).
+// Each lane replicates the scalar engine at max_batch = 1, which the
+// scalar engine's speculative batching reproduces bit-identically for
+// any max_batch, so the equality holds against default configs too.
+// Per-lane fault channels (target/fault_channel.h) see exactly the
+// scalar decorator's delivery sequence, including the finalize
+// verification observation.
+//
+// On cache configurations without a lockstep fast path
+// (!WideObserveCore::supported) every lane owns a scalar
+// DirectProbePlatform and the engine degrades to a plain trial loop with
+// identical results.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/key128.h"
+#include "common/rng.h"
+#include "target/fault_channel.h"
+#include "target/fault_model.h"
+#include "target/observation.h"
+#include "target/platform.h"
+#include "target/recovery_engine.h"
+#include "target/stage_state.h"
+#include "target/wide_observe.h"
+
+namespace grinch::target {
+
+/// One lane's trial parameters.
+struct WideTrialSpec {
+  Key128 victim_key{};
+  /// Engine RNG seed (crafting + finalize draws), like Config::seed.
+  std::uint64_t seed = 0;
+  /// Per-lane fault stream seed; replaces Config::faults.seed for this
+  /// lane (ignored on a clean channel).
+  std::uint64_t fault_seed = 0;
+};
+
+template <typename Recovery>
+class WideRecoveryEngine {
+ public:
+  using Block = typename Recovery::Block;
+  using Config = typename KeyRecoveryEngine<Recovery>::Config;
+  using PlatformConfig = typename DirectProbePlatform<Recovery>::Config;
+
+  WideRecoveryEngine(const Config& config,
+                     const PlatformConfig& platform_config = {})
+      : config_(config),
+        platform_config_(platform_config),
+        cipher_(platform_config.layout),
+        line_ids_(compute_index_line_ids(platform_config.layout,
+                                         platform_config.cache.line_bytes)),
+        params_{std::max(config.vote_threshold, 1u),
+                std::max(config.max_vote_threshold,
+                         std::max(config.vote_threshold, 1u)),
+                config.backoff_resets, config.stall_limit},
+        faulted_(config.faults.any()) {
+    if (WideObserveCore<Recovery>::supported(platform_config.cache)) {
+      core_.emplace(platform_config.cache, platform_config.layout);
+    }
+    states_.resize(WideObservationBatch::kMaxWidth);
+  }
+
+  /// Runs every trial to completion; results[i] belongs to specs[i].
+  /// Trials are processed in lockstep groups of up to 64 lanes.
+  [[nodiscard]] std::vector<RecoveryResult<Recovery>> run(
+      std::span<const WideTrialSpec> specs) {
+    std::vector<RecoveryResult<Recovery>> results;
+    results.reserve(specs.size());
+    for (std::size_t base = 0; base < specs.size();
+         base += WideObservationBatch::kMaxWidth) {
+      const std::size_t n = std::min<std::size_t>(
+          WideObservationBatch::kMaxWidth, specs.size() - base);
+      run_group(specs.subspan(base, n), results);
+    }
+    return results;
+  }
+
+ private:
+  using Job = typename WideObserveCore<Recovery>::Job;
+
+  /// One trial's live state.  Heap-pinned (unique_ptr) because Crafter
+  /// holds a reference to the lane's RNG.
+  struct Lane {
+    explicit Lane(std::uint64_t seed) : rng(seed), crafter(rng) {}
+
+    Xoshiro256 rng;  // must precede crafter (reference member order)
+    typename Recovery::Crafter crafter;
+    typename Recovery::TableCipher::Schedule schedule{};
+    /// Scalar platform for configurations without a lockstep fast path.
+    std::unique_ptr<DirectProbePlatform<Recovery>> fallback;
+    std::optional<FaultChannel> channel;
+    StageState<Recovery> st;
+    std::vector<typename Recovery::StageKey> recovered;
+    RecoveryResult<Recovery> result;
+    unsigned stage = 0;
+    unsigned attempt_extra = 0;
+    bool observed_any = false;
+    bool done = false;
+    Block last_pt{};     ///< engine-level last observed plaintext
+    Block pending_pt{};  ///< this step's crafted plaintext
+    // Platform-level ciphertext bookkeeping of the core path (the
+    // fallback platform keeps its own): same lazy-completion contract as
+    // DirectProbePlatform::last_ciphertext().
+    Block wide_last_pt{};
+    Block wide_state{};
+    bool wide_ct_valid = true;  ///< Block{} before any observation
+  };
+
+  /// ObservationSource facade over one lane, handed to
+  /// Recovery::finalize() for the key-verification observation.
+  class LaneSource final : public ObservationSource<Block> {
+   public:
+    LaneSource(WideRecoveryEngine* engine, Lane* lane) noexcept
+        : engine_(engine), lane_(lane) {}
+
+    Observation observe(Block plaintext, unsigned stage) override {
+      return engine_->observe_lane(*lane_, plaintext, stage);
+    }
+    [[nodiscard]] const TableLayout& layout() const override {
+      return engine_->platform_config_.layout;
+    }
+    [[nodiscard]] std::vector<unsigned> index_line_ids() const override {
+      return engine_->line_ids_;
+    }
+    [[nodiscard]] Block last_ciphertext() const override {
+      return engine_->lane_last_ciphertext(*lane_);
+    }
+
+   private:
+    WideRecoveryEngine* engine_;
+    Lane* lane_;
+  };
+
+  void run_group(std::span<const WideTrialSpec> specs,
+                 std::vector<RecoveryResult<Recovery>>& results) {
+    std::vector<std::unique_ptr<Lane>> lanes;
+    lanes.reserve(specs.size());
+    for (const WideTrialSpec& spec : specs) {
+      auto lane = std::make_unique<Lane>(spec.seed);
+      const Key128 key = Recovery::canonical_key(spec.victim_key);
+      lane->schedule = cipher_.make_schedule(key);
+      if (!core_.has_value()) {
+        lane->fallback = std::make_unique<DirectProbePlatform<Recovery>>(
+            platform_config_, key);
+      }
+      if (faulted_) {
+        FaultProfile profile = config_.faults;
+        profile.seed = spec.fault_seed;
+        lane->channel.emplace(profile, platform_config_.layout,
+                              std::span<const unsigned>(line_ids_));
+      }
+      lanes.push_back(std::move(lane));
+    }
+
+    std::vector<Lane*> active;
+    active.reserve(lanes.size());
+    for (;;) {
+      // Gather: one crafted plaintext per unfinished lane (the scalar
+      // engine's top-of-loop budget check happens here).
+      jobs_.clear();
+      active.clear();
+      for (auto& owned : lanes) {
+        Lane& lane = *owned;
+        if (lane.done) continue;
+        if (config_.max_encryptions - lane.result.total_encryptions == 0) {
+          lane.st.fill_partial(lane.result, lane.stage);
+          lane.done = true;
+          continue;
+        }
+        lane.pending_pt =
+            lane.crafter.craft(lane.st.cursor, lane.recovered, lane.stage);
+        if (core_.has_value()) {
+          const ProbeWindow window = probe_window_for<Recovery>(
+              lane.stage, platform_config_.probing_round);
+          jobs_.push_back({&lane.schedule, lane.pending_pt, window,
+                           platform_config_.use_flush ? window.monitored_from
+                                                      : 0});
+        }
+        active.push_back(&lane);
+      }
+      if (active.empty()) break;
+
+      // Observe: every active lane's encryption in one lockstep run.
+      if (core_.has_value()) {
+        core_->run(std::span<const Job>(jobs_), wide_batch_, states_.data());
+      }
+
+      // Scatter: per lane, corrupt (own channel), consume, advance.
+      for (std::size_t l = 0; l < active.size(); ++l) {
+        Lane& lane = *active[l];
+        Observation obs;
+        if (core_.has_value()) {
+          obs = wide_batch_.extract(static_cast<unsigned>(l));
+          lane.wide_last_pt = lane.pending_pt;
+          lane.wide_ct_valid =
+              jobs_[l].window.emit_rounds >= Recovery::kRounds;
+          if (lane.wide_ct_valid) lane.wide_state = states_[l];
+        } else {
+          obs = lane.fallback->observe(lane.pending_pt, lane.stage);
+        }
+        if (lane.channel.has_value()) lane.channel->corrupt(obs);
+        consume(lane, obs);
+      }
+    }
+
+    for (auto& owned : lanes) results.push_back(std::move(owned->result));
+  }
+
+  /// The scalar engine's consume step for one delivered observation.
+  void consume(Lane& lane, const Observation& obs) {
+    RecoveryResult<Recovery>& result = lane.result;
+    lane.last_pt = lane.pending_pt;
+    lane.observed_any = true;
+    ++result.total_encryptions;
+    ++result.stage_encryptions[lane.stage];
+    if (obs.dropped) {
+      // Detectable probe miss: budget spent, nothing learned.
+      ++result.dropped_observations;
+      return;
+    }
+    const auto nibbles =
+        Recovery::pre_key_nibbles(lane.pending_pt, lane.recovered, lane.stage);
+    if constexpr (Recovery::kUpdateAllSegments) {
+      for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+        lane.st.update(s, obs.present, nibbles, params_, lane.attempt_extra,
+                       result);
+      }
+    } else {
+      lane.st.update(lane.st.cursor, obs.present, nibbles, params_,
+                     lane.attempt_extra, result);
+    }
+    if (lane.st.unresolved > 0) return;
+    lane.recovered.push_back(Recovery::stage_key_from(lane.st.masks));
+    ++lane.stage;
+    lane.st.begin_stage();
+    if (lane.stage < Recovery::kStages) return;
+    finish_attempt(lane);
+  }
+
+  /// Every stage resolved: finalize, and either finish the lane or start
+  /// the next full-attack attempt (scalar verify-restart semantics).
+  void finish_attempt(Lane& lane) {
+    RecoveryResult<Recovery>& result = lane.result;
+    result.stages_resolved = true;
+    result.stage_keys = lane.recovered;
+    LaneSource source{this, &lane};
+    const std::uint64_t last_ct =
+        lane.observed_any
+            ? Recovery::fold_ciphertext(source.last_ciphertext())
+            : 0;
+    Recovery::finalize(result, source, lane.rng, lane.last_pt, last_ct);
+    if (result.success || !faulted_ ||
+        result.total_encryptions >= config_.max_encryptions) {
+      lane.done = true;
+      return;
+    }
+    // Wrong key locked in by the channel: restart the whole recovery with
+    // budget left, periodically hardening elimination.
+    ++result.verify_restarts;
+    if (config_.backoff_resets > 0 &&
+        result.verify_restarts % config_.backoff_resets == 0 &&
+        params_.base_threshold + lane.attempt_extra < params_.threshold_cap) {
+      ++lane.attempt_extra;
+    }
+    lane.recovered.clear();
+    result.stage_keys.clear();
+    result.stages_resolved = false;
+    result.key_verified = false;
+    lane.stage = 0;
+    lane.st.begin_stage();
+  }
+
+  /// Single-lane observation for finalize (and any out-of-band caller):
+  /// a width-1 core run, or the lane's fallback platform.
+  Observation observe_lane(Lane& lane, Block plaintext, unsigned stage) {
+    Observation obs;
+    if (core_.has_value()) {
+      const ProbeWindow window =
+          probe_window_for<Recovery>(stage, platform_config_.probing_round);
+      const Job job{&lane.schedule, plaintext, window,
+                    platform_config_.use_flush ? window.monitored_from : 0};
+      Block state{};
+      core_->run(std::span<const Job>(&job, 1), scratch_wide_, &state);
+      obs = scratch_wide_.extract(0);
+      lane.wide_last_pt = plaintext;
+      lane.wide_ct_valid = window.emit_rounds >= Recovery::kRounds;
+      if (lane.wide_ct_valid) lane.wide_state = state;
+    } else {
+      obs = lane.fallback->observe(plaintext, stage);
+    }
+    if (lane.channel.has_value()) lane.channel->corrupt(obs);
+    return obs;
+  }
+
+  [[nodiscard]] Block lane_last_ciphertext(Lane& lane) const {
+    if (!core_.has_value()) return lane.fallback->last_ciphertext();
+    if (!lane.wide_ct_valid) {
+      lane.wide_state = cipher_.encrypt_with_schedule(
+          lane.wide_last_pt, lane.schedule, Recovery::kRounds, nullptr);
+      lane.wide_ct_valid = true;
+    }
+    return lane.wide_state;
+  }
+
+  Config config_;
+  PlatformConfig platform_config_;
+  typename Recovery::TableCipher cipher_;
+  std::vector<unsigned> line_ids_;
+  ElimParams params_;
+  bool faulted_;
+  std::optional<WideObserveCore<Recovery>> core_;
+  /// Group-step buffers, reused across the run.
+  std::vector<Job> jobs_;
+  WideObservationBatch wide_batch_;
+  WideObservationBatch scratch_wide_;
+  std::vector<Block> states_;
+};
+
+}  // namespace grinch::target

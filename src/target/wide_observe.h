@@ -1,0 +1,222 @@
+// The 64-wide lockstep observation core.
+//
+// WideObserveCore runs up to 64 monitored partial-round encryptions in
+// lockstep against a transposed multi-lane cache (cachesim/lockstep.h):
+// per lane, the instrumented victim encryption streams its table accesses
+// straight into the lane's cache state (no materialized access vector —
+// the fused sink replaces the collect-then-replay scalar pipeline), the
+// attacker's flush collapses to pure cycle accounting on the cold lane,
+// and the Flush+Reload probe replays the prober's fixed reload schedule
+// against the lane.  The results land transposed in a
+// WideObservationBatch.
+//
+// Exactness: on LockstepCaches::supports() configurations every verdict,
+// probed_after_round and attacker_cycles value is bit-identical to the
+// scalar DirectProbePlatform::observe() pipeline (the cold-lane argument
+// is spelled out in cachesim/lockstep.h; the conformance suites pin it
+// per registered cipher).  Callers must gate on supported() and fall
+// back to the scalar path otherwise.
+//
+// Jobs carry their own schedule/window, so one core serves both
+// platform-internal wide batches (one victim key, one stage — see
+// DirectProbePlatform::observe_wide) and the multi-trial wide recovery
+// engine (per-lane keys and stages — target/wide_engine.h).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "cachesim/lockstep.h"
+#include "common/bits.h"
+#include "gift/table_gift.h"
+#include "target/observation.h"
+#include "target/prober.h"
+#include "target/table_layout.h"
+
+namespace grinch::target {
+
+/// Stage -> probe-window math, shared by the scalar and wide paths.
+/// "Probing round k" for attack stage `s`: the monitored window opens at
+/// cipher round s + kFirstKeyDependentRound and the probe lands after k
+/// of its rounds executed (observation.h header comment).
+struct ProbeWindow {
+  unsigned monitored_from = 0;  ///< first round of the monitored window
+  unsigned probe_after = 0;     ///< rounds executed when the probe lands
+  unsigned emit_rounds = 0;     ///< rounds the victim actually simulates
+};
+
+template <typename Traits>
+[[nodiscard]] constexpr ProbeWindow probe_window_for(
+    unsigned stage, unsigned probing_round) noexcept {
+  ProbeWindow w;
+  w.monitored_from = stage + Traits::kFirstKeyDependentRound;
+  w.probe_after = w.monitored_from + probing_round;
+  // The probe never consumes accesses past probe_after, so the victim
+  // stops encrypting there (probing-round sweeps may ask for more rounds
+  // than the cipher has; probe_after itself stays unclamped in the
+  // reported observation).
+  w.emit_rounds = std::min(w.probe_after, Traits::kRounds);
+  return w;
+}
+
+/// Statically-typed sink (TraceSink callback shape, no vtable — the
+/// ciphers' templated encrypt_with_schedule inlines it into the round
+/// loop) that feeds a lane of the lockstep cache directly from the
+/// instrumented encryption.  Two exact filters keep the hot path lean:
+///   * rounds before `instrument_from` are skipped — their cache effect
+///     is provably irrelevant on supported configs (cachesim/lockstep.h);
+///   * accesses whose cache set holds no monitored line are skipped —
+///     sets of a set-associative cache are fully independent, so traffic
+///     to an unmonitored set can never change a monitored line's
+///     presence or a probe latency, and no reported value reads those
+///     sets (the lane is reset before every job).
+class LockstepSink final {
+ public:
+  /// `monitored_sets` is a num_sets-bit bitmap (bit s = set s holds a
+  /// monitored line) owned by the core; `line_shift`/`set_mask` replicate
+  /// the lane cache's addr -> set mapping.
+  LockstepSink(cachesim::LockstepCaches& caches, unsigned lane,
+               unsigned instrument_from, const std::uint64_t* monitored_sets,
+               unsigned line_shift, std::uint64_t set_mask) noexcept
+      : caches_(&caches),
+        monitored_(monitored_sets),
+        set_mask_(set_mask),
+        lane_(lane),
+        from_(instrument_from),
+        line_shift_(line_shift) {}
+
+  void on_round_begin(unsigned round) noexcept { live_ = round >= from_; }
+  void on_access(const gift::TableAccess& access) {
+    if (!live_) return;
+    const std::uint64_t set = (access.addr >> line_shift_) & set_mask_;
+    if (((monitored_[set >> 6] >> (set & 63)) & 1u) == 0) return;
+    caches_->touch(lane_, access.addr);
+  }
+  void on_round_end(unsigned /*round*/) noexcept {}
+
+ private:
+  cachesim::LockstepCaches* caches_;
+  const std::uint64_t* monitored_;
+  std::uint64_t set_mask_;
+  unsigned lane_;
+  unsigned from_;
+  unsigned line_shift_;
+  bool live_ = false;
+};
+
+template <typename Traits>
+class WideObserveCore {
+ public:
+  using Block = typename Traits::Block;
+  using Schedule = typename Traits::TableCipher::Schedule;
+
+  /// One lane's work order.  `instrument_from` is the first round whose
+  /// accesses touch the lane cache: window.monitored_from when the
+  /// attacker flushes right before the window (use_flush), 0 otherwise
+  /// (the flush then precedes round 0, so every emitted round counts).
+  struct Job {
+    const Schedule* schedule = nullptr;
+    Block plaintext{};
+    ProbeWindow window{};
+    unsigned instrument_from = 0;
+  };
+
+  /// True when the lockstep fast path is exact for this configuration.
+  [[nodiscard]] static bool supported(
+      const cachesim::CacheConfig& config) noexcept {
+    return cachesim::LockstepCaches::supports(config);
+  }
+
+  WideObserveCore(const cachesim::CacheConfig& cache_config,
+                  const TableLayout& layout)
+      : caches_(cache_config, WideObservationBatch::kMaxWidth),
+        cipher_(layout),
+        sbox_rows_(layout.sbox_rows()),
+        flush_latency_(cache_config.flush_latency),
+        hit_latency_(cache_config.hit_latency),
+        miss_latency_(cache_config.miss_latency),
+        line_shift_(log2_pow2(cache_config.line_bytes)),
+        set_mask_(cache_config.num_sets - 1) {
+    // Replicate FlushReloadProber's fixed reload schedule and threshold
+    // exactly (same dedup, same descending order) via a scratch instance.
+    cachesim::Cache scratch{cache_config};
+    const FlushReloadProber prober{scratch, layout};
+    rows_ = prober.rows();
+    threshold_ = prober.threshold();
+    // Bitmap of cache sets holding a monitored line: the sink drops
+    // victim traffic to every other set (exact — see LockstepSink).
+    monitored_sets_.assign((cache_config.num_sets + 63) / 64, 0);
+    for (const auto& row : rows_) {
+      const std::uint64_t set = (row.addr >> line_shift_) & set_mask_;
+      monitored_sets_[set >> 6] |= std::uint64_t{1} << (set & 63);
+    }
+  }
+
+  /// Runs jobs[l] on lane l and stores its observation transposed into
+  /// out lane l.  When `states_out` is non-null, states_out[l] receives
+  /// the victim state after window.emit_rounds rounds (the ciphertext
+  /// when emit_rounds == Traits::kRounds).
+  void run(std::span<const Job> jobs, WideObservationBatch& out,
+           Block* states_out = nullptr) {
+    out.reset(static_cast<unsigned>(jobs.size()), 16);
+    for (std::size_t l = 0; l < jobs.size(); ++l) {
+      const Job& job = jobs[l];
+      const unsigned lane = static_cast<unsigned>(l);
+      caches_.reset_lane(lane);
+
+      // Victim window, fused: the encryption streams accesses of rounds
+      // [instrument_from, emit_rounds) straight into the lane cache,
+      // through the cipher's templated (sink-inlining) round loop.
+      LockstepSink sink{caches_,           lane,        job.instrument_from,
+                        monitored_sets_.data(), line_shift_, set_mask_};
+      const Block state = cipher_.encrypt_with_schedule(
+          job.plaintext, *job.schedule, job.window.emit_rounds, &sink);
+      if (states_out != nullptr) states_out[l] = state;
+
+      // prepare(): flushing monitored lines from a cold lane is a state
+      // no-op (pre-window lines do not exist here), so only the cycles
+      // remain.  The count matches the scalar prober whether the flush
+      // lands before round 0 (!use_flush) or before the window.
+      std::uint64_t cycles =
+          static_cast<std::uint64_t>(sbox_rows_) * flush_latency_;
+
+      // probe(): the prober's exact schedule — descending index order,
+      // one timed reload per distinct line, verdict fanned out via the
+      // line slot; misses fill the lane (the real pollution, too).
+      std::uint64_t present_word = 0;
+      std::uint32_t line_present = 0;
+      for (unsigned index = 16; index-- > 0;) {
+        const auto& row = rows_[index];
+        if (row.reload) {
+          const bool hit = caches_.access(lane, row.addr);
+          const std::uint64_t latency = hit ? hit_latency_ : miss_latency_;
+          cycles += latency;
+          if (latency <= threshold_) line_present |= 1u << row.line_slot;
+        }
+        present_word |= static_cast<std::uint64_t>(
+                            (line_present >> row.line_slot) & 1u)
+                        << index;
+      }
+      out.set_lane(lane, present_word, job.window.probe_after, cycles);
+    }
+  }
+
+ private:
+  cachesim::LockstepCaches caches_;
+  typename Traits::TableCipher cipher_;
+  unsigned sbox_rows_;
+  std::uint64_t flush_latency_;
+  std::uint64_t hit_latency_;
+  std::uint64_t miss_latency_;
+  unsigned line_shift_;
+  std::uint64_t set_mask_;
+  std::uint64_t threshold_ = 0;
+  std::array<FlushReloadProber::RowInfo, LineSet::kMaxBits> rows_{};
+  std::vector<std::uint64_t> monitored_sets_;
+};
+
+}  // namespace grinch::target

@@ -1,0 +1,151 @@
+// LockstepCaches differential suite.
+//
+// A lockstep lane is a cold LRU cache in struct-of-arrays clothing: from
+// an empty state, every access/flush_line sequence must produce exactly
+// the hit/miss verdicts and residency of a scalar cachesim::Cache run
+// from empty on the same stream.  This suite pins that equivalence over
+// random streams on several geometries, checks lane independence under
+// interleaving, and pins the supports() gate (the cold-window theorem in
+// cachesim/lockstep.h holds only for LRU without prefetch; the wide
+// conformance suite covers the warm-history half of the argument).
+#include "cachesim/lockstep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "common/rng.h"
+
+namespace grinch::cachesim {
+namespace {
+
+CacheConfig lru_config(unsigned line_bytes, unsigned num_sets,
+                       unsigned associativity) {
+  CacheConfig config = CacheConfig::paper_default();
+  config.line_bytes = line_bytes;
+  config.num_sets = num_sets;
+  config.associativity = associativity;
+  config.replacement = Replacement::kLru;
+  config.prefetch_lines = 0;
+  return config;
+}
+
+TEST(LockstepCaches, SupportsGateIsLruWithoutPrefetch) {
+  CacheConfig config = CacheConfig::paper_default();
+  EXPECT_TRUE(LockstepCaches::supports(config));
+  for (const Replacement r :
+       {Replacement::kFifo, Replacement::kPlru, Replacement::kRandom}) {
+    config.replacement = r;
+    EXPECT_FALSE(LockstepCaches::supports(config));
+  }
+  config.replacement = Replacement::kLru;
+  config.prefetch_lines = 1;
+  EXPECT_FALSE(LockstepCaches::supports(config));
+}
+
+TEST(LockstepCaches, LaneMatchesColdScalarCache) {
+  // Random access/flush streams: every lane verdict and every residency
+  // answer must equal a scalar Cache driven from empty.
+  const CacheConfig configs[] = {
+      lru_config(1, 64, 16),  // the paper geometry
+      lru_config(4, 8, 2),    // tiny, heavy eviction traffic
+      lru_config(8, 4, 1),    // direct-mapped
+      lru_config(2, 16, 4),
+  };
+  for (const CacheConfig& config : configs) {
+    LockstepCaches lanes{config, 4};
+    Cache reference{config};
+    lanes.reset_lane(0);
+    Xoshiro256 rng{0x10C4 ^ config.num_sets ^ config.associativity};
+    // Address pool small enough to revisit lines (hits AND evictions).
+    const std::uint64_t pool =
+        static_cast<std::uint64_t>(config.line_bytes) * config.num_sets *
+        (config.associativity + 2);
+    for (unsigned step = 0; step < 4000; ++step) {
+      const std::uint64_t addr = rng.next() % pool;
+      const unsigned op = static_cast<unsigned>(rng.next() % 8);
+      if (op == 0) {
+        EXPECT_EQ(lanes.flush_line(0, addr), reference.flush_line(addr))
+            << "step " << step;
+      } else if (op == 1) {
+        EXPECT_EQ(lanes.contains(0, addr), reference.contains(addr))
+            << "step " << step;
+      } else {
+        EXPECT_EQ(lanes.access(0, addr), reference.access(addr).hit)
+            << "step " << step;
+      }
+    }
+  }
+}
+
+TEST(LockstepCaches, LanesAreIndependentUnderInterleaving) {
+  // Drive 3 lanes with different streams, interleaved arbitrarily; each
+  // lane must behave exactly like its own scalar cache.
+  const CacheConfig config = lru_config(2, 8, 4);
+  constexpr unsigned kLanes = 3;
+  LockstepCaches lanes{config, kLanes};
+  std::vector<Cache> refs;
+  std::vector<Xoshiro256> streams;
+  for (unsigned l = 0; l < kLanes; ++l) {
+    lanes.reset_lane(l);
+    refs.emplace_back(config);
+    streams.emplace_back(0xAB5 + l);
+  }
+  Xoshiro256 pick{0x5CED};
+  const std::uint64_t pool = static_cast<std::uint64_t>(config.line_bytes) *
+                             config.num_sets * (config.associativity + 3);
+  for (unsigned step = 0; step < 6000; ++step) {
+    const unsigned l = static_cast<unsigned>(pick.next() % kLanes);
+    const std::uint64_t addr = streams[l].next() % pool;
+    if (streams[l].next() % 6 == 0) {
+      EXPECT_EQ(lanes.flush_line(l, addr), refs[l].flush_line(addr))
+          << "lane " << l << " step " << step;
+    } else {
+      EXPECT_EQ(lanes.access(l, addr), refs[l].access(addr).hit)
+          << "lane " << l << " step " << step;
+    }
+  }
+  for (unsigned l = 0; l < kLanes; ++l) {
+    for (std::uint64_t addr = 0; addr < pool; addr += config.line_bytes) {
+      EXPECT_EQ(lanes.contains(l, addr), refs[l].contains(addr))
+          << "lane " << l << " addr " << addr;
+    }
+  }
+}
+
+TEST(LockstepCaches, ResetLaneEmptiesOnlyThatLane) {
+  const CacheConfig config = lru_config(1, 4, 2);
+  LockstepCaches lanes{config, 2};
+  lanes.reset_lane(0);
+  lanes.reset_lane(1);
+  (void)lanes.access(0, 3);
+  (void)lanes.access(1, 3);
+  lanes.reset_lane(0);
+  EXPECT_FALSE(lanes.contains(0, 3));
+  EXPECT_TRUE(lanes.contains(1, 3));
+  // A reset lane is cold again: the same stream replays identically.
+  EXPECT_FALSE(lanes.access(0, 3));
+  EXPECT_TRUE(lanes.access(0, 3));
+}
+
+TEST(LockstepCaches, TouchIsAccessWithoutResult) {
+  const CacheConfig config = lru_config(1, 8, 2);
+  LockstepCaches a{config, 1};
+  LockstepCaches b{config, 1};
+  a.reset_lane(0);
+  b.reset_lane(0);
+  Xoshiro256 rng{0x70C4};
+  for (unsigned step = 0; step < 500; ++step) {
+    const std::uint64_t addr = rng.next() % 64;
+    a.touch(0, addr);
+    (void)b.access(0, addr);
+  }
+  for (std::uint64_t addr = 0; addr < 64; ++addr) {
+    EXPECT_EQ(a.contains(0, addr), b.contains(0, addr)) << addr;
+  }
+}
+
+}  // namespace
+}  // namespace grinch::cachesim

@@ -1,0 +1,404 @@
+// Registry-wide wide-path conformance suite.
+//
+// The wide observation contract (target/observation.h): observe_wide's
+// transposed batch must extract() bit-identical Observations to scalar
+// observe() calls — through the lockstep fast path where supported
+// (cachesim/lockstep.h) and through the transposing default elsewhere —
+// and the engines layered on it must be width-invariant:
+//  * KeyRecoveryEngine with Config::wide_width in {1, 2, 16, 63, 64}
+//    reproduces the scalar RecoveryResult byte for byte, clean and under
+//    channel faults (the FaultyObservationSource decorator corrupts wide
+//    batches in delivery order and rewinds past speculative tails);
+//  * WideRecoveryEngine runs N independent trials in lockstep and each
+//    lane equals the scalar recover_key() run with that trial's seeds,
+//    for any shard width (runner::make_wide_shards) and any thread count.
+#include "target/wide_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runner/thread_pool.h"
+#include "runner/trial_runner.h"
+#include "target/faulty_source.h"
+#include "target/registry.h"
+
+namespace grinch::target {
+namespace {
+
+template <typename Tuple>
+struct AsTestTypes;
+template <typename... Ts>
+struct AsTestTypes<std::tuple<Ts...>> {
+  using type = ::testing::Types<Ts...>;
+};
+
+using AllTargets = AsTestTypes<RegisteredRecoveries>::type;
+
+// Stage keys have no operator== of their own (plain structs).
+bool stage_key_equal(const gift::RoundKey64& a, const gift::RoundKey64& b) {
+  return a.u == b.u && a.v == b.v;
+}
+bool stage_key_equal(const gift::RoundKey128& a, const gift::RoundKey128& b) {
+  return a.u == b.u && a.v == b.v;
+}
+bool stage_key_equal(std::uint64_t a, std::uint64_t b) { return a == b; }
+
+template <typename Recovery>
+void expect_equal_results(const RecoveryResult<Recovery>& got,
+                          const RecoveryResult<Recovery>& want,
+                          const std::string& label) {
+  EXPECT_EQ(got.success, want.success) << label;
+  EXPECT_EQ(got.key_verified, want.key_verified) << label;
+  EXPECT_EQ(got.stages_resolved, want.stages_resolved) << label;
+  EXPECT_EQ(got.recovered_key, want.recovered_key) << label;
+  EXPECT_EQ(got.total_encryptions, want.total_encryptions) << label;
+  EXPECT_EQ(got.offline_trials, want.offline_trials) << label;
+  EXPECT_EQ(got.stage_encryptions, want.stage_encryptions) << label;
+  ASSERT_EQ(got.stage_keys.size(), want.stage_keys.size()) << label;
+  for (std::size_t i = 0; i < want.stage_keys.size(); ++i) {
+    EXPECT_TRUE(stage_key_equal(got.stage_keys[i], want.stage_keys[i]))
+        << label << " stage " << i;
+  }
+  EXPECT_EQ(got.noise_restarts, want.noise_restarts) << label;
+  EXPECT_EQ(got.dropped_observations, want.dropped_observations) << label;
+  EXPECT_EQ(got.segment_resets, want.segment_resets) << label;
+  EXPECT_EQ(got.verify_restarts, want.verify_restarts) << label;
+  EXPECT_EQ(got.failed_stage, want.failed_stage) << label;
+  EXPECT_EQ(got.surviving_masks, want.surviving_masks) << label;
+  EXPECT_EQ(got.residual_key_bits, want.residual_key_bits) << label;
+}
+
+template <typename Recovery>
+class WideConformance : public ::testing::Test {
+ protected:
+  static Key128 victim_key(std::uint64_t salt) {
+    Xoshiro256 rng{Recovery::kDefaultSeed ^ salt};
+    Key128 key = Recovery::canonical_key(rng.key128());
+    // Zero the low 16 key-register bits so PRESENT's offline finalize
+    // search exits on its first candidate (pure test speed; both sides
+    // of every comparison run the identical search).
+    key.lo &= ~std::uint64_t{0xFFFF};
+    return Recovery::canonical_key(key);
+  }
+
+  /// N trial specs plus the matching scalar engine configs.
+  static std::vector<WideTrialSpec> trial_specs(std::size_t n,
+                                                std::uint64_t salt) {
+    Xoshiro256 rng{Recovery::kDefaultSeed ^ salt ^ 0x77DE};
+    std::vector<WideTrialSpec> specs;
+    specs.reserve(n);
+    for (std::size_t t = 0; t < n; ++t) {
+      WideTrialSpec spec;
+      spec.victim_key = Recovery::canonical_key(rng.key128());
+      spec.victim_key.lo &= ~std::uint64_t{0xFFFF};
+      spec.seed = rng.next();
+      spec.fault_seed = rng.next();
+      specs.push_back(spec);
+    }
+    return specs;
+  }
+
+  /// The scalar reference for one spec: recover_key with the spec's
+  /// engine seed (and its fault seed, when `config` has faults).
+  static RecoveryResult<Recovery> scalar_reference(
+      const WideTrialSpec& spec,
+      typename KeyRecoveryEngine<Recovery>::Config config,
+      const typename DirectProbePlatform<Recovery>::Config& platform = {}) {
+    config.seed = spec.seed;
+    config.faults.seed = spec.fault_seed;
+    return recover_key<Recovery>(spec.victim_key, config, platform);
+  }
+};
+TYPED_TEST_SUITE(WideConformance, AllTargets);
+
+TYPED_TEST(WideConformance, ObserveWideBitIdenticalToScalar) {
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x3D);
+  DirectProbePlatform<Recovery> scalar{{}, key};
+  DirectProbePlatform<Recovery> wide{{}, key};
+  Xoshiro256 rng{0x31DE};
+  WideObservationBatch batch;
+  for (unsigned stage = 0; stage < 3 && stage < Recovery::kStages; ++stage) {
+    for (const std::size_t width : {std::size_t{1}, std::size_t{24},
+                                    std::size_t{63}, std::size_t{64}}) {
+      std::vector<Block> pts;
+      for (std::size_t i = 0; i < width; ++i) {
+        pts.push_back(Recovery::random_block(rng));
+      }
+      wide.observe_wide(pts, stage, batch);
+      ASSERT_EQ(batch.width(), pts.size());
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        const Observation o = scalar.observe(pts[i], stage);
+        const Observation w = batch.extract(static_cast<unsigned>(i));
+        ASSERT_EQ(w.present, o.present)
+            << "stage " << stage << " width " << width << " lane " << i;
+        EXPECT_EQ(w.probed_after_round, o.probed_after_round);
+        EXPECT_EQ(w.attacker_cycles, o.attacker_cycles);
+        EXPECT_EQ(w.dropped, o.dropped);
+      }
+      EXPECT_EQ(wide.last_ciphertext(), scalar.last_ciphertext())
+          << "stage " << stage << " width " << width;
+    }
+  }
+}
+
+TYPED_TEST(WideConformance, ObserveWideWithoutFlushMatchesScalar) {
+  // use_flush = false moves the attacker's flush before round 0, so the
+  // lockstep lanes must instrument every emitted round.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x3E);
+  typename DirectProbePlatform<Recovery>::Config config;
+  config.use_flush = false;
+  DirectProbePlatform<Recovery> scalar{config, key};
+  DirectProbePlatform<Recovery> wide{config, key};
+  Xoshiro256 rng{0x0F1};
+  std::vector<Block> pts;
+  for (unsigned i = 0; i < 16; ++i) pts.push_back(Recovery::random_block(rng));
+  WideObservationBatch batch;
+  wide.observe_wide(pts, 0, batch);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Observation o = scalar.observe(pts[i], 0);
+    const Observation w = batch.extract(static_cast<unsigned>(i));
+    EXPECT_EQ(w.present, o.present) << i;
+    EXPECT_EQ(w.attacker_cycles, o.attacker_cycles) << i;
+  }
+}
+
+TYPED_TEST(WideConformance, ObserveWideFallsBackOnUnsupportedConfig) {
+  // FIFO replacement has no lockstep fast path; observe_wide must route
+  // through the transposing default and still match scalar observes.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x3F);
+  typename DirectProbePlatform<Recovery>::Config config;
+  config.cache.replacement = cachesim::Replacement::kFifo;
+  ASSERT_FALSE(WideObserveCore<Recovery>::supported(config.cache));
+  DirectProbePlatform<Recovery> scalar{config, key};
+  DirectProbePlatform<Recovery> wide{config, key};
+  Xoshiro256 rng{0xFB2};
+  std::vector<Block> pts;
+  for (unsigned i = 0; i < 9; ++i) pts.push_back(Recovery::random_block(rng));
+  WideObservationBatch batch;
+  wide.observe_wide(pts, 0, batch);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Observation o = scalar.observe(pts[i], 0);
+    const Observation w = batch.extract(static_cast<unsigned>(i));
+    EXPECT_EQ(w.present, o.present) << i;
+    EXPECT_EQ(w.attacker_cycles, o.attacker_cycles) << i;
+  }
+  EXPECT_EQ(wide.last_ciphertext(), scalar.last_ciphertext());
+}
+
+TYPED_TEST(WideConformance, FaultyDecoratorWideMatchesScalarDelivery) {
+  // The decorator must corrupt wide lanes in delivery order with the
+  // exact draw schedule of scalar delivery.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x40);
+  const FaultProfile profile = FaultProfile::moderate();
+  DirectProbePlatform<Recovery> scalar_inner{{}, key};
+  DirectProbePlatform<Recovery> wide_inner{{}, key};
+  FaultyObservationSource<Block> scalar{scalar_inner, profile};
+  FaultyObservationSource<Block> wide{wide_inner, profile};
+  Xoshiro256 rng{0xFA17};
+  std::vector<Block> pts;
+  for (unsigned i = 0; i < 48; ++i) pts.push_back(Recovery::random_block(rng));
+  WideObservationBatch batch;
+  wide.observe_wide(pts, 0, batch);
+  ASSERT_EQ(batch.width(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Observation o = scalar.observe(pts[i], 0);
+    const Observation w = batch.extract(static_cast<unsigned>(i));
+    EXPECT_EQ(w.present, o.present) << "lane " << i;
+    EXPECT_EQ(w.dropped, o.dropped) << "lane " << i;
+  }
+  EXPECT_EQ(wide.stats().dropped, scalar.stats().dropped);
+  EXPECT_EQ(wide.stats().stale, scalar.stats().stale);
+  EXPECT_EQ(wide.stats().bursts, scalar.stats().bursts);
+  EXPECT_EQ(wide.stats().lines_flipped_absent,
+            scalar.stats().lines_flipped_absent);
+  EXPECT_EQ(wide.stats().lines_flipped_present,
+            scalar.stats().lines_flipped_present);
+}
+
+TYPED_TEST(WideConformance, WideWidthEngineMatchesScalarEngine) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0x41);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg;
+  scalar_cfg.max_batch = 1;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  ASSERT_TRUE(s.success);
+  for (const unsigned width : {1u, 2u, 16u, 63u, 64u}) {
+    typename KeyRecoveryEngine<Recovery>::Config cfg;
+    cfg.wide_width = width;
+    const RecoveryResult<Recovery> w = recover_key<Recovery>(key, cfg);
+    expect_equal_results(w, s, "wide_width " + std::to_string(width));
+  }
+}
+
+TYPED_TEST(WideConformance, WideWidthEngineMatchesScalarUnderFaults) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0x42);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg =
+      KeyRecoveryEngine<Recovery>::Config::noisy_defaults();
+  scalar_cfg.max_encryptions = 800000;
+  scalar_cfg.faults = FaultProfile::moderate();
+  scalar_cfg.max_batch = 1;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  ASSERT_TRUE(s.success);
+  for (const unsigned width : {2u, 64u}) {
+    typename KeyRecoveryEngine<Recovery>::Config cfg = scalar_cfg;
+    cfg.wide_width = width;
+    const RecoveryResult<Recovery> w = recover_key<Recovery>(key, cfg);
+    expect_equal_results(w, s, "faulty wide_width " + std::to_string(width));
+  }
+}
+
+TYPED_TEST(WideConformance, WideWidthClampsOutOfRangeValues) {
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0x43);
+  typename KeyRecoveryEngine<Recovery>::Config scalar_cfg;
+  scalar_cfg.max_batch = 1;
+  const RecoveryResult<Recovery> s = recover_key<Recovery>(key, scalar_cfg);
+  typename KeyRecoveryEngine<Recovery>::Config cfg;
+  cfg.wide_width = 200;  // clamped to 64
+  const RecoveryResult<Recovery> w = recover_key<Recovery>(key, cfg);
+  expect_equal_results(w, s, "wide_width 200");
+}
+
+TYPED_TEST(WideConformance, WideEngineLanesMatchScalarTrials) {
+  // Each WideRecoveryEngine lane must equal the scalar recover_key run
+  // with that trial's seeds, at every shard width.
+  using Recovery = TypeParam;
+  constexpr std::size_t kTrials = 9;
+  const auto specs = this->trial_specs(kTrials, 0x50);
+  typename KeyRecoveryEngine<Recovery>::Config config;
+  std::vector<RecoveryResult<Recovery>> refs;
+  refs.reserve(kTrials);
+  for (const WideTrialSpec& spec : specs) {
+    refs.push_back(this->scalar_reference(spec, config));
+  }
+  for (const unsigned width : {1u, 4u, 64u}) {
+    WideRecoveryEngine<Recovery> engine{config};
+    std::vector<RecoveryResult<Recovery>> results;
+    for (const runner::WideShard& shard :
+         runner::make_wide_shards(kTrials, width)) {
+      auto part = engine.run(
+          std::span<const WideTrialSpec>(specs).subspan(shard.begin,
+                                                        shard.width));
+      for (auto& r : part) results.push_back(std::move(r));
+    }
+    ASSERT_EQ(results.size(), refs.size());
+    for (std::size_t t = 0; t < refs.size(); ++t) {
+      expect_equal_results(results[t], refs[t],
+                           "width " + std::to_string(width) + " trial " +
+                               std::to_string(t));
+    }
+  }
+}
+
+TYPED_TEST(WideConformance, WideEngineLanesMatchScalarTrialsUnderFaults) {
+  using Recovery = TypeParam;
+  constexpr std::size_t kTrials = 5;
+  const auto specs = this->trial_specs(kTrials, 0x51);
+  typename KeyRecoveryEngine<Recovery>::Config config =
+      KeyRecoveryEngine<Recovery>::Config::noisy_defaults();
+  config.max_encryptions = 800000;
+  config.faults = FaultProfile::moderate();
+  std::vector<RecoveryResult<Recovery>> refs;
+  for (const WideTrialSpec& spec : specs) {
+    refs.push_back(this->scalar_reference(spec, config));
+  }
+  WideRecoveryEngine<Recovery> engine{config};
+  const auto results = engine.run(specs);
+  ASSERT_EQ(results.size(), refs.size());
+  for (std::size_t t = 0; t < refs.size(); ++t) {
+    expect_equal_results(results[t], refs[t],
+                         "faulty trial " + std::to_string(t));
+  }
+}
+
+TYPED_TEST(WideConformance, WideEngineFallsBackOnUnsupportedConfig) {
+  // On a FIFO cache the engine must run every lane on its scalar
+  // fallback platform with identical results.
+  using Recovery = TypeParam;
+  constexpr std::size_t kTrials = 3;
+  const auto specs = this->trial_specs(kTrials, 0x52);
+  typename KeyRecoveryEngine<Recovery>::Config config;
+  typename DirectProbePlatform<Recovery>::Config platform;
+  platform.cache.replacement = cachesim::Replacement::kFifo;
+  std::vector<RecoveryResult<Recovery>> refs;
+  for (const WideTrialSpec& spec : specs) {
+    refs.push_back(this->scalar_reference(spec, config, platform));
+  }
+  WideRecoveryEngine<Recovery> engine{config, platform};
+  const auto results = engine.run(specs);
+  ASSERT_EQ(results.size(), refs.size());
+  for (std::size_t t = 0; t < refs.size(); ++t) {
+    expect_equal_results(results[t], refs[t],
+                         "fallback trial " + std::to_string(t));
+  }
+}
+
+TYPED_TEST(WideConformance, ShardedWideRunsAreThreadCountInvariant) {
+  // Shards dispatched across a ThreadPool (one engine per shard, disjoint
+  // output slots) must reproduce the serial shard loop bit for bit — the
+  // TSan job runs this against the race detector.
+  using Recovery = TypeParam;
+  constexpr std::size_t kTrials = 8;
+  constexpr unsigned kWidth = 3;
+  const auto specs = this->trial_specs(kTrials, 0x53);
+  typename KeyRecoveryEngine<Recovery>::Config config;
+
+  const auto shards = runner::make_wide_shards(kTrials, kWidth);
+  std::vector<std::vector<RecoveryResult<Recovery>>> serial(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    WideRecoveryEngine<Recovery> engine{config};
+    serial[i] = engine.run(std::span<const WideTrialSpec>(specs).subspan(
+        shards[i].begin, shards[i].width));
+  }
+
+  for (const unsigned threads : {1u, 4u}) {
+    runner::ThreadPool pool{threads};
+    std::vector<std::vector<RecoveryResult<Recovery>>> parallel(shards.size());
+    pool.parallel_for(shards.size(), [&](std::size_t i) {
+      WideRecoveryEngine<Recovery> engine{config};
+      parallel[i] = engine.run(std::span<const WideTrialSpec>(specs).subspan(
+          shards[i].begin, shards[i].width));
+    });
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      ASSERT_EQ(parallel[i].size(), serial[i].size());
+      for (std::size_t t = 0; t < serial[i].size(); ++t) {
+        expect_equal_results(parallel[i][t], serial[i][t],
+                             std::to_string(threads) + " threads shard " +
+                                 std::to_string(i) + " trial " +
+                                 std::to_string(t));
+      }
+    }
+  }
+}
+
+TEST(WideShards, CoverTrialsExactly) {
+  const auto shards = runner::make_wide_shards(130, 64);
+  ASSERT_EQ(shards.size(), 3u);
+  EXPECT_EQ(shards[0].begin, 0u);
+  EXPECT_EQ(shards[0].width, 64u);
+  EXPECT_EQ(shards[1].begin, 64u);
+  EXPECT_EQ(shards[1].width, 64u);
+  EXPECT_EQ(shards[2].begin, 128u);
+  EXPECT_EQ(shards[2].width, 2u);
+  EXPECT_TRUE(runner::make_wide_shards(0, 16).empty());
+  // Width is clamped to [1, 64].
+  EXPECT_EQ(runner::make_wide_shards(5, 0).size(), 5u);
+  EXPECT_EQ(runner::make_wide_shards(200, 1000).front().width, 64u);
+}
+
+}  // namespace
+}  // namespace grinch::target

@@ -186,6 +186,66 @@ def summarize_leakage(name, fresh):
     return warnings
 
 
+def summarize_wide_path(name, fresh):
+    """Extra checks for BENCH_micro_throughput.json (the wide path).
+
+    Asserts that the transposed lockstep transport pays for itself on the
+    machine that produced the document (so a committed baseline compared
+    against itself must pass too):
+
+      * BM_ObserveBatch/64 routes through observe_wide; its
+        per-observation cpu_time must not exceed the scalar
+        observe_batch path's (BM_ObserveBatch/16);
+      * BM_WideRecovery at width 64 must keep >= 0.75x linear scaling:
+        per-trial time within 1/0.75 of the width-1 lane loop.
+    """
+    warnings = []
+    times = {
+        b["name"]: float(b["cpu_time"])
+        for b in fresh.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"
+    }
+
+    wide = times.get("BM_ObserveBatch/64")
+    scalar = times.get("BM_ObserveBatch/16")
+    if wide is None or scalar is None:
+        warnings.append(
+            f"{name}: missing BM_ObserveBatch/16 or /64 (wide-path gate)"
+        )
+    else:
+        per_wide, per_scalar = wide / 64, scalar / 16
+        marker = "ok" if per_wide <= per_scalar else "REGRESSION"
+        print(
+            f"  wide observe: {per_wide:.1f} ns/obs (observe_wide) vs "
+            f"{per_scalar:.1f} ns/obs (scalar) {marker}"
+        )
+        if per_wide > per_scalar:
+            warnings.append(
+                f"{name}: observe_wide per-observation time ({per_wide:.1f} "
+                f"ns) exceeds the scalar path ({per_scalar:.1f} ns)"
+            )
+
+    w1 = times.get("BM_WideRecovery/1")
+    w64 = times.get("BM_WideRecovery/64")
+    if w1 is None or w64 is None:
+        warnings.append(
+            f"{name}: missing BM_WideRecovery/1 or /64 (wide-path gate)"
+        )
+    else:
+        limit = w1 / 0.75
+        marker = "ok" if w64 <= limit else "REGRESSION"
+        print(
+            f"  wide recovery: width 64 {w64:.2f} vs width 1 {w1:.2f} "
+            f"per 64 trials (>= 0.75x linear limit {limit:.2f}) {marker}"
+        )
+        if w64 > limit:
+            warnings.append(
+                f"{name}: BM_WideRecovery/64 ({w64:.2f}) scales worse than "
+                f"0.75x linear against width 1 ({w1:.2f})"
+            )
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -235,6 +295,8 @@ def main() -> int:
             warnings += compare_google_benchmark(
                 base_path.name, baseline, fresh, args.threshold
             )
+            if base_path.name == "BENCH_micro_throughput.json":
+                warnings += summarize_wide_path(base_path.name, fresh)
         else:
             warnings += compare_repo_format(base_path.name, baseline, fresh)
             if base_path.name == "BENCH_robustness.json":

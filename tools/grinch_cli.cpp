@@ -7,6 +7,13 @@
 //                   [--budget N] [--seed N] [--joint] [--precise]
 //                   [--noise N] [--statistical]
 //   grinch attack128 [--key <hex32>] [--budget N] [--seed N]
+//
+// The unified-engine commands (attack128, attack-present) also accept
+//   --wide N       route observations through the 64-wide lockstep
+//                  transport (target/wide_observe.h); N is clamped to
+//                  [1, 64], 1 = scalar path (the default)
+//   --json PATH    write a machine-readable run report
+//
 //   grinch platforms              # Table II quick view
 //   grinch countermeasures        # §IV-C quick view
 //
@@ -193,6 +200,54 @@ void apply_fault_args(const Args& args, Config& cfg) {
   cfg.vote_threshold = static_cast<unsigned>(args.get_u64("vote", fallback));
 }
 
+/// --wide N routes the engine's observation batches through the
+/// transposed lockstep transport (Config::wide_width; the engine clamps
+/// to [1, 64] and falls back to the scalar path per observation source
+/// when the cache configuration is unsupported).
+template <typename Config>
+void apply_wide_args(const Args& args, Config& cfg) {
+  cfg.wide_width = static_cast<unsigned>(args.get_u64("wide", cfg.wide_width));
+}
+
+template <typename Config>
+void print_engine_header(const Config& cfg) {
+  std::printf("engine:        %s (wide width %u)\n",
+              cfg.wide_width > 1 ? "wide lockstep" : "scalar",
+              cfg.wide_width);
+}
+
+/// Writes the machine-readable run report for --json PATH.
+template <typename Recovery>
+void write_json_report(const std::string& path, const char* command,
+                       const Key128& victim, unsigned wide_width,
+                       const target::RecoveryResult<Recovery>& r) {
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --json %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"command\": \"%s\",\n", command);
+  std::fprintf(f, "  \"victim_key\": \"%s\",\n", victim.to_hex().c_str());
+  std::fprintf(f, "  \"wide_width\": %u,\n", wide_width);
+  std::fprintf(f, "  \"success\": %s,\n", r.success ? "true" : "false");
+  std::fprintf(f, "  \"exact_match\": %s,\n",
+               r.success && r.recovered_key == victim ? "true" : "false");
+  std::fprintf(f, "  \"recovered_key\": \"%s\",\n",
+               r.success ? r.recovered_key.to_hex().c_str() : "");
+  std::fprintf(f, "  \"total_encryptions\": %llu,\n",
+               static_cast<unsigned long long>(r.total_encryptions));
+  std::fprintf(f, "  \"noise_restarts\": %llu,\n",
+               static_cast<unsigned long long>(r.noise_restarts));
+  std::fprintf(f, "  \"dropped_observations\": %llu,\n",
+               static_cast<unsigned long long>(r.dropped_observations));
+  std::fprintf(f, "  \"verify_restarts\": %llu\n",
+               static_cast<unsigned long long>(r.verify_restarts));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
+
 template <typename Recovery>
 void print_noise_report(const target::RecoveryResult<Recovery>& r) {
   std::printf("noise restarts: %llu; dropped observations: %llu;"
@@ -217,8 +272,10 @@ int cmd_attack128(const Args& args) {
   cfg.max_encryptions = args.get_u64("budget", 100000);
   cfg.seed = args.get_u64("seed", 0xC128) ^ 0x128;
   apply_fault_args(args, cfg);
+  apply_wide_args(args, cfg);
   const auto r = target::recover_key<target::Gift128Recovery>(key, cfg);
   std::printf("victim key:    %s\n", key.to_hex().c_str());
+  print_engine_header(cfg);
   std::printf("encryptions:   %llu (stages %llu + %llu)\n",
               static_cast<unsigned long long>(r.total_encryptions),
               static_cast<unsigned long long>(r.stage_encryptions[0]),
@@ -231,6 +288,7 @@ int cmd_attack128(const Args& args) {
   } else {
     std::printf("result:        FAILED\n");
   }
+  write_json_report(args.get("json", ""), "attack128", key, cfg.wide_width, r);
   return r.success && r.recovered_key == key ? 0 : 1;
 }
 
@@ -242,8 +300,10 @@ int cmd_attack_present(const Args& args) {
   cfg.max_encryptions = args.get_u64("budget", 100000);
   cfg.seed = args.get_u64("seed", 0xC80) ^ 0x80;
   apply_fault_args(args, cfg);
+  apply_wide_args(args, cfg);
   const auto r = target::recover_key<target::Present80Recovery>(key, cfg);
   std::printf("victim key (80-bit): %s\n", key.to_hex().c_str());
+  print_engine_header(cfg);
   std::printf("monitored encryptions: %llu; offline search: 2^16\n",
               static_cast<unsigned long long>(r.total_encryptions));
   print_noise_report(r);
@@ -254,6 +314,8 @@ int cmd_attack_present(const Args& args) {
   } else {
     std::printf("result: FAILED\n");
   }
+  write_json_report(args.get("json", ""), "attack-present", key,
+                    cfg.wide_width, r);
   return r.success && r.recovered_key == key ? 0 : 1;
 }
 
