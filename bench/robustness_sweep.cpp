@@ -133,19 +133,21 @@ struct CellStats {
 template <typename Recovery>
 CellStats run_cell(runner::ThreadPool& pool, unsigned trials,
                    std::uint64_t seed_base, const ProfileSpec& spec) {
-  const std::vector<runner::TrialSeed> seeds =
-      runner::derive_trial_seeds(seed_base, trials);
+  // The shared grid expander (runner::ShardPlan); the cell keeps the
+  // profile's own fault seed for every trial, so the plan's per-trial
+  // fault stream is unused here (the campaign engine consumes it).
+  const runner::ShardPlan plan{seed_base, 0, trials, 1};
   struct Outcome {
     target::RecoveryResult<Recovery> result;
     bool verified = false;
     bool truth_contained = false;
   };
-  runner::TrialRunner run{pool};
-  const std::vector<Outcome> outcomes =
-      run.map<Outcome>(trials, [&](std::size_t t) {
-        const Key128 key = Recovery::canonical_key(seeds[t].key);
+  const std::vector<Outcome> outcomes = runner::map_trials<Outcome>(
+      pool, plan,
+      [&](std::size_t, const runner::TrialSeed& ts, std::uint64_t) {
+        const Key128 key = Recovery::canonical_key(ts.key);
         typename target::KeyRecoveryEngine<Recovery>::Config cfg;
-        cfg.seed = seeds[t].seed;
+        cfg.seed = ts.seed;
         cfg.vote_threshold = spec.vote_threshold;
         cfg.max_encryptions = spec.budget;
         cfg.faults = spec.faults;

@@ -1,0 +1,72 @@
+#include "campaign/progress.h"
+
+#include <cstdio>
+
+namespace grinch::campaign {
+
+namespace {
+
+constexpr std::chrono::milliseconds kThrottle{200};
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(bool enabled, std::string label,
+                                   std::size_t shard_total)
+    : enabled_(enabled),
+      label_(std::move(label)),
+      shard_total_(shard_total),
+      start_(Clock::now()),
+      last_paint_(start_ - kThrottle) {}
+
+void ProgressReporter::update(std::size_t flushed_shards,
+                              std::uint64_t flushed_trials,
+                              const Counters& counters) {
+  if (!enabled_) return;
+  const Clock::time_point now = Clock::now();
+  if (flushed_shards < shard_total_ && now - last_paint_ < kThrottle) return;
+  last_paint_ = now;
+  paint(flushed_shards, flushed_trials, counters);
+}
+
+void ProgressReporter::paint(std::size_t flushed_shards,
+                             std::uint64_t flushed_trials,
+                             const Counters& counters) {
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(flushed_shards) / elapsed : 0.0;
+  const double pct =
+      shard_total_ > 0 ? 100.0 * static_cast<double>(flushed_shards) /
+                             static_cast<double>(shard_total_)
+                       : 100.0;
+  std::string eta = "-";
+  if (rate > 0.0 && flushed_shards < shard_total_) {
+    const double secs =
+        static_cast<double>(shard_total_ - flushed_shards) / rate;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0fs", secs);
+    eta = buf;
+  }
+  std::fprintf(stderr,
+               "\r[%s] %zu/%zu shards (%.1f%%)  %llu trials  %.2f shards/s"
+               "  ETA %s  noise-restarts %llu   ",
+               label_.c_str(), flushed_shards, shard_total_, pct,
+               static_cast<unsigned long long>(flushed_trials), rate,
+               eta.c_str(),
+               static_cast<unsigned long long>(counters.noise_restarts));
+  std::fflush(stderr);
+}
+
+void ProgressReporter::finish(std::size_t flushed_shards,
+                              std::uint64_t flushed_trials,
+                              const Counters& counters, bool interrupted) {
+  if (!enabled_) return;
+  paint(flushed_shards, flushed_trials, counters);
+  std::fprintf(stderr, "\n[%s] %s: %llu/%llu trials verified, %llu partial\n",
+               label_.c_str(), interrupted ? "interrupted" : "done",
+               static_cast<unsigned long long>(counters.verified),
+               static_cast<unsigned long long>(flushed_trials),
+               static_cast<unsigned long long>(counters.partial));
+}
+
+}  // namespace grinch::campaign

@@ -1,0 +1,51 @@
+// Live campaign progress on stderr.
+//
+// One updating line — flushed shards, percentage, shards/sec, ETA and the
+// aggregate noise-restart counter — throttled to a minimum interval so a
+// fast campaign does not spend its wall clock repainting a terminal.
+// Writes go to stderr (results stream to files/stdout untouched) and are
+// disabled entirely unless Options::progress asked for them, so
+// benchmarked throughput and byte-compared outputs never see a progress
+// byte.  Rates and ETA use a wall clock, which is why the reporter lives
+// outside the deterministic result path: nothing it prints feeds back
+// into records or checkpoints.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "campaign/checkpoint.h"
+
+namespace grinch::campaign {
+
+class ProgressReporter {
+ public:
+  /// `enabled` = false turns every call into a no-op.  `label` prefixes
+  /// the line (the campaign name).
+  ProgressReporter(bool enabled, std::string label, std::size_t shard_total);
+
+  /// Repaints the line if at least the throttle interval has elapsed
+  /// since the previous paint (the final shard always paints).
+  void update(std::size_t flushed_shards, std::uint64_t flushed_trials,
+              const Counters& counters);
+
+  /// Finishes the line (newline) and prints a one-line summary.
+  void finish(std::size_t flushed_shards, std::uint64_t flushed_trials,
+              const Counters& counters, bool interrupted);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void paint(std::size_t flushed_shards, std::uint64_t flushed_trials,
+             const Counters& counters);
+
+  bool enabled_;
+  std::string label_;
+  std::size_t shard_total_;
+  Clock::time_point start_;
+  Clock::time_point last_paint_;
+};
+
+}  // namespace grinch::campaign

@@ -1,0 +1,31 @@
+#include "campaign/sigint.h"
+
+namespace grinch::campaign {
+
+namespace {
+
+// One process-wide flag: std::signal handlers cannot carry state, and
+// std::atomic<bool> is async-signal-safe when lock-free (it is on every
+// platform this repo targets).
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+SigintHandler::SigintHandler() {
+  g_stop.store(false);
+  previous_int_ = std::signal(SIGINT, &handle_stop_signal);
+  previous_term_ = std::signal(SIGTERM, &handle_stop_signal);
+}
+
+SigintHandler::~SigintHandler() {
+  std::signal(SIGINT, previous_int_);
+  std::signal(SIGTERM, previous_term_);
+}
+
+std::atomic<bool>* SigintHandler::stop_flag() noexcept { return &g_stop; }
+
+bool SigintHandler::stopped() const noexcept { return g_stop.load(); }
+
+}  // namespace grinch::campaign

@@ -1,0 +1,46 @@
+// Cooperative SIGINT/SIGTERM handling for campaign runs.
+//
+// The campaign engine's stop protocol is *drain semantics*: a raised stop
+// flag makes workers skip shards they have not yet started, the flusher
+// writes every already-finished contiguous shard to disk, and a final
+// checkpoint records exactly the flushed prefix — so an interrupted
+// campaign resumes with zero lost and zero duplicated trials.  This class
+// supplies the flag: it installs async-signal-safe handlers for SIGINT
+// and SIGTERM that set a process-wide atomic, and restores the previous
+// handlers on destruction.  The engine itself never touches signals; it
+// only polls an `std::atomic<bool>*` (campaign::Options::stop), so tests
+// drive the same code path by flipping a plain atomic.
+//
+// A second signal while draining is not intercepted beyond setting the
+// (already set) flag — the default disposition is restored only on
+// destruction, so a user who really wants out can still SIGKILL; the
+// checkpoint protocol tolerates that too (kill-tests in tests/campaign/).
+#pragma once
+
+#include <atomic>
+#include <csignal>
+
+namespace grinch::campaign {
+
+class SigintHandler {
+ public:
+  /// Installs the handlers and clears the stop flag.
+  SigintHandler();
+  /// Restores the previously installed handlers.
+  ~SigintHandler();
+
+  SigintHandler(const SigintHandler&) = delete;
+  SigintHandler& operator=(const SigintHandler&) = delete;
+
+  /// The flag the handlers raise; hand this to campaign::Options::stop.
+  [[nodiscard]] std::atomic<bool>* stop_flag() noexcept;
+
+  /// True once SIGINT or SIGTERM has been delivered.
+  [[nodiscard]] bool stopped() const noexcept;
+
+ private:
+  void (*previous_int_)(int) = SIG_DFL;
+  void (*previous_term_)(int) = SIG_DFL;
+};
+
+}  // namespace grinch::campaign

@@ -1,0 +1,135 @@
+#include "campaign/spec.h"
+
+#include <array>
+#include <span>
+
+#include "common/crc32.h"
+#include "target/recovery_engine.h"
+
+namespace grinch::campaign {
+
+namespace {
+
+constexpr std::array<std::string_view, 3> kCiphers = {"gift64", "gift128",
+                                                      "present80"};
+constexpr std::array<std::string_view, 3> kProfiles = {"clean", "moderate",
+                                                       "saturating"};
+
+bool is_one_of(std::string_view v, std::span<const std::string_view> allowed) {
+  for (const std::string_view a : allowed) {
+    if (v == a) return true;
+  }
+  return false;
+}
+
+bool set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+}  // namespace
+
+bool CampaignSpec::validate(std::string* error) const {
+  if (!is_one_of(cipher, kCiphers)) {
+    return set_error(error, "unknown cipher '" + cipher +
+                                "' (expected gift64, gift128 or present80)");
+  }
+  if (!is_one_of(fault_profile, kProfiles)) {
+    return set_error(error,
+                     "unknown fault_profile '" + fault_profile +
+                         "' (expected clean, moderate or saturating)");
+  }
+  if (trials == 0) return set_error(error, "trials must be >= 1");
+  if (budget == 0) return set_error(error, "budget must be >= 1");
+  if (wide_width == 0 || wide_width > 64) {
+    return set_error(error, "wide_width must be in [1, 64]");
+  }
+  if (line_words == 0 || (line_words & (line_words - 1)) != 0 ||
+      line_words > 8) {
+    return set_error(error, "line_words must be 1, 2, 4 or 8");
+  }
+  if (probing_round == 0) return set_error(error, "probing_round must be >= 1");
+  if (vote_threshold > 16) {
+    return set_error(error, "vote_threshold must be <= 16 (0 = auto)");
+  }
+  return true;
+}
+
+json::Value CampaignSpec::to_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("name", name);
+  doc.set("cipher", cipher);
+  doc.set("trials", trials);
+  doc.set("seed", seed);
+  doc.set("fault_seed", fault_seed);
+  doc.set("wide_width", wide_width);
+  doc.set("budget", budget);
+  doc.set("fault_profile", fault_profile);
+  doc.set("vote_threshold", vote_threshold);
+  doc.set("line_words", line_words);
+  doc.set("probing_round", probing_round);
+  return doc;
+}
+
+std::string CampaignSpec::canonical() const { return to_json().dump_compact(); }
+
+std::uint32_t CampaignSpec::fingerprint() const { return crc32(canonical()); }
+
+std::optional<CampaignSpec> CampaignSpec::from_json(const json::Value& doc,
+                                                    std::string* error) {
+  if (!doc.is_object()) {
+    set_error(error, "spec must be a JSON object");
+    return std::nullopt;
+  }
+  CampaignSpec spec;
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "name") {
+      spec.name = value.as_string(spec.name);
+    } else if (key == "cipher") {
+      spec.cipher = value.as_string(spec.cipher);
+    } else if (key == "trials") {
+      spec.trials = value.as_u64(0);
+    } else if (key == "seed") {
+      spec.seed = value.as_u64(spec.seed);
+    } else if (key == "fault_seed") {
+      spec.fault_seed = value.as_u64(spec.fault_seed);
+    } else if (key == "wide_width") {
+      spec.wide_width = static_cast<unsigned>(value.as_u64(0));
+    } else if (key == "budget") {
+      spec.budget = value.as_u64(0);
+    } else if (key == "fault_profile") {
+      spec.fault_profile = value.as_string(spec.fault_profile);
+    } else if (key == "vote_threshold") {
+      spec.vote_threshold = static_cast<unsigned>(value.as_u64(99));
+    } else if (key == "line_words") {
+      spec.line_words = static_cast<unsigned>(value.as_u64(0));
+    } else if (key == "probing_round") {
+      spec.probing_round = static_cast<unsigned>(value.as_u64(0));
+    } else {
+      set_error(error, "unknown spec key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (!spec.validate(error)) return std::nullopt;
+  return spec;
+}
+
+std::optional<CampaignSpec> CampaignSpec::parse(std::string_view text,
+                                                std::string* error) {
+  const std::optional<json::Value> doc = json::parse(text, error);
+  if (!doc) return std::nullopt;
+  return from_json(*doc, error);
+}
+
+target::FaultProfile CampaignSpec::faults() const {
+  target::FaultProfile profile = target::FaultProfile::named(fault_profile);
+  profile.seed = fault_seed;
+  return profile;
+}
+
+unsigned CampaignSpec::effective_vote_threshold() const {
+  if (vote_threshold != 0) return vote_threshold;
+  return faults().any() ? 2 : 1;
+}
+
+}  // namespace grinch::campaign

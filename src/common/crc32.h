@@ -1,0 +1,43 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// The campaign layer uses it twice: checkpoint files carry a CRC over
+// their payload so a torn or bit-rotted checkpoint is rejected instead of
+// resumed from, and the checkpoint records a CRC of the flushed JSONL
+// prefix so resume can prove the result file on disk is exactly the
+// prefix the checkpoint describes before appending to it.
+//
+// Incremental: feed chunks through update() with the running value
+// (start from kInit, finish with finalize()); crc32() is the one-shot
+// convenience.  Matches zlib's crc32() for the same bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace grinch {
+
+class Crc32 {
+ public:
+  static constexpr std::uint32_t kInit = 0xFFFFFFFFu;
+
+  /// Folds `size` bytes into the running (pre-finalize) value.
+  [[nodiscard]] static std::uint32_t update(std::uint32_t crc,
+                                            const void* data,
+                                            std::size_t size) noexcept;
+
+  [[nodiscard]] static constexpr std::uint32_t finalize(
+      std::uint32_t crc) noexcept {
+    return crc ^ 0xFFFFFFFFu;
+  }
+};
+
+/// One-shot CRC-32 of a byte range.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+/// One-shot CRC-32 of a string's bytes.
+[[nodiscard]] inline std::uint32_t crc32(std::string_view s) noexcept {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace grinch

@@ -1,19 +1,24 @@
-// Minimal JSON document builder for machine-readable bench output.
+// Minimal JSON document builder + reader for machine-readable I/O.
 //
 // The bench harnesses (bench/bench_util.h) serialize their results,
 // configuration and wall-clock into `BENCH_<name>.json` so the perf
 // trajectory of the repo is tracked mechanically (tools/run_bench.sh
-// aggregates them; CI uploads the aggregate per PR).  Writing only —
-// nothing in the repo needs to parse JSON back.
+// aggregates them; CI uploads the aggregate per PR).  The campaign layer
+// (src/campaign/) added the read direction: CampaignSpec files are parsed
+// with json::parse and result records are streamed as JSONL via
+// dump_compact().
 //
-// Determinism: dump() emits keys in insertion order and formats doubles
-// with a fixed shortest-roundtrip format, so two runs that computed the
-// same values serialize to identical bytes (the determinism suite
-// compares serialized documents across thread counts).
+// Determinism: dump()/dump_compact() emit keys in insertion order and
+// format doubles with a fixed shortest-roundtrip format, so two runs that
+// computed the same values serialize to identical bytes (the determinism
+// suite compares serialized documents across thread counts, and the
+// campaign resume contract depends on record bytes being reproducible).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -47,10 +52,47 @@ class Value {
     return kind_ == Kind::kObject;
   }
   [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind_ == Kind::kString;
+  }
+  [[nodiscard]] bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == Kind::kInt || kind_ == Kind::kUint ||
+           kind_ == Kind::kDouble;
+  }
+
+  // --- read accessors (the parse direction) ---
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* get(std::string_view key) const noexcept;
+
+  /// Members in insertion order (empty unless an object).
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& members()
+      const noexcept {
+    return members_;
+  }
+
+  /// Elements in order (empty unless an array).
+  [[nodiscard]] const std::vector<Value>& elements() const noexcept {
+    return elements_;
+  }
+
+  /// Value reads with a fallback on kind mismatch.  Numbers convert
+  /// across int/uint/double (u64 reads reject negatives, both integer
+  /// reads reject non-integral doubles).
+  [[nodiscard]] std::string as_string(const std::string& fallback = "") const;
+  [[nodiscard]] std::uint64_t as_u64(std::uint64_t fallback = 0) const noexcept;
+  [[nodiscard]] double as_double(double fallback = 0.0) const noexcept;
+  [[nodiscard]] bool as_bool(bool fallback = false) const noexcept;
 
   /// Serializes with 2-space indentation and a trailing newline at the
   /// top level.
   [[nodiscard]] std::string dump() const;
+
+  /// Single-line serialization (no indentation, no trailing newline) —
+  /// the JSONL record format of the campaign result stream.
+  [[nodiscard]] std::string dump_compact() const;
 
  private:
   enum class Kind : std::uint8_t {
@@ -58,6 +100,7 @@ class Value {
   };
 
   void write(std::string& out, unsigned depth) const;
+  void write_compact(std::string& out) const;
 
   Kind kind_;
   bool bool_ = false;
@@ -71,5 +114,13 @@ class Value {
 
 /// Escapes a string for embedding in a JSON document (no quotes added).
 [[nodiscard]] std::string escape(const std::string& s);
+
+/// Parses one JSON document (the subset dump() emits: objects, arrays,
+/// strings with the escape() escapes plus \/ \b \f \uXXXX, numbers,
+/// booleans, null).  Trailing non-whitespace, trailing commas, comments
+/// and duplicate keys are rejected.  On failure returns nullopt and, when
+/// `error` is non-null, a one-line "offset N: reason" diagnostic.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
 
 }  // namespace grinch::json

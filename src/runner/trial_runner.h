@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "common/key128.h"
@@ -74,6 +75,79 @@ struct WideShard {
 /// order, so sharded results concatenate into the unsharded order.
 [[nodiscard]] std::vector<WideShard> make_wide_shards(std::size_t trials,
                                                       unsigned width);
+
+/// A deterministically expanded trial grid: every trial's RNG material
+/// (victim key, engine seed, fault-stream seed) pre-derived in trial
+/// order, cut into contiguous wide shards.  This is the one shard
+/// expander shared by the campaign engine (src/campaign/), the extension/
+/// robustness benches and the CLI front-ends — because the derivation is
+/// position-based (trial t always draws the same material for a given
+/// base seed), shard width, thread count and interruption/resume cannot
+/// change any trial's inputs, which is what makes sharded, checkpointed
+/// campaigns byte-identical to one uninterrupted serial run.
+class ShardPlan {
+ public:
+  /// Derives `trials` (key, seed) pairs from `seed` (exactly
+  /// derive_trial_seeds) plus an independent per-trial fault-seed stream
+  /// from `fault_seed` (exactly derive_seeds), sharded at `width` lanes
+  /// (clamped to [1, 64]).
+  ShardPlan(std::uint64_t seed, std::uint64_t fault_seed, std::size_t trials,
+            unsigned width)
+      : seeds_(derive_trial_seeds(seed, trials)),
+        fault_seeds_(derive_seeds(fault_seed, trials)),
+        shards_(make_wide_shards(trials, width)) {}
+
+  [[nodiscard]] std::size_t trials() const noexcept { return seeds_.size(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] const std::vector<WideShard>& shards() const noexcept {
+    return shards_;
+  }
+  [[nodiscard]] const WideShard& shard(std::size_t i) const {
+    return shards_.at(i);
+  }
+
+  /// All trials' pre-derived material, in trial order.
+  [[nodiscard]] const std::vector<TrialSeed>& seeds() const noexcept {
+    return seeds_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& fault_seeds()
+      const noexcept {
+    return fault_seeds_;
+  }
+
+  /// One shard's slice of the trial material.
+  [[nodiscard]] std::span<const TrialSeed> seeds(
+      const WideShard& s) const noexcept {
+    return std::span<const TrialSeed>(seeds_).subspan(s.begin, s.width);
+  }
+  [[nodiscard]] std::span<const std::uint64_t> fault_seeds(
+      const WideShard& s) const noexcept {
+    return std::span<const std::uint64_t>(fault_seeds_)
+        .subspan(s.begin, s.width);
+  }
+
+ private:
+  std::vector<TrialSeed> seeds_;
+  std::vector<std::uint64_t> fault_seeds_;
+  std::vector<WideShard> shards_;
+};
+
+/// Maps every trial of a plan across the pool: out[t] = fn(t, seeds()[t],
+/// fault_seeds()[t]), returned in trial order.  The scalar-trial
+/// counterpart of dispatching a plan shard-by-shard — benches that run
+/// independent recoveries (bench_util::recovery_trials, the robustness
+/// sweep) and the campaign engine all expand through the same ShardPlan,
+/// so their per-trial RNG material agrees by construction.
+template <typename R, typename Fn>
+std::vector<R> map_trials(ThreadPool& pool, const ShardPlan& plan, Fn&& fn) {
+  std::vector<R> out(plan.trials());
+  pool.parallel_for(plan.trials(), [&](std::size_t t) {
+    out[t] = fn(t, plan.seeds()[t], plan.fault_seeds()[t]);
+  });
+  return out;
+}
 
 /// Flattens a grid of cells with per-cell trial counts into one task
 /// list — `fn(cell, trial)` — so a cheap cell's threads immediately help

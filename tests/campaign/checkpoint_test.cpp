@@ -1,0 +1,152 @@
+// Checkpoint durability: atomic save/load round-trips and rejection of
+// every corruption mode a kill can leave behind (truncation, bit flips,
+// foreign files, future versions).
+#include "campaign/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace grinch::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("grinch_ckpt_" +
+            std::string{::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()});
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const char* name) const {
+    return (dir_ / name).string();
+  }
+
+  static Checkpoint sample() {
+    Checkpoint ck;
+    ck.spec = R"({"name":"t","cipher":"gift64","trials":8})";
+    ck.shard_total = 4;
+    ck.flushed_shards = 2;
+    ck.flushed_trials = 5;
+    ck.result_bytes = 1234;
+    ck.result_crc = 0xABCD1234u;
+    ck.counters.total_encryptions = 999;
+    ck.counters.noise_restarts = 3;
+    ck.counters.dropped_observations = 7;
+    ck.counters.verify_restarts = 1;
+    ck.counters.verified = 4;
+    ck.counters.partial = 1;
+    return ck;
+  }
+
+  static std::string slurp(const std::string& p) {
+    std::ifstream in{p, std::ios::binary};
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  static void spit(const std::string& p, const std::string& bytes) {
+    std::ofstream out{p, std::ios::binary | std::ios::trunc};
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTrips) {
+  const Checkpoint ck = sample();
+  std::string err;
+  ASSERT_TRUE(ck.save(path("a.ckpt"), &err)) << err;
+  const auto loaded = Checkpoint::load(path("a.ckpt"), &err);
+  ASSERT_TRUE(loaded.has_value()) << err;
+  EXPECT_EQ(loaded->spec, ck.spec);
+  EXPECT_EQ(loaded->shard_total, ck.shard_total);
+  EXPECT_EQ(loaded->flushed_shards, ck.flushed_shards);
+  EXPECT_EQ(loaded->flushed_trials, ck.flushed_trials);
+  EXPECT_EQ(loaded->result_bytes, ck.result_bytes);
+  EXPECT_EQ(loaded->result_crc, ck.result_crc);
+  EXPECT_EQ(loaded->counters.total_encryptions,
+            ck.counters.total_encryptions);
+  EXPECT_EQ(loaded->counters.verified, ck.counters.verified);
+  EXPECT_EQ(loaded->counters.partial, ck.counters.partial);
+}
+
+TEST_F(CheckpointTest, SaveReplacesAtomically) {
+  Checkpoint ck = sample();
+  ASSERT_TRUE(ck.save(path("a.ckpt")));
+  ck.flushed_shards = 3;
+  ASSERT_TRUE(ck.save(path("a.ckpt")));
+  const auto loaded = Checkpoint::load(path("a.ckpt"));
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->flushed_shards, 3u);
+  // No temp file left behind.
+  EXPECT_FALSE(fs::exists(path("a.ckpt") + ".tmp"));
+}
+
+TEST_F(CheckpointTest, MissingFileRejected) {
+  std::string err;
+  EXPECT_FALSE(Checkpoint::load(path("absent.ckpt"), &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST_F(CheckpointTest, EveryTruncationRejected) {
+  ASSERT_TRUE(sample().save(path("a.ckpt")));
+  const std::string blob = slurp(path("a.ckpt"));
+  ASSERT_GT(blob.size(), 24u);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    spit(path("t.ckpt"), blob.substr(0, len));
+    std::string err;
+    EXPECT_FALSE(Checkpoint::load(path("t.ckpt"), &err).has_value())
+        << "accepted a checkpoint truncated to " << len << " bytes";
+  }
+}
+
+TEST_F(CheckpointTest, EveryByteCorruptionRejected) {
+  ASSERT_TRUE(sample().save(path("a.ckpt")));
+  const std::string blob = slurp(path("a.ckpt"));
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    std::string bad = blob;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    spit(path("c.ckpt"), bad);
+    const auto loaded = Checkpoint::load(path("c.ckpt"));
+    // A flip either breaks magic/version/size (hard reject) or lands in
+    // the payload, where the CRC catches it; it must never load as a
+    // different-but-valid checkpoint.
+    if (loaded.has_value()) {
+      EXPECT_EQ(loaded->spec, sample().spec) << "byte " << i;
+      EXPECT_EQ(loaded->flushed_shards, sample().flushed_shards)
+          << "byte " << i;
+      ADD_FAILURE() << "corrupted byte " << i << " loaded successfully";
+    }
+  }
+}
+
+TEST_F(CheckpointTest, ForeignFileRejected) {
+  spit(path("f.ckpt"), "{\"not\":\"a checkpoint\"}");
+  std::string err;
+  EXPECT_FALSE(Checkpoint::load(path("f.ckpt"), &err).has_value());
+  EXPECT_NE(err.find("magic"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, FutureVersionRejected) {
+  ASSERT_TRUE(sample().save(path("a.ckpt")));
+  std::string blob = slurp(path("a.ckpt"));
+  blob[4] = static_cast<char>(Checkpoint::kVersion + 1);  // version field
+  spit(path("v.ckpt"), blob);
+  std::string err;
+  EXPECT_FALSE(Checkpoint::load(path("v.ckpt"), &err).has_value());
+  EXPECT_NE(err.find("version"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace grinch::campaign

@@ -1,0 +1,42 @@
+// CRC-32 (IEEE reflected, zlib-compatible) — the integrity check under
+// campaign checkpoints and flushed-result prefixes.
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace grinch {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The classic zlib check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "incremental update must equal one-shot";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = Crc32::kInit;
+    state = Crc32::update(state, data.data(), split);
+    state = Crc32::update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32::finalize(state), crc32(data)) << "split " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::string data = "checkpoint payload bytes";
+  const std::uint32_t good = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<char>(data[i] ^ 1);
+    EXPECT_NE(crc32(data), good) << "flip at " << i;
+    data[i] = static_cast<char>(data[i] ^ 1);
+  }
+}
+
+}  // namespace
+}  // namespace grinch

@@ -1,0 +1,95 @@
+// The read direction of common/json.h: parse(), the value accessors and
+// dump_compact() — the pieces the campaign layer's spec files and JSONL
+// records stand on.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+namespace grinch::json {
+namespace {
+
+TEST(JsonParse, ScalarsRoundTrip) {
+  EXPECT_TRUE(parse("null")->is_null());
+  EXPECT_TRUE(parse("true")->as_bool());
+  EXPECT_FALSE(parse("false")->as_bool(true));
+  EXPECT_EQ(parse("42")->as_u64(), 42u);
+  EXPECT_EQ(parse("-7")->as_double(), -7.0);
+  EXPECT_DOUBLE_EQ(parse("1.5")->as_double(), 1.5);
+  EXPECT_EQ(parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, LargeU64SurvivesExactly) {
+  // Seeds are full-range u64s; a double round-trip would corrupt them.
+  const std::string text = "18446744073709551615";
+  const std::optional<Value> v = parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v->dump_compact(), text);
+}
+
+TEST(JsonParse, ObjectKeepsInsertionOrderAndValues) {
+  const std::optional<Value> v =
+      parse(R"({"b":1,"a":{"nested":[1,2,3]},"c":"s"})");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "b");
+  EXPECT_EQ(v->members()[1].first, "a");
+  ASSERT_NE(v->get("a"), nullptr);
+  ASSERT_NE(v->get("a")->get("nested"), nullptr);
+  EXPECT_EQ(v->get("a")->get("nested")->elements().size(), 3u);
+  EXPECT_EQ(v->get("missing"), nullptr);
+}
+
+TEST(JsonParse, CompactDumpRoundTripsBytes) {
+  const std::string text =
+      R"({"name":"x","n":3,"arr":[1,-2,true,null],"s":"a\"b\\c"})";
+  const std::optional<Value> v = parse(text);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->dump_compact(), text);
+  // Compact and indented dumps describe the same document.
+  const std::optional<Value> again = parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump_compact(), text);
+}
+
+TEST(JsonParse, EscapesAndUnicode) {
+  const std::optional<Value> v = parse(R"("tab\there\nand Aé")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "tab\there\nand A\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  std::string err;
+  EXPECT_FALSE(parse("", &err).has_value());
+  EXPECT_FALSE(parse("{", &err).has_value());
+  EXPECT_FALSE(parse("[1,2,]", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\":1,}", &err).has_value());
+  EXPECT_FALSE(parse("{\"a\":1}trailing", &err).has_value());
+  EXPECT_FALSE(parse(R"({"a":1,"a":2})", &err).has_value());  // dup key
+  EXPECT_FALSE(parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(parse("nul", &err).has_value());
+  EXPECT_FALSE(parse("01", &err).has_value());
+  // The diagnostic carries an offset.
+  EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(parse(deep).has_value());
+}
+
+TEST(JsonParse, AccessorFallbacksOnKindMismatch) {
+  const std::optional<Value> v = parse(R"({"s":"x","n":3})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get("s")->as_u64(7), 7u);
+  EXPECT_EQ(v->get("n")->as_string("fb"), "fb");
+  EXPECT_FALSE(v->get("n")->as_bool(false));
+}
+
+}  // namespace
+}  // namespace grinch::json

@@ -246,6 +246,59 @@ def summarize_wide_path(name, fresh):
     return warnings
 
 
+def summarize_campaign(name, fresh):
+    """Extra checks for BENCH_campaign.json (the campaign orchestrator).
+
+    Asserts the orchestrator is effectively free on the machine that
+    produced the document (so a committed baseline compared against
+    itself must pass too):
+
+      * campaign wall-clock within 5% of the direct ShardPlan dispatch
+        over the identical trial grid;
+      * both paths verified every trial and agree with each other (same
+        pre-derived seeds, so any split is a determinism bug);
+      * the results CRC is present — it pins every result byte of the
+        campaign's JSONL stream across thread counts and resumes.
+    """
+    warnings = []
+    metrics = fresh.get("metrics", {})
+    timing = fresh.get("timing", {})
+
+    direct = timing.get("direct_seconds")
+    campaign = timing.get("campaign_seconds")
+    if direct is None or campaign is None:
+        warnings.append(f"{name}: missing direct/campaign timing (gate)")
+    elif float(direct) > 0.0:
+        ratio = float(campaign) / float(direct)
+        marker = "ok" if ratio <= 1.05 else "REGRESSION"
+        print(
+            f"  orchestration: campaign {float(campaign):.3f}s vs direct "
+            f"{float(direct):.3f}s ({ratio:.3f}x, budget 1.05x) {marker}"
+        )
+        if ratio > 1.05:
+            warnings.append(
+                f"{name}: campaign path {ratio:.3f}x slower than direct "
+                f"dispatch (budget 1.05x)"
+            )
+
+    trials = metrics.get("trials")
+    for key in ("verified_direct", "verified_campaign"):
+        if metrics.get(key) != trials:
+            warnings.append(
+                f"{name}: {key} ({metrics.get(key)}) != trials ({trials})"
+            )
+    if not metrics.get("paths_agree", False):
+        warnings.append(f"{name}: direct and campaign paths disagree")
+    if not metrics.get("results_crc"):
+        warnings.append(f"{name}: missing results_crc metric")
+    else:
+        print(
+            f"  results: {trials} trials, crc32 {metrics['results_crc']} "
+            f"({metrics.get('shards', '?')} shards)"
+        )
+    return warnings
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -303,6 +356,8 @@ def main() -> int:
                 warnings += summarize_robustness(base_path.name, fresh)
             if base_path.name == "BENCH_leakage.json":
                 warnings += summarize_leakage(base_path.name, fresh)
+            if base_path.name == "BENCH_campaign.json":
+                warnings += summarize_campaign(base_path.name, fresh)
 
     if warnings:
         print(f"\ncheck_bench: {len(warnings)} warning(s):")

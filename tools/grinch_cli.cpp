@@ -17,14 +17,28 @@
 //   grinch platforms              # Table II quick view
 //   grinch countermeasures        # §IV-C quick view
 //
+//   grinch campaign run    [--spec FILE | spec flags] [--out PATH]
+//                          [--checkpoint PATH] [--checkpoint-every N]
+//                          [--threads N] [--progress]
+//   grinch campaign resume --checkpoint PATH [--out PATH] [--threads N]
+//   grinch campaign status --checkpoint PATH
+//
+// Campaign runs stream JSONL results and checkpoint periodically; SIGINT/
+// SIGTERM drain in-flight shards and checkpoint before exit (exit code 3
+// = interrupted, resumable).  See docs/CAMPAIGN.md.
+//
 // Exit code 0 on success (for `attack`: key recovered and verified).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "attack/grinch.h"
+#include "campaign/engine.h"
+#include "campaign/sigint.h"
+#include "campaign/spec.h"
 #include "common/hex.h"
 #include "common/rng.h"
 #include "countermeasures/evaluator.h"
@@ -40,6 +54,7 @@ namespace {
 
 struct Args {
   std::string command;
+  std::vector<std::string> positionals;  ///< bare words after the command
   std::map<std::string, std::string> options;
   std::map<std::string, bool> flags;
 
@@ -64,7 +79,10 @@ Args parse(int argc, char** argv) {
   if (argc > 1) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
-    if (a.rfind("--", 0) != 0) continue;
+    if (a.rfind("--", 0) != 0) {
+      args.positionals.push_back(a);  // e.g. `campaign run`
+      continue;
+    }
     a = a.substr(2);
     if (i + 1 < argc && argv[i + 1][0] != '-') {
       args.options[a] = argv[++i];
@@ -78,7 +96,8 @@ Args parse(int argc, char** argv) {
 int usage() {
   std::fprintf(stderr,
                "usage: grinch <encrypt|decrypt|attack|attack128|"
-               "attack-present|platforms|countermeasures> [options]\n"
+               "attack-present|campaign|platforms|countermeasures>"
+               " [options]\n"
                "run with a command to see its defaults; see README.md.\n");
   return 2;
 }
@@ -216,10 +235,13 @@ void print_engine_header(const Config& cfg) {
               cfg.wide_width);
 }
 
-/// Writes the machine-readable run report for --json PATH.
+/// Writes the machine-readable run report for --json PATH.  Every record
+/// is self-describing: it names the fault profile and wide width that
+/// produced it, so a report sliced out of a batch still says what ran.
 template <typename Recovery>
 void write_json_report(const std::string& path, const char* command,
-                       const Key128& victim, unsigned wide_width,
+                       const Key128& victim, const std::string& fault_profile,
+                       unsigned wide_width,
                        const target::RecoveryResult<Recovery>& r) {
   if (path.empty()) return;
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -230,6 +252,7 @@ void write_json_report(const std::string& path, const char* command,
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"command\": \"%s\",\n", command);
   std::fprintf(f, "  \"victim_key\": \"%s\",\n", victim.to_hex().c_str());
+  std::fprintf(f, "  \"fault_profile\": \"%s\",\n", fault_profile.c_str());
   std::fprintf(f, "  \"wide_width\": %u,\n", wide_width);
   std::fprintf(f, "  \"success\": %s,\n", r.success ? "true" : "false");
   std::fprintf(f, "  \"exact_match\": %s,\n",
@@ -288,7 +311,8 @@ int cmd_attack128(const Args& args) {
   } else {
     std::printf("result:        FAILED\n");
   }
-  write_json_report(args.get("json", ""), "attack128", key, cfg.wide_width, r);
+  write_json_report(args.get("json", ""), "attack128", key,
+                    args.get("fault-profile", "clean"), cfg.wide_width, r);
   return r.success && r.recovered_key == key ? 0 : 1;
 }
 
@@ -315,8 +339,163 @@ int cmd_attack_present(const Args& args) {
     std::printf("result: FAILED\n");
   }
   write_json_report(args.get("json", ""), "attack-present", key,
-                    cfg.wide_width, r);
+                    args.get("fault-profile", "clean"), cfg.wide_width, r);
   return r.success && r.recovered_key == key ? 0 : 1;
+}
+
+/// Reads a whole file into a string; false on open failure.
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  out.clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+/// Assembles a CampaignSpec from --spec FILE (if given) overlaid with any
+/// inline spec flags; exits with a diagnostic on a bad spec.
+campaign::CampaignSpec spec_from_args(const Args& args) {
+  campaign::CampaignSpec spec;
+  const std::string spec_path = args.get("spec", "");
+  if (!spec_path.empty()) {
+    std::string text;
+    if (!read_file(spec_path, text)) {
+      std::fprintf(stderr, "cannot read --spec %s\n", spec_path.c_str());
+      std::exit(2);
+    }
+    std::string err;
+    const auto parsed = campaign::CampaignSpec::parse(text, &err);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: %s\n", spec_path.c_str(), err.c_str());
+      std::exit(2);
+    }
+    spec = *parsed;
+  }
+  spec.name = args.get("name", spec.name);
+  spec.cipher = args.get("cipher", spec.cipher);
+  spec.trials = args.get_u64("trials", spec.trials);
+  spec.seed = args.get_u64("seed", spec.seed);
+  spec.fault_seed = args.get_u64("fault-seed", spec.fault_seed);
+  spec.wide_width =
+      static_cast<unsigned>(args.get_u64("wide", spec.wide_width));
+  spec.budget = args.get_u64("budget", spec.budget);
+  spec.fault_profile = args.get("fault-profile", spec.fault_profile);
+  spec.vote_threshold =
+      static_cast<unsigned>(args.get_u64("vote", spec.vote_threshold));
+  spec.line_words =
+      static_cast<unsigned>(args.get_u64("line-words", spec.line_words));
+  spec.probing_round = static_cast<unsigned>(
+      args.get_u64("probing-round", spec.probing_round));
+  std::string err;
+  if (!spec.validate(&err)) {
+    std::fprintf(stderr, "bad campaign spec: %s\n", err.c_str());
+    std::exit(2);
+  }
+  return spec;
+}
+
+void print_campaign_summary(const campaign::Outcome& out) {
+  std::printf("shards:          %zu/%zu (%llu trials)\n", out.shards_done,
+              out.shard_total,
+              static_cast<unsigned long long>(out.trials_done));
+  std::printf("verified:        %llu\n",
+              static_cast<unsigned long long>(out.counters.verified));
+  std::printf("partial:         %llu\n",
+              static_cast<unsigned long long>(out.counters.partial));
+  std::printf("encryptions:     %llu\n",
+              static_cast<unsigned long long>(out.counters.total_encryptions));
+  std::printf("noise restarts:  %llu; dropped: %llu; verify restarts: %llu\n",
+              static_cast<unsigned long long>(out.counters.noise_restarts),
+              static_cast<unsigned long long>(
+                  out.counters.dropped_observations),
+              static_cast<unsigned long long>(out.counters.verify_restarts));
+}
+
+int run_or_resume_campaign(const campaign::CampaignSpec& spec,
+                           const Args& args, bool resume) {
+  campaign::Options opts;
+  opts.results_path = args.get("out", spec.name + ".jsonl");
+  opts.checkpoint_path =
+      args.get("checkpoint", opts.results_path + ".ckpt");
+  opts.threads = static_cast<unsigned>(args.get_u64("threads", 0));
+  opts.checkpoint_every_shards =
+      static_cast<std::size_t>(args.get_u64("checkpoint-every", 8));
+  opts.progress = args.has("progress");
+  opts.resume = resume;
+  campaign::SigintHandler sigint;
+  opts.stop = sigint.stop_flag();
+
+  const campaign::Outcome out = campaign::run_campaign(spec, opts);
+  if (!out.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", out.error.c_str());
+    return 1;
+  }
+  std::printf("campaign:        %s (%s)\n", spec.name.c_str(),
+              spec.cipher.c_str());
+  std::printf("status:          %s\n",
+              out.completed ? "completed" : "interrupted (resumable)");
+  print_campaign_summary(out);
+  if (out.interrupted) {
+    std::printf("resume with:     grinch campaign resume --checkpoint %s"
+                " --out %s\n",
+                opts.checkpoint_path.c_str(), opts.results_path.c_str());
+  }
+  return out.completed ? 0 : 3;
+}
+
+int cmd_campaign(const Args& args) {
+  const std::string sub =
+      args.positionals.empty() ? "" : args.positionals.front();
+  if (sub == "run") {
+    return run_or_resume_campaign(spec_from_args(args), args, false);
+  }
+  if (sub == "resume" || sub == "status") {
+    const std::string ckpt_path =
+        args.get("checkpoint", args.positionals.size() > 1
+                                   ? args.positionals[1]
+                                   : "");
+    if (ckpt_path.empty()) {
+      std::fprintf(stderr, "campaign %s needs --checkpoint PATH\n",
+                   sub.c_str());
+      return 2;
+    }
+    std::string err;
+    const auto ckpt = campaign::Checkpoint::load(ckpt_path, &err);
+    if (!ckpt) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 1;
+    }
+    const auto spec = campaign::CampaignSpec::parse(ckpt->spec, &err);
+    if (!spec) {
+      std::fprintf(stderr, "%s: embedded spec invalid: %s\n",
+                   ckpt_path.c_str(), err.c_str());
+      return 1;
+    }
+    if (sub == "status") {
+      std::printf("campaign:        %s (%s)\n", spec->name.c_str(),
+                  spec->cipher.c_str());
+      std::printf("spec:            %s\n", ckpt->spec.c_str());
+      campaign::Outcome out;
+      out.shards_done = static_cast<std::size_t>(ckpt->flushed_shards);
+      out.shard_total = static_cast<std::size_t>(ckpt->shard_total);
+      out.trials_done = ckpt->flushed_trials;
+      out.counters = ckpt->counters;
+      print_campaign_summary(out);
+      std::printf("results flushed: %llu bytes (crc32 %08x)\n",
+                  static_cast<unsigned long long>(ckpt->result_bytes),
+                  ckpt->result_crc);
+      return 0;
+    }
+    Args resume_args = args;
+    resume_args.options["checkpoint"] = ckpt_path;
+    return run_or_resume_campaign(*spec, resume_args, true);
+  }
+  std::fprintf(stderr, "usage: grinch campaign <run|resume|status>"
+                       " [options]; see docs/CAMPAIGN.md\n");
+  return 2;
 }
 
 int cmd_platforms() {
@@ -362,6 +541,7 @@ int main(int argc, char** argv) {
   if (args.command == "attack") return cmd_attack(args);
   if (args.command == "attack128") return cmd_attack128(args);
   if (args.command == "attack-present") return cmd_attack_present(args);
+  if (args.command == "campaign") return cmd_campaign(args);
   if (args.command == "platforms") return cmd_platforms();
   if (args.command == "countermeasures") return cmd_countermeasures();
   return usage();

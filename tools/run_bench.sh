@@ -33,6 +33,7 @@ BENCHES=(
   extension_time_driven
   robustness_sweep
   leakage_quantify
+  campaign_throughput
   micro_throughput
 )
 
@@ -43,6 +44,7 @@ doc_name() {
   case "$1" in
     robustness_sweep) echo "robustness" ;;
     leakage_quantify) echo "leakage" ;;
+    campaign_throughput) echo "campaign" ;;
     *) echo "$1" ;;
   esac
 }
