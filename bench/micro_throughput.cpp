@@ -18,6 +18,8 @@
 #include "attack/grinch.h"
 #include "bench_util.h"
 #include "cachesim/cache.h"
+#include "cachesim/kernels/kernels.h"
+#include "cachesim/lockstep.h"
 #include "common/rng.h"
 #include "gift/bitslice.h"
 #include "gift/gift128.h"
@@ -203,6 +205,44 @@ void BM_WideRecovery(benchmark::State& state) {
 }
 BENCHMARK(BM_WideRecovery)->Arg(1)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 
+void BM_ProbeKernel(benchmark::State& state, cachesim::kernels::Kind kind) {
+  // The lockstep set-probe kernel under the worst case it ever sees: a
+  // saturated 16-way set thrashed by a 17-tag LRU round-robin, so every
+  // access is a full-set tag scan (miss) followed by the min-stamp victim
+  // pick.  Registered once per available kernel (main()), so the JSON
+  // carries generic/swar/avx2 side by side from one machine.
+  cachesim::kernels::ScopedKernel scoped{kind};
+  cachesim::LockstepCaches caches{cachesim::CacheConfig::paper_default(), 1};
+  constexpr unsigned kWays = 16;
+  std::uint64_t addrs[kWays + 1];
+  // line_bytes = 1, 64 sets: stride 64 keeps every address in set 0 with
+  // a distinct tag.
+  for (unsigned i = 0; i <= kWays; ++i) addrs[i] = std::uint64_t{i} * 64;
+  for (unsigned i = 0; i <= kWays; ++i) caches.touch(0, addrs[i]);
+  unsigned next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(caches.access(0, addrs[next]));
+    next = next == kWays ? 0 : next + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Transpose64(benchmark::State& state, cachesim::kernels::Kind kind) {
+  // The 64x64 bit-matrix transpose behind WideObservationBatch::
+  // assign_all, on a dense random matrix.
+  const cachesim::kernels::Ops& ops = cachesim::kernels::ops(kind);
+  Xoshiro256 rng{10};
+  std::uint64_t in[64];
+  std::uint64_t out[64];
+  for (std::uint64_t& w : in) w = rng.next();
+  for (auto _ : state) {
+    ops.transpose_64x64(in, out);
+    benchmark::DoNotOptimize(out[0]);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
 void BM_FullFirstRoundAttack(benchmark::State& state) {
   Xoshiro256 rng{8};
   for (auto _ : state) {
@@ -236,6 +276,25 @@ int main(int argc, char** argv) {
   int bargc = static_cast<int>(bargv.size());
   benchmark::Initialize(&bargc, bargv.data());
   if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data())) return 1;
+  // One registration per compiled-in-and-executable kernel, so a single
+  // run compares generic/swar/avx2 on the same machine; every other
+  // benchmark (and the wide path) runs on the active kernel, recorded in
+  // the document context below.
+  {
+    using cachesim::kernels::Kind;
+    constexpr Kind kKinds[] = {Kind::kGeneric, Kind::kSwar, Kind::kAvx2};
+    for (const Kind kind : kKinds) {
+      if (!cachesim::kernels::available(kind)) continue;
+      const char* name = cachesim::kernels::ops(kind).name;
+      benchmark::RegisterBenchmark(
+          (std::string{"BM_ProbeKernel/"} + name).c_str(), BM_ProbeKernel,
+          kind);
+      benchmark::RegisterBenchmark(
+          (std::string{"BM_Transpose64/"} + name).c_str(), BM_Transpose64,
+          kind);
+    }
+  }
+  benchmark::AddCustomContext("kernel", cachesim::kernels::active().name);
   // Pre-overhaul reference numbers (virtual-dispatch cache, per-encryption
   // heap traffic) so the JSON trajectory carries its own baseline.
   benchmark::AddCustomContext("baseline_cache_access_ns", "86.7");

@@ -2,15 +2,26 @@
 
 #include <cassert>
 #include <cstring>
+#include <limits>
+#include <stdexcept>
 
 #include "common/bits.h"
 
 namespace grinch::cachesim {
 
 LockstepCaches::LockstepCaches(const CacheConfig& config, unsigned max_lanes)
-    : config_(config), max_lanes_(max_lanes) {
+    : config_(config),
+      ops_(&kernels::active()),
+      max_lanes_(max_lanes) {
   config_.validate();
   assert(supports(config_));
+  static_assert(sizeof(counts_[0]) == 1,
+                "counts_ stores per-set occupancy as uint8_t");
+  if (config_.associativity > std::numeric_limits<std::uint8_t>::max()) {
+    throw std::invalid_argument(
+        "LockstepCaches: associativity exceeds the uint8_t occupancy "
+        "counters (max 255 ways)");
+  }
   ways_ = config_.associativity;
   num_sets_ = config_.num_sets;
   line_shift_ = log2_pow2(config_.line_bytes);
@@ -28,70 +39,6 @@ void LockstepCaches::reset_lane(unsigned lane) {
   std::memset(&counts_[static_cast<std::size_t>(lane) * num_sets_], 0,
               num_sets_);
   clocks_[lane] = 0;
-}
-
-bool LockstepCaches::access(unsigned lane, std::uint64_t addr) {
-  assert(lane < max_lanes_);
-  const std::uint64_t set = (addr >> line_shift_) & set_mask_;
-  const std::uint64_t tag = (addr >> line_shift_) >> sets_shift_;
-  const std::size_t base = slot_base(lane, set);
-  const std::size_t count_idx =
-      static_cast<std::size_t>(lane) * num_sets_ + set;
-  const unsigned n = counts_[count_idx];
-
-  for (unsigned i = 0; i < n; ++i) {
-    if (data_[base + 2 * i] == tag) {
-      data_[base + 2 * i + 1] = ++clocks_[lane];  // LRU: hits refresh recency
-      return true;
-    }
-  }
-
-  // Miss: append while capacity lasts, else evict the (unique) LRU line.
-  unsigned slot;
-  if (n < ways_) {
-    slot = n;
-    counts_[count_idx] = static_cast<std::uint8_t>(n + 1);
-  } else {
-    slot = 0;
-    for (unsigned i = 1; i < ways_; ++i) {
-      if (data_[base + 2 * i + 1] < data_[base + 2 * slot + 1]) slot = i;
-    }
-  }
-  data_[base + 2 * slot] = tag;
-  data_[base + 2 * slot + 1] = ++clocks_[lane];
-  return false;
-}
-
-bool LockstepCaches::flush_line(unsigned lane, std::uint64_t addr) {
-  assert(lane < max_lanes_);
-  const std::uint64_t set = (addr >> line_shift_) & set_mask_;
-  const std::uint64_t tag = (addr >> line_shift_) >> sets_shift_;
-  const std::size_t base = slot_base(lane, set);
-  const std::size_t count_idx =
-      static_cast<std::size_t>(lane) * num_sets_ + set;
-  const unsigned n = counts_[count_idx];
-  for (unsigned i = 0; i < n; ++i) {
-    if (data_[base + 2 * i] == tag) {
-      // Swap-remove keeps sets dense.
-      data_[base + 2 * i] = data_[base + 2 * (n - 1)];
-      data_[base + 2 * i + 1] = data_[base + 2 * (n - 1) + 1];
-      counts_[count_idx] = static_cast<std::uint8_t>(n - 1);
-      return true;
-    }
-  }
-  return false;
-}
-
-bool LockstepCaches::contains(unsigned lane, std::uint64_t addr) const {
-  const std::uint64_t set = (addr >> line_shift_) & set_mask_;
-  const std::uint64_t tag = (addr >> line_shift_) >> sets_shift_;
-  const std::size_t base = slot_base(lane, set);
-  const unsigned n =
-      counts_[static_cast<std::size_t>(lane) * num_sets_ + set];
-  for (unsigned i = 0; i < n; ++i) {
-    if (data_[base + 2 * i] == tag) return true;
-  }
-  return false;
 }
 
 }  // namespace grinch::cachesim

@@ -34,17 +34,30 @@
 // never tie).  Tag and stamp of a slot live adjacent in one array
 // ((tag, stamp) u64 pairs), so the common low-occupancy set probe costs
 // a single cache line instead of one per array.
+// The per-set scans (tag match on access/flush, min-stamp victim pick)
+// run through the runtime-dispatched kernel layer
+// (cachesim/kernels/kernels.h): the Ops table is resolved once at
+// construction, tiny sets (the common case on the paper geometry, where
+// a monitored set holds at most a couple of lines) take a short inline
+// scalar path, and occupied sets hand the contiguous (tag, stamp) pairs
+// to the active SWAR/AVX2 kernel.  Every kernel is bit-identical to the
+// generic loops, so the choice never changes behaviour — only speed.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
 #include "cachesim/config.h"
+#include "cachesim/kernels/kernels.h"
 
 namespace grinch::cachesim {
 
 class LockstepCaches {
  public:
+  /// Throws std::invalid_argument when the geometry is invalid or
+  /// `ways` does not fit the per-set uint8_t occupancy counters.
   LockstepCaches(const CacheConfig& config, unsigned max_lanes);
 
   /// True when a cold per-lane cache reproduces the warm scalar cache's
@@ -57,6 +70,9 @@ class LockstepCaches {
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] unsigned max_lanes() const noexcept { return max_lanes_; }
 
+  /// The kernel table this pool resolved at construction.
+  [[nodiscard]] const kernels::Ops& kernel() const noexcept { return *ops_; }
+
   /// Empties lane `lane` (all sets, clock to 0).
   void reset_lane(unsigned lane);
 
@@ -67,17 +83,203 @@ class LockstepCaches {
   }
 
   /// Timed access on `lane` (attacker probe): returns whether it hit;
-  /// state transitions are identical to touch().
-  [[nodiscard]] bool access(unsigned lane, std::uint64_t addr);
+  /// state transitions are identical to touch().  Inline — this is the
+  /// innermost call of the fused wide sink, several per table access.
+  [[nodiscard]] bool access(unsigned lane, std::uint64_t addr) {
+    assert(lane < max_lanes_);
+    const std::uint64_t set = (addr >> line_shift_) & set_mask_;
+    const std::uint64_t tag = (addr >> line_shift_) >> sets_shift_;
+    const std::size_t base = slot_base(lane, set);
+    const std::size_t count_idx =
+        static_cast<std::size_t>(lane) * num_sets_ + set;
+    const unsigned n = counts_[count_idx];
+
+    const int hit = find_tag(&data_[base], n, tag);
+    if (hit >= 0) {
+      data_[base + 2 * static_cast<unsigned>(hit) + 1] =
+          ++clocks_[lane];  // LRU: hits refresh recency
+      return true;
+    }
+
+    // Miss: append while capacity lasts, else evict the (unique) LRU line.
+    unsigned slot;
+    if (n < ways_) {
+      slot = n;
+      counts_[count_idx] = static_cast<std::uint8_t>(n + 1);
+    } else {
+      slot = ops_->min_stamp_slot(&data_[base], ways_);
+    }
+    data_[base + 2 * slot] = tag;
+    data_[base + 2 * slot + 1] = ++clocks_[lane];
+    return false;
+  }
 
   /// Invalidates the line containing `addr` on `lane`; returns true when
   /// a live line was dropped.
-  bool flush_line(unsigned lane, std::uint64_t addr);
+  bool flush_line(unsigned lane, std::uint64_t addr) {
+    assert(lane < max_lanes_);
+    const std::uint64_t set = (addr >> line_shift_) & set_mask_;
+    const std::uint64_t tag = (addr >> line_shift_) >> sets_shift_;
+    const std::size_t base = slot_base(lane, set);
+    const std::size_t count_idx =
+        static_cast<std::size_t>(lane) * num_sets_ + set;
+    const unsigned n = counts_[count_idx];
+    const int found = find_tag(&data_[base], n, tag);
+    if (found < 0) return false;
+    // Swap-remove keeps sets dense.
+    const unsigned i = static_cast<unsigned>(found);
+    data_[base + 2 * i] = data_[base + 2 * (n - 1)];
+    data_[base + 2 * i + 1] = data_[base + 2 * (n - 1) + 1];
+    counts_[count_idx] = static_cast<std::uint8_t>(n - 1);
+    return true;
+  }
 
   /// Non-mutating presence check (tests/diagnostics).
-  [[nodiscard]] bool contains(unsigned lane, std::uint64_t addr) const;
+  [[nodiscard]] bool contains(unsigned lane, std::uint64_t addr) const {
+    const std::uint64_t set = (addr >> line_shift_) & set_mask_;
+    const std::uint64_t tag = (addr >> line_shift_) >> sets_shift_;
+    const unsigned n =
+        counts_[static_cast<std::size_t>(lane) * num_sets_ + set];
+    return find_tag(&data_[slot_base(lane, set)], n, tag) >= 0;
+  }
+
+  /// Register-resident single-lane session for the fused wide hot path.
+  /// Hoists the lane's slot/count base pointers and its recency clock out
+  /// of the per-access path (the pool API re-derives all of them per
+  /// call, which dominates the cost of the tiny per-set scans on the
+  /// paper geometry).  Behaviour is bit-identical to the pool calls; the
+  /// clock lives in the session until destruction writes it back, so the
+  /// lane must not be driven through the pool API (or a second session)
+  /// while one is open.
+  class LaneSession {
+   public:
+    LaneSession(LockstepCaches& pool, unsigned lane) noexcept
+        : data_(pool.data_.data() + pool.slot_base(lane, 0)),
+          counts_(pool.counts_.data() +
+                  static_cast<std::size_t>(lane) * pool.num_sets_),
+          clock_slot_(&pool.clocks_[lane]),
+          clock_(pool.clocks_[lane]),
+          ops_(pool.ops_),
+          ways_(pool.ways_) {
+      assert(lane < pool.max_lanes_);
+    }
+    ~LaneSession() { *clock_slot_ = clock_; }
+    LaneSession(const LaneSession&) = delete;
+    LaneSession& operator=(const LaneSession&) = delete;
+
+    /// Pool access() against this lane, with (set, tag) already split out
+    /// by the caller (the sink computes the set for its bitmap filter
+    /// anyway; the probe rows are precomputed).
+    ///
+    /// The common shape — a set holding at most four lines, not at
+    /// capacity — runs branch-free: the hit/miss outcome of a probe *is*
+    /// the unpredictable leak signal, so a data-dependent branch here
+    /// mispredicts roughly every other access.  Instead the first four
+    /// slots are compared unconditionally (stale slots masked
+    /// arithmetically; ways >= 4 keeps the loads in bounds), the target
+    /// slot is selected by conditional move, and the stores are
+    /// unconditional — a hit rewrites the identical tag, a miss appends,
+    /// and both stamp the slot with the advanced clock, exactly like the
+    /// branchy pool transition.
+    [[nodiscard]] bool access_line(std::uint64_t set, std::uint64_t tag) {
+      std::uint64_t* base = data_ + set * (2 * static_cast<std::size_t>(ways_));
+      std::uint8_t& count = counts_[set];
+      const unsigned n = count;
+      if (n > 4 || n == ways_ || ways_ < 4) {
+        return access_line_spill(base, count, n, tag);
+      }
+      unsigned match = 0;
+      for (unsigned i = 0; i < 4; ++i) {
+        match |= static_cast<unsigned>(base[2 * i] == tag) << i;
+      }
+      match &= (1u << n) - 1u;
+      const bool hit = match != 0;
+      const unsigned slot =
+          hit ? static_cast<unsigned>(std::countr_zero(match)) : n;
+      base[2 * slot] = tag;
+      base[2 * slot + 1] = ++clock_;
+      count = static_cast<std::uint8_t>(n + (hit ? 0u : 1u));
+      return hit;
+    }
+
+    /// Hints the prefetcher at `set`'s slot-0 line (and the lane's count
+    /// bytes).  The wide core issues these for the monitored sets right
+    /// after opening the session: the fetch latency then overlaps the
+    /// uninstrumented leading rounds of the victim encryption instead of
+    /// stalling the first monitored touch of each set.  Pure hint — no
+    /// state changes.
+    void prefetch_set(std::uint64_t set) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(data_ + set * (2 * static_cast<std::size_t>(ways_)),
+                         0, 3);
+      __builtin_prefetch(counts_ + set, 0, 3);
+#else
+      (void)set;
+#endif
+    }
+
+   private:
+    /// The uncommon access_line shapes, behind one predictable branch:
+    /// sets deeper than the unconditional 4-slot probe (kernel scan),
+    /// sets at capacity (LRU eviction), and geometries with fewer than
+    /// four ways (where the unconditional loads would leave the set).
+    [[nodiscard]] bool access_line_spill(std::uint64_t* base,
+                                         std::uint8_t& count, unsigned n,
+                                         std::uint64_t tag) {
+      const int hit = find_tag(ops_, base, n, tag);
+      if (hit >= 0) {
+        base[2 * static_cast<unsigned>(hit) + 1] = ++clock_;
+        return true;
+      }
+      unsigned slot;
+      if (n < ways_) {
+        slot = n;
+        count = static_cast<std::uint8_t>(n + 1);
+      } else {
+        slot = ops_->min_stamp_slot(base, ways_);
+      }
+      base[2 * slot] = tag;
+      base[2 * slot + 1] = ++clock_;
+      return false;
+    }
+
+    std::uint64_t* data_;        ///< lane's slot pairs (set-major)
+    std::uint8_t* counts_;       ///< lane's per-set occupancy
+    std::uint32_t* clock_slot_;  ///< write-back target for clock_
+    std::uint32_t clock_;
+    const kernels::Ops* ops_;
+    unsigned ways_;
+  };
+
+  /// Opens a hot-path session on `lane` (see LaneSession).
+  [[nodiscard]] LaneSession lane_session(unsigned lane) noexcept {
+    return LaneSession{*this, lane};
+  }
 
  private:
+  /// Per-set tag scan: sets holding at most a few lines (the monitored
+  /// sets of the paper geometry) stay on an inline scalar loop — the
+  /// kernel call would cost more than it saves — and occupied sets
+  /// dispatch to the active kernel.  Both sides return the identical
+  /// unique match, so the cut-over is invisible to behaviour.  Static so
+  /// LaneSession shares it without holding the pool.
+  [[nodiscard]] static int find_tag(const kernels::Ops* ops,
+                                    const std::uint64_t* pairs, unsigned n,
+                                    std::uint64_t tag) {
+    if (n <= 4) {
+      for (unsigned i = 0; i < n; ++i) {
+        if (pairs[2 * i] == tag) return static_cast<int>(i);
+      }
+      return -1;
+    }
+    return ops->find_tag(pairs, n, tag);
+  }
+
+  [[nodiscard]] int find_tag(const std::uint64_t* pairs, unsigned n,
+                             std::uint64_t tag) const {
+    return find_tag(ops_, pairs, n, tag);
+  }
+
   /// Index of slot 0's (tag, stamp) pair for (lane, set) in data_.
   [[nodiscard]] std::size_t slot_base(unsigned lane,
                                       std::uint64_t set) const noexcept {
@@ -87,6 +289,9 @@ class LockstepCaches {
   }
 
   CacheConfig config_;
+  /// Kernel table resolved at construction (kernels::active() then);
+  /// tests pin a kernel by constructing inside a kernels::ScopedKernel.
+  const kernels::Ops* ops_ = nullptr;
   unsigned max_lanes_;
   unsigned ways_;
   unsigned num_sets_;

@@ -50,12 +50,19 @@ struct Counters {
 
 struct Checkpoint {
   static constexpr std::uint32_t kMagic = 0x48435247u;  // "GRCH" (LE)
-  static constexpr std::uint32_t kVersion = 1;
+  // v2 added the probe-kernel name (self-description, like the JSONL
+  // records).  v1 checkpoints are refused like any unknown version —
+  // they are machine-local scratch, not an archival format.
+  static constexpr std::uint32_t kVersion = 2;
 
   /// CampaignSpec::canonical() of the campaign this checkpoint belongs
   /// to; resume re-parses the spec from here, so a checkpoint is
   /// self-contained.
   std::string spec;
+  /// Active probe-kernel name (cachesim/kernels) of the run that wrote
+  /// this checkpoint — informational self-description; resume does not
+  /// gate on it (any kernel reproduces the same bytes).
+  std::string kernel;
   std::uint64_t shard_total = 0;
   std::uint64_t flushed_shards = 0;
   std::uint64_t flushed_trials = 0;

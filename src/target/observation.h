@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "cachesim/kernels/kernels.h"
 #include "target/line_set.h"
 #include "target/table_layout.h"
 
@@ -111,6 +112,27 @@ class WideObservationBatch {
     lane_sbox_hits_[lane] = LineSet{};
   }
 
+  /// Bulk transposed writer: one kernel 64x64 bit transpose replaces 64
+  /// per-lane set_lane() scatters.  present_words[l] carries lane l's
+  /// verdicts over rows() rows; entries for lanes >= width() and bits
+  /// >= rows() must be zero (the transpose writes all 64 row words
+  /// verbatim, and reset() guarantees those rows/bits read zero).
+  /// Equivalent to set_lane(l, present_words[l], probed_after[l],
+  /// cycles[l]) for every lane l < width() on a freshly reset() batch.
+  void assign_all(const std::uint64_t* present_words,
+                  const std::uint32_t* probed_after,
+                  const std::uint64_t* cycles) noexcept {
+    cachesim::kernels::active().transpose_64x64(present_words,
+                                               row_lanes_.data());
+    for (unsigned l = 0; l < width_; ++l) {
+      lane_rows_[l] = static_cast<std::uint8_t>(rows_);
+      lane_probed_after_[l] = probed_after[l];
+      lane_cycles_[l] = cycles[l];
+      lane_sbox_hits_[l] = LineSet{};
+    }
+    dropped_ = 0;
+  }
+
   /// General writer (fallback paths, fault decorators): stores a full
   /// Observation into `lane`, overwriting whatever the lane held.
   void store(unsigned lane, const Observation& o) noexcept {
@@ -137,14 +159,12 @@ class WideObservationBatch {
     return o;
   }
 
-  /// Lane `lane`'s presence verdicts gathered back into index-major order.
+  /// Lane `lane`'s presence verdicts gathered back into index-major
+  /// order (the kernel column gather — hot in the engines' per-lane
+  /// extract step).
   [[nodiscard]] std::uint64_t present_word(unsigned lane) const noexcept {
-    std::uint64_t word = 0;
-    const unsigned rows = lane_rows_[lane];
-    for (unsigned r = 0; r < rows; ++r) {
-      word |= ((row_lanes_[r] >> lane) & 1u) << r;
-    }
-    return word;
+    return cachesim::kernels::active().gather_column(row_lanes_.data(),
+                                                     lane_rows_[lane], lane);
   }
 
   /// Transposed accessor: bit l = lane l saw row `row` present.

@@ -90,7 +90,12 @@ class DirectProbePlatform final
                     WideObservationBatch& out) override {
     // The lockstep fast path is exact only on LRU-without-prefetch
     // configurations (cachesim/lockstep.h); everything else transposes
-    // the scalar batch through the base-class default.
+    // the scalar batch through the base-class default.  Deliberately NOT
+    // the core's per-lane fallback mode: this method's pinned contract
+    // is *sequential* equivalence (out[i] == the i-th observe() on this
+    // platform's one cache), which independent per-lane caches do not
+    // reproduce — per-lane wideness on unsupported configs lives in the
+    // multi-trial engine (target/wide_engine.h).
     if (!WideObserveCore<Traits>::supported(config_.cache) ||
         plaintexts.empty()) {
       ObservationSource<Block>::observe_wide(plaintexts, stage, out);
@@ -105,7 +110,8 @@ class DirectProbePlatform final
         config_.use_flush ? window.monitored_from : 0;
     wide_jobs_.resize(plaintexts.size());
     for (std::size_t i = 0; i < plaintexts.size(); ++i) {
-      wide_jobs_[i] = {&schedule_, plaintexts[i], window, instrument_from};
+      wide_jobs_[i] = {&schedule_, plaintexts[i], window, instrument_from,
+                       static_cast<unsigned>(i)};
     }
     wide_states_.resize(plaintexts.size());
     wide_core_->run(std::span<const typename WideObserveCore<Traits>::Job>(

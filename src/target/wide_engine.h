@@ -25,9 +25,13 @@
 // verification observation.
 //
 // On cache configurations without a lockstep fast path
-// (!WideObserveCore::supported) every lane owns a scalar
-// DirectProbePlatform and the engine degrades to a plain trial loop with
-// identical results.
+// (!WideObserveCore::supported — FIFO/PLRU/Random, prefetchers) the
+// same core runs in its per-lane fallback mode: every trial keeps a
+// stable backing-lane slot whose scalar cache/prober state persists
+// across group steps (reset at trial start), so the engine's gather/
+// observe/scatter loop is identical in both modes and the results stay
+// bit-identical to scalar trials (see wide_observe.h, "Per-lane
+// fallback").
 #pragma once
 
 #include <algorithm>
@@ -77,10 +81,8 @@ class WideRecoveryEngine {
                 std::max(config.max_vote_threshold,
                          std::max(config.vote_threshold, 1u)),
                 config.backoff_resets, config.stall_limit},
-        faulted_(config.faults.any()) {
-    if (WideObserveCore<Recovery>::supported(platform_config.cache)) {
-      core_.emplace(platform_config.cache, platform_config.layout);
-    }
+        faulted_(config.faults.any()),
+        core_(platform_config.cache, platform_config.layout) {
     states_.resize(WideObservationBatch::kMaxWidth);
   }
 
@@ -110,8 +112,9 @@ class WideRecoveryEngine {
     Xoshiro256 rng;  // must precede crafter (reference member order)
     typename Recovery::Crafter crafter;
     typename Recovery::TableCipher::Schedule schedule{};
-    /// Scalar platform for configurations without a lockstep fast path.
-    std::unique_ptr<DirectProbePlatform<Recovery>> fallback;
+    /// Stable backing-lane slot in the core for this trial's lifetime
+    /// (keys the persistent per-lane cache state in fallback mode).
+    unsigned slot = 0;
     std::optional<FaultChannel> channel;
     StageState<Recovery> st;
     std::vector<typename Recovery::StageKey> recovered;
@@ -122,9 +125,8 @@ class WideRecoveryEngine {
     bool done = false;
     Block last_pt{};     ///< engine-level last observed plaintext
     Block pending_pt{};  ///< this step's crafted plaintext
-    // Platform-level ciphertext bookkeeping of the core path (the
-    // fallback platform keeps its own): same lazy-completion contract as
-    // DirectProbePlatform::last_ciphertext().
+    // Platform-level ciphertext bookkeeping of the core path: same
+    // lazy-completion contract as DirectProbePlatform::last_ciphertext().
     Block wide_last_pt{};
     Block wide_state{};
     bool wide_ct_valid = true;  ///< Block{} before any observation
@@ -163,10 +165,12 @@ class WideRecoveryEngine {
       auto lane = std::make_unique<Lane>(spec.seed);
       const Key128 key = Recovery::canonical_key(spec.victim_key);
       lane->schedule = cipher_.make_schedule(key);
-      if (!core_.has_value()) {
-        lane->fallback = std::make_unique<DirectProbePlatform<Recovery>>(
-            platform_config_, key);
-      }
+      // Each trial owns one backing-lane slot for its whole lifetime;
+      // reset drops any previous trial's persistent fallback-lane cache
+      // (a fast-path no-op), so the trial starts cold exactly like a
+      // fresh scalar platform.
+      lane->slot = static_cast<unsigned>(lanes.size());
+      core_.reset_lane_state(lane->slot);
       if (faulted_) {
         FaultProfile profile = config_.faults;
         profile.seed = spec.fault_seed;
@@ -193,35 +197,27 @@ class WideRecoveryEngine {
         }
         lane.pending_pt =
             lane.crafter.craft(lane.st.cursor, lane.recovered, lane.stage);
-        if (core_.has_value()) {
-          const ProbeWindow window = probe_window_for<Recovery>(
-              lane.stage, platform_config_.probing_round);
-          jobs_.push_back({&lane.schedule, lane.pending_pt, window,
-                           platform_config_.use_flush ? window.monitored_from
-                                                      : 0});
-        }
+        const ProbeWindow window = probe_window_for<Recovery>(
+            lane.stage, platform_config_.probing_round);
+        jobs_.push_back({&lane.schedule, lane.pending_pt, window,
+                         platform_config_.use_flush ? window.monitored_from
+                                                    : 0,
+                         lane.slot});
         active.push_back(&lane);
       }
       if (active.empty()) break;
 
-      // Observe: every active lane's encryption in one lockstep run.
-      if (core_.has_value()) {
-        core_->run(std::span<const Job>(jobs_), wide_batch_, states_.data());
-      }
+      // Observe: every active lane's encryption in one lockstep run
+      // (per-lane fallback lanes advance their persistent caches here).
+      core_.run(std::span<const Job>(jobs_), wide_batch_, states_.data());
 
       // Scatter: per lane, corrupt (own channel), consume, advance.
       for (std::size_t l = 0; l < active.size(); ++l) {
         Lane& lane = *active[l];
-        Observation obs;
-        if (core_.has_value()) {
-          obs = wide_batch_.extract(static_cast<unsigned>(l));
-          lane.wide_last_pt = lane.pending_pt;
-          lane.wide_ct_valid =
-              jobs_[l].window.emit_rounds >= Recovery::kRounds;
-          if (lane.wide_ct_valid) lane.wide_state = states_[l];
-        } else {
-          obs = lane.fallback->observe(lane.pending_pt, lane.stage);
-        }
+        Observation obs = wide_batch_.extract(static_cast<unsigned>(l));
+        lane.wide_last_pt = lane.pending_pt;
+        lane.wide_ct_valid = jobs_[l].window.emit_rounds >= Recovery::kRounds;
+        if (lane.wide_ct_valid) lane.wide_state = states_[l];
         if (lane.channel.has_value()) lane.channel->corrupt(obs);
         consume(lane, obs);
       }
@@ -295,29 +291,24 @@ class WideRecoveryEngine {
   }
 
   /// Single-lane observation for finalize (and any out-of-band caller):
-  /// a width-1 core run, or the lane's fallback platform.
+  /// a width-1 core run on the lane's stable backing slot.
   Observation observe_lane(Lane& lane, Block plaintext, unsigned stage) {
-    Observation obs;
-    if (core_.has_value()) {
-      const ProbeWindow window =
-          probe_window_for<Recovery>(stage, platform_config_.probing_round);
-      const Job job{&lane.schedule, plaintext, window,
-                    platform_config_.use_flush ? window.monitored_from : 0};
-      Block state{};
-      core_->run(std::span<const Job>(&job, 1), scratch_wide_, &state);
-      obs = scratch_wide_.extract(0);
-      lane.wide_last_pt = plaintext;
-      lane.wide_ct_valid = window.emit_rounds >= Recovery::kRounds;
-      if (lane.wide_ct_valid) lane.wide_state = state;
-    } else {
-      obs = lane.fallback->observe(plaintext, stage);
-    }
+    const ProbeWindow window =
+        probe_window_for<Recovery>(stage, platform_config_.probing_round);
+    const Job job{&lane.schedule, plaintext, window,
+                  platform_config_.use_flush ? window.monitored_from : 0,
+                  lane.slot};
+    Block state{};
+    core_.run(std::span<const Job>(&job, 1), scratch_wide_, &state);
+    Observation obs = scratch_wide_.extract(0);
+    lane.wide_last_pt = plaintext;
+    lane.wide_ct_valid = window.emit_rounds >= Recovery::kRounds;
+    if (lane.wide_ct_valid) lane.wide_state = state;
     if (lane.channel.has_value()) lane.channel->corrupt(obs);
     return obs;
   }
 
   [[nodiscard]] Block lane_last_ciphertext(Lane& lane) const {
-    if (!core_.has_value()) return lane.fallback->last_ciphertext();
     if (!lane.wide_ct_valid) {
       lane.wide_state = cipher_.encrypt_with_schedule(
           lane.wide_last_pt, lane.schedule, Recovery::kRounds, nullptr);
@@ -332,7 +323,9 @@ class WideRecoveryEngine {
   std::vector<unsigned> line_ids_;
   ElimParams params_;
   bool faulted_;
-  std::optional<WideObserveCore<Recovery>> core_;
+  /// Always constructed: fast path on supported configs, per-lane scalar
+  /// fallback otherwise (wide_observe.h) — one engine loop either way.
+  WideObserveCore<Recovery> core_;
   /// Group-step buffers, reused across the run.
   std::vector<Job> jobs_;
   WideObservationBatch wide_batch_;

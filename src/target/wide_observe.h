@@ -1,23 +1,55 @@
 // The 64-wide lockstep observation core.
 //
 // WideObserveCore runs up to 64 monitored partial-round encryptions in
-// lockstep against a transposed multi-lane cache (cachesim/lockstep.h):
-// per lane, the instrumented victim encryption streams its table accesses
-// straight into the lane's cache state (no materialized access vector —
-// the fused sink replaces the collect-then-replay scalar pipeline), the
-// attacker's flush collapses to pure cycle accounting on the cold lane,
-// and the Flush+Reload probe replays the prober's fixed reload schedule
-// against the lane.  The results land transposed in a
-// WideObservationBatch.
+// lockstep.  It has two modes, chosen once at construction:
 //
-// Exactness: on LockstepCaches::supports() configurations every verdict,
-// probed_after_round and attacker_cycles value is bit-identical to the
-// scalar DirectProbePlatform::observe() pipeline (the cold-lane argument
-// is spelled out in cachesim/lockstep.h; the conformance suites pin it
-// per registered cipher).  Callers must gate on supported() and fall
-// back to the scalar path otherwise.
+//  * Fast path (supported() configurations — LRU without a prefetcher):
+//    a transposed multi-lane cache (cachesim/lockstep.h).  Per lane, the
+//    instrumented victim encryption streams its table accesses straight
+//    into the lane's cache state (no materialized access vector — the
+//    fused sink replaces the collect-then-replay scalar pipeline), the
+//    attacker's flush collapses to pure cycle accounting on the cold
+//    lane, and the Flush+Reload probe replays the prober's fixed reload
+//    schedule against the lane.  The per-set scans run through the
+//    runtime-dispatched SIMD kernel layer (cachesim/kernels/kernels.h).
+//    Layered on top is the presence-bitmap shortcut (run_presence): when
+//    a per-observation capacity test proves no monitored set could have
+//    evicted, the lane cache is bypassed entirely and the verdicts fall
+//    out of one 64-bit touched-lines bitmap; when the test trips, the
+//    job transparently re-runs through the exact lockstep lane.
 //
-// Jobs carry their own schedule/window, so one core serves both
+//  * Per-lane fallback (everything else — FIFO/PLRU/Random replacement,
+//    prefetchers): every backing lane owns a scalar cachesim::Cache +
+//    FlushReloadProber pair and replays the exact scalar
+//    DirectProbePlatform::observe() pipeline (collect accesses, replay
+//    rounds around the attacker's flush point, probe).  Lane state
+//    persists across run() calls — precisely like the scalar platform's
+//    cache persists across a trial's observations — keyed by Job::lane,
+//    so callers running multi-trial fleets (target/wide_engine.h) give
+//    each trial a stable lane slot and reset_lane_state() it when the
+//    trial starts.  supported() therefore means "fast path available",
+//    not "wide path available": observe-wide semantics (lanes are
+//    *independent* trials) hold in both modes.
+//
+// Either way the results land transposed in a WideObservationBatch via
+// one kernel 64x64 bit transpose (WideObservationBatch::assign_all).
+//
+// Exactness: on the fast path every verdict, probed_after_round and
+// attacker_cycles value is bit-identical to the scalar
+// DirectProbePlatform::observe() pipeline (the cold-lane argument is
+// spelled out in cachesim/lockstep.h); in fallback mode the same holds
+// because each lane literally executes that pipeline against its own
+// warm scalar cache.  The conformance suites pin both modes per
+// registered cipher (tests/target/wide_conformance_test.cpp).
+//
+// NOTE: DirectProbePlatform::observe_wide still routes unsupported
+// configurations through the transposing ObservationSource default — its
+// pinned contract is *sequential* equivalence (one cache, observations
+// in order), which per-lane-independent caches intentionally do not
+// reproduce.  The fallback mode exists for per-lane-independent callers
+// (the wide recovery engine, future defense matrices at width 64).
+//
+// Jobs carry their own schedule/window/lane, so one core serves both
 // platform-internal wide batches (one victim key, one stage — see
 // DirectProbePlatform::observe_wide) and the multi-trial wide recovery
 // engine (per-lane keys and stages — target/wide_engine.h).
@@ -25,11 +57,16 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "cachesim/cache.h"
+#include "cachesim/kernels/kernels.h"
 #include "cachesim/lockstep.h"
 #include "common/bits.h"
 #include "gift/table_gift.h"
@@ -63,6 +100,49 @@ template <typename Traits>
   return w;
 }
 
+/// Statically-typed sink of the presence-bitmap shortcut (see
+/// WideObserveCore::run_presence): instead of driving cache state, it
+/// records which monitored lines the window touched (one OR into a
+/// 64-bit bitmap — monitored lines form one contiguous line range, so
+/// membership is a subtract + compare) and counts the window's accesses
+/// per cache set (the overflow detector's input).  No tag scans, no LRU
+/// stamps, no per-set slot state.
+class PresenceSink final {
+ public:
+  PresenceSink(std::uint16_t* set_counts, std::uint64_t first_line,
+               unsigned n_lines, unsigned instrument_from,
+               unsigned line_shift, std::uint64_t set_mask) noexcept
+      : set_counts_(set_counts),
+        first_line_(first_line),
+        set_mask_(set_mask),
+        n_lines_(n_lines),
+        from_(instrument_from),
+        line_shift_(line_shift) {}
+
+  void on_round_begin(unsigned round) noexcept { live_ = round >= from_; }
+  void on_access(const gift::TableAccess& access) {
+    if (!live_) return;
+    const std::uint64_t line = access.addr >> line_shift_;
+    ++set_counts_[line & set_mask_];
+    const std::uint64_t u = line - first_line_;
+    if (u < n_lines_) touched_ |= std::uint64_t{1} << u;
+  }
+  void on_round_end(unsigned /*round*/) noexcept {}
+
+  /// Bit i = the window touched monitored line first_line + i.
+  [[nodiscard]] std::uint64_t touched() const noexcept { return touched_; }
+
+ private:
+  std::uint16_t* set_counts_;
+  std::uint64_t first_line_;
+  std::uint64_t set_mask_;
+  std::uint64_t touched_ = 0;
+  unsigned n_lines_;
+  unsigned from_;
+  unsigned line_shift_;
+  bool live_ = false;
+};
+
 /// Statically-typed sink (TraceSink callback shape, no vtable — the
 /// ciphers' templated encrypt_with_schedule inlines it into the round
 /// loop) that feeds a lane of the lockstep cache directly from the
@@ -77,34 +157,39 @@ template <typename Traits>
 class LockstepSink final {
  public:
   /// `monitored_sets` is a num_sets-bit bitmap (bit s = set s holds a
-  /// monitored line) owned by the core; `line_shift`/`set_mask` replicate
-  /// the lane cache's addr -> set mapping.
-  LockstepSink(cachesim::LockstepCaches& caches, unsigned lane,
+  /// monitored line) owned by the core; `line_shift`/`sets_shift`/
+  /// `set_mask` replicate the lane cache's addr -> (set, tag) mapping.
+  /// The session carries the lane (see LockstepCaches::LaneSession); the
+  /// set split out for the bitmap filter is reused for the lane access,
+  /// so each monitored touch decomposes its address exactly once.
+  LockstepSink(cachesim::LockstepCaches::LaneSession& session,
                unsigned instrument_from, const std::uint64_t* monitored_sets,
-               unsigned line_shift, std::uint64_t set_mask) noexcept
-      : caches_(&caches),
+               unsigned line_shift, unsigned sets_shift,
+               std::uint64_t set_mask) noexcept
+      : session_(&session),
         monitored_(monitored_sets),
         set_mask_(set_mask),
-        lane_(lane),
         from_(instrument_from),
-        line_shift_(line_shift) {}
+        line_shift_(line_shift),
+        sets_shift_(sets_shift) {}
 
   void on_round_begin(unsigned round) noexcept { live_ = round >= from_; }
   void on_access(const gift::TableAccess& access) {
     if (!live_) return;
-    const std::uint64_t set = (access.addr >> line_shift_) & set_mask_;
+    const std::uint64_t line = access.addr >> line_shift_;
+    const std::uint64_t set = line & set_mask_;
     if (((monitored_[set >> 6] >> (set & 63)) & 1u) == 0) return;
-    caches_->touch(lane_, access.addr);
+    (void)session_->access_line(set, line >> sets_shift_);
   }
   void on_round_end(unsigned /*round*/) noexcept {}
 
  private:
-  cachesim::LockstepCaches* caches_;
+  cachesim::LockstepCaches::LaneSession* session_;
   const std::uint64_t* monitored_;
   std::uint64_t set_mask_;
-  unsigned lane_;
   unsigned from_;
   unsigned line_shift_;
+  unsigned sets_shift_;
   bool live_ = false;
 };
 
@@ -118,14 +203,22 @@ class WideObserveCore {
   /// accesses touch the lane cache: window.monitored_from when the
   /// attacker flushes right before the window (use_flush), 0 otherwise
   /// (the flush then precedes round 0, so every emitted round counts).
+  /// `lane` is the stable backing-lane slot: irrelevant on the fast path
+  /// (lanes are cold per job, any distinct-or-not assignment works) but
+  /// load-bearing in fallback mode, where it keys the lane's persistent
+  /// scalar cache state — multi-trial callers must give each trial a
+  /// stable slot for its lifetime.
   struct Job {
     const Schedule* schedule = nullptr;
     Block plaintext{};
     ProbeWindow window{};
     unsigned instrument_from = 0;
+    unsigned lane = 0;
   };
 
-  /// True when the lockstep fast path is exact for this configuration.
+  /// True when the lockstep *fast path* is exact for this configuration.
+  /// Wideness itself is always available: unsupported configurations run
+  /// the per-lane scalar fallback (header comment).
   [[nodiscard]] static bool supported(
       const cachesim::CacheConfig& config) noexcept {
     return cachesim::LockstepCaches::supports(config);
@@ -133,14 +226,21 @@ class WideObserveCore {
 
   WideObserveCore(const cachesim::CacheConfig& cache_config,
                   const TableLayout& layout)
-      : caches_(cache_config, WideObservationBatch::kMaxWidth),
+      : cache_config_(cache_config),
+        layout_(layout),
         cipher_(layout),
         sbox_rows_(layout.sbox_rows()),
         flush_latency_(cache_config.flush_latency),
         hit_latency_(cache_config.hit_latency),
         miss_latency_(cache_config.miss_latency),
         line_shift_(log2_pow2(cache_config.line_bytes)),
+        sets_shift_(log2_pow2(cache_config.num_sets)),
         set_mask_(cache_config.num_sets - 1) {
+    if (supported(cache_config)) {
+      caches_.emplace(cache_config, WideObservationBatch::kMaxWidth);
+    } else {
+      lanes_.resize(WideObservationBatch::kMaxWidth);
+    }
     // Replicate FlushReloadProber's fixed reload schedule and threshold
     // exactly (same dedup, same descending order) via a scratch instance.
     cachesim::Cache scratch{cache_config};
@@ -154,69 +254,322 @@ class WideObserveCore {
       const std::uint64_t set = (row.addr >> line_shift_) & set_mask_;
       monitored_sets_[set >> 6] |= std::uint64_t{1} << (set & 63);
     }
-  }
-
-  /// Runs jobs[l] on lane l and stores its observation transposed into
-  /// out lane l.  When `states_out` is non-null, states_out[l] receives
-  /// the victim state after window.emit_rounds rounds (the ciphertext
-  /// when emit_rounds == Traits::kRounds).
-  void run(std::span<const Job> jobs, WideObservationBatch& out,
-           Block* states_out = nullptr) {
-    out.reset(static_cast<unsigned>(jobs.size()), 16);
-    for (std::size_t l = 0; l < jobs.size(); ++l) {
-      const Job& job = jobs[l];
-      const unsigned lane = static_cast<unsigned>(l);
-      caches_.reset_lane(lane);
-
-      // Victim window, fused: the encryption streams accesses of rounds
-      // [instrument_from, emit_rounds) straight into the lane cache,
-      // through the cipher's templated (sink-inlining) round loop.
-      LockstepSink sink{caches_,           lane,        job.instrument_from,
-                        monitored_sets_.data(), line_shift_, set_mask_};
-      const Block state = cipher_.encrypt_with_schedule(
-          job.plaintext, *job.schedule, job.window.emit_rounds, &sink);
-      if (states_out != nullptr) states_out[l] = state;
-
-      // prepare(): flushing monitored lines from a cold lane is a state
-      // no-op (pre-window lines do not exist here), so only the cycles
-      // remain.  The count matches the scalar prober whether the flush
-      // lands before round 0 (!use_flush) or before the window.
-      std::uint64_t cycles =
-          static_cast<std::uint64_t>(sbox_rows_) * flush_latency_;
-
-      // probe(): the prober's exact schedule — descending index order,
-      // one timed reload per distinct line, verdict fanned out via the
-      // line slot; misses fill the lane (the real pollution, too).
-      std::uint64_t present_word = 0;
-      std::uint32_t line_present = 0;
-      for (unsigned index = 16; index-- > 0;) {
-        const auto& row = rows_[index];
-        if (row.reload) {
-          const bool hit = caches_.access(lane, row.addr);
-          const std::uint64_t latency = hit ? hit_latency_ : miss_latency_;
-          cycles += latency;
-          if (latency <= threshold_) line_present |= 1u << row.line_slot;
-        }
-        present_word |= static_cast<std::uint64_t>(
-                            (line_present >> row.line_slot) & 1u)
-                        << index;
+    // Probe rows with the addr -> (set, tag) split hoisted out of the
+    // per-observation loop (the schedule is fixed for the core's life).
+    for (unsigned index = 0; index < probe_rows_.size(); ++index) {
+      const auto& row = rows_[index];
+      const std::uint64_t line = row.addr >> line_shift_;
+      probe_rows_[index] = {line & set_mask_, line >> sets_shift_,
+                            row.line_slot, row.reload};
+    }
+    // Presence-bitmap shortcut metadata (run_presence): the distinct
+    // monitored lines are the reload rows.  The shortcut needs them to
+    // form one contiguous line range (true for every registered cipher —
+    // the monitored region is one contiguous S-Box table) and a per-set
+    // counter array small enough to clear per observation.
+    std::uint64_t min_line = ~std::uint64_t{0};
+    std::uint64_t max_line = 0;
+    probe_fills_.assign(cache_config.num_sets, 0);
+    for (const auto& row : rows_) {
+      if (!row.reload) continue;
+      const std::uint64_t line = row.addr >> line_shift_;
+      min_line = std::min(min_line, line);
+      max_line = std::max(max_line, line);
+      ++n_lines_;
+      const std::uint64_t set = line & set_mask_;
+      if (probe_fills_[set]++ == 0) monitored_set_list_.push_back(set);
+    }
+    first_line_ = min_line;
+    presence_ok_ = caches_.has_value() && n_lines_ > 0 && n_lines_ <= 64 &&
+                   max_line - min_line + 1 == n_lines_ &&
+                   cache_config.num_sets <= 4096;
+    if (presence_ok_) {
+      set_counts_.assign(cache_config.num_sets, 0);
+      for (const auto& row : rows_) {
+        if (!row.reload) continue;
+        const std::uint64_t line = row.addr >> line_shift_;
+        presence_rows_[n_presence_rows_++] = {
+            static_cast<std::uint8_t>(line - min_line),
+            static_cast<std::uint8_t>(row.line_slot)};
       }
-      out.set_lane(lane, present_word, job.window.probe_after, cycles);
     }
   }
 
+  /// True when this core runs the lockstep fast path (false: per-lane
+  /// scalar fallback).
+  [[nodiscard]] bool fast_path() const noexcept { return caches_.has_value(); }
+
+  /// Drops backing lane `lane`'s persistent trial state.  Fast path:
+  /// no-op (lanes are cold per job).  Fallback mode: the lane's scalar
+  /// cache/prober are rebuilt cold, exactly like a fresh scalar platform
+  /// at trial start — callers must reset a slot before reusing it for a
+  /// new trial.
+  void reset_lane_state(unsigned lane) {
+    if (caches_.has_value()) return;
+    if (lane < lanes_.size()) lanes_[lane].reset();
+  }
+
+  /// Runs jobs[l] on backing lane jobs[l].lane and stores its observation
+  /// transposed into out lane l.  When `states_out` is non-null,
+  /// states_out[l] receives the victim state after window.emit_rounds
+  /// rounds (the ciphertext when emit_rounds == Traits::kRounds).
+  /// Backing lanes of one call must be distinct in fallback mode.
+  void run(std::span<const Job> jobs, WideObservationBatch& out,
+           Block* states_out = nullptr) {
+    out.reset(static_cast<unsigned>(jobs.size()), 16);
+    // Lane-major scratch for the bulk transposed write; lanes >= width
+    // and verdict bits >= rows stay zero (assign_all's pre-condition).
+    std::array<std::uint64_t, WideObservationBatch::kMaxWidth> present{};
+    std::array<std::uint32_t, WideObservationBatch::kMaxWidth> probed{};
+    std::array<std::uint64_t, WideObservationBatch::kMaxWidth> cycles{};
+    for (std::size_t l = 0; l < jobs.size(); ++l) {
+      const Job& job = jobs[l];
+      Block state;
+      if (presence_ok_ && run_presence(job, present[l], cycles[l], state)) {
+        // Presence-bitmap shortcut succeeded (the common case on sane
+        // geometries: no monitored set could have evicted).
+      } else if (caches_.has_value()) {
+        state = run_fast(job, present[l], cycles[l]);
+      } else {
+        state = run_fallback(job, present[l], cycles[l]);
+      }
+      if (states_out != nullptr) states_out[l] = state;
+      probed[l] = job.window.probe_after;
+    }
+    out.assign_all(present.data(), probed.data(), cycles.data());
+  }
+
  private:
-  cachesim::LockstepCaches caches_;
+  /// One fallback lane: the scalar platform pipeline's cache + prober,
+  /// owned per backing lane so lanes stay independent trials.
+  struct FallbackLane {
+    FallbackLane(const cachesim::CacheConfig& config,
+                 const TableLayout& layout)
+        : cache(config), prober(cache, layout) {}
+    cachesim::Cache cache;
+    FlushReloadProber prober;
+  };
+
+  /// Presence-bitmap shortcut: the cheapest exact form of the fast path.
+  ///
+  /// On a cold lane, if no monitored set ever exceeds its capacity, no
+  /// eviction can happen anywhere the probe looks — and then LRU order,
+  /// stamps and victim selection are all irrelevant: a monitored line is
+  /// present at the probe iff the window touched it.  The whole cache
+  /// model collapses to one 64-bit "touched" bitmap (monitored lines are
+  /// one contiguous line range, so membership is a subtract + compare)
+  /// plus per-set access counters for the capacity test:
+  ///   window accesses into set s  +  probe fills into s  <=  ways
+  /// for every monitored set is a sufficient (conservative: duplicates
+  /// and hits counted as fills) condition for zero evictions, checked
+  /// after the encryption.  When it fails — deep window on a shallow
+  /// cache, pathologically aliased layout — the job re-runs through the
+  /// exact lockstep lane (run_fast), so the shortcut never changes a
+  /// single bit, only the cost of producing it.  The scalar probe's
+  /// latency arithmetic is reproduced exactly, including degenerate
+  /// thresholds where hits and misses classify alike.
+  ///
+  /// Returns false on capacity-test failure (caller falls through to
+  /// run_fast).
+  bool run_presence(const Job& job, std::uint64_t& present_out,
+                    std::uint64_t& cycles_out, Block& state_out) {
+    std::fill(set_counts_.begin(), set_counts_.end(),
+              static_cast<std::uint16_t>(0));
+    PresenceSink sink{set_counts_.data(), first_line_,    n_lines_,
+                      job.instrument_from, line_shift_, set_mask_};
+    state_out = cipher_.encrypt_with_schedule(
+        job.plaintext, *job.schedule, job.window.emit_rounds, &sink);
+
+    const unsigned ways = cache_config_.associativity;
+    for (const std::uint32_t set : monitored_set_list_) {
+      if (static_cast<unsigned>(set_counts_[set]) + probe_fills_[set] > ways) {
+        return false;
+      }
+    }
+
+    // Verdict per monitored line, replicating the prober's latency
+    // classification bit-parallel: touched -> hit latency, untouched ->
+    // miss latency, present iff latency <= threshold.
+    const std::uint64_t touched = sink.touched();
+    const std::uint64_t lines_mask =
+        n_lines_ == 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << n_lines_) - 1;
+    const std::uint64_t hit_mask =
+        hit_latency_ <= threshold_ ? ~std::uint64_t{0} : 0;
+    const std::uint64_t miss_mask =
+        miss_latency_ <= threshold_ ? ~std::uint64_t{0} : 0;
+    const std::uint64_t line_bits =
+        ((touched & hit_mask) | (~touched & miss_mask)) & lines_mask;
+
+    // Fan the line verdicts out to line slots (the prober's indexing),
+    // then to rows — bit-compatible with run_fast's probe loop.
+    std::uint64_t line_present = 0;
+    for (unsigned i = 0; i < n_presence_rows_; ++i) {
+      line_present |= ((line_bits >> presence_rows_[i].line_idx) & 1u)
+                      << presence_rows_[i].line_slot;
+    }
+    std::uint64_t present_word = 0;
+    for (unsigned index = 16; index-- > 0;) {
+      present_word |= ((line_present >> probe_rows_[index].line_slot) & 1u)
+                      << index;
+    }
+
+    // Cycles: the flush pass plus one timed reload per distinct line
+    // (touched lines reload at hit latency, the rest at miss latency).
+    const auto hits = static_cast<std::uint64_t>(std::popcount(touched));
+    cycles_out = static_cast<std::uint64_t>(sbox_rows_) * flush_latency_ +
+                 hits * hit_latency_ + (n_lines_ - hits) * miss_latency_;
+    present_out = present_word;
+    return true;
+  }
+
+  /// Fast path: fused encrypt-into-lane, cycle-only flush, schedule
+  /// replay probe (all against the cold lockstep lane, through one
+  /// register-resident LaneSession — pointers and the recency clock are
+  /// hoisted for the whole observation).
+  Block run_fast(const Job& job, std::uint64_t& present_out,
+                 std::uint64_t& cycles_out) {
+    const unsigned lane = job.lane;
+    caches_->reset_lane(lane);
+    cachesim::LockstepCaches::LaneSession session =
+        caches_->lane_session(lane);
+    // Warm the monitored sets' slot lines while the leading rounds run:
+    // every line the sink or the probe can touch belongs to a probe row's
+    // set, so this hides the lane's first-touch latency (the pool spans
+    // ~1 MiB at full width; the monitored working set per observation is
+    // a handful of scattered lines).
+    for (const ProbeRow& row : probe_rows_) session.prefetch_set(row.set);
+
+    // Victim window, fused: the encryption streams accesses of rounds
+    // [instrument_from, emit_rounds) straight into the lane cache,
+    // through the cipher's templated (sink-inlining) round loop.
+    LockstepSink sink{session,     job.instrument_from,
+                      monitored_sets_.data(), line_shift_,
+                      sets_shift_, set_mask_};
+    const Block state = cipher_.encrypt_with_schedule(
+        job.plaintext, *job.schedule, job.window.emit_rounds, &sink);
+
+    // prepare(): flushing monitored lines from a cold lane is a state
+    // no-op (pre-window lines do not exist here), so only the cycles
+    // remain.  The count matches the scalar prober whether the flush
+    // lands before round 0 (!use_flush) or before the window.
+    std::uint64_t cycles =
+        static_cast<std::uint64_t>(sbox_rows_) * flush_latency_;
+
+    // probe(): the prober's exact schedule — descending index order,
+    // one timed reload per distinct line, verdict fanned out via the
+    // line slot; misses fill the lane (the real pollution, too).
+    std::uint64_t present_word = 0;
+    std::uint32_t line_present = 0;
+    for (unsigned index = 16; index-- > 0;) {
+      const ProbeRow& row = probe_rows_[index];
+      if (row.reload) {
+        const bool hit = session.access_line(row.set, row.tag);
+        const std::uint64_t latency = hit ? hit_latency_ : miss_latency_;
+        cycles += latency;
+        if (latency <= threshold_) line_present |= 1u << row.line_slot;
+      }
+      present_word |= static_cast<std::uint64_t>(
+                          (line_present >> row.line_slot) & 1u)
+                      << index;
+    }
+    present_out = present_word;
+    cycles_out = cycles;
+    return state;
+  }
+
+  /// Fallback mode: the scalar DirectProbePlatform::observe() pipeline,
+  /// verbatim, against the job's persistent backing lane — collect the
+  /// (truncated) access stream, replay rounds around the attacker's
+  /// flush point, probe.  The flush lands before the monitored window
+  /// exactly when instrument_from says it does (instrument_from != 0 <=>
+  /// use_flush with a nonzero window start; when the window starts at
+  /// round 0 both orderings are the same access sequence).
+  Block run_fallback(const Job& job, std::uint64_t& present_out,
+                     std::uint64_t& cycles_out) {
+    FallbackLane& lane = fallback_lane(job.lane);
+    sink_.clear();
+    const Block state = cipher_.encrypt_with_schedule(
+        job.plaintext, *job.schedule, job.window.emit_rounds, &sink_);
+
+    constexpr unsigned per_round = Traits::kAccessesPerRound;
+    auto replay_rounds = [&](unsigned from, unsigned to) {
+      for (std::size_t i = static_cast<std::size_t>(from) * per_round;
+           i < static_cast<std::size_t>(to) * per_round &&
+           i < sink_.accesses().size();
+           ++i) {
+        lane.cache.touch(sink_.accesses()[i].addr);
+      }
+    };
+
+    std::uint64_t cycles = 0;
+    const bool flush_before_window = job.instrument_from != 0;
+    if (!flush_before_window) cycles += lane.prober.prepare();
+    replay_rounds(0, job.window.monitored_from);
+    if (flush_before_window) cycles += lane.prober.prepare();
+    replay_rounds(job.window.monitored_from, job.window.probe_after);
+
+    const ProbeResult probe = lane.prober.probe();
+    present_out = probe.row_present.word();
+    cycles_out = cycles + probe.cycles;
+    return state;
+  }
+
+  [[nodiscard]] FallbackLane& fallback_lane(unsigned slot) {
+    assert(slot < lanes_.size());
+    if (lanes_[slot] == nullptr) {
+      lanes_[slot] = std::make_unique<FallbackLane>(cache_config_, layout_);
+    }
+    return *lanes_[slot];
+  }
+
+  cachesim::CacheConfig cache_config_;
+  TableLayout layout_;
   typename Traits::TableCipher cipher_;
   unsigned sbox_rows_;
   std::uint64_t flush_latency_;
   std::uint64_t hit_latency_;
   std::uint64_t miss_latency_;
   unsigned line_shift_;
+  unsigned sets_shift_;
   std::uint64_t set_mask_;
   std::uint64_t threshold_ = 0;
   std::array<FlushReloadProber::RowInfo, LineSet::kMaxBits> rows_{};
+  /// rows_ with the addr -> (set, tag) split precomputed for the fast
+  /// probe loop.
+  struct ProbeRow {
+    std::uint64_t set = 0;
+    std::uint64_t tag = 0;
+    unsigned line_slot = 0;
+    bool reload = false;
+  };
+  std::array<ProbeRow, LineSet::kMaxBits> probe_rows_{};
+  /// Presence-bitmap shortcut state (run_presence; engaged iff
+  /// presence_ok_).  presence_rows_ holds one entry per distinct
+  /// monitored line (its index in the contiguous line range and the
+  /// prober's line slot); probe_fills_[s] counts the probe's potential
+  /// fills into set s; set_counts_ is the per-observation access-counter
+  /// scratch; monitored_set_list_ the sets the capacity test inspects.
+  struct PresenceRow {
+    std::uint8_t line_idx = 0;
+    std::uint8_t line_slot = 0;
+  };
+  std::array<PresenceRow, LineSet::kMaxBits> presence_rows_{};
+  unsigned n_presence_rows_ = 0;
+  std::uint64_t first_line_ = 0;
+  unsigned n_lines_ = 0;
+  bool presence_ok_ = false;
+  std::vector<std::uint16_t> probe_fills_;
+  std::vector<std::uint16_t> set_counts_;
+  std::vector<std::uint32_t> monitored_set_list_;
   std::vector<std::uint64_t> monitored_sets_;
+  /// Fast path state (engaged iff supported(cache_config_)).
+  std::optional<cachesim::LockstepCaches> caches_;
+  /// Fallback mode state: per-backing-lane scalar pipelines, created
+  /// lazily, reset per trial via reset_lane_state().
+  std::vector<std::unique_ptr<FallbackLane>> lanes_;
+  /// Shared collect-then-replay scratch of the fallback pipeline.
+  gift::VectorTraceSink sink_;
 };
 
 }  // namespace grinch::target

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cachesim/cache.h"
+#include "cachesim/kernels/kernels.h"
 #include "common/rng.h"
 
 namespace grinch::cachesim {
@@ -111,6 +112,43 @@ TEST(LockstepCaches, LanesAreIndependentUnderInterleaving) {
     for (std::uint64_t addr = 0; addr < pool; addr += config.line_bytes) {
       EXPECT_EQ(lanes.contains(l, addr), refs[l].contains(addr))
           << "lane " << l << " addr " << addr;
+    }
+  }
+}
+
+TEST(LockstepCaches, LaneMatchesColdScalarCacheUnderEveryKernel) {
+  // The scalar-cache differential repeated under each compiled-in probe
+  // kernel, on geometries whose sets fill past the inline-scalar
+  // cut-over (n <= 4) so the kernel's find_tag/min_stamp_slot paths are
+  // the ones being pinned.
+  using kernels::Kind;
+  const CacheConfig configs[] = {
+      lru_config(1, 64, 16),  // the paper geometry
+      lru_config(1, 4, 12),   // deep sets, heavy eviction traffic
+      lru_config(2, 8, 7),    // odd ways (SIMD tail lanes)
+  };
+  for (const Kind kind : {Kind::kGeneric, Kind::kSwar, Kind::kAvx2}) {
+    if (!kernels::available(kind)) continue;
+    kernels::ScopedKernel scope{kind};
+    for (const CacheConfig& config : configs) {
+      LockstepCaches lanes{config, 1};
+      ASSERT_EQ(lanes.kernel().kind, kind);
+      Cache reference{config};
+      lanes.reset_lane(0);
+      Xoshiro256 rng{0x2E5D ^ config.num_sets ^ config.associativity};
+      const std::uint64_t pool =
+          static_cast<std::uint64_t>(config.line_bytes) * config.num_sets *
+          (config.associativity + 2);
+      for (unsigned step = 0; step < 4000; ++step) {
+        const std::uint64_t addr = rng.next() % pool;
+        if (rng.next() % 8 == 0) {
+          ASSERT_EQ(lanes.flush_line(0, addr), reference.flush_line(addr))
+              << lanes.kernel().name << " step " << step;
+        } else {
+          ASSERT_EQ(lanes.access(0, addr), reference.access(addr).hit)
+              << lanes.kernel().name << " step " << step;
+        }
+      }
     }
   }
 }

@@ -17,10 +17,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "cachesim/kernels/kernels.h"
 #include "common/rng.h"
 #include "runner/thread_pool.h"
 #include "runner/trial_runner.h"
@@ -171,6 +173,38 @@ TYPED_TEST(WideConformance, ObserveWideWithoutFlushMatchesScalar) {
   }
 }
 
+TYPED_TEST(WideConformance, ObserveWideShallowCacheMatchesScalar) {
+  // A 2-way LRU cache keeps the lockstep fast path engaged but makes the
+  // presence shortcut's capacity test trip (one probe fill plus a couple
+  // of window accesses exceed two ways), so observations route through
+  // the exact lockstep lane — this pins the shortcut's overflow fallback
+  // against the scalar pipeline.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x40);
+  typename DirectProbePlatform<Recovery>::Config config;
+  config.cache.associativity = 2;
+  ASSERT_TRUE(WideObserveCore<Recovery>::supported(config.cache));
+  DirectProbePlatform<Recovery> scalar{config, key};
+  DirectProbePlatform<Recovery> wide{config, key};
+  Xoshiro256 rng{0x5A110};
+  WideObservationBatch batch;
+  for (unsigned stage = 0; stage < 2 && stage < Recovery::kStages; ++stage) {
+    std::vector<Block> pts;
+    for (unsigned i = 0; i < 32; ++i) {
+      pts.push_back(Recovery::random_block(rng));
+    }
+    wide.observe_wide(pts, stage, batch);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Observation o = scalar.observe(pts[i], stage);
+      const Observation w = batch.extract(static_cast<unsigned>(i));
+      EXPECT_EQ(w.present, o.present) << "stage " << stage << " lane " << i;
+      EXPECT_EQ(w.attacker_cycles, o.attacker_cycles)
+          << "stage " << stage << " lane " << i;
+    }
+  }
+}
+
 TYPED_TEST(WideConformance, ObserveWideFallsBackOnUnsupportedConfig) {
   // FIFO replacement has no lockstep fast path; observe_wide must route
   // through the transposing default and still match scalar observes.
@@ -194,6 +228,160 @@ TYPED_TEST(WideConformance, ObserveWideFallsBackOnUnsupportedConfig) {
     EXPECT_EQ(w.attacker_cycles, o.attacker_cycles) << i;
   }
   EXPECT_EQ(wide.last_ciphertext(), scalar.last_ciphertext());
+}
+
+std::vector<cachesim::kernels::Kind> available_kernels() {
+  using cachesim::kernels::Kind;
+  std::vector<Kind> kinds;
+  for (const Kind k : {Kind::kGeneric, Kind::kSwar, Kind::kAvx2}) {
+    if (cachesim::kernels::available(k)) kinds.push_back(k);
+  }
+  return kinds;
+}
+
+TYPED_TEST(WideConformance, ObserveWideBitIdenticalUnderEveryKernel) {
+  // The dispatch contract end to end: every compiled-in-and-executable
+  // probe kernel must reproduce the scalar pipeline bit for bit through
+  // the full wide transport (lockstep probe, bulk transpose, column
+  // gather on extract).  The wide platform is constructed inside the
+  // kernel scope — its lockstep pool resolves the Ops table then.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x60);
+  DirectProbePlatform<Recovery> scalar{{}, key};
+  for (const cachesim::kernels::Kind kind : available_kernels()) {
+    cachesim::kernels::ScopedKernel scope{kind};
+    DirectProbePlatform<Recovery> wide{{}, key};
+    Xoshiro256 rng{0x5EE6};  // identical plaintexts for every kernel
+    WideObservationBatch batch;
+    for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{16}, std::size_t{63},
+                                    std::size_t{64}}) {
+      std::vector<Block> pts;
+      for (std::size_t i = 0; i < width; ++i) {
+        pts.push_back(Recovery::random_block(rng));
+      }
+      wide.observe_wide(pts, 0, batch);
+      ASSERT_EQ(batch.width(), pts.size());
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        const Observation o = scalar.observe(pts[i], 0);
+        const Observation w = batch.extract(static_cast<unsigned>(i));
+        ASSERT_EQ(w.present, o.present)
+            << cachesim::kernels::active().name << " width " << width
+            << " lane " << i;
+        EXPECT_EQ(w.probed_after_round, o.probed_after_round);
+        EXPECT_EQ(w.attacker_cycles, o.attacker_cycles);
+      }
+    }
+  }
+}
+
+TYPED_TEST(WideConformance, FaultyDecoratorWideMatchesScalarUnderEveryKernel) {
+  // Same sweep through the fault decorator: corrupted deliveries must
+  // stay kernel-invariant (the decorator consumes the transposed batch
+  // through extract()/set_lane, both kernel-dispatched).
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  const Key128 key = this->victim_key(0x61);
+  const FaultProfile profile = FaultProfile::moderate();
+  for (const cachesim::kernels::Kind kind : available_kernels()) {
+    cachesim::kernels::ScopedKernel scope{kind};
+    DirectProbePlatform<Recovery> scalar_inner{{}, key};
+    DirectProbePlatform<Recovery> wide_inner{{}, key};
+    FaultyObservationSource<Block> scalar{scalar_inner, profile};
+    FaultyObservationSource<Block> wide{wide_inner, profile};
+    Xoshiro256 rng{0xFA18};
+    std::vector<Block> pts;
+    for (unsigned i = 0; i < 64; ++i) {
+      pts.push_back(Recovery::random_block(rng));
+    }
+    WideObservationBatch batch;
+    wide.observe_wide(pts, 0, batch);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      const Observation o = scalar.observe(pts[i], 0);
+      const Observation w = batch.extract(static_cast<unsigned>(i));
+      EXPECT_EQ(w.present, o.present)
+          << cachesim::kernels::active().name << " lane " << i;
+      EXPECT_EQ(w.dropped, o.dropped)
+          << cachesim::kernels::active().name << " lane " << i;
+    }
+    EXPECT_EQ(wide.stats().dropped, scalar.stats().dropped);
+  }
+}
+
+TYPED_TEST(WideConformance, PerLaneFallbackMatchesScalarObserveSequences) {
+  // The per-lane fallback mode (target/wide_observe.h): on configurations
+  // without a lockstep fast path, every backing lane must replay the
+  // scalar observe() pipeline against its own persistent cache — across
+  // successive run() calls, after reset_lane_state(), and independently
+  // of which batch position carries the lane.  Covered on FIFO
+  // replacement and on a next-line prefetcher, the two unsupported
+  // families.
+  using Recovery = TypeParam;
+  using Block = typename Recovery::Block;
+  using Core = WideObserveCore<Recovery>;
+  constexpr unsigned kLanes = 5;
+  for (const bool prefetch : {false, true}) {
+    typename DirectProbePlatform<Recovery>::Config pconfig;
+    if (prefetch) {
+      pconfig.cache.prefetch_lines = 1;
+    } else {
+      pconfig.cache.replacement = cachesim::Replacement::kFifo;
+    }
+    ASSERT_FALSE(Core::supported(pconfig.cache));
+    Core core{pconfig.cache, pconfig.layout};
+    ASSERT_FALSE(core.fast_path());
+
+    typename Recovery::TableCipher cipher{pconfig.layout};
+    Xoshiro256 rng{prefetch ? 0x9E7Cu : 0xF1F0u};
+    std::vector<Key128> keys;
+    std::vector<typename Recovery::TableCipher::Schedule> schedules;
+    std::vector<std::unique_ptr<DirectProbePlatform<Recovery>>> refs;
+    for (unsigned l = 0; l < kLanes; ++l) {
+      keys.push_back(Recovery::canonical_key(rng.key128()));
+      schedules.push_back(cipher.make_schedule(keys.back()));
+    }
+
+    // Two trials per lane: trial 1 re-seats every lane at a different
+    // batch position (reversed), pinning that Job::lane — not the batch
+    // slot — keys the persistent state.
+    for (unsigned trial = 0; trial < 2; ++trial) {
+      refs.clear();
+      for (unsigned l = 0; l < kLanes; ++l) {
+        refs.push_back(std::make_unique<DirectProbePlatform<Recovery>>(
+            pconfig, keys[l]));
+        core.reset_lane_state(l);
+      }
+      for (unsigned batch_no = 0; batch_no < 3; ++batch_no) {
+        const unsigned stage = batch_no % std::min(2u, Recovery::kStages);
+        const ProbeWindow window =
+            probe_window_for<Recovery>(stage, pconfig.probing_round);
+        const unsigned instrument_from =
+            pconfig.use_flush ? window.monitored_from : 0;
+        std::vector<Block> pts;
+        std::vector<typename Core::Job> jobs;
+        for (unsigned pos = 0; pos < kLanes; ++pos) {
+          const unsigned lane = trial == 0 ? pos : kLanes - 1 - pos;
+          pts.push_back(Recovery::random_block(rng));
+          jobs.push_back({&schedules[lane], pts.back(), window,
+                          instrument_from, lane});
+        }
+        WideObservationBatch out;
+        core.run(jobs, out);
+        ASSERT_EQ(out.width(), kLanes);
+        for (unsigned pos = 0; pos < kLanes; ++pos) {
+          const unsigned lane = trial == 0 ? pos : kLanes - 1 - pos;
+          const Observation o = refs[lane]->observe(pts[pos], stage);
+          const Observation w = out.extract(pos);
+          ASSERT_EQ(w.present, o.present)
+              << (prefetch ? "prefetch" : "fifo") << " trial " << trial
+              << " batch " << batch_no << " lane " << lane;
+          EXPECT_EQ(w.probed_after_round, o.probed_after_round);
+          EXPECT_EQ(w.attacker_cycles, o.attacker_cycles);
+        }
+      }
+    }
+  }
 }
 
 TYPED_TEST(WideConformance, FaultyDecoratorWideMatchesScalarDelivery) {

@@ -196,6 +196,13 @@ def summarize_wide_path(name, fresh):
       * BM_ObserveBatch/64 routes through observe_wide; its
         per-observation cpu_time must not exceed the scalar
         observe_batch path's (BM_ObserveBatch/16);
+      * when the document was produced with the avx2 probe kernel (the
+        context records which), BM_ObserveBatch/64 must stay at or below
+        the SIMD budget of 450 ns per observation;
+      * the per-kernel micro-benches (BM_ProbeKernel/<kernel>,
+        BM_Transpose64/<kernel>): a vectorized kernel (swar/avx2) more
+        than 1.5x slower than generic means the dispatch is actively
+        hurting — a correctness signal for the kernel layer, not noise;
       * BM_WideRecovery at width 64 must keep >= 0.75x linear scaling:
         per-trial time within 1/0.75 of the width-1 lane loop.
     """
@@ -205,6 +212,7 @@ def summarize_wide_path(name, fresh):
         for b in fresh.get("benchmarks", [])
         if b.get("run_type", "iteration") == "iteration"
     }
+    kernel = fresh.get("context", {}).get("kernel", "")
 
     wide = times.get("BM_ObserveBatch/64")
     scalar = times.get("BM_ObserveBatch/16")
@@ -224,6 +232,41 @@ def summarize_wide_path(name, fresh):
                 f"{name}: observe_wide per-observation time ({per_wide:.1f} "
                 f"ns) exceeds the scalar path ({per_scalar:.1f} ns)"
             )
+        if kernel == "avx2":
+            budget = 450.0
+            marker = "ok" if per_wide <= budget else "REGRESSION"
+            print(
+                f"  avx2 wide budget: {per_wide:.1f} ns/obs "
+                f"(budget {budget:.0f}) {marker}"
+            )
+            if per_wide > budget:
+                warnings.append(
+                    f"{name}: observe_wide with the avx2 kernel "
+                    f"({per_wide:.1f} ns/obs) exceeds the {budget:.0f} ns "
+                    f"budget"
+                )
+
+    for family in ("BM_ProbeKernel", "BM_Transpose64"):
+        generic = times.get(f"{family}/generic")
+        if generic is None:
+            warnings.append(f"{name}: missing {family}/generic (kernel gate)")
+            continue
+        for simd in ("swar", "avx2"):
+            simd_ns = times.get(f"{family}/{simd}")
+            if simd_ns is None:
+                continue  # kernel not available on this machine
+            ratio = simd_ns / generic if generic > 0 else float("inf")
+            marker = "ok" if ratio <= 1.5 else "REGRESSION"
+            print(
+                f"  {family}: {simd} {simd_ns:.1f} ns vs generic "
+                f"{generic:.1f} ns ({ratio:.2f}x) {marker}"
+            )
+            if ratio > 1.5:
+                warnings.append(
+                    f"{name}: {family}/{simd} ({simd_ns:.1f} ns) is "
+                    f"{ratio:.2f}x generic ({generic:.1f} ns) — vectorized "
+                    f"kernel slower than the scalar reference"
+                )
 
     w1 = times.get("BM_WideRecovery/1")
     w64 = times.get("BM_WideRecovery/64")

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "attack/grinch.h"
+#include "cachesim/kernels/kernels.h"
 #include "campaign/engine.h"
 #include "campaign/sigint.h"
 #include "campaign/spec.h"
@@ -221,8 +222,8 @@ void apply_fault_args(const Args& args, Config& cfg) {
 
 /// --wide N routes the engine's observation batches through the
 /// transposed lockstep transport (Config::wide_width; the engine clamps
-/// to [1, 64] and falls back to the scalar path per observation source
-/// when the cache configuration is unsupported).
+/// to [1, 64]; cache configurations without a lockstep fast path run the
+/// same wide loop through per-lane scalar fallback lanes).
 template <typename Config>
 void apply_wide_args(const Args& args, Config& cfg) {
   cfg.wide_width = static_cast<unsigned>(args.get_u64("wide", cfg.wide_width));
@@ -230,9 +231,9 @@ void apply_wide_args(const Args& args, Config& cfg) {
 
 template <typename Config>
 void print_engine_header(const Config& cfg) {
-  std::printf("engine:        %s (wide width %u)\n",
+  std::printf("engine:        %s (wide width %u, kernel %s)\n",
               cfg.wide_width > 1 ? "wide lockstep" : "scalar",
-              cfg.wide_width);
+              cfg.wide_width, cachesim::kernels::active().name);
 }
 
 /// Writes the machine-readable run report for --json PATH.  Every record
@@ -254,6 +255,8 @@ void write_json_report(const std::string& path, const char* command,
   std::fprintf(f, "  \"victim_key\": \"%s\",\n", victim.to_hex().c_str());
   std::fprintf(f, "  \"fault_profile\": \"%s\",\n", fault_profile.c_str());
   std::fprintf(f, "  \"wide_width\": %u,\n", wide_width);
+  std::fprintf(f, "  \"kernel\": \"%s\",\n",
+               cachesim::kernels::active().name);
   std::fprintf(f, "  \"success\": %s,\n", r.success ? "true" : "false");
   std::fprintf(f, "  \"exact_match\": %s,\n",
                r.success && r.recovered_key == victim ? "true" : "false");
@@ -478,6 +481,7 @@ int cmd_campaign(const Args& args) {
       std::printf("campaign:        %s (%s)\n", spec->name.c_str(),
                   spec->cipher.c_str());
       std::printf("spec:            %s\n", ckpt->spec.c_str());
+      std::printf("kernel:          %s\n", ckpt->kernel.c_str());
       campaign::Outcome out;
       out.shards_done = static_cast<std::size_t>(ckpt->flushed_shards);
       out.shard_total = static_cast<std::size_t>(ckpt->shard_total);
