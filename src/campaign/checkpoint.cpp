@@ -72,6 +72,7 @@ bool Checkpoint::save(const std::string& path, std::string* error) const {
   put_u64(payload, counters.verify_restarts);
   put_u64(payload, counters.verified);
   put_u64(payload, counters.partial);
+  put_u64(payload, counters.finished);
 
   std::string blob;
   blob.reserve(payload.size() + 24);
@@ -157,7 +158,8 @@ std::optional<Checkpoint> Checkpoint::load(const std::string& path,
       !r.u64(ck.counters.noise_restarts) ||
       !r.u64(ck.counters.dropped_observations) ||
       !r.u64(ck.counters.verify_restarts) || !r.u64(ck.counters.verified) ||
-      !r.u64(ck.counters.partial) || r.remaining() != 0) {
+      !r.u64(ck.counters.partial) || !r.u64(ck.counters.finished) ||
+      r.remaining() != 0) {
     fail(error, path + ": malformed checkpoint payload");
     return std::nullopt;
   }

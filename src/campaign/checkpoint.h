@@ -36,6 +36,10 @@ struct Counters {
   std::uint64_t verified = 0;
   /// Trials that exhausted their budget mid-stage (partial results).
   std::uint64_t partial = 0;
+  /// Partial trials the residual finisher escalated into a verified
+  /// full-key recovery (always <= partial; those trials count under
+  /// `verified` too).
+  std::uint64_t finished = 0;
 
   Counters& operator+=(const Counters& o) noexcept {
     total_encryptions += o.total_encryptions;
@@ -44,6 +48,7 @@ struct Counters {
     verify_restarts += o.verify_restarts;
     verified += o.verified;
     partial += o.partial;
+    finished += o.finished;
     return *this;
   }
 };
@@ -51,9 +56,10 @@ struct Counters {
 struct Checkpoint {
   static constexpr std::uint32_t kMagic = 0x48435247u;  // "GRCH" (LE)
   // v2 added the probe-kernel name (self-description, like the JSONL
-  // records).  v1 checkpoints are refused like any unknown version —
-  // they are machine-local scratch, not an archival format.
-  static constexpr std::uint32_t kVersion = 2;
+  // records); v3 the Counters::finished tally.  Older checkpoints are
+  // refused like any unknown version — they are machine-local scratch,
+  // not an archival format.
+  static constexpr std::uint32_t kVersion = 3;
 
   /// CampaignSpec::canonical() of the campaign this checkpoint belongs
   /// to; resume re-parses the spec from here, so a checkpoint is

@@ -10,7 +10,11 @@
 //
 // Partial trials (budget exhausted mid-stage) append the partial-result
 // contract fields (failed_stage, surviving_masks, residual_key_bits);
-// completed trials omit them rather than emitting sentinels.
+// completed trials omit them rather than emitting sentinels.  Trials the
+// residual finisher ran on additionally self-describe its outcome
+// (finisher_outcome, candidates tested, winner/frontier ranks, offline
+// trials, searched bits) — deterministic fields only, never wall time,
+// so record bytes stay reproducible across machines and thread counts.
 //
 // Serialization is a direct string build, not a json::Value round-trip:
 // record writing sits on the campaign workers' critical path (the
@@ -120,6 +124,19 @@ std::string trial_record(const CampaignSpec& spec, std::size_t trial,
     out += ']';
     append_field(out, ",\"residual_key_bits\":",
                  static_cast<std::uint64_t>(r.residual_key_bits));
+    if (r.finisher.outcome != finisher::FinisherOutcome::kNotRun) {
+      append_field(out, ",\"finisher_outcome\":",
+                   std::string_view{
+                       finisher::finisher_outcome_name(r.finisher.outcome)});
+      append_field(out, ",\"finisher_candidates\":",
+                   r.finisher.candidates_tested);
+      append_field(out, ",\"finisher_rank\":", r.finisher.rank);
+      append_field(out, ",\"finisher_frontier\":", r.finisher.frontier_rank);
+      append_field(out, ",\"finisher_offline_trials\":",
+                   r.finisher.offline_trials);
+      append_field(out, ",\"finisher_search_bits\":",
+                   static_cast<std::uint64_t>(r.finisher.search_space_bits));
+    }
   }
   out += "}\n";
   return out;
@@ -135,6 +152,10 @@ void count_trial(Counters& counters, const Key128& victim_key,
   counters.verify_restarts += r.verify_restarts;
   if (r.success && r.recovered_key == victim_key) ++counters.verified;
   if (r.failed_stage < Recovery::kStages) ++counters.partial;
+  if (r.finisher.outcome == finisher::FinisherOutcome::kRecovered &&
+      r.success && r.recovered_key == victim_key) {
+    ++counters.finished;
+  }
 }
 
 }  // namespace grinch::campaign

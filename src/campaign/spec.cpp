@@ -66,6 +66,8 @@ json::Value CampaignSpec::to_json() const {
   doc.set("budget", budget);
   doc.set("fault_profile", fault_profile);
   doc.set("vote_threshold", vote_threshold);
+  doc.set("finish", finish);
+  doc.set("finish_budget", finish_budget);
   doc.set("line_words", line_words);
   doc.set("probing_round", probing_round);
   return doc;
@@ -101,6 +103,10 @@ std::optional<CampaignSpec> CampaignSpec::from_json(const json::Value& doc,
       spec.fault_profile = value.as_string(spec.fault_profile);
     } else if (key == "vote_threshold") {
       spec.vote_threshold = static_cast<unsigned>(value.as_u64(99));
+    } else if (key == "finish") {
+      spec.finish = value.as_bool(spec.finish);
+    } else if (key == "finish_budget") {
+      spec.finish_budget = value.as_u64(spec.finish_budget);
     } else if (key == "line_words") {
       spec.line_words = static_cast<unsigned>(value.as_u64(0));
     } else if (key == "probing_round") {

@@ -48,6 +48,13 @@ struct CampaignSpec {
   /// Elimination vote threshold; 0 = auto (noisy default when the profile
   /// injects faults, hard elimination otherwise).
   unsigned vote_threshold = 0;
+  /// Residual-key finisher (KeyRecoveryEngine::Config::finish_partials):
+  /// trials that would degrade to a partial escalate into the inline
+  /// maximum-likelihood residual search instead.
+  bool finish = false;
+  /// Finisher candidate budget per trial (finish_max_candidates); only
+  /// meaningful with `finish` set.
+  std::uint64_t finish_budget = std::uint64_t{1} << 17;
   /// Cache line size in words (Table I axis) and probing round.
   unsigned line_words = 1;
   unsigned probing_round = 1;

@@ -1,0 +1,81 @@
+// Likelihood model: turning presence evidence into ranked slots.
+//
+// Under the fault model (docs/ROBUSTNESS.md) the true candidate's S-Box
+// line is present in a consumed observation with probability
+// ~(1 - false_absent), while an impostor's line is present only when a
+// colliding access or a false-present flip covers it.  Every candidate
+// of one segment shares the segment's update count, so the presence
+// *counts* compare directly: the maximum-likelihood candidate is the one
+// with the highest count, and a candidate's log-likelihood gap versus
+// the best is monotone in its presence-count deficit
+//
+//   delta(c) = max_c' presence[c'] - presence[c].
+//
+// build_slots() converts the assumed-stage evidence of a finish-mode
+// partial (finisher/evidence.h) into one Slot per (stage, segment) with
+// candidates sorted most-likely-first; PenaltyEnumerator then walks
+// assignments by ascending total deficit.  Using the raw deficit as the
+// penalty keeps the order integral and exactly reproducible — no
+// floating-point likelihood is ever compared.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "finisher/evidence.h"
+#include "target/stage_state.h"
+
+namespace grinch::finisher {
+
+/// One unresolved (stage, segment) choice point of the residual space.
+template <typename Recovery>
+struct Slot {
+  unsigned stage = 0;
+  unsigned segment = 0;
+  /// Surviving candidates, most-likely first (presence descending,
+  /// candidate index ascending on ties); position = enumeration rank.
+  std::vector<std::uint8_t> candidates;
+  /// Presence-count deficit versus candidates[0], ascending.
+  std::vector<std::uint32_t> deltas;
+};
+
+/// Builds the ranked slots from a partial's assumed-stage evidence, in
+/// deterministic order: evidence entries in export order, segments
+/// ascending within each.  Slots with an empty surviving mask come out
+/// empty (the enumerator then reports an empty space —
+/// evidence_inconsistent).
+template <typename Recovery>
+[[nodiscard]] std::vector<Slot<Recovery>> build_slots(
+    const target::RecoveryResult<Recovery>& partial) {
+  std::vector<Slot<Recovery>> slots;
+  for (const StageEvidence<Recovery>& ev : partial.stage_evidence) {
+    if (!ev.assumed) continue;
+    for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+      Slot<Recovery> slot;
+      slot.stage = ev.stage;
+      slot.segment = s;
+      std::vector<std::pair<std::uint32_t, unsigned>> order;
+      order.reserve(Recovery::kCandidatesPerSegment);
+      for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
+        if ((ev.masks[s] >> c) & 1u) order.emplace_back(ev.presence[s][c], c);
+      }
+      std::sort(order.begin(), order.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      slot.candidates.reserve(order.size());
+      slot.deltas.reserve(order.size());
+      for (const auto& [presence, c] : order) {
+        slot.candidates.push_back(static_cast<std::uint8_t>(c));
+        slot.deltas.push_back(order.front().first - presence);
+      }
+      slots.push_back(std::move(slot));
+    }
+  }
+  return slots;
+}
+
+}  // namespace grinch::finisher

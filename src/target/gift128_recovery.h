@@ -122,6 +122,21 @@ struct Gift128Recovery : Gift128Traits {
     return rk;
   }
 
+  /// Residual-finisher verification hook (src/finisher/finisher.h).
+  static bool finisher_verify(std::span<const gift::RoundKey128> stage_keys,
+                              std::span<const gift::State128> pts,
+                              std::span<const gift::State128> cts,
+                              Key128& key_out,
+                              std::uint64_t& offline_trials) {
+    const Key128 key = assemble_master_key128(stage_keys);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ++offline_trials;
+      if (!(reference_encrypt(pts[i], key) == cts[i])) return false;
+    }
+    key_out = key;
+    return true;
+  }
+
   /// Assembles the master key and verifies it against one more observed
   /// encryption's full 128-bit ciphertext.
   static void finalize(RecoveryResult<Gift128Recovery>& result,

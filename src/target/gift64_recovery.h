@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "attack/key_recovery.h"
@@ -77,6 +78,23 @@ struct Gift64Recovery : Gift64Traits {
       rk.v |= static_cast<std::uint16_t>((c & 1u) << s);
     }
     return rk;
+  }
+
+  /// Residual-finisher verification hook (src/finisher/finisher.h):
+  /// assembles a candidate's master key and checks it against every
+  /// known plaintext/ciphertext pair with the reference cipher.
+  static bool finisher_verify(std::span<const gift::RoundKey64> stage_keys,
+                              std::span<const std::uint64_t> pts,
+                              std::span<const std::uint64_t> cts,
+                              Key128& key_out,
+                              std::uint64_t& offline_trials) {
+    const Key128 key = attack::assemble_master_key(stage_keys);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      ++offline_trials;
+      if (reference_encrypt(pts[i], key) != cts[i]) return false;
+    }
+    key_out = key;
+    return true;
   }
 
   /// Assembles the master key (Step 4, via the symbolic key schedule) and

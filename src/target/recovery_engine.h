@@ -99,6 +99,7 @@
 
 #include "common/key128.h"
 #include "common/rng.h"
+#include "finisher/tracker.h"
 #include "target/fault_model.h"
 #include "target/faulty_source.h"
 #include "target/observation.h"
@@ -150,6 +151,23 @@ class KeyRecoveryEngine {
     /// clean channel: no decorator is interposed and the engine is
     /// byte-identical to the pre-fault-layer core.
     FaultProfile faults;
+    /// Residual-key finisher (src/finisher/, docs/ROBUSTNESS.md): when
+    /// set, a run that would degrade to a partial escalates instead —
+    /// the remaining budget splits evenly over unfinished stages, a
+    /// starved stage's key is ML-assumed from all-segment presence
+    /// evidence so later stages still accrue evidence, two known
+    /// plaintext/ciphertext pairs are captured, and the
+    /// maximum-likelihood residual search runs inline.  Off (the
+    /// default) the engine is byte-identical to the pre-finisher core.
+    bool finish_partials = false;
+    /// Candidates the inline finisher may test (finisher::Options::
+    /// max_candidates).
+    std::uint64_t finish_max_candidates = std::uint64_t{1} << 17;
+    /// Optional thread pool for parallel finisher verification; the
+    /// reported outcome is byte-identical at any thread count (and to
+    /// the serial nullptr path).  Must be null when the engine itself
+    /// runs inside a pool task (runner::ThreadPool does not nest).
+    runner::ThreadPool* finish_pool = nullptr;
 
     /// Knobs documented for noisy channels (docs/ROBUSTNESS.md): voted
     /// elimination at threshold 2, everything else default — backoff and
@@ -193,18 +211,36 @@ class KeyRecoveryEngine {
     // Run-level escalation: every backoff_resets full-attack restarts
     // (wrong key failed verification) harden elimination one notch more.
     unsigned attempt_extra = 0;
+    // Finish mode (Config::finish_partials): per-stage budget quotas +
+    // all-segment evidence accumulation; with it off, stage_end below is
+    // always max_encryptions and every finish path is inert.
+    const bool finishing = config_.finish_partials;
+    finisher::FinishTracker<Recovery> tracker;
 
     for (;;) {  // one iteration per full-attack attempt
       for (unsigned stage = 0; stage < Recovery::kStages; ++stage) {
         StageState<Recovery> st;
+        if (finishing) {
+          tracker.begin_stage(stage, result.total_encryptions,
+                              config_.max_encryptions);
+        }
+        const std::uint64_t stage_end =
+            finishing ? tracker.stage_end() : config_.max_encryptions;
+        bool assumed = false;
 
         unsigned batch_size = 1;
         bool have_carry = false;
         Block carry{};
         while (st.unresolved > 0) {
           const std::uint64_t budget =
-              config_.max_encryptions - result.total_encryptions;
+              stage_end > result.total_encryptions
+                  ? stage_end - result.total_encryptions
+                  : 0;
           if (budget == 0) {  // a carry implies budget >= 1
+            if (finishing) {
+              assumed = true;
+              break;
+            }
             st.fill_partial(result, stage);
             return result;
           }
@@ -243,7 +279,11 @@ class KeyRecoveryEngine {
           bool mispredicted = false;
           for (std::size_t j = 0; j < pts_.size(); ++j) {
             if (j >= pre_validated) {
-              if (result.total_encryptions >= config_.max_encryptions) {
+              if (result.total_encryptions >= stage_end) {
+                if (finishing) {  // unreachable in practice: want <= budget
+                  assumed = true;
+                  break;
+                }
                 if (channel != nullptr) channel->rewind_to(consumed);
                 st.fill_partial(result, stage);
                 return result;
@@ -271,6 +311,7 @@ class KeyRecoveryEngine {
             }
             const auto nibbles =
                 Recovery::pre_key_nibbles(pts_[j], recovered, stage);
+            if (finishing) tracker.note_observation(nibbles, obs.present);
             if constexpr (Recovery::kUpdateAllSegments) {
               // Joint exploitation: every segment's S-Box access shares the
               // observation, so one encryption updates all masks at once.
@@ -289,12 +330,29 @@ class KeyRecoveryEngine {
           // Discarded speculative elements must leave no trace in the fault
           // channel, or batched and scalar runs would diverge.
           if (channel != nullptr) channel->rewind_to(consumed);
+          if (assumed) break;
           batch_size = (mispredicted || st.reset_in_batch)
                            ? 1
                            : std::min(max_batch, batch_size * 2);
         }
 
-        recovered.push_back(Recovery::stage_key_from(st.masks));
+        recovered.push_back(assumed ? tracker.assume_stage(st, result)
+                                    : Recovery::stage_key_from(st.masks));
+      }
+
+      if (finishing && tracker.any_assumed()) {
+        // At least one stage ran out of quota and was ML-assumed: the
+        // channel alone cannot verify this attempt.  Capture exact
+        // pairs and run the residual search inline (serial here — the
+        // engine may itself be a pool task; Config::finish_pool
+        // parallelizes verification without changing any outcome).
+        result.stage_keys = recovered;
+        finisher::capture_known_pairs<Recovery>(source, rng_, 2, result);
+        finisher::Options finish_options;
+        finish_options.max_candidates = config_.finish_max_candidates;
+        finish_options.pool = config_.finish_pool;
+        finisher::finish_with_residual_search(result, finish_options);
+        return result;
       }
 
       result.stages_resolved = true;

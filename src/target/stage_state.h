@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/key128.h"
+#include "finisher/evidence.h"
 #include "target/candidate_mask.h"
 #include "target/line_set.h"
 
@@ -76,8 +77,23 @@ struct RecoveryResult {
   /// log2 of the remaining cache-channel key-search space: surviving
   /// candidates of the failed stage plus the full entropy of the stages
   /// never reached.  0 when all stages resolved (offline_trials still
-  /// applies separately).
+  /// applies separately).  A finisher run overwrites this with the joint
+  /// space it actually searched (finisher.search_space_bits).
   double residual_key_bits = 0.0;
+
+  // --- residual-key finisher (src/finisher/, Config::finish_partials) ---
+  /// Per-stage presence evidence: an honest StageState snapshot for the
+  /// failed stage of any partial, plus (finish mode) the accumulated
+  /// all-segment evidence of every ML-assumed stage.  Empty on clean
+  /// full recoveries.
+  std::vector<finisher::StageEvidence<Recovery>> stage_evidence;
+  /// Exact plaintext/ciphertext pairs captured for finisher candidate
+  /// verification (finish mode only; probe faults never corrupt the
+  /// victim's encryption, so the pairs are clean).
+  std::vector<finisher::KnownPair<Recovery>> known_pairs;
+  /// Residual-finisher outcome + statistics; outcome == kNotRun unless
+  /// the finisher actually ran on this result.
+  finisher::FinisherStats finisher;
 };
 
 /// The engine-config-derived elimination knobs StageState needs; built
@@ -153,6 +169,9 @@ struct StageState {
              Recovery::kSegments>
       presence{};
   std::array<std::uint32_t, Recovery::kSegments> stage_resets{};
+  /// update() calls per segment this stage (survives resets) — the
+  /// denominator behind the exported presence evidence.
+  std::array<std::uint32_t, Recovery::kSegments> update_counts{};
   std::array<std::uint32_t, Recovery::kSegments> stagnant{};
   std::array<std::uint8_t, Recovery::kSegments> extra_threshold{};
   /// Invariant: `cursor` is the lowest unresolved segment whenever
@@ -192,6 +211,7 @@ struct StageState {
               RecoveryResult<Recovery>& result) {
     // keep bit c: candidate c's predicted S-Box index was present — or
     // absent fewer than `threshold` times in a row (voted mode).
+    ++update_counts[s];
     std::uint16_t keep = 0;
     const std::uint64_t word = present.word();
     const unsigned threshold =
@@ -269,14 +289,24 @@ struct StageState {
     }
   }
 
-  /// Fills the partial-result fields from this stage's live masks.
+  /// Fills the partial-result fields from this stage's live masks, and
+  /// exports the stage's presence evidence (an honest epoch snapshot —
+  /// voted-path tallies, cleared by resets) for the residual finisher.
   void fill_partial(RecoveryResult<Recovery>& result, unsigned stage) const {
     result.failed_stage = stage;
     double bits = 0.0;
+    finisher::StageEvidence<Recovery> ev;
+    ev.stage = stage;
     for (unsigned s = 0; s < Recovery::kSegments; ++s) {
       result.surviving_masks[s] = masks[s].mask();
       bits += std::log2(static_cast<double>(masks[s].size()));
+      ev.masks[s] = masks[s].mask();
+      ev.updates[s] = update_counts[s];
+      for (unsigned c = 0; c < Recovery::kCandidatesPerSegment; ++c) {
+        ev.presence[s][c] = presence[s][c];
+      }
     }
+    result.stage_evidence.push_back(ev);
     bits += static_cast<double>(Recovery::kStages - 1 - stage) *
             Recovery::kSegments *
             std::log2(static_cast<double>(Recovery::kCandidatesPerSegment));

@@ -43,6 +43,7 @@
 
 #include "common/key128.h"
 #include "common/rng.h"
+#include "finisher/tracker.h"
 #include "target/fault_channel.h"
 #include "target/fault_model.h"
 #include "target/observation.h"
@@ -82,6 +83,7 @@ class WideRecoveryEngine {
                          std::max(config.vote_threshold, 1u)),
                 config.backoff_resets, config.stall_limit},
         faulted_(config.faults.any()),
+        finishing_(config.finish_partials),
         core_(platform_config.cache, platform_config.layout) {
     states_.resize(WideObservationBatch::kMaxWidth);
   }
@@ -111,6 +113,10 @@ class WideRecoveryEngine {
 
     Xoshiro256 rng;  // must precede crafter (reference member order)
     typename Recovery::Crafter crafter;
+    /// Finish-mode quota/evidence state (Config::finish_partials);
+    /// inert otherwise.  Shared code with the scalar engine
+    /// (finisher/tracker.h) keeps the lanes bit-identical to it.
+    finisher::FinishTracker<Recovery> tracker;
     typename Recovery::TableCipher::Schedule schedule{};
     /// Stable backing-lane slot in the core for this trial's lifetime
     /// (keys the persistent per-lane cache state in fallback mode).
@@ -171,6 +177,9 @@ class WideRecoveryEngine {
       // fresh scalar platform.
       lane->slot = static_cast<unsigned>(lanes.size());
       core_.reset_lane_state(lane->slot);
+      if (finishing_) {
+        lane->tracker.begin_stage(0, 0, config_.max_encryptions);
+      }
       if (faulted_) {
         FaultProfile profile = config_.faults;
         profile.seed = spec.fault_seed;
@@ -190,7 +199,28 @@ class WideRecoveryEngine {
       for (auto& owned : lanes) {
         Lane& lane = *owned;
         if (lane.done) continue;
-        if (config_.max_encryptions - lane.result.total_encryptions == 0) {
+        if (finishing_) {
+          // Quota checkpoint (the scalar engine's finish-mode
+          // top-of-loop check): assume every stage whose quota is
+          // spent; assuming the last stage hands the lane to the
+          // finisher.
+          while (!lane.done && lane.result.total_encryptions >=
+                                   lane.tracker.stage_end()) {
+            lane.recovered.push_back(
+                lane.tracker.assume_stage(lane.st, lane.result));
+            ++lane.stage;
+            lane.st.begin_stage();
+            if (lane.stage < Recovery::kStages) {
+              lane.tracker.begin_stage(lane.stage,
+                                       lane.result.total_encryptions,
+                                       config_.max_encryptions);
+            } else {
+              finish_lane(lane);
+            }
+          }
+          if (lane.done) continue;
+        } else if (config_.max_encryptions - lane.result.total_encryptions ==
+                   0) {
           lane.st.fill_partial(lane.result, lane.stage);
           lane.done = true;
           continue;
@@ -240,6 +270,7 @@ class WideRecoveryEngine {
     }
     const auto nibbles =
         Recovery::pre_key_nibbles(lane.pending_pt, lane.recovered, lane.stage);
+    if (finishing_) lane.tracker.note_observation(nibbles, obs.present);
     if constexpr (Recovery::kUpdateAllSegments) {
       for (unsigned s = 0; s < Recovery::kSegments; ++s) {
         lane.st.update(s, obs.present, nibbles, params_, lane.attempt_extra,
@@ -253,13 +284,25 @@ class WideRecoveryEngine {
     lane.recovered.push_back(Recovery::stage_key_from(lane.st.masks));
     ++lane.stage;
     lane.st.begin_stage();
-    if (lane.stage < Recovery::kStages) return;
+    if (lane.stage < Recovery::kStages) {
+      if (finishing_) {
+        lane.tracker.begin_stage(lane.stage, lane.result.total_encryptions,
+                                 config_.max_encryptions);
+      }
+      return;
+    }
     finish_attempt(lane);
   }
 
   /// Every stage resolved: finalize, and either finish the lane or start
   /// the next full-attack attempt (scalar verify-restart semantics).
   void finish_attempt(Lane& lane) {
+    if (finishing_ && lane.tracker.any_assumed()) {
+      // An earlier stage was ML-assumed: the channel cannot verify this
+      // attempt; the residual search does.
+      finish_lane(lane);
+      return;
+    }
     RecoveryResult<Recovery>& result = lane.result;
     result.stages_resolved = true;
     result.stage_keys = lane.recovered;
@@ -288,6 +331,26 @@ class WideRecoveryEngine {
     result.key_verified = false;
     lane.stage = 0;
     lane.st.begin_stage();
+    if (finishing_) {
+      lane.tracker.begin_stage(0, result.total_encryptions,
+                               config_.max_encryptions);
+    }
+  }
+
+  /// Finish-mode lane completion: record the (partly assumed) stage
+  /// keys, capture exact pairs through the lane's channel, and run the
+  /// maximum-likelihood residual search inline (scalar-engine
+  /// semantics, finisher/tracker.h).
+  void finish_lane(Lane& lane) {
+    RecoveryResult<Recovery>& result = lane.result;
+    result.stage_keys = lane.recovered;
+    LaneSource source{this, &lane};
+    finisher::capture_known_pairs<Recovery>(source, lane.rng, 2, result);
+    finisher::Options finish_options;
+    finish_options.max_candidates = config_.finish_max_candidates;
+    finish_options.pool = config_.finish_pool;
+    finisher::finish_with_residual_search(result, finish_options);
+    lane.done = true;
   }
 
   /// Single-lane observation for finalize (and any out-of-band caller):
@@ -323,6 +386,7 @@ class WideRecoveryEngine {
   std::vector<unsigned> line_ids_;
   ElimParams params_;
   bool faulted_;
+  bool finishing_;
   /// Always constructed: fast path on supported configs, per-lane scalar
   /// fallback otherwise (wide_observe.h) — one engine loop either way.
   WideObserveCore<Recovery> core_;

@@ -1,0 +1,258 @@
+// Engine finish-mode suite (Config::finish_partials), registry-wide:
+// a saturating channel run that would degrade to a partial escalates
+// through the residual finisher into a VERIFIED full-key recovery for
+// every registered cipher; finish mode is byte-inert on a clean channel;
+// the noisy-channel accounting accumulated before degradation survives
+// into the finished result with the finisher's offline work summed on
+// top; and the WideRecoveryEngine reproduces the scalar finish-mode
+// result lane for lane.
+#include "target/wide_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+#include "runner/trial_runner.h"
+#include "target/faulty_source.h"
+#include "target/registry.h"
+
+namespace grinch::target {
+namespace {
+
+template <typename Tuple>
+struct AsTestTypes;
+template <typename... Ts>
+struct AsTestTypes<std::tuple<Ts...>> {
+  using type = ::testing::Types<Ts...>;
+};
+using AllTargets = AsTestTypes<RegisteredRecoveries>::type;
+
+template <typename StageKey>
+bool stage_keys_equal(const StageKey& a, const StageKey& b) {
+  if constexpr (std::is_integral_v<StageKey>) {
+    return a == b;
+  } else {
+    return a.u == b.u && a.v == b.v;
+  }
+}
+
+/// Every deterministic RecoveryResult field, finisher contract included
+/// (wall_seconds is the one legitimately nondeterministic field).
+template <typename Recovery>
+void expect_equal_finish(const RecoveryResult<Recovery>& got,
+                         const RecoveryResult<Recovery>& want,
+                         const std::string& label) {
+  EXPECT_EQ(got.success, want.success) << label;
+  EXPECT_EQ(got.key_verified, want.key_verified) << label;
+  EXPECT_EQ(got.recovered_key, want.recovered_key) << label;
+  EXPECT_EQ(got.total_encryptions, want.total_encryptions) << label;
+  EXPECT_EQ(got.offline_trials, want.offline_trials) << label;
+  EXPECT_EQ(got.stage_encryptions, want.stage_encryptions) << label;
+  EXPECT_EQ(got.noise_restarts, want.noise_restarts) << label;
+  EXPECT_EQ(got.segment_resets, want.segment_resets) << label;
+  EXPECT_EQ(got.failed_stage, want.failed_stage) << label;
+  EXPECT_EQ(got.surviving_masks, want.surviving_masks) << label;
+  EXPECT_EQ(got.residual_key_bits, want.residual_key_bits) << label;
+  ASSERT_EQ(got.stage_keys.size(), want.stage_keys.size()) << label;
+  for (std::size_t i = 0; i < want.stage_keys.size(); ++i) {
+    EXPECT_TRUE(stage_keys_equal(got.stage_keys[i], want.stage_keys[i]))
+        << label << " stage " << i;
+  }
+  EXPECT_EQ(got.finisher.outcome, want.finisher.outcome) << label;
+  EXPECT_EQ(got.finisher.candidates_tested, want.finisher.candidates_tested)
+      << label;
+  EXPECT_EQ(got.finisher.rank, want.finisher.rank) << label;
+  EXPECT_EQ(got.finisher.frontier_rank, want.finisher.frontier_rank) << label;
+  EXPECT_EQ(got.finisher.offline_trials, want.finisher.offline_trials)
+      << label;
+  EXPECT_EQ(got.finisher.search_space_bits, want.finisher.search_space_bits)
+      << label;
+  EXPECT_EQ(got.known_pairs, want.known_pairs) << label;
+  ASSERT_EQ(got.stage_evidence.size(), want.stage_evidence.size()) << label;
+  for (std::size_t i = 0; i < want.stage_evidence.size(); ++i) {
+    EXPECT_EQ(got.stage_evidence[i].stage, want.stage_evidence[i].stage)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].assumed, want.stage_evidence[i].assumed)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].masks, want.stage_evidence[i].masks)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].presence,
+              want.stage_evidence[i].presence)
+        << label;
+  }
+}
+
+template <typename Recovery>
+class FinisherEngine : public ::testing::Test {
+ protected:
+  using Config = typename KeyRecoveryEngine<Recovery>::Config;
+
+  static Key128 victim_key(std::uint64_t salt) {
+    Xoshiro256 rng{Recovery::kDefaultSeed ^ salt};
+    Key128 key = Recovery::canonical_key(rng.key128());
+    // Zero the low 16 key-register bits so PRESENT's offline search
+    // exits early on the true candidate (pure test speed).
+    key.lo &= ~std::uint64_t{0xFFFF};
+    return Recovery::canonical_key(key);
+  }
+
+  /// The documented escalation recipe (docs/ROBUSTNESS.md): saturating
+  /// channel, vote threshold hardened past the burst length, tight
+  /// budget — and the finisher turned on.
+  static Config saturating_finish_config() {
+    Config cfg = Config::noisy_defaults();
+    cfg.vote_threshold = 16;
+    cfg.max_encryptions = 4000;
+    cfg.faults = FaultProfile::saturating();
+    cfg.finish_partials = true;
+    return cfg;
+  }
+};
+TYPED_TEST_SUITE(FinisherEngine, AllTargets);
+
+TYPED_TEST(FinisherEngine, SaturatingChannelFinishesToTheVerifiedKey) {
+  // The headline robustness claim: where the elimination pipeline alone
+  // degrades to an honest partial (fault_injection_test), finish mode
+  // turns the same channel into a verified full-key recovery.
+  using Recovery = TypeParam;
+  for (const std::uint64_t salt : {0x700u, 0x701u, 0x702u}) {
+    const Key128 key = this->victim_key(salt);
+    typename TestFixture::Config cfg = TestFixture::saturating_finish_config();
+    cfg.seed = Recovery::kDefaultSeed ^ (salt * 0x9E37u);
+    const auto r = recover_key<Recovery>(key, cfg);
+    ASSERT_EQ(r.finisher.outcome, finisher::FinisherOutcome::kRecovered)
+        << "salt " << salt;
+    EXPECT_TRUE(r.success) << "salt " << salt;
+    EXPECT_TRUE(r.key_verified) << "salt " << salt;
+    EXPECT_EQ(r.recovered_key, key) << "salt " << salt;
+    // The channel never resolved the stages — the finisher did.
+    EXPECT_FALSE(r.stages_resolved) << "salt " << salt;
+    EXPECT_LT(r.failed_stage, Recovery::kStages) << "salt " << salt;
+    EXPECT_GE(r.total_encryptions, cfg.max_encryptions) << "salt " << salt;
+    EXPECT_GT(r.finisher.search_space_bits, 0.0) << "salt " << salt;
+    EXPECT_EQ(r.residual_key_bits, r.finisher.search_space_bits)
+        << "salt " << salt;
+  }
+}
+
+TYPED_TEST(FinisherEngine, FinishModeIsInertOnACleanChannel) {
+  // With the channel clean the quotas never bind, so finish mode must be
+  // byte-identical to the plain engine — the acceptance bar for layering
+  // this PR onto the working core.
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0x711);
+  const auto plain = recover_key<Recovery>(key);
+  typename TestFixture::Config cfg;
+  cfg.finish_partials = true;
+  const auto finish = recover_key<Recovery>(key, cfg);
+  ASSERT_TRUE(plain.success);
+  expect_equal_finish(finish, plain, "clean channel");
+  EXPECT_EQ(finish.finisher.outcome, finisher::FinisherOutcome::kNotRun);
+  EXPECT_TRUE(finish.known_pairs.empty());
+  EXPECT_TRUE(finish.stage_evidence.empty());
+}
+
+TYPED_TEST(FinisherEngine, NoiseAccountingIsPreservedAndSummed) {
+  // Regression for the noise-accounting contract: segment_resets /
+  // noise_restarts accumulated before the degradation survive into the
+  // finished result unchanged, noise_restarts stays the exact sum of the
+  // per-segment reset counters, and the finisher's offline work is
+  // SUMMED onto offline_trials, never overwriting it.  The symmetric
+  // flip profile (truth and impostors equally present) guarantees reset
+  // storms and starvation at once.
+  using Recovery = TypeParam;
+  const Key128 key = this->victim_key(0x722);
+  typename TestFixture::Config cfg = TestFixture::Config::noisy_defaults();
+  cfg.max_encryptions = 2000;
+  cfg.faults.false_absent_rate = 0.4;
+  cfg.faults.false_present_rate = 0.4;
+  cfg.finish_partials = true;
+  cfg.finish_max_candidates = 0;
+  const auto base = recover_key<Recovery>(key, cfg);
+  cfg.finish_max_candidates = 64;
+  const auto finished = recover_key<Recovery>(key, cfg);
+
+  ASSERT_LT(base.failed_stage, Recovery::kStages);
+  EXPECT_GT(base.noise_restarts, 0u);
+  for (const auto* r : {&base, &finished}) {
+    std::uint64_t sum = 0;
+    for (const std::uint32_t per_segment : r->segment_resets) {
+      sum += per_segment;
+    }
+    EXPECT_EQ(r->noise_restarts, sum)
+        << "noise_restarts must stay the exact per-segment sum";
+  }
+  // Everything up to the finisher invocation is shared between the two
+  // runs; only the finisher budget differs.
+  EXPECT_EQ(finished.noise_restarts, base.noise_restarts);
+  EXPECT_EQ(finished.segment_resets, base.segment_resets);
+  EXPECT_EQ(finished.dropped_observations, base.dropped_observations);
+  EXPECT_EQ(finished.verify_restarts, base.verify_restarts);
+  EXPECT_EQ(finished.total_encryptions, base.total_encryptions);
+  EXPECT_EQ(finished.failed_stage, base.failed_stage);
+  // Offline summing: the budget-64 run's extra offline work is exactly
+  // what its finisher reports.
+  EXPECT_EQ(base.finisher.candidates_tested, 0u);
+  EXPECT_EQ(finished.offline_trials - base.offline_trials,
+            finished.finisher.offline_trials);
+  EXPECT_NE(finished.finisher.outcome, finisher::FinisherOutcome::kNotRun);
+}
+
+TYPED_TEST(FinisherEngine, WideEngineMatchesScalarInFinishMode) {
+  // Lane-for-lane conformance of the wide engine's finish path: quota
+  // assumption, evidence export, pair capture and the inline search must
+  // all reproduce the scalar engine byte for byte at any width.
+  using Recovery = TypeParam;
+  constexpr std::size_t kTrials = 3;
+  typename TestFixture::Config cfg = TestFixture::saturating_finish_config();
+
+  Xoshiro256 rng{Recovery::kDefaultSeed ^ 0x77F1};
+  std::vector<WideTrialSpec> specs;
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    WideTrialSpec spec;
+    spec.victim_key = Recovery::canonical_key(rng.key128());
+    spec.victim_key.lo &= ~std::uint64_t{0xFFFF};
+    spec.victim_key = Recovery::canonical_key(spec.victim_key);
+    spec.seed = rng.next();
+    spec.fault_seed = rng.next();
+    specs.push_back(spec);
+  }
+
+  std::vector<RecoveryResult<Recovery>> refs;
+  for (const WideTrialSpec& spec : specs) {
+    typename TestFixture::Config scalar_cfg = cfg;
+    scalar_cfg.seed = spec.seed;
+    scalar_cfg.faults.seed = spec.fault_seed;
+    refs.push_back(recover_key<Recovery>(spec.victim_key, scalar_cfg));
+  }
+  for (const auto& r : refs) {
+    ASSERT_EQ(r.finisher.outcome, finisher::FinisherOutcome::kRecovered);
+  }
+
+  for (const unsigned width : {1u, 2u}) {
+    WideRecoveryEngine<Recovery> engine{cfg};
+    std::vector<RecoveryResult<Recovery>> results;
+    for (const runner::WideShard& shard :
+         runner::make_wide_shards(kTrials, width)) {
+      auto part = engine.run(
+          std::span<const WideTrialSpec>(specs).subspan(shard.begin,
+                                                        shard.width));
+      for (auto& r : part) results.push_back(std::move(r));
+    }
+    ASSERT_EQ(results.size(), refs.size());
+    for (std::size_t t = 0; t < refs.size(); ++t) {
+      expect_equal_finish(results[t], refs[t],
+                          "width " + std::to_string(width) + " trial " +
+                              std::to_string(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grinch::target

@@ -1,0 +1,298 @@
+// ResidualFinisher suite (finisher/finisher.h): the maximum-likelihood
+// residual search on finish-mode partials.
+//
+// FinisherSearch covers the outcome contract — a saturating GIFT-64
+// engine partial finishes to the verified true key, the reported outcome
+// is byte-identical for serial / 1 / 2 / 8-thread verification and for
+// any chunk size, a pre-set stop flag interrupts before any work, and
+// the evidence_inconsistent outcome fires exactly when the ranked space
+// exhausts without a verified key (truth outside the masks, corrupted
+// pair, or no pairs at all).
+//
+// FinisherResume pins the resume contract: a budget-exhausted run's
+// frontier_rank, fed back as start_rank, continues the search with no
+// candidate retested and no candidate skipped — the two legs together
+// report the same winner as one uninterrupted run.
+#include "finisher/finisher.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gift/key_schedule.h"
+#include "runner/thread_pool.h"
+#include "target/faulty_source.h"
+#include "target/registry.h"
+
+namespace grinch::finisher {
+namespace {
+
+using target::Gift64Recovery;
+using target::FaultProfile;
+using Recovery = Gift64Recovery;
+using Engine = target::KeyRecoveryEngine<Recovery>;
+using Result = target::RecoveryResult<Recovery>;
+
+Key128 victim_key(std::uint64_t salt) {
+  Xoshiro256 rng{Recovery::kDefaultSeed ^ salt};
+  return Recovery::canonical_key(rng.key128());
+}
+
+std::array<unsigned, 16> truth_candidates(const Key128& key, unsigned stage) {
+  gift::KeySchedule schedule{key, stage + 1};
+  const gift::RoundKey64 rk = schedule.round_key64(stage);
+  std::array<unsigned, 16> truth{};
+  for (unsigned s = 0; s < 16; ++s) {
+    truth[s] = (((rk.u >> s) & 1u) << 1) | ((rk.v >> s) & 1u);
+  }
+  return truth;
+}
+
+/// A real finish-mode partial: the engine under the saturating profile
+/// with a zero-candidate finisher budget exports the evidence, the ML
+/// stage keys and the known pairs, but tests nothing.
+Result saturating_partial(std::uint64_t salt) {
+  Engine::Config cfg = Engine::Config::noisy_defaults();
+  cfg.vote_threshold = 16;
+  cfg.max_encryptions = 4000;
+  cfg.faults = FaultProfile::saturating();
+  cfg.finish_partials = true;
+  cfg.finish_max_candidates = 0;
+  return target::recover_key<Recovery>(victim_key(salt), cfg);
+}
+
+/// A hand-built finish-mode partial for stage 1 of GIFT-64: the other
+/// three stage keys are the true round keys; `open_segments` low
+/// segments keep {truth, truth^1} alive while the rest are resolved to
+/// the truth.  With `truth_on_top` the truth leads every slot (rank 0);
+/// without it the impostor out-presences the truth by a per-segment
+/// deficit of 2+s, pushing the true assignment to a known-positive rank.
+Result synthetic_partial(const Key128& key, unsigned open_segments,
+                         bool truth_on_top) {
+  constexpr unsigned kStage = 1;
+  Result partial;
+  gift::KeySchedule schedule{key, Recovery::kStages};
+  for (unsigned st = 0; st < Recovery::kStages; ++st) {
+    partial.stage_keys.push_back(schedule.round_key64(st));
+  }
+  partial.failed_stage = kStage;
+
+  const auto truth = truth_candidates(key, kStage);
+  StageEvidence<Recovery> ev;
+  ev.stage = kStage;
+  ev.assumed = true;
+  for (unsigned s = 0; s < 16; ++s) {
+    const unsigned t = truth[s];
+    ev.updates[s] = 100;
+    if (s < open_segments) {
+      const unsigned impostor = t ^ 1u;
+      ev.masks[s] = static_cast<std::uint16_t>((1u << t) | (1u << impostor));
+      ev.presence[s][t] = truth_on_top ? 90 : 90 - (2 + s);
+      ev.presence[s][impostor] = truth_on_top ? 60 : 90;
+    } else {
+      ev.masks[s] = static_cast<std::uint16_t>(1u << t);
+      ev.presence[s][t] = 90;
+    }
+  }
+  partial.stage_evidence.push_back(ev);
+
+  Xoshiro256 rng{0x5EED ^ key.lo};
+  for (unsigned i = 0; i < 2; ++i) {
+    const std::uint64_t pt = rng.block64();
+    partial.known_pairs.push_back({pt, Recovery::reference_encrypt(pt, key)});
+  }
+  return partial;
+}
+
+void expect_same_outcome(const FinisherStats& got, const FinisherStats& want,
+                         const std::string& label) {
+  EXPECT_EQ(got.outcome, want.outcome) << label;
+  EXPECT_EQ(got.candidates_tested, want.candidates_tested) << label;
+  EXPECT_EQ(got.rank, want.rank) << label;
+  EXPECT_EQ(got.frontier_rank, want.frontier_rank) << label;
+  EXPECT_EQ(got.offline_trials, want.offline_trials) << label;
+  EXPECT_EQ(got.search_space_bits, want.search_space_bits) << label;
+  EXPECT_EQ(got.interrupted, want.interrupted) << label;
+}
+
+// ------------------------------------------------------------------ //
+//  FinisherSearch                                                     //
+// ------------------------------------------------------------------ //
+
+TEST(FinisherSearch, EngineExportsTheFinishContract) {
+  const Result partial = saturating_partial(0x901);
+  EXPECT_FALSE(partial.success);
+  ASSERT_EQ(partial.stage_keys.size(), Recovery::kStages);
+  ASSERT_EQ(partial.known_pairs.size(), 2u);
+  unsigned assumed = 0;
+  for (const auto& ev : partial.stage_evidence) assumed += ev.assumed;
+  EXPECT_GT(assumed, 0u) << "the saturating profile must starve a stage";
+  // The zero-budget finisher ran, tested nothing, and left rank 0 as the
+  // resumable frontier; residual_key_bits was refined to the space it
+  // would search.
+  EXPECT_EQ(partial.finisher.outcome, FinisherOutcome::kExhaustedBudget);
+  EXPECT_EQ(partial.finisher.candidates_tested, 0u);
+  EXPECT_EQ(partial.finisher.frontier_rank, 0u);
+  EXPECT_GT(partial.finisher.search_space_bits, 0.0);
+  EXPECT_EQ(partial.residual_key_bits, partial.finisher.search_space_bits);
+  // The pairs are exact victim encryptions (probe faults never corrupt
+  // the victim's ciphertext).
+  for (const auto& pair : partial.known_pairs) {
+    EXPECT_EQ(Recovery::reference_encrypt(pair.plaintext, victim_key(0x901)),
+              pair.ciphertext);
+  }
+}
+
+TEST(FinisherSearch, RecoversTheTrueKeyFromASaturatingPartial) {
+  const Key128 key = victim_key(0x901);
+  const Result partial = saturating_partial(0x901);
+  Options options;
+  const FinishReport<Recovery> report = finish_partial(partial, options);
+  ASSERT_EQ(report.stats.outcome, FinisherOutcome::kRecovered);
+  EXPECT_EQ(report.key, key);
+  EXPECT_EQ(report.stats.candidates_tested, report.stats.rank + 1);
+  EXPECT_EQ(report.stats.frontier_rank, report.stats.rank + 1);
+  EXPECT_FALSE(report.stats.interrupted);
+  // The presence evidence must place the truth close to the front of a
+  // huge space — that separation is the whole point of the ML ranking.
+  EXPECT_GT(report.stats.search_space_bits, 32.0);
+  EXPECT_LT(report.stats.rank, 4096u);
+}
+
+TEST(FinisherSearch, ThreadCountDoesNotChangeTheOutcome) {
+  const Key128 key = victim_key(0x902);
+  const Result partial = saturating_partial(0x902);
+  Options options;
+  const FinishReport<Recovery> serial = finish_partial(partial, options);
+  ASSERT_EQ(serial.stats.outcome, FinisherOutcome::kRecovered);
+  EXPECT_EQ(serial.key, key);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    runner::ThreadPool pool{threads};
+    Options parallel = options;
+    parallel.pool = &pool;
+    const FinishReport<Recovery> report = finish_partial(partial, parallel);
+    expect_same_outcome(report.stats, serial.stats,
+                        std::to_string(threads) + " threads");
+    EXPECT_EQ(report.key, serial.key) << threads << " threads";
+  }
+}
+
+TEST(FinisherSearch, ChunkSizeDoesNotChangeTheOutcome) {
+  const Key128 key = victim_key(0x903);
+  const Result partial = synthetic_partial(key, 16, false);
+  Options options;
+  const FinishReport<Recovery> reference = finish_partial(partial, options);
+  ASSERT_EQ(reference.stats.outcome, FinisherOutcome::kRecovered);
+  EXPECT_EQ(reference.key, key);
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{257}}) {
+    Options opts = options;
+    opts.chunk = chunk;
+    const FinishReport<Recovery> report = finish_partial(partial, opts);
+    expect_same_outcome(report.stats, reference.stats,
+                        "chunk " + std::to_string(chunk));
+    EXPECT_EQ(report.key, reference.key) << "chunk " << chunk;
+  }
+}
+
+TEST(FinisherSearch, StopFlagInterruptsBeforeAnyWork) {
+  const Result partial = synthetic_partial(victim_key(0x904), 4, true);
+  std::atomic<bool> stop{true};
+  Options options;
+  options.stop = &stop;
+  const FinishReport<Recovery> report = finish_partial(partial, options);
+  EXPECT_EQ(report.stats.outcome, FinisherOutcome::kExhaustedBudget);
+  EXPECT_TRUE(report.stats.interrupted);
+  EXPECT_EQ(report.stats.candidates_tested, 0u);
+  EXPECT_EQ(report.stats.frontier_rank, 0u);
+}
+
+TEST(FinisherSearch, InconsistentWhenTheTruthIsOutsideTheMasks) {
+  const Key128 key = victim_key(0x905);
+  Result partial = synthetic_partial(key, 3, true);
+  // Lock segment 0 onto the impostor alone: no assignment can verify.
+  auto& ev = partial.stage_evidence.front();
+  const unsigned truth0 = truth_candidates(key, 1)[0];
+  ev.masks[0] = static_cast<std::uint16_t>(1u << (truth0 ^ 1u));
+  Options options;
+  const FinishReport<Recovery> report = finish_partial(partial, options);
+  EXPECT_EQ(report.stats.outcome, FinisherOutcome::kEvidenceInconsistent);
+  // The whole (small) ranked space was actually tested before giving up.
+  EXPECT_EQ(report.stats.candidates_tested, 4u);  // 2^2 open * 1 locked
+}
+
+TEST(FinisherSearch, InconsistentOnACorruptedPair) {
+  const Key128 key = victim_key(0x906);
+  Result partial = synthetic_partial(key, 2, true);
+  partial.known_pairs[0].ciphertext ^= 1u;  // exact pairs are load-bearing
+  Options options;
+  const FinishReport<Recovery> report = finish_partial(partial, options);
+  EXPECT_EQ(report.stats.outcome, FinisherOutcome::kEvidenceInconsistent);
+  EXPECT_EQ(report.stats.candidates_tested, 4u);
+}
+
+TEST(FinisherSearch, InconsistentWithoutKnownPairs) {
+  Result partial = synthetic_partial(victim_key(0x907), 2, true);
+  partial.known_pairs.clear();
+  Options options;
+  const FinishReport<Recovery> report = finish_partial(partial, options);
+  EXPECT_EQ(report.stats.outcome, FinisherOutcome::kEvidenceInconsistent);
+  EXPECT_EQ(report.stats.candidates_tested, 0u);
+}
+
+// ------------------------------------------------------------------ //
+//  FinisherResume                                                     //
+// ------------------------------------------------------------------ //
+
+TEST(FinisherResume, BudgetExhaustionLeavesAResumableFrontier) {
+  const Key128 key = victim_key(0x908);
+  const Result partial = synthetic_partial(key, 3, false);
+  Options options;
+  options.chunk = 2;  // force the winner across chunk boundaries
+  const FinishReport<Recovery> oneshot = finish_partial(partial, options);
+  ASSERT_EQ(oneshot.stats.outcome, FinisherOutcome::kRecovered);
+  EXPECT_EQ(oneshot.key, key);
+  const std::uint64_t winner = oneshot.stats.rank;
+  ASSERT_GE(winner, 1u) << "the impostor evidence must demote the truth";
+
+  // Leg 1: budget exactly one candidate short of the winner.
+  Options leg1 = options;
+  leg1.max_candidates = winner;
+  const FinishReport<Recovery> first = finish_partial(partial, leg1);
+  EXPECT_EQ(first.stats.outcome, FinisherOutcome::kExhaustedBudget);
+  EXPECT_FALSE(first.stats.interrupted);
+  EXPECT_EQ(first.stats.candidates_tested, winner);
+  EXPECT_EQ(first.stats.frontier_rank, winner);
+
+  // Leg 2: resume from the recorded frontier with fresh budget.
+  Options leg2 = options;
+  leg2.start_rank = first.stats.frontier_rank;
+  const FinishReport<Recovery> second = finish_partial(partial, leg2);
+  ASSERT_EQ(second.stats.outcome, FinisherOutcome::kRecovered);
+  EXPECT_EQ(second.key, key);
+  EXPECT_EQ(second.stats.rank, winner) << "ranks are global, not per-leg";
+  EXPECT_EQ(second.stats.candidates_tested, 1u);
+  EXPECT_EQ(first.stats.candidates_tested + second.stats.candidates_tested,
+            oneshot.stats.candidates_tested);
+  EXPECT_EQ(first.stats.offline_trials + second.stats.offline_trials,
+            oneshot.stats.offline_trials);
+}
+
+TEST(FinisherResume, StartRankBeyondTheSpaceIsInconsistent) {
+  // A frontier at/past the space size means a previous run exhausted the
+  // ranked space without a verified key.
+  const Result partial = synthetic_partial(victim_key(0x909), 2, true);
+  Options options;
+  options.start_rank = 4;  // space is exactly 2^2
+  const FinishReport<Recovery> report = finish_partial(partial, options);
+  EXPECT_EQ(report.stats.outcome, FinisherOutcome::kEvidenceInconsistent);
+  EXPECT_EQ(report.stats.candidates_tested, 0u);
+}
+
+}  // namespace
+}  // namespace grinch::finisher

@@ -1,0 +1,174 @@
+// Campaign record schema for finisher-bearing trials
+// (campaign/record.h): partial records self-describe the residual
+// finisher's outcome with deterministic fields only, clean records and
+// finisher-less partials omit the block entirely, every emitted line
+// round-trips through the strict JSON parser (the direct string build
+// must stay equivalent to a dump_compact() document), and the campaign
+// spec's finish knobs survive a canonical()/from_json round trip.
+#include "campaign/record.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "campaign/spec.h"
+#include "common/json.h"
+#include "common/rng.h"
+#include "target/registry.h"
+
+namespace grinch::campaign {
+namespace {
+
+using Recovery = target::Gift64Recovery;
+using Result = target::RecoveryResult<Recovery>;
+
+Result base_result() {
+  Result r;
+  r.total_encryptions = 4002;
+  r.offline_trials = 7;
+  r.noise_restarts = 3;
+  r.segment_resets[2] = 3;
+  r.dropped_observations = 1999;
+  return r;
+}
+
+json::Value parse_record(const std::string& line) {
+  EXPECT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  std::string error;
+  const auto doc = json::parse(line, &error);
+  EXPECT_TRUE(doc.has_value()) << error;
+  return doc.value_or(json::Value{});
+}
+
+TEST(FinisherRecordSchema, FinishedPartialSelfDescribesTheFinisher) {
+  CampaignSpec spec;
+  spec.fault_profile = "saturating";
+  Result r = base_result();
+  r.failed_stage = 1;
+  r.surviving_masks.fill(0xF);
+  r.residual_key_bits = 20.0;
+  r.finisher.outcome = finisher::FinisherOutcome::kRecovered;
+  r.finisher.candidates_tested = 42;
+  r.finisher.rank = 41;
+  r.finisher.frontier_rank = 42;
+  r.finisher.offline_trials = 84;
+  r.finisher.search_space_bits = 20.0;
+  r.finisher.wall_seconds = 1.5;  // must NOT be serialized
+  r.success = true;
+  Xoshiro256 rng{0xFEED};
+  const Key128 victim = rng.key128();
+  r.recovered_key = victim;
+
+  const std::string line =
+      trial_record<Recovery>(spec, 5, victim, 0xA, 0xB, r);
+  const json::Value doc = parse_record(line);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get("failed_stage")->as_u64(99), 1u);
+  ASSERT_NE(doc.get("finisher_outcome"), nullptr);
+  EXPECT_EQ(doc.get("finisher_outcome")->as_string(), "recovered");
+  EXPECT_EQ(doc.get("finisher_candidates")->as_u64(), 42u);
+  EXPECT_EQ(doc.get("finisher_rank")->as_u64(99), 41u);
+  EXPECT_EQ(doc.get("finisher_frontier")->as_u64(), 42u);
+  EXPECT_EQ(doc.get("finisher_offline_trials")->as_u64(), 84u);
+  EXPECT_EQ(doc.get("finisher_search_bits")->as_u64(), 20u);
+  EXPECT_EQ(doc.get("verified")->as_bool(false), true);
+  // Wall time is nondeterministic and must stay out of record bytes.
+  EXPECT_EQ(doc.get("finisher_wall_seconds"), nullptr);
+  EXPECT_EQ(line.find("wall"), std::string::npos);
+}
+
+TEST(FinisherRecordSchema, ExhaustedPartialKeepsTheFrontier) {
+  CampaignSpec spec;
+  Result r = base_result();
+  r.failed_stage = 0;
+  r.surviving_masks.fill(0xF);
+  r.finisher.outcome = finisher::FinisherOutcome::kExhaustedBudget;
+  r.finisher.candidates_tested = 128;
+  r.finisher.frontier_rank = 128;
+  Xoshiro256 rng{0xFEED};
+  const Key128 victim = rng.key128();
+  const json::Value doc =
+      parse_record(trial_record<Recovery>(spec, 0, victim, 1, 2, r));
+  EXPECT_EQ(doc.get("finisher_outcome")->as_string(), "exhausted_budget");
+  EXPECT_EQ(doc.get("finisher_frontier")->as_u64(), 128u);
+  EXPECT_EQ(doc.get("success")->as_bool(true), false);
+}
+
+TEST(FinisherRecordSchema, FinisherlessRecordsOmitTheBlock) {
+  CampaignSpec spec;
+  Xoshiro256 rng{0xFEED};
+  const Key128 victim = rng.key128();
+  // A clean full recovery: no partial fields, no finisher fields.
+  Result clean = base_result();
+  clean.success = true;
+  clean.recovered_key = victim;
+  const json::Value full =
+      parse_record(trial_record<Recovery>(spec, 0, victim, 1, 2, clean));
+  EXPECT_EQ(full.get("failed_stage"), nullptr);
+  EXPECT_EQ(full.get("finisher_outcome"), nullptr);
+  // A plain partial (finish mode off): partial fields, no finisher block.
+  Result partial = base_result();
+  partial.failed_stage = 2;
+  partial.surviving_masks.fill(0x3);
+  partial.residual_key_bits = 48.0;
+  const json::Value doc =
+      parse_record(trial_record<Recovery>(spec, 1, victim, 1, 2, partial));
+  ASSERT_NE(doc.get("failed_stage"), nullptr);
+  EXPECT_EQ(doc.get("finisher_outcome"), nullptr);
+  EXPECT_EQ(doc.get("finisher_candidates"), nullptr);
+}
+
+TEST(FinisherRecordSchema, CountTrialTalliesFinishedRecoveries) {
+  Xoshiro256 rng{0xFEED};
+  const Key128 victim = rng.key128();
+  Counters counters;
+  Result finished = base_result();
+  finished.failed_stage = 1;
+  finished.success = true;
+  finished.recovered_key = victim;
+  finished.finisher.outcome = finisher::FinisherOutcome::kRecovered;
+  count_trial<Recovery>(counters, victim, finished);
+  EXPECT_EQ(counters.verified, 1u);
+  EXPECT_EQ(counters.partial, 1u);
+  EXPECT_EQ(counters.finished, 1u);
+  // An exhausted finisher is a partial but not a finish.
+  Result exhausted = base_result();
+  exhausted.failed_stage = 1;
+  exhausted.finisher.outcome = finisher::FinisherOutcome::kExhaustedBudget;
+  count_trial<Recovery>(counters, victim, exhausted);
+  EXPECT_EQ(counters.partial, 2u);
+  EXPECT_EQ(counters.finished, 1u);
+  // Counters::finished folds across shards like every other tally.
+  Counters sum;
+  sum += counters;
+  sum += counters;
+  EXPECT_EQ(sum.finished, 2u);
+}
+
+TEST(FinisherRecordSchema, SpecFinishKnobsRoundTrip) {
+  CampaignSpec spec;
+  spec.finish = true;
+  spec.finish_budget = 4096;
+  ASSERT_TRUE(spec.validate());
+  const std::string canonical = spec.canonical();
+  EXPECT_NE(canonical.find("\"finish\":true"), std::string::npos);
+  EXPECT_NE(canonical.find("\"finish_budget\":4096"), std::string::npos);
+  std::string error;
+  const auto parsed = CampaignSpec::parse(canonical, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->finish);
+  EXPECT_EQ(parsed->finish_budget, 4096u);
+  EXPECT_EQ(parsed->canonical(), canonical);
+  EXPECT_EQ(parsed->fingerprint(), spec.fingerprint());
+  // The knobs are part of the spec's identity: flipping them must change
+  // the fingerprint (a finish campaign is not resumable as a non-finish
+  // one).
+  CampaignSpec other = spec;
+  other.finish = false;
+  EXPECT_NE(other.fingerprint(), spec.fingerprint());
+}
+
+}  // namespace
+}  // namespace grinch::campaign

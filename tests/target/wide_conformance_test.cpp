@@ -73,6 +73,31 @@ void expect_equal_results(const RecoveryResult<Recovery>& got,
   EXPECT_EQ(got.failed_stage, want.failed_stage) << label;
   EXPECT_EQ(got.surviving_masks, want.surviving_masks) << label;
   EXPECT_EQ(got.residual_key_bits, want.residual_key_bits) << label;
+  // Residual-finisher fields (deterministic ones only — wall_seconds is
+  // allowed to differ between runs).
+  EXPECT_EQ(got.finisher.outcome, want.finisher.outcome) << label;
+  EXPECT_EQ(got.finisher.candidates_tested, want.finisher.candidates_tested)
+      << label;
+  EXPECT_EQ(got.finisher.rank, want.finisher.rank) << label;
+  EXPECT_EQ(got.finisher.frontier_rank, want.finisher.frontier_rank) << label;
+  EXPECT_EQ(got.finisher.offline_trials, want.finisher.offline_trials)
+      << label;
+  EXPECT_EQ(got.finisher.search_space_bits, want.finisher.search_space_bits)
+      << label;
+  EXPECT_EQ(got.known_pairs, want.known_pairs) << label;
+  ASSERT_EQ(got.stage_evidence.size(), want.stage_evidence.size()) << label;
+  for (std::size_t i = 0; i < want.stage_evidence.size(); ++i) {
+    EXPECT_EQ(got.stage_evidence[i].stage, want.stage_evidence[i].stage)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].assumed, want.stage_evidence[i].assumed)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].masks, want.stage_evidence[i].masks)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].updates, want.stage_evidence[i].updates)
+        << label;
+    EXPECT_EQ(got.stage_evidence[i].presence, want.stage_evidence[i].presence)
+        << label;
+  }
 }
 
 template <typename Recovery>

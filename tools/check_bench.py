@@ -98,12 +98,17 @@ def summarize_robustness(name, fresh):
     On top of the byte-for-byte determinism comparison, validate the
     document's robustness invariants so a drifting baseline is diagnosed,
     not just flagged: every cipher must recover through the moderate mixed
-    profile, and every saturating partial result must keep the true
-    candidates in its surviving masks.
+    profile, every saturating partial result must keep the true candidates
+    in its surviving masks, and the residual finisher must escalate every
+    saturating partial into a verified full-key recovery within its wall
+    budget (the ML ordering puts the truth at the front, so a slow or
+    failing finisher is an evidence/enumeration bug, not noise).
     """
+    FINISHER_WALL_BUDGET = 10.0  # seconds, mean per finisher-run trial
+
     warnings = []
     for cipher, cells in fresh.get("metrics", {}).items():
-        if not isinstance(cells, dict):
+        if not isinstance(cells, dict) or cipher.endswith("_residual_vs_wall"):
             continue
         moderate = cells.get("moderate", {})
         if moderate and moderate.get("verified") != moderate.get("trials"):
@@ -120,11 +125,26 @@ def summarize_robustness(name, fresh):
                 f"candidates ({saturating.get('partial_truth_contained')}/"
                 f"{saturating.get('partial')} contained)"
             )
+        if saturating and saturating.get("finished") != saturating.get(
+            "trials"
+        ):
+            warnings.append(
+                f"{name}: {cipher}: saturating profile finisher recovered "
+                f"{saturating.get('finished')}/{saturating.get('trials')}"
+            )
+        wall = saturating.get("mean_finisher_wall_seconds")
+        if wall is not None and wall > FINISHER_WALL_BUDGET:
+            warnings.append(
+                f"{name}: {cipher}: saturating finisher mean wall time "
+                f"{wall:.2f}s exceeds the {FINISHER_WALL_BUDGET:.0f}s budget"
+            )
         line = (
             f"{cipher}: moderate {moderate.get('verified', '?')}/"
             f"{moderate.get('trials', '?')} verified, saturating "
             f"{saturating.get('partial_truth_contained', '?')}/"
-            f"{saturating.get('partial', '?')} truth-containing partials"
+            f"{saturating.get('partial', '?')} truth-containing partials, "
+            f"finisher {saturating.get('finished', '?')}/"
+            f"{saturating.get('trials', '?')} recovered"
         )
         print(f"  {line}")
     return warnings

@@ -12,6 +12,9 @@
 //   --wide N       route observations through the 64-wide lockstep
 //                  transport (target/wide_observe.h); N is clamped to
 //                  [1, 64], 1 = scalar path (the default)
+//   --finish       escalate a budget-exhausted partial into the residual
+//                  maximum-likelihood key search (src/finisher/)
+//   --finish-budget N   cap the finisher at N candidate keys (default 2^17)
 //   --json PATH    write a machine-readable run report
 //
 //   grinch platforms              # Table II quick view
@@ -20,6 +23,7 @@
 //   grinch campaign run    [--spec FILE | spec flags] [--out PATH]
 //                          [--checkpoint PATH] [--checkpoint-every N]
 //                          [--threads N] [--progress]
+//                          [--finish] [--finish-budget N]
 //   grinch campaign resume --checkpoint PATH [--out PATH] [--threads N]
 //   grinch campaign status --checkpoint PATH
 //
@@ -229,6 +233,20 @@ void apply_wide_args(const Args& args, Config& cfg) {
   cfg.wide_width = static_cast<unsigned>(args.get_u64("wide", cfg.wide_width));
 }
 
+/// --finish arms the residual finisher (finish mode reserves evidence and
+/// known pairs, then a budget-exhausted run escalates into the ML search);
+/// --finish-budget caps its candidate enumeration.  `--finish PATH`-style
+/// accidental values still count as the flag (the parser folds a bare
+/// `--finish` before another option into flags, but `--finish 1` into
+/// options).
+template <typename Config>
+void apply_finish_args(const Args& args, Config& cfg) {
+  cfg.finish_partials =
+      args.has("finish") || args.options.count("finish") > 0;
+  cfg.finish_max_candidates =
+      args.get_u64("finish-budget", cfg.finish_max_candidates);
+}
+
 template <typename Config>
 void print_engine_header(const Config& cfg) {
   std::printf("engine:        %s (wide width %u, kernel %s)\n",
@@ -268,9 +286,39 @@ void write_json_report(const std::string& path, const char* command,
                static_cast<unsigned long long>(r.noise_restarts));
   std::fprintf(f, "  \"dropped_observations\": %llu,\n",
                static_cast<unsigned long long>(r.dropped_observations));
-  std::fprintf(f, "  \"verify_restarts\": %llu\n",
+  std::fprintf(f, "  \"verify_restarts\": %llu",
                static_cast<unsigned long long>(r.verify_restarts));
-  std::fprintf(f, "}\n");
+  if (r.failed_stage < Recovery::kStages) {
+    std::fprintf(f, ",\n  \"failed_stage\": %u,\n", r.failed_stage);
+    std::fprintf(f, "  \"surviving_masks\": [");
+    for (unsigned s = 0; s < Recovery::kSegments; ++s) {
+      std::fprintf(f, "%s%u", s == 0 ? "" : ",",
+                   static_cast<unsigned>(r.surviving_masks[s]));
+    }
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"residual_key_bits\": %.2f", r.residual_key_bits);
+    if (r.finisher.outcome != finisher::FinisherOutcome::kNotRun) {
+      // Unlike the campaign JSONL records (byte-compared on resume), the
+      // CLI report is a one-off, so the wall time is fair game here.
+      std::fprintf(f, ",\n  \"finisher_outcome\": \"%s\",\n",
+                   finisher::finisher_outcome_name(r.finisher.outcome));
+      std::fprintf(f, "  \"finisher_candidates\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       r.finisher.candidates_tested));
+      std::fprintf(f, "  \"finisher_rank\": %llu,\n",
+                   static_cast<unsigned long long>(r.finisher.rank));
+      std::fprintf(f, "  \"finisher_frontier\": %llu,\n",
+                   static_cast<unsigned long long>(r.finisher.frontier_rank));
+      std::fprintf(f, "  \"finisher_offline_trials\": %llu,\n",
+                   static_cast<unsigned long long>(
+                       r.finisher.offline_trials));
+      std::fprintf(f, "  \"finisher_search_bits\": %.2f,\n",
+                   r.finisher.search_space_bits);
+      std::fprintf(f, "  \"finisher_wall_seconds\": %.6f",
+                   r.finisher.wall_seconds);
+    }
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -289,6 +337,15 @@ void print_noise_report(const target::RecoveryResult<Recovery>& r) {
     std::printf(" %03x", r.surviving_masks[s]);
   }
   std::printf("\n");
+  if (r.finisher.outcome == finisher::FinisherOutcome::kNotRun) return;
+  std::printf("finisher:       %s (%llu of 2^%.1f candidates, rank %llu,"
+              " frontier %llu, %.2fs)\n",
+              finisher::finisher_outcome_name(r.finisher.outcome),
+              static_cast<unsigned long long>(r.finisher.candidates_tested),
+              r.finisher.search_space_bits,
+              static_cast<unsigned long long>(r.finisher.rank),
+              static_cast<unsigned long long>(r.finisher.frontier_rank),
+              r.finisher.wall_seconds);
 }
 
 int cmd_attack128(const Args& args) {
@@ -299,6 +356,7 @@ int cmd_attack128(const Args& args) {
   cfg.seed = args.get_u64("seed", 0xC128) ^ 0x128;
   apply_fault_args(args, cfg);
   apply_wide_args(args, cfg);
+  apply_finish_args(args, cfg);
   const auto r = target::recover_key<target::Gift128Recovery>(key, cfg);
   std::printf("victim key:    %s\n", key.to_hex().c_str());
   print_engine_header(cfg);
@@ -328,6 +386,7 @@ int cmd_attack_present(const Args& args) {
   cfg.seed = args.get_u64("seed", 0xC80) ^ 0x80;
   apply_fault_args(args, cfg);
   apply_wide_args(args, cfg);
+  apply_finish_args(args, cfg);
   const auto r = target::recover_key<target::Present80Recovery>(key, cfg);
   std::printf("victim key (80-bit): %s\n", key.to_hex().c_str());
   print_engine_header(cfg);
@@ -388,6 +447,10 @@ campaign::CampaignSpec spec_from_args(const Args& args) {
   spec.fault_profile = args.get("fault-profile", spec.fault_profile);
   spec.vote_threshold =
       static_cast<unsigned>(args.get_u64("vote", spec.vote_threshold));
+  if (args.has("finish") || args.options.count("finish") > 0) {
+    spec.finish = true;
+  }
+  spec.finish_budget = args.get_u64("finish-budget", spec.finish_budget);
   spec.line_words =
       static_cast<unsigned>(args.get_u64("line-words", spec.line_words));
   spec.probing_round = static_cast<unsigned>(
@@ -406,8 +469,9 @@ void print_campaign_summary(const campaign::Outcome& out) {
               static_cast<unsigned long long>(out.trials_done));
   std::printf("verified:        %llu\n",
               static_cast<unsigned long long>(out.counters.verified));
-  std::printf("partial:         %llu\n",
-              static_cast<unsigned long long>(out.counters.partial));
+  std::printf("partial:         %llu (finisher recovered %llu)\n",
+              static_cast<unsigned long long>(out.counters.partial),
+              static_cast<unsigned long long>(out.counters.finished));
   std::printf("encryptions:     %llu\n",
               static_cast<unsigned long long>(out.counters.total_encryptions));
   std::printf("noise restarts:  %llu; dropped: %llu; verify restarts: %llu\n",
